@@ -1,0 +1,157 @@
+//! Ablation benches for the design choices DESIGN.md §5 calls out:
+//!
+//! - `--which mu`        : frequency-decay exponent μ ∈ {0, 0.5, 1, 2} (Eq. 9)
+//! - `--which s`         : BES shrink factor s ∈ {1, 2, 4, 8}
+//! - `--which tau`       : RWR restart probability τ ∈ {0, 0.15, 0.3, 0.5}
+//! - `--which clipping`  : per-subgraph clip bound C ∈ {0.1, 0.5, 1, 4}
+//! - `--which accountant`: Theorem 3 mixture bound vs naive (unamplified)
+//!   Gaussian composition — reports the calibrated σ of each
+//!
+//! ```text
+//! cargo run --release -p privim-bench --bin exp_ablations -- --which mu --dataset lastfm --fast
+//! ```
+
+use privim::pipeline::{run_method, EvalSetup, Method};
+use privim_bench::{print_table, ExpArgs};
+use privim_dp::accountant::{calibrate_sigma, PrivacyParams};
+use privim_im::metrics::mean_std;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    which: String,
+    dataset: String,
+    setting: String,
+    value_mean: f64,
+    value_std: f64,
+}
+
+fn main() {
+    // peel off --which before the common parser sees it
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut which = "mu".to_string();
+    if let Some(i) = argv.iter().position(|a| a == "--which") {
+        argv.remove(i);
+        if i < argv.len() {
+            which = argv.remove(i);
+        }
+    }
+    let args = ExpArgs::parse(&argv);
+    let eps = 3.0;
+    let mut rows: Vec<Row> = Vec::new();
+
+    if which == "accountant" {
+        // Pure accounting comparison, dataset-independent.
+        let amplified = PrivacyParams {
+            n_g: 4,
+            batch: 32,
+            container: 300,
+            steps: 80,
+        };
+        // "naive composition": no subsampling amplification (container = n_g)
+        let naive = PrivacyParams {
+            container: 4,
+            ..amplified
+        };
+        for target in [1.0, 2.0, 3.0, 4.0, 6.0] {
+            let s_amp = calibrate_sigma(target, 1e-5, &amplified);
+            let s_naive = calibrate_sigma(target, 1e-5, &naive);
+            rows.push(Row {
+                which: which.clone(),
+                dataset: "-".into(),
+                setting: format!("eps={target}"),
+                value_mean: s_amp,
+                value_std: s_naive,
+            });
+        }
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.setting.clone(),
+                    format!("{:.3}", r.value_mean),
+                    format!("{:.3}", r.value_std),
+                    format!("{:.1}x", r.value_std / r.value_mean),
+                ]
+            })
+            .collect();
+        print_table(
+            &["budget", "sigma (Theorem 3)", "sigma (no amplification)", "saving"],
+            &table,
+        );
+        args.write_json(&rows);
+        return;
+    }
+
+    for dataset in args.datasets.clone() {
+        let mut rng = ChaCha8Rng::seed_from_u64(args.seed);
+        let scale = args.dataset_scale(dataset);
+        eprintln!("== {} (scale {scale:.4}) ==", dataset.spec().name);
+        let g = dataset.generate_scaled(scale, &mut rng);
+
+        let settings: Vec<(String, f64)> = match which.as_str() {
+            "mu" => [0.0, 0.5, 1.0, 2.0]
+                .iter()
+                .map(|&v| (format!("mu={v}"), v))
+                .collect(),
+            "s" => [1.0, 2.0, 4.0, 8.0]
+                .iter()
+                .map(|&v| (format!("s={v}"), v))
+                .collect(),
+            "tau" => [0.0, 0.15, 0.3, 0.5]
+                .iter()
+                .map(|&v| (format!("tau={v}"), v))
+                .collect(),
+            "clipping" => [0.1, 0.5, 1.0, 4.0]
+                .iter()
+                .map(|&v| (format!("C={v}"), v))
+                .collect(),
+            other => {
+                eprintln!("unknown ablation {other}; use mu|s|tau|clipping|accountant");
+                std::process::exit(2);
+            }
+        };
+
+        for (label, v) in settings {
+            let mut params = args.pipeline_params(g.num_nodes());
+            match which.as_str() {
+                "mu" => params.decay = v,
+                "s" => params.shrink = v as usize,
+                "tau" => params.return_prob = v,
+                "clipping" => params.clip = v,
+                _ => unreachable!(),
+            }
+            let mut srng = ChaCha8Rng::seed_from_u64(args.seed);
+            let setup = EvalSetup::with_params(&g, args.k, params, &mut srng);
+            let coverages: Vec<f64> = (0..args.reps)
+                .map(|r| {
+                    run_method(Method::PrivImStar { epsilon: eps }, &setup, args.seed + r)
+                        .coverage_ratio
+                })
+                .collect();
+            let (m, s) = mean_std(&coverages);
+            rows.push(Row {
+                which: which.clone(),
+                dataset: dataset.spec().name.to_string(),
+                setting: label,
+                value_mean: m,
+                value_std: s,
+            });
+        }
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.dataset.clone(),
+                r.setting.clone(),
+                format!("{:.2} ± {:.2}", r.value_mean, r.value_std),
+            ]
+        })
+        .collect();
+    print_table(&["dataset", "setting", "coverage ratio"], &table);
+    args.write_json(&rows);
+}

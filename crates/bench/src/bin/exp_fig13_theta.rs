@@ -1,0 +1,70 @@
+//! Figure 13 (Appendix I): coverage ratio of naive PrivIM as the in-degree
+//! bound θ varies over {5, 10, 15, 20} at ε = 3 — both very small and very
+//! large θ should hurt (structure loss vs noise).
+//!
+//! ```text
+//! cargo run --release -p privim-bench --bin exp_fig13_theta -- --fast
+//! ```
+
+use privim::pipeline::{run_method, EvalSetup, Method};
+use privim_bench::{print_table, ExpArgs};
+use privim_im::metrics::mean_std;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    theta: usize,
+    coverage_mean: f64,
+    coverage_std: f64,
+}
+
+fn main() {
+    let mut args = ExpArgs::parse_env();
+    if args.eps == vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0] {
+        args.eps = vec![3.0];
+    }
+    let eps = args.eps[0];
+    let mut rows: Vec<Row> = Vec::new();
+
+    for dataset in args.datasets.clone() {
+        let mut rng = ChaCha8Rng::seed_from_u64(args.seed);
+        let scale = args.dataset_scale(dataset);
+        eprintln!("== {} (scale {scale:.4}) ==", dataset.spec().name);
+        let g = dataset.generate_scaled(scale, &mut rng);
+        for theta in [5usize, 10, 15, 20] {
+            let mut params = args.pipeline_params(g.num_nodes());
+            params.theta = theta;
+            let mut srng = ChaCha8Rng::seed_from_u64(args.seed);
+            let setup = EvalSetup::with_params(&g, args.k, params, &mut srng);
+            let coverages: Vec<f64> = (0..args.reps)
+                .map(|r| {
+                    run_method(Method::PrivIm { epsilon: eps }, &setup, args.seed + r)
+                        .coverage_ratio
+                })
+                .collect();
+            let (m, s) = mean_std(&coverages);
+            rows.push(Row {
+                dataset: dataset.spec().name.to_string(),
+                theta,
+                coverage_mean: m,
+                coverage_std: s,
+            });
+        }
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.dataset.clone(),
+                format!("{}", r.theta),
+                format!("{:.2} ± {:.2}", r.coverage_mean, r.coverage_std),
+            ]
+        })
+        .collect();
+    print_table(&["dataset", "theta", "coverage ratio"], &table);
+    args.write_json(&rows);
+}

@@ -1,0 +1,100 @@
+//! Figure 5 (and Figure 14 via `--dataset hepph`): influence spread of all
+//! methods versus privacy budget ε ∈ {1..6} over the six main datasets.
+//!
+//! ```text
+//! cargo run --release -p privim-bench --bin exp_fig5 -- --fast --reps 2
+//! cargo run --release -p privim-bench --bin exp_fig5              # full size
+//! ```
+
+use privim::pipeline::{run_method, EvalSetup, Method};
+use privim_bench::{print_table, ExpArgs};
+use privim_im::metrics::mean_std;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    method: String,
+    epsilon: Option<f64>,
+    spread_mean: f64,
+    spread_std: f64,
+    coverage_mean: f64,
+}
+
+fn main() {
+    let args = ExpArgs::parse_env();
+    let mut rows: Vec<Row> = Vec::new();
+
+    for dataset in &args.datasets {
+        let mut rng = ChaCha8Rng::seed_from_u64(args.seed);
+        let scale = args.dataset_scale(*dataset);
+        eprintln!("== {} (scale {scale:.4}) ==", dataset.spec().name);
+        let g = dataset.generate_scaled(scale, &mut rng);
+        let params = args.pipeline_params(g.num_nodes());
+        let setup = EvalSetup::with_params(&g, args.k, params, &mut rng);
+
+        // ε-independent references first.
+        for m in [Method::Celf, Method::NonPrivate] {
+            let outs: Vec<_> = (0..args.reps)
+                .map(|r| run_method(m, &setup, args.seed.wrapping_add(r)))
+                .collect();
+            push_row(&mut rows, dataset.spec().name, &m.name(), None, &outs);
+        }
+
+        for &eps in &args.eps {
+            for m in [
+                Method::PrivImStar { epsilon: eps },
+                Method::PrivIm { epsilon: eps },
+                Method::HpGrat { epsilon: eps },
+                Method::Hp { epsilon: eps },
+                Method::Egn { epsilon: eps },
+            ] {
+                let outs: Vec<_> = (0..args.reps)
+                    .map(|r| run_method(m, &setup, args.seed.wrapping_add(r)))
+                    .collect();
+                push_row(&mut rows, dataset.spec().name, &m.name(), Some(eps), &outs);
+            }
+        }
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.dataset.clone(),
+                r.method.clone(),
+                r.epsilon.map_or("∞".into(), |e| format!("{e}")),
+                format!("{:.1} ± {:.1}", r.spread_mean, r.spread_std),
+                format!("{:.2}%", r.coverage_mean),
+            ]
+        })
+        .collect();
+    print_table(
+        &["dataset", "method", "eps", "influence spread", "coverage"],
+        &table,
+    );
+    args.write_json(&rows);
+}
+
+fn push_row(
+    rows: &mut Vec<Row>,
+    dataset: &str,
+    method: &str,
+    epsilon: Option<f64>,
+    outs: &[privim::MethodOutput],
+) {
+    let spreads: Vec<f64> = outs.iter().map(|o| o.spread).collect();
+    let coverages: Vec<f64> = outs.iter().map(|o| o.coverage_ratio).collect();
+    let (sm, ss) = mean_std(&spreads);
+    let (cm, _) = mean_std(&coverages);
+    rows.push(Row {
+        dataset: dataset.to_string(),
+        method: method.to_string(),
+        epsilon,
+        spread_mean: sm,
+        spread_std: ss,
+        coverage_mean: cm,
+    });
+}

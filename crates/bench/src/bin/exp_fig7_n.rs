@@ -1,0 +1,78 @@
+//! Figures 7 and 11: impact of the subgraph size `n` ∈ 10..80 on PrivIM*
+//! at ε = 3 with the indicator-selected threshold `M`.
+//!
+//! ```text
+//! cargo run --release -p privim-bench --bin exp_fig7_n -- --dataset lastfm,gowalla --fast
+//! ```
+
+use privim::pipeline::{run_method, EvalSetup, Method};
+use privim_bench::{print_table, ExpArgs};
+use privim_im::metrics::mean_std;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    n: usize,
+    m: u32,
+    spread_mean: f64,
+    spread_std: f64,
+}
+
+fn main() {
+    let mut args = ExpArgs::parse_env();
+    if args.eps == vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0] {
+        args.eps = vec![3.0];
+    }
+    let eps = args.eps[0];
+    let mut rows: Vec<Row> = Vec::new();
+
+    for dataset in args.datasets.clone() {
+        let mut rng = ChaCha8Rng::seed_from_u64(args.seed);
+        let scale = args.dataset_scale(dataset);
+        eprintln!("== {} (scale {scale:.4}) ==", dataset.spec().name);
+        let g = dataset.generate_scaled(scale, &mut rng);
+        let base = args.pipeline_params(g.num_nodes());
+
+        for n in (10..=80).step_by(10) {
+            let mut params = base;
+            params.subgraph_size = n;
+            let mut setup_rng = ChaCha8Rng::seed_from_u64(args.seed);
+            let setup = EvalSetup::with_params(&g, args.k, params, &mut setup_rng);
+            let spreads: Vec<f64> = (0..args.reps)
+                .map(|r| {
+                    run_method(
+                        Method::PrivImStar { epsilon: eps },
+                        &setup,
+                        args.seed.wrapping_add(r),
+                    )
+                    .spread
+                })
+                .collect();
+            let (mean, std) = mean_std(&spreads);
+            rows.push(Row {
+                dataset: dataset.spec().name.to_string(),
+                n,
+                m: base.threshold,
+                spread_mean: mean,
+                spread_std: std,
+            });
+        }
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.dataset.clone(),
+                format!("{}", r.n),
+                format!("{}", r.m),
+                format!("{:.1} ± {:.1}", r.spread_mean, r.spread_std),
+            ]
+        })
+        .collect();
+    print_table(&["dataset", "n", "M", "influence spread"], &table);
+    args.write_json(&rows);
+}

@@ -1,0 +1,77 @@
+//! Figure 9: PrivIM* with five GNN architectures (GraphSAGE, GCN, GAT,
+//! GIN, GRAT) at ε ∈ {2, 5}, coverage ratio per dataset.
+//!
+//! ```text
+//! cargo run --release -p privim-bench --bin exp_fig9_gnn -- --fast
+//! ```
+
+use privim::pipeline::{run_method, EvalSetup, Method};
+use privim_bench::{print_table, ExpArgs};
+use privim_gnn::GnnKind;
+use privim_im::metrics::mean_std;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    model: String,
+    epsilon: f64,
+    coverage_mean: f64,
+    coverage_std: f64,
+}
+
+fn main() {
+    let mut args = ExpArgs::parse_env();
+    if args.eps == vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0] {
+        args.eps = vec![2.0, 5.0]; // Fig. 9's budgets
+    }
+    let mut rows: Vec<Row> = Vec::new();
+
+    for dataset in args.datasets.clone() {
+        let mut rng = ChaCha8Rng::seed_from_u64(args.seed);
+        let scale = args.dataset_scale(dataset);
+        eprintln!("== {} (scale {scale:.4}) ==", dataset.spec().name);
+        let g = dataset.generate_scaled(scale, &mut rng);
+        let params = args.pipeline_params(g.num_nodes());
+        let setup = EvalSetup::with_params(&g, args.k, params, &mut rng);
+
+        for &eps in &args.eps {
+            for kind in GnnKind::ALL {
+                let coverages: Vec<f64> = (0..args.reps)
+                    .map(|r| {
+                        run_method(
+                            Method::PrivImStarWith { epsilon: eps, kind },
+                            &setup,
+                            args.seed.wrapping_add(r),
+                        )
+                        .coverage_ratio
+                    })
+                    .collect();
+                let (m, s) = mean_std(&coverages);
+                rows.push(Row {
+                    dataset: dataset.spec().name.to_string(),
+                    model: kind.name().to_string(),
+                    epsilon: eps,
+                    coverage_mean: m,
+                    coverage_std: s,
+                });
+            }
+        }
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.dataset.clone(),
+                r.model.clone(),
+                format!("{}", r.epsilon),
+                format!("{:.2} ± {:.2}", r.coverage_mean, r.coverage_std),
+            ]
+        })
+        .collect();
+    print_table(&["dataset", "model", "eps", "coverage ratio"], &table);
+    args.write_json(&rows);
+}

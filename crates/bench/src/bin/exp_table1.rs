@@ -1,0 +1,83 @@
+//! Table I: dataset statistics — generates each calibrated dataset and
+//! reports measured |V|, |E|, type and average degree next to the paper's
+//! published values.
+//!
+//! ```text
+//! cargo run --release -p privim-bench --bin exp_table1 -- --scale 0.2
+//! ```
+
+use privim_bench::{print_table, ExpArgs};
+use privim_graph::datasets::{measure, Dataset};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    paper_nodes: usize,
+    paper_edges: usize,
+    paper_avg_degree: f64,
+    generated_nodes: usize,
+    generated_edges: usize,
+    generated_avg_degree: f64,
+    directed: bool,
+    scale: f64,
+}
+
+fn main() {
+    let mut args = ExpArgs::parse_env();
+    if args.datasets == Dataset::MAIN_SIX.to_vec() {
+        args.datasets = Dataset::ALL.to_vec(); // Table I includes Friendster
+    }
+    let mut rows = Vec::new();
+    for d in &args.datasets {
+        let scale = args.dataset_scale(*d);
+        let mut rng = ChaCha8Rng::seed_from_u64(args.seed);
+        let g = d.generate_scaled(scale, &mut rng);
+        let m = measure(d.spec().name, &g);
+        let spec = d.spec();
+        rows.push(Row {
+            dataset: m.name.clone(),
+            paper_nodes: spec.nodes,
+            paper_edges: spec.edges,
+            paper_avg_degree: spec.avg_degree,
+            generated_nodes: m.nodes,
+            generated_edges: m.edges,
+            generated_avg_degree: m.avg_degree,
+            directed: m.directed,
+            scale,
+        });
+    }
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.dataset.clone(),
+                format!("{}", r.paper_nodes),
+                format!("{}", r.generated_nodes),
+                format!("{}", r.paper_edges),
+                format!("{}", r.generated_edges),
+                if r.directed { "Directed" } else { "Undirected" }.into(),
+                format!("{:.2}", r.paper_avg_degree),
+                format!("{:.2}", r.generated_avg_degree),
+                format!("{:.4}", r.scale),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "dataset",
+            "|V| paper",
+            "|V| gen",
+            "|E| paper",
+            "|E| gen",
+            "type",
+            "deg paper",
+            "deg gen",
+            "scale",
+        ],
+        &table,
+    );
+    args.write_json(&rows);
+}

@@ -1,0 +1,104 @@
+//! Table II: coverage-ratio ablation of the dual-stage sampling scheme —
+//! PrivIM (naive) vs PrivIM+SCS vs PrivIM+SCS+BES (= PrivIM*) at
+//! ε ∈ {1, 4}, mean ± std over `--reps` runs, plus the Non-Private
+//! reference row.
+//!
+//! ```text
+//! cargo run --release -p privim-bench --bin exp_table2 -- --fast
+//! ```
+
+use privim::pipeline::{run_method, EvalSetup, Method};
+use privim_bench::{fmt_mean_std, print_table, ExpArgs};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    method: String,
+    epsilon: Option<f64>,
+    dataset: String,
+    coverage_mean: f64,
+    coverage_std: f64,
+    pretty: String,
+}
+
+fn main() {
+    let mut args = ExpArgs::parse_env();
+    if args.eps == vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0] {
+        args.eps = vec![4.0, 1.0]; // Table II reports ε = 4 and ε = 1
+    }
+    let mut rows: Vec<Row> = Vec::new();
+
+    for dataset in args.datasets.clone() {
+        let mut rng = ChaCha8Rng::seed_from_u64(args.seed);
+        let scale = args.dataset_scale(dataset);
+        eprintln!("== {} (scale {scale:.4}) ==", dataset.spec().name);
+        let g = dataset.generate_scaled(scale, &mut rng);
+        let params = args.pipeline_params(g.num_nodes());
+        let setup = EvalSetup::with_params(&g, args.k, params, &mut rng);
+
+        let record = |method: Method, label: &str, rows: &mut Vec<Row>| {
+            let coverages: Vec<f64> = (0..args.reps)
+                .map(|r| run_method(method, &setup, args.seed.wrapping_add(r)).coverage_ratio)
+                .collect();
+            let (m, s) = privim_im::metrics::mean_std(&coverages);
+            rows.push(Row {
+                method: label.to_string(),
+                epsilon: method.epsilon(),
+                dataset: dataset.spec().name.to_string(),
+                coverage_mean: m,
+                coverage_std: s,
+                pretty: fmt_mean_std(&coverages),
+            });
+        };
+
+        record(Method::NonPrivate, "non-private", &mut rows);
+        for &eps in &args.eps {
+            record(Method::PrivIm { epsilon: eps }, "privim", &mut rows);
+            record(Method::PrivImScs { epsilon: eps }, "privim+scs", &mut rows);
+            record(
+                Method::PrivImStar { epsilon: eps },
+                "privim+scs+bes (privim*)",
+                &mut rows,
+            );
+        }
+    }
+
+    // Pivot: method × ε rows, dataset columns (the paper's layout).
+    let datasets: Vec<String> = args
+        .datasets
+        .iter()
+        .map(|d| d.spec().name.to_string())
+        .collect();
+    let mut keys: Vec<(String, Option<f64>)> = Vec::new();
+    for r in &rows {
+        let k = (r.method.clone(), r.epsilon);
+        if !keys.contains(&k) {
+            keys.push(k);
+        }
+    }
+    let table: Vec<Vec<String>> = keys
+        .iter()
+        .map(|(m, e)| {
+            let mut row = vec![
+                m.clone(),
+                e.map_or("∞".into(), |x| format!("{x}")),
+            ];
+            for d in &datasets {
+                let cell = rows
+                    .iter()
+                    .find(|r| &r.method == m && r.epsilon == *e && &r.dataset == d)
+                    .map(|r| r.pretty.clone())
+                    .unwrap_or_default();
+                row.push(cell);
+            }
+            row
+        })
+        .collect();
+    let mut headers: Vec<&str> = vec!["method", "eps"];
+    let owned: Vec<String> = datasets.clone();
+    headers.extend(owned.iter().map(|s| s.as_str()));
+    print_table(&headers, &table);
+    args.write_json(&rows);
+}

@@ -1,0 +1,77 @@
+//! Table III: computational time cost — preprocessing versus per-epoch
+//! training seconds for PrivIM*, PrivIM, HP-GRAT and EGN over the six
+//! datasets.
+//!
+//! ```text
+//! cargo run --release -p privim-bench --bin exp_table3_time -- --fast --reps 1
+//! ```
+
+use privim::pipeline::{run_method, EvalSetup, Method};
+use privim_bench::{print_table, ExpArgs};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    method: String,
+    dataset: String,
+    preprocess_secs: f64,
+    per_epoch_secs: f64,
+}
+
+fn main() {
+    let mut args = ExpArgs::parse_env();
+    if args.reps == 5 {
+        args.reps = 1; // timings don't need replication by default
+    }
+    let eps = 3.0;
+    let methods = [
+        (Method::PrivImStar { epsilon: eps }, "privim*"),
+        (Method::PrivIm { epsilon: eps }, "privim"),
+        (Method::HpGrat { epsilon: eps }, "hp-grat"),
+        (Method::Egn { epsilon: eps }, "egn"),
+    ];
+    let mut rows: Vec<Row> = Vec::new();
+
+    for dataset in args.datasets.clone() {
+        let mut rng = ChaCha8Rng::seed_from_u64(args.seed);
+        let scale = args.dataset_scale(dataset);
+        eprintln!("== {} (scale {scale:.4}) ==", dataset.spec().name);
+        let g = dataset.generate_scaled(scale, &mut rng);
+        let params = args.pipeline_params(g.num_nodes());
+        let setup = EvalSetup::with_params(&g, args.k, params, &mut rng);
+        for (method, label) in methods {
+            let mut pre = 0.0;
+            let mut epoch = 0.0;
+            for r in 0..args.reps {
+                let out = run_method(method, &setup, args.seed.wrapping_add(r));
+                pre += out.preprocess_secs;
+                epoch += out.per_epoch_secs;
+            }
+            rows.push(Row {
+                method: label.to_string(),
+                dataset: dataset.spec().name.to_string(),
+                preprocess_secs: pre / args.reps as f64,
+                per_epoch_secs: epoch / args.reps as f64,
+            });
+        }
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.method.clone(),
+                r.dataset.clone(),
+                format!("{:.2}s", r.preprocess_secs),
+                format!("{:.2}s", r.per_epoch_secs),
+            ]
+        })
+        .collect();
+    print_table(
+        &["method", "dataset", "preprocessing", "per-epoch training"],
+        &table,
+    );
+    args.write_json(&rows);
+}

@@ -1,0 +1,82 @@
+//! Structured experiment outputs consumed by the bench harness and
+//! EXPERIMENTS.md tooling.
+
+use privim_graph::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Everything one method run produces: utility, privacy, and cost — the
+/// union of what Figure 5, Table II and Table III report.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MethodOutput {
+    /// Method name (`privim*`, `privim+scs`, `privim`, `non-private`,
+    /// `egn`, `hp`, `hp-grat`, `celf`, ...).
+    pub method: String,
+    /// Influence spread of the selected seed set (evaluation setting:
+    /// exact one-step coverage).
+    pub spread: f64,
+    /// Coverage ratio vs CELF, percent.
+    pub coverage_ratio: f64,
+    /// Privacy budget the run was calibrated to (`None` for non-private
+    /// methods and CELF).
+    pub epsilon: Option<f64>,
+    /// Calibrated noise multiplier (0 when non-private).
+    pub sigma: f64,
+    /// Subgraph container size `m` (0 for non-learning methods).
+    pub container_size: usize,
+    /// Empirical max node occurrence across subgraphs.
+    pub max_occurrence: u32,
+    /// Theoretical occurrence bound fed to the accountant.
+    pub occurrence_bound: u64,
+    /// Preprocessing wall time (projection + sampling + tensor prep).
+    pub preprocess_secs: f64,
+    /// Total training wall time.
+    pub train_secs: f64,
+    /// Per-epoch training time, where one epoch is one pass over the
+    /// container (`m / B` iterations) — Table III's unit.
+    pub per_epoch_secs: f64,
+    /// DP-SGD iterations run.
+    pub train_iters: usize,
+    /// The selected seed set.
+    pub seeds: Vec<NodeId>,
+    /// Final training loss (mean over the last batch; 0 for non-learning
+    /// methods).
+    pub final_loss: f64,
+}
+
+impl MethodOutput {
+    /// A non-learning output (CELF / heuristics) with zeroed training
+    /// fields.
+    pub fn non_learning(method: &str, spread: f64, coverage_ratio: f64, seeds: Vec<NodeId>) -> Self {
+        MethodOutput {
+            method: method.to_string(),
+            spread,
+            coverage_ratio,
+            epsilon: None,
+            sigma: 0.0,
+            container_size: 0,
+            max_occurrence: 0,
+            occurrence_bound: 0,
+            preprocess_secs: 0.0,
+            train_secs: 0.0,
+            per_epoch_secs: 0.0,
+            train_iters: 0,
+            seeds,
+            final_loss: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serde_roundtrip() {
+        let out = MethodOutput::non_learning("celf", 123.0, 100.0, vec![1, 2, 3]);
+        let json = serde_json::to_string(&out).unwrap();
+        let back: MethodOutput = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.method, "celf");
+        assert_eq!(back.seeds, vec![1, 2, 3]);
+        assert_eq!(back.spread, 123.0);
+    }
+}

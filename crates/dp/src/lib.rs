@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+//! # privim-dp
+//!
+//! Differential-privacy substrate for PrivIM: the Rényi-DP accountant
+//! implementing Theorem 3's subsampled-Gaussian mixture bound, the
+//! RDP → (ε, δ) conversion of Theorem 1, noise-multiplier calibration by
+//! bisection, the sensitivity bounds of Lemmas 1–2, and the noise
+//! mechanisms used by the framework and its baselines (Gaussian, Laplace,
+//! and the Symmetric Multivariate Laplace noise of the HP baseline).
+//!
+//! ## Accounting example
+//!
+//! ```
+//! use privim_dp::accountant::{PrivacyParams, best_epsilon, calibrate_sigma};
+//!
+//! let params = PrivacyParams { n_g: 4, batch: 16, container: 256, steps: 50 };
+//! let sigma = calibrate_sigma(2.0, 1e-5, &params);
+//! let eps = best_epsilon(sigma, 1e-5, &params);
+//! assert!(eps <= 2.0 && eps > 1.0);
+//! ```
+
+pub mod accountant;
+pub mod math;
+pub mod mechanisms;
+pub mod sensitivity;
+
+pub use accountant::{best_epsilon, calibrate_sigma, PrivacyParams, RdpAccountant};
+pub use mechanisms::{gaussian_noise_vec, laplace_noise_vec, sml_noise_vec};
+pub use sensitivity::{
+    naive_occurrence_bound, node_sensitivity, occurrence_bound_for_unit,
+    sampled_occurrence_bound, PrivacyUnit,
+};

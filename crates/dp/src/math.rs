@@ -1,0 +1,153 @@
+//! Special functions needed by the accountant and the parameter indicator:
+//! log-gamma (Lanczos), log-binomial coefficients, log-sum-exp, and the
+//! Gamma-distribution pdf used by Eq. 10/11.
+
+/// Lanczos approximation of `ln Γ(x)` for `x > 0`.
+///
+/// Accuracy ~1e-13 over the range used here (binomial coefficients with
+/// arguments up to ~1e9 and Gamma-pdf shapes in single digits).
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma domain: x > 0, got {x}");
+    // g = 7, n = 9 Lanczos coefficients.
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + 7.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// `ln C(n, k)` computed stably via log-gamma.
+pub fn ln_binomial(n: u64, k: u64) -> f64 {
+    assert!(k <= n, "k={k} > n={n}");
+    if k == 0 || k == n {
+        return 0.0;
+    }
+    ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64 + 1.0) - ln_gamma((n - k) as f64 + 1.0)
+}
+
+/// `log Σ exp(xᵢ)` without overflow.
+pub fn log_sum_exp(xs: &[f64]) -> f64 {
+    let m = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if m == f64::NEG_INFINITY {
+        return f64::NEG_INFINITY;
+    }
+    m + xs.iter().map(|x| (x - m).exp()).sum::<f64>().ln()
+}
+
+/// Gamma-distribution probability density `ξ(x; β, ψ)` — Eq. 11 of the
+/// paper (shape `β`, scale `ψ`).
+pub fn gamma_pdf(x: f64, shape: f64, scale: f64) -> f64 {
+    assert!(shape > 0.0 && scale > 0.0, "gamma pdf params must be positive");
+    if x <= 0.0 {
+        return 0.0;
+    }
+    let ln_pdf =
+        (shape - 1.0) * x.ln() - x / scale - shape * scale.ln() - ln_gamma(shape);
+    ln_pdf.exp()
+}
+
+/// Mode of the Gamma pdf: `(β − 1)ψ` for `β > 1` (Eq. 46) — where the
+/// paper's indicator peaks.
+pub fn gamma_mode(shape: f64, scale: f64) -> f64 {
+    ((shape - 1.0) * scale).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Γ(n) = (n-1)!
+        let facts: [(f64, f64); 5] =
+            [(1.0, 1.0), (2.0, 1.0), (3.0, 2.0), (5.0, 24.0), (7.0, 720.0)];
+        for (x, f) in facts {
+            assert!(
+                (ln_gamma(x) - f.ln()).abs() < 1e-10,
+                "ln_gamma({x}) = {} want {}",
+                ln_gamma(x),
+                f.ln()
+            );
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half() {
+        // Γ(1/2) = √π
+        let want = std::f64::consts::PI.sqrt().ln();
+        assert!((ln_gamma(0.5) - want).abs() < 1e-10);
+    }
+
+    #[test]
+    fn binomial_small_values() {
+        assert!((ln_binomial(5, 2) - 10.0f64.ln()).abs() < 1e-10);
+        assert_eq!(ln_binomial(9, 0), 0.0);
+        assert_eq!(ln_binomial(9, 9), 0.0);
+        assert!((ln_binomial(10, 5) - 252.0f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn binomial_large_values_stay_finite() {
+        let v = ln_binomial(1_000_000_000, 500);
+        assert!(v.is_finite() && v > 0.0);
+    }
+
+    #[test]
+    fn log_sum_exp_basic() {
+        let xs = [0.0, 0.0];
+        assert!((log_sum_exp(&xs) - 2.0f64.ln()).abs() < 1e-12);
+        // overflow-prone inputs
+        let big = [1000.0, 1000.0];
+        assert!((log_sum_exp(&big) - (1000.0 + 2.0f64.ln())).abs() < 1e-9);
+        assert_eq!(log_sum_exp(&[]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn gamma_pdf_integrates_to_one() {
+        // crude trapezoid over [0, 60]
+        let (shape, scale) = (3.0, 2.5);
+        let n = 60_000;
+        let h = 60.0 / n as f64;
+        let mut total = 0.0;
+        for i in 0..n {
+            let x0 = i as f64 * h;
+            total += 0.5 * (gamma_pdf(x0, shape, scale) + gamma_pdf(x0 + h, shape, scale)) * h;
+        }
+        assert!((total - 1.0).abs() < 1e-3, "integral {total}");
+    }
+
+    #[test]
+    fn gamma_pdf_peaks_at_mode() {
+        let (shape, scale) = (4.0, 5.0);
+        let mode = gamma_mode(shape, scale);
+        assert_eq!(mode, 15.0);
+        let at_mode = gamma_pdf(mode, shape, scale);
+        for dx in [-2.0, -1.0, 1.0, 2.0] {
+            assert!(gamma_pdf(mode + dx, shape, scale) < at_mode);
+        }
+    }
+
+    #[test]
+    fn gamma_pdf_zero_left_of_origin() {
+        assert_eq!(gamma_pdf(-1.0, 2.0, 1.0), 0.0);
+        assert_eq!(gamma_pdf(0.0, 2.0, 1.0), 0.0);
+    }
+}

@@ -1,0 +1,621 @@
+//! The five GNN architectures behind one interface.
+//!
+//! [`GnnModel::forward`] builds the differentiable graph on a
+//! [`Tape`] (training path, per-subgraph), while [`GnnModel::infer`]
+//! runs the identical computation tape-free (inference path — needed for
+//! full-graph seed scoring where taping 200K-node intermediates would waste
+//! memory). A unit test pins both paths to the same output.
+
+use crate::features::FEATURE_DIM;
+use crate::structures::GraphTensors;
+use privim_tensor::{init, Matrix, SparseMatrix, Tape, Var};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Which architecture (Appendix G).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GnnKind {
+    /// Degree-normalised convolution (Kipf & Welling).
+    Gcn,
+    /// Mean aggregation + concatenation (Hamilton et al.).
+    GraphSage,
+    /// Attention normalised per target (Veličković et al.).
+    Gat,
+    /// Attention normalised per source — the paper's default (Ni et al.).
+    Grat,
+    /// Sum aggregation through an MLP (Xu et al.).
+    Gin,
+}
+
+impl GnnKind {
+    /// All five evaluated kinds (Fig. 9 order).
+    pub const ALL: [GnnKind; 5] = [
+        GnnKind::GraphSage,
+        GnnKind::Gcn,
+        GnnKind::Gat,
+        GnnKind::Gin,
+        GnnKind::Grat,
+    ];
+
+    /// Lowercase CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            GnnKind::Gcn => "gcn",
+            GnnKind::GraphSage => "graphsage",
+            GnnKind::Gat => "gat",
+            GnnKind::Grat => "grat",
+            GnnKind::Gin => "gin",
+        }
+    }
+
+    /// Parse a CLI name.
+    pub fn from_name(name: &str) -> Option<GnnKind> {
+        let l = name.to_ascii_lowercase();
+        Self::ALL.into_iter().find(|k| k.name() == l)
+    }
+}
+
+/// Model hyperparameters. Paper defaults: 3 layers × 32 hidden units.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct GnnConfig {
+    /// Architecture.
+    pub kind: GnnKind,
+    /// Number of message-passing layers `r`.
+    pub layers: usize,
+    /// Hidden width.
+    pub hidden: usize,
+    /// Input feature dimension.
+    pub in_dim: usize,
+}
+
+impl GnnConfig {
+    /// The paper's default: 3-layer GRAT, 32 hidden units, structural
+    /// features.
+    pub fn paper_default() -> Self {
+        GnnConfig {
+            kind: GnnKind::Grat,
+            layers: 3,
+            hidden: 32,
+            in_dim: FEATURE_DIM,
+        }
+    }
+
+    /// Same defaults with a different architecture (Fig. 9 sweeps).
+    pub fn paper_default_with(kind: GnnKind) -> Self {
+        GnnConfig {
+            kind,
+            ..Self::paper_default()
+        }
+    }
+}
+
+/// A GNN with its parameters. Parameter layout is architecture-specific;
+/// use [`Self::params`]/[`Self::params_mut`] for optimisation and
+/// [`Self::forward`]'s returned vars to fetch per-parameter gradients.
+///
+/// Serialisable: a trained (privatised) model can be persisted with serde
+/// and shipped — under DP, releasing the trained parameters is exactly the
+/// threat model the training pipeline protects.
+#[derive(Clone, Serialize, Deserialize)]
+pub struct GnnModel {
+    config: GnnConfig,
+    params: Vec<Matrix>,
+}
+
+impl GnnModel {
+    /// Initialise with Xavier weights (attention vectors and biases near
+    /// zero, GIN ε at zero — standard defaults).
+    pub fn new(config: GnnConfig, rng: &mut impl Rng) -> Self {
+        assert!(config.layers >= 1 && config.hidden >= 1 && config.in_dim >= 1);
+        let mut params = Vec::new();
+        let h = config.hidden;
+        for l in 0..config.layers {
+            let d_in = if l == 0 { config.in_dim } else { h };
+            match config.kind {
+                GnnKind::Gcn => {
+                    params.push(init::xavier_uniform(d_in, h, rng));
+                    params.push(Matrix::zeros(1, h));
+                }
+                GnnKind::GraphSage => {
+                    params.push(init::xavier_uniform(2 * d_in, h, rng));
+                    params.push(Matrix::zeros(1, h));
+                }
+                GnnKind::Gat | GnnKind::Grat => {
+                    params.push(init::xavier_uniform(d_in, h, rng));
+                    params.push(init::xavier_uniform(h, 1, rng).scale(0.1)); // a_dst
+                    params.push(init::xavier_uniform(h, 1, rng).scale(0.1)); // a_src
+                    params.push(Matrix::zeros(1, h));
+                }
+                GnnKind::Gin => {
+                    // Damped first-layer init: GIN's *sum* aggregation sees
+                    // pre-activations that scale with node degree, so
+                    // full-gain Xavier saturates the MLP on hubs and kills
+                    // the ranking signal; a 0.2 gain keeps hub activations
+                    // in the trainable range (the instability Fig. 9's
+                    // discussion attributes to GIN shows up here).
+                    params.push(init::xavier_uniform(d_in, h, rng).scale(0.2));
+                    params.push(Matrix::zeros(1, h));
+                    params.push(init::xavier_uniform(h, h, rng));
+                    params.push(Matrix::zeros(1, h));
+                    params.push(Matrix::zeros(1, 1)); // ε
+                }
+            }
+        }
+        // readout; the bias starts negative so initial seed probabilities
+        // sit near 0.1 instead of 0.5 — with unit IC weights that keeps the
+        // loss' diffusion term unsaturated and the hub-seeking gradient
+        // alive from step one.
+        params.push(init::xavier_uniform(h, 1, rng));
+        params.push(Matrix::full(1, 1, -2.0));
+        GnnModel { config, params }
+    }
+
+    /// Architecture configuration.
+    pub fn config(&self) -> &GnnConfig {
+        &self.config
+    }
+
+    /// Immutable parameter list.
+    pub fn params(&self) -> &[Matrix] {
+        &self.params
+    }
+
+    /// Mutable parameter list (optimiser updates).
+    pub fn params_mut(&mut self) -> &mut [Matrix] {
+        &mut self.params
+    }
+
+    /// Total scalar parameter count.
+    pub fn num_parameters(&self) -> usize {
+        self.params.iter().map(|p| p.rows() * p.cols()).sum()
+    }
+
+    /// Persist the model as JSON.
+    pub fn save_json<W: std::io::Write>(&self, w: W) -> std::io::Result<()> {
+        serde_json::to_writer(w, self)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Load a model persisted with [`Self::save_json`]. Validates the
+    /// parameter layout against the stored config.
+    pub fn load_json<R: std::io::Read>(r: R) -> std::io::Result<Self> {
+        let model: GnnModel = serde_json::from_reader(r)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        // cheap sanity: rebuild a reference model and compare shapes
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+        use rand::SeedableRng as _;
+        let reference = GnnModel::new(model.config, &mut rng);
+        if reference.params.len() != model.params.len()
+            || reference
+                .params
+                .iter()
+                .zip(&model.params)
+                .any(|(a, b)| a.shape() != b.shape())
+        {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "parameter layout does not match config",
+            ));
+        }
+        Ok(model)
+    }
+
+    /// Differentiable forward pass: registers every parameter as a tape
+    /// leaf and returns `(probabilities, param_vars)` where
+    /// `probabilities` is the `n×1` sigmoid seed-probability vector and
+    /// `param_vars[i]` corresponds to `self.params()[i]`.
+    pub fn forward(&self, tape: &mut Tape, gt: &GraphTensors, x: &Matrix) -> (Var, Vec<Var>) {
+        assert_eq!(x.rows(), gt.n, "feature row count mismatch");
+        assert_eq!(x.cols(), self.config.in_dim, "feature dim mismatch");
+        let pvars: Vec<Var> = self.params.iter().map(|p| tape.leaf(p.clone())).collect();
+        let mut h = tape.leaf(x.clone());
+        let mut pi = 0usize;
+        let gcn_id = tape.sparse_const(gt.adj_gcn.clone());
+        let mean_id = tape.sparse_const(gt.adj_mean.clone());
+        let sum_id = tape.sparse_const(gt.adj_sum.clone());
+
+        for _ in 0..self.config.layers {
+            h = match self.config.kind {
+                GnnKind::Gcn => {
+                    let (w, b) = (pvars[pi], pvars[pi + 1]);
+                    pi += 2;
+                    let agg = tape.spmm(gcn_id, h);
+                    let lin = tape.matmul(agg, w);
+                    let biased = tape.add_row_broadcast(lin, b);
+                    tape.relu(biased)
+                }
+                GnnKind::GraphSage => {
+                    let (w, b) = (pvars[pi], pvars[pi + 1]);
+                    pi += 2;
+                    let m = tape.spmm(mean_id, h);
+                    let cat = tape.concat_cols(h, m);
+                    let lin = tape.matmul(cat, w);
+                    let biased = tape.add_row_broadcast(lin, b);
+                    tape.relu(biased)
+                }
+                GnnKind::Gat | GnnKind::Grat => {
+                    let (w, a_dst, a_src, b) =
+                        (pvars[pi], pvars[pi + 1], pvars[pi + 2], pvars[pi + 3]);
+                    pi += 4;
+                    let hw = tape.matmul(h, w);
+                    let src_f = tape.gather_rows(hw, gt.att_src.clone());
+                    let dst_f = tape.gather_rows(hw, gt.att_dst.clone());
+                    let s_dst = tape.matmul(dst_f, a_dst);
+                    let s_src = tape.matmul(src_f, a_src);
+                    let raw = tape.add(s_dst, s_src);
+                    let e = tape.leaky_relu(raw, 0.2);
+                    // Eq. 35 (GAT): normalise over each target's in-arcs;
+                    // Eq. 39 (GRAT): over each source's out-arcs.
+                    let seg = if self.config.kind == GnnKind::Gat {
+                        gt.att_dst.clone()
+                    } else {
+                        gt.att_src.clone()
+                    };
+                    let alpha = tape.segment_softmax(e, seg);
+                    let msgs = tape.mul_col_broadcast(alpha, src_f);
+                    let agg = tape.scatter_add_rows(msgs, gt.att_dst.clone(), gt.n);
+                    // GAT-only skip connection: target-normalised attention
+                    // averages away the node's own magnitude information
+                    // (on attribute-poor graphs the degree signal inverts),
+                    // so GAT gets the standard self-features skip; GRAT's
+                    // source-normalised attention (Eq. 37-40) preserves
+                    // magnitude by itself.
+                    let agg_out = if self.config.kind == GnnKind::Gat {
+                        tape.add(agg, hw)
+                    } else {
+                        agg
+                    };
+                    let biased = tape.add_row_broadcast(agg_out, b);
+                    tape.relu(biased)
+                }
+                GnnKind::Gin => {
+                    let (w1, b1, w2, b2, eps) = (
+                        pvars[pi],
+                        pvars[pi + 1],
+                        pvars[pi + 2],
+                        pvars[pi + 3],
+                        pvars[pi + 4],
+                    );
+                    pi += 5;
+                    let neigh = tape.spmm(sum_id, h);
+                    let one_plus_eps = tape.add_scalar(eps, 1.0);
+                    let eps_col =
+                        tape.gather_rows(one_plus_eps, Arc::new(vec![0u32; gt.n]));
+                    let scaled_self = tape.mul_col_broadcast(eps_col, h);
+                    let pre = tape.add(neigh, scaled_self);
+                    let l1 = tape.matmul(pre, w1);
+                    let l1b = tape.add_row_broadcast(l1, b1);
+                    let a1 = tape.relu(l1b);
+                    let l2 = tape.matmul(a1, w2);
+                    let l2b = tape.add_row_broadcast(l2, b2);
+                    tape.relu(l2b)
+                }
+            };
+        }
+        let (w_out, b_out) = (pvars[pi], pvars[pi + 1]);
+        let logits = tape.matmul(h, w_out);
+        let logits_b = tape.add_row_broadcast(logits, b_out);
+        let probs = tape.sigmoid(logits_b);
+        (probs, pvars)
+    }
+
+    /// Tape-free forward pass for inference on large graphs. Returns the
+    /// per-node seed probabilities. Must stay numerically identical to
+    /// [`Self::forward`]; `forward_and_infer_agree` pins this.
+    pub fn infer(&self, gt: &GraphTensors, x: &Matrix) -> Vec<f64> {
+        assert_eq!(x.rows(), gt.n);
+        assert_eq!(x.cols(), self.config.in_dim);
+        let mut h = x.clone();
+        let mut pi = 0usize;
+        for _ in 0..self.config.layers {
+            h = match self.config.kind {
+                GnnKind::Gcn => {
+                    let (w, b) = (&self.params[pi], &self.params[pi + 1]);
+                    pi += 2;
+                    relu(&add_bias(&gt.adj_gcn.spmm(&h).matmul(w), b))
+                }
+                GnnKind::GraphSage => {
+                    let (w, b) = (&self.params[pi], &self.params[pi + 1]);
+                    pi += 2;
+                    let m = gt.adj_mean.spmm(&h);
+                    relu(&add_bias(&h.concat_cols(&m).matmul(w), b))
+                }
+                GnnKind::Gat | GnnKind::Grat => {
+                    let (w, a_dst, a_src, b) = (
+                        &self.params[pi],
+                        &self.params[pi + 1],
+                        &self.params[pi + 2],
+                        &self.params[pi + 3],
+                    );
+                    pi += 4;
+                    let hw = h.matmul(w);
+                    let src_f = gather(&hw, &gt.att_src);
+                    let dst_f = gather(&hw, &gt.att_dst);
+                    let mut e = dst_f.matmul(a_dst);
+                    e.add_assign(&src_f.matmul(a_src));
+                    let e = e.map(|v| if v > 0.0 { v } else { 0.2 * v });
+                    let seg: &[u32] = if self.config.kind == GnnKind::Gat {
+                        &gt.att_dst
+                    } else {
+                        &gt.att_src
+                    };
+                    let alpha = segment_softmax(&e, seg);
+                    let mut msgs = src_f;
+                    for r in 0..msgs.rows() {
+                        let a = alpha[r];
+                        for v in msgs.row_mut(r) {
+                            *v *= a;
+                        }
+                    }
+                    let mut agg = scatter_add(&msgs, &gt.att_dst, gt.n);
+                    if self.config.kind == GnnKind::Gat {
+                        agg.add_assign(&hw);
+                    }
+                    relu(&add_bias(&agg, b))
+                }
+                GnnKind::Gin => {
+                    let (w1, b1, w2, b2, eps) = (
+                        &self.params[pi],
+                        &self.params[pi + 1],
+                        &self.params[pi + 2],
+                        &self.params[pi + 3],
+                        &self.params[pi + 4],
+                    );
+                    pi += 5;
+                    let mut pre = gt.adj_sum.spmm(&h);
+                    pre.add_scaled_assign(&h, 1.0 + eps.get(0, 0));
+                    let a1 = relu(&add_bias(&pre.matmul(w1), b1));
+                    relu(&add_bias(&a1.matmul(w2), b2))
+                }
+            };
+        }
+        let (w_out, b_out) = (&self.params[pi], &self.params[pi + 1]);
+        let logits = add_bias(&h.matmul(w_out), b_out);
+        logits
+            .data()
+            .iter()
+            .map(|&v| 1.0 / (1.0 + (-v).exp()))
+            .collect()
+    }
+
+    /// Convenience: score a raw graph (builds tensors + features).
+    pub fn score_graph(&self, g: &privim_graph::Graph) -> Vec<f64> {
+        let gt = GraphTensors::new(g);
+        let x = crate::features::node_features(g);
+        self.infer(&gt, &x)
+    }
+}
+
+// -------- tape-free helpers (mirror tape op semantics) --------
+
+fn relu(m: &Matrix) -> Matrix {
+    m.map(|x| x.max(0.0))
+}
+
+fn add_bias(m: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = m.clone();
+    for r in 0..out.rows() {
+        for (j, v) in out.row_mut(r).iter_mut().enumerate() {
+            *v += b.get(0, j);
+        }
+    }
+    out
+}
+
+fn gather(m: &Matrix, idx: &[u32]) -> Matrix {
+    let mut out = Matrix::zeros(idx.len(), m.cols());
+    for (i, &r) in idx.iter().enumerate() {
+        out.row_mut(i).copy_from_slice(m.row(r as usize));
+    }
+    out
+}
+
+fn scatter_add(m: &Matrix, idx: &[u32], rows: usize) -> Matrix {
+    let mut out = Matrix::zeros(rows, m.cols());
+    for (i, &r) in idx.iter().enumerate() {
+        let dst = out.row_mut(r as usize);
+        for (j, &v) in m.row(i).iter().enumerate() {
+            dst[j] += v;
+        }
+    }
+    out
+}
+
+fn segment_softmax(scores: &Matrix, seg: &[u32]) -> Vec<f64> {
+    let nseg = seg.iter().map(|&x| x as usize + 1).max().unwrap_or(0);
+    let mut mx = vec![f64::NEG_INFINITY; nseg];
+    for (i, &g) in seg.iter().enumerate() {
+        mx[g as usize] = mx[g as usize].max(scores.get(i, 0));
+    }
+    let mut sum = vec![0.0; nseg];
+    let mut ex = vec![0.0; seg.len()];
+    for (i, &g) in seg.iter().enumerate() {
+        let e = (scores.get(i, 0) - mx[g as usize]).exp();
+        ex[i] = e;
+        sum[g as usize] += e;
+    }
+    for (i, &g) in seg.iter().enumerate() {
+        ex[i] /= sum[g as usize];
+    }
+    ex
+}
+
+// `SparseMatrix` import is used by GraphTensors fields through methods only;
+// keep the type path alive for doc links.
+#[allow(unused)]
+fn _doc_anchor(_: &SparseMatrix) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::node_features;
+    use privim_graph::generators;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn setup(kind: GnnKind, seed: u64) -> (GnnModel, GraphTensors, Matrix) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = generators::barabasi_albert(30, 3, &mut rng);
+        let gt = GraphTensors::new(&g);
+        let x = node_features(&g);
+        let cfg = GnnConfig {
+            kind,
+            layers: 2,
+            hidden: 8,
+            in_dim: FEATURE_DIM,
+        };
+        (GnnModel::new(cfg, &mut rng), gt, x)
+    }
+
+    #[test]
+    fn outputs_are_probabilities_for_all_kinds() {
+        for kind in GnnKind::ALL {
+            let (model, gt, x) = setup(kind, 1);
+            let probs = model.infer(&gt, &x);
+            assert_eq!(probs.len(), 30);
+            for &p in &probs {
+                assert!((0.0..=1.0).contains(&p), "{kind:?}: prob {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_and_infer_agree() {
+        for kind in GnnKind::ALL {
+            let (model, gt, x) = setup(kind, 2);
+            let mut tape = Tape::new();
+            let (pv, _) = model.forward(&mut tape, &gt, &x);
+            let tape_probs = tape.value(pv).data().to_vec();
+            let infer_probs = model.infer(&gt, &x);
+            for (a, b) in tape_probs.iter().zip(&infer_probs) {
+                assert!((a - b).abs() < 1e-12, "{kind:?}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn gradients_flow_to_every_parameter() {
+        for kind in GnnKind::ALL {
+            let (model, gt, x) = setup(kind, 3);
+            let mut tape = Tape::new();
+            let (pv, pvars) = model.forward(&mut tape, &gt, &x);
+            // loss = sum(p^2) touches every node
+            let sq = tape.mul(pv, pv);
+            let loss = tape.sum(sq);
+            let grads = tape.backward(loss);
+            for (i, &v) in pvars.iter().enumerate() {
+                let g = grads.wrt(v);
+                assert!(
+                    g.max_abs() > 0.0 || model.params()[i].max_abs() == 0.0,
+                    "{kind:?}: param {i} got zero gradient"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn training_step_reduces_simple_loss() {
+        // One SGD step on loss = sum(p) must reduce sum(p) — end-to-end
+        // sanity for the whole stack.
+        for kind in GnnKind::ALL {
+            let (mut model, gt, x) = setup(kind, 4);
+            let before: f64 = model.infer(&gt, &x).iter().sum();
+            let mut tape = Tape::new();
+            let (pv, pvars) = model.forward(&mut tape, &gt, &x);
+            let loss = tape.sum(pv);
+            let mut grads = tape.backward(loss);
+            let gvec: Vec<Matrix> = pvars.iter().map(|&v| grads.take(v)).collect();
+            let mut opt = privim_tensor::Sgd::new(0.05);
+            use privim_tensor::Optimizer;
+            opt.step(model.params_mut(), &gvec);
+            let after: f64 = model.infer(&gt, &x).iter().sum();
+            assert!(after < before, "{kind:?}: {after} !< {before}");
+        }
+    }
+
+    #[test]
+    fn param_counts_differ_by_architecture() {
+        let (gcn, _, _) = setup(GnnKind::Gcn, 5);
+        let (gin, _, _) = setup(GnnKind::Gin, 5);
+        let (gat, _, _) = setup(GnnKind::Gat, 5);
+        assert!(gin.num_parameters() > gat.num_parameters());
+        assert!(gat.num_parameters() > gcn.num_parameters());
+    }
+
+    #[test]
+    fn grat_and_gat_differ_in_normalisation() {
+        let (_, gt, x) = setup(GnnKind::Gat, 6);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let cfg_gat = GnnConfig {
+            kind: GnnKind::Gat,
+            layers: 2,
+            hidden: 8,
+            in_dim: FEATURE_DIM,
+        };
+        let gat = GnnModel::new(cfg_gat, &mut rng);
+        // same weights, different kind
+        let mut grat = gat.clone();
+        grat.config.kind = GnnKind::Grat;
+        let pa = gat.infer(&gt, &x);
+        let pb = grat.infer(&gt, &x);
+        assert!(
+            pa.iter().zip(&pb).any(|(a, b)| (a - b).abs() > 1e-9),
+            "GAT and GRAT should produce different outputs"
+        );
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for k in GnnKind::ALL {
+            assert_eq!(GnnKind::from_name(k.name()), Some(k));
+        }
+        assert_eq!(GnnKind::from_name("GRAT"), Some(GnnKind::Grat));
+        assert_eq!(GnnKind::from_name("transformer"), None);
+    }
+
+    #[test]
+    fn score_graph_handles_isolated_nodes() {
+        let g = privim_graph::Graph::empty(5, true);
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let model = GnnModel::new(GnnConfig::paper_default(), &mut rng);
+        let scores = model.score_graph(&g);
+        assert_eq!(scores.len(), 5);
+        assert!(scores.iter().all(|p| p.is_finite()));
+    }
+}
+
+#[cfg(test)]
+mod serde_tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn model_json_roundtrip_preserves_inference() {
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let g = privim_graph::generators::barabasi_albert(40, 3, &mut rng);
+        let model = GnnModel::new(GnnConfig::paper_default(), &mut rng);
+        let mut buf = Vec::new();
+        model.save_json(&mut buf).unwrap();
+        let loaded = GnnModel::load_json(buf.as_slice()).unwrap();
+        let a = model.score_graph(&g);
+        let b = loaded.score_graph(&g);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn corrupted_layout_is_rejected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(22);
+        let mut model = GnnModel::new(GnnConfig::paper_default(), &mut rng);
+        model.params.pop(); // break the layout
+        let mut buf = Vec::new();
+        model.save_json(&mut buf).unwrap();
+        assert!(GnnModel::load_json(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn garbage_json_is_rejected() {
+        assert!(GnnModel::load_json(&b"not json"[..]).is_err());
+    }
+}

@@ -1,0 +1,183 @@
+//! Precomputed message-passing operators per graph.
+//!
+//! Building these once per subgraph (they are pure functions of the
+//! adjacency) keeps the per-step training cost at the dense math only.
+
+use privim_graph::Graph;
+use privim_tensor::SparseMatrix;
+use std::sync::Arc;
+
+/// All sparse operators and edge lists a [`crate::GnnModel`] forward pass
+/// can need, derived from one graph.
+pub struct GraphTensors {
+    /// Node count.
+    pub n: usize,
+    /// IC-weighted in-adjacency (Eq. 2): row `u` holds `w_vu` for in-arcs
+    /// `v → u`. Drives the diffusion upper bound in the loss (Theorem 2).
+    pub adj_ic: Arc<SparseMatrix>,
+    /// Loss diffusion operator (Theorem 2 / Eq. 5): `adj_ic` plus unit
+    /// self-loops, so a seed counts itself as influenced — matching the
+    /// evaluation's `|S ∪ N⁺(S)|` coverage semantics.
+    pub adj_loss: Arc<SparseMatrix>,
+    /// GCN operator (Eq. 31 plus self-loops): `Â[u][v] = 1/√(d̃_u d̃_v)`
+    /// over in-arcs and self-loops, `d̃ = in-degree + 1`.
+    pub adj_gcn: Arc<SparseMatrix>,
+    /// Row-normalised in-adjacency (mean aggregator, GraphSAGE Eq. 29).
+    pub adj_mean: Arc<SparseMatrix>,
+    /// Plain 0/1 in-adjacency (sum aggregator, GIN Eq. 41).
+    pub adj_sum: Arc<SparseMatrix>,
+    /// Attention arcs: sources per arc, *including* one self-loop per node
+    /// (standard GAT practice so isolated nodes keep a message).
+    pub att_src: Arc<Vec<u32>>,
+    /// Attention arcs: targets per arc (parallel to `att_src`).
+    pub att_dst: Arc<Vec<u32>>,
+}
+
+impl GraphTensors {
+    /// Precompute every operator for `g`.
+    pub fn new(g: &Graph) -> Self {
+        let n = g.num_nodes();
+
+        let mut ic = Vec::new();
+        let mut mean = Vec::new();
+        let mut sum = Vec::new();
+        for u in 0..n {
+            let srcs = g.in_neighbors(u as u32);
+            let ws = g.in_weights(u as u32);
+            let deg = srcs.len().max(1) as f64;
+            for (i, &v) in srcs.iter().enumerate() {
+                ic.push((u, v as usize, ws[i]));
+                mean.push((u, v as usize, 1.0 / deg));
+                sum.push((u, v as usize, 1.0));
+            }
+        }
+
+        // GCN: symmetric-ish normalisation on the in-adjacency + self loops.
+        let dt: Vec<f64> = (0..n)
+            .map(|u| (g.in_degree(u as u32) + 1) as f64)
+            .collect();
+        let mut gcn = Vec::new();
+        for u in 0..n {
+            gcn.push((u, u, 1.0 / dt[u]));
+            for &v in g.in_neighbors(u as u32) {
+                gcn.push((u, v as usize, 1.0 / (dt[u] * dt[v as usize]).sqrt()));
+            }
+        }
+
+        // Attention arcs (src -> dst) plus self loops.
+        let mut att_src = Vec::with_capacity(g.num_arcs() + n);
+        let mut att_dst = Vec::with_capacity(g.num_arcs() + n);
+        for (u, v, _) in g.arcs() {
+            att_src.push(u);
+            att_dst.push(v);
+        }
+        for v in 0..n as u32 {
+            att_src.push(v);
+            att_dst.push(v);
+        }
+
+        GraphTensors {
+            n,
+            adj_ic: Arc::new(SparseMatrix::from_triplets(n, n, ic.clone())),
+            adj_loss: {
+                let mut with_self = ic;
+                for u in 0..n {
+                    with_self.push((u, u, 1.0));
+                }
+                Arc::new(SparseMatrix::from_triplets(n, n, with_self))
+            },
+            adj_gcn: Arc::new(SparseMatrix::from_triplets(n, n, gcn)),
+            adj_mean: Arc::new(SparseMatrix::from_triplets(n, n, mean)),
+            adj_sum: Arc::new(SparseMatrix::from_triplets(n, n, sum)),
+            att_src: Arc::new(att_src),
+            att_dst: Arc::new(att_dst),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privim_graph::GraphBuilder;
+    use privim_tensor::Matrix;
+
+    fn path() -> Graph {
+        // 0 -> 1 -> 2, weights .5/.25
+        let mut b = GraphBuilder::new_directed(3);
+        b.add_edge(0, 1, 0.5);
+        b.add_edge(1, 2, 0.25);
+        b.build()
+    }
+
+    #[test]
+    fn ic_adjacency_is_in_oriented() {
+        let gt = GraphTensors::new(&path());
+        let d = gt.adj_ic.to_dense();
+        assert_eq!(d.get(1, 0), 0.5); // arc 0->1 lands in row 1
+        assert_eq!(d.get(2, 1), 0.25);
+        assert_eq!(d.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn mean_rows_sum_to_one_or_zero() {
+        let gt = GraphTensors::new(&path());
+        let ones = Matrix::full(3, 1, 1.0);
+        let row_sums = gt.adj_mean.spmm(&ones);
+        assert_eq!(row_sums.get(0, 0), 0.0); // no in-neighbours
+        assert_eq!(row_sums.get(1, 0), 1.0);
+        assert_eq!(row_sums.get(2, 0), 1.0);
+    }
+
+    #[test]
+    fn gcn_has_self_loops() {
+        let gt = GraphTensors::new(&path());
+        let d = gt.adj_gcn.to_dense();
+        for v in 0..3 {
+            assert!(d.get(v, v) > 0.0, "self loop missing at {v}");
+        }
+        // normalisation: entry (1,0) = 1/sqrt(d1*d0) = 1/sqrt(2*1)
+        assert!((d.get(1, 0) - 1.0 / 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn attention_arcs_include_self_loops() {
+        let g = path();
+        let gt = GraphTensors::new(&g);
+        assert_eq!(gt.att_src.len(), g.num_arcs() + g.num_nodes());
+        // every node appears at least once as a target
+        for v in 0..3u32 {
+            assert!(gt.att_dst.contains(&v));
+        }
+    }
+
+    #[test]
+    fn sum_adjacency_counts_in_neighbors() {
+        let gt = GraphTensors::new(&path());
+        let ones = Matrix::full(3, 1, 1.0);
+        let sums = gt.adj_sum.spmm(&ones);
+        assert_eq!(sums.data(), &[0.0, 1.0, 1.0]);
+    }
+}
+#[cfg(test)]
+mod loss_operator_tests {
+    use super::*;
+    use privim_graph::GraphBuilder;
+    use privim_tensor::Matrix;
+
+    #[test]
+    fn adj_loss_adds_unit_self_loops() {
+        let mut b = GraphBuilder::new_directed(3);
+        b.add_edge(0, 1, 0.5);
+        let g = b.build();
+        let gt = GraphTensors::new(&g);
+        let d = gt.adj_loss.to_dense();
+        for v in 0..3 {
+            assert_eq!(d.get(v, v), 1.0, "self loop at {v}");
+        }
+        assert_eq!(d.get(1, 0), 0.5);
+        // binary seed vector p = e_0: influenced = {0 (self), 1 (via arc, capped)}
+        let p = Matrix::col_vector(&[1.0, 0.0, 0.0]);
+        let inf = gt.adj_loss.spmm(&p);
+        assert_eq!(inf.data(), &[1.0, 0.5, 0.0]);
+    }
+}

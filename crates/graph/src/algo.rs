@@ -1,0 +1,416 @@
+//! Classic graph algorithms used throughout the pipeline: BFS, r-hop
+//! neighbourhoods (the `N_r(v0)` constraint of Algorithm 1), connected
+//! components, clustering coefficients and degree statistics.
+
+use crate::csr::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// Breadth-first search from `src` following out-arcs; returns the hop
+/// distance to every reachable node (`usize::MAX` for unreachable).
+pub fn bfs_distances(g: &Graph, src: NodeId) -> Vec<usize> {
+    let mut dist = vec![usize::MAX; g.num_nodes()];
+    let mut q = VecDeque::new();
+    dist[src as usize] = 0;
+    q.push_back(src);
+    while let Some(u) = q.pop_front() {
+        let du = dist[u as usize];
+        for &v in g.out_neighbors(u) {
+            if dist[v as usize] == usize::MAX {
+                dist[v as usize] = du + 1;
+                q.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// The set `N_r(v0)` of Algorithm 1: every node within `r` hops of `v0`
+/// (following out-arcs), *including* `v0` itself. Returned as a sorted list.
+///
+/// The random walk of Algorithm 1 is constrained to
+/// `N(v_cur) ∩ N_r(v0)`, which keeps each subgraph local and bounds
+/// inter-node dependencies.
+pub fn r_hop_neighborhood(g: &Graph, v0: NodeId, r: usize) -> Vec<NodeId> {
+    let mut dist = vec![usize::MAX; g.num_nodes()];
+    let mut q = VecDeque::new();
+    let mut out = vec![v0];
+    dist[v0 as usize] = 0;
+    q.push_back(v0);
+    while let Some(u) = q.pop_front() {
+        let du = dist[u as usize];
+        if du == r {
+            continue;
+        }
+        for &v in g.out_neighbors(u) {
+            if dist[v as usize] == usize::MAX {
+                dist[v as usize] = du + 1;
+                out.push(v);
+                q.push_back(v);
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Membership bitmap variant of [`r_hop_neighborhood`] for `O(1)` lookups
+/// during the random walk.
+pub fn r_hop_bitmap(g: &Graph, v0: NodeId, r: usize) -> Vec<bool> {
+    let mut in_set = vec![false; g.num_nodes()];
+    for v in r_hop_neighborhood(g, v0, r) {
+        in_set[v as usize] = true;
+    }
+    in_set
+}
+
+/// Weakly connected components (direction ignored). Returns a component id
+/// per node and the number of components.
+pub fn weakly_connected_components(g: &Graph) -> (Vec<usize>, usize) {
+    let n = g.num_nodes();
+    let mut comp = vec![usize::MAX; n];
+    let mut next = 0usize;
+    let mut stack = Vec::new();
+    for s in 0..n {
+        if comp[s] != usize::MAX {
+            continue;
+        }
+        comp[s] = next;
+        stack.push(s as NodeId);
+        while let Some(u) = stack.pop() {
+            for &v in g.out_neighbors(u).iter().chain(g.in_neighbors(u)) {
+                if comp[v as usize] == usize::MAX {
+                    comp[v as usize] = next;
+                    stack.push(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    (comp, next)
+}
+
+/// Local clustering coefficient of `v`, treating the graph as undirected.
+/// Used by the generator-calibration tests: collaboration networks (HepPh)
+/// should cluster far more than preferential-attachment networks.
+pub fn local_clustering(g: &Graph, v: NodeId) -> f64 {
+    // Undirected neighbourhood = union of in and out neighbours.
+    let mut nbrs: Vec<NodeId> = g
+        .out_neighbors(v)
+        .iter()
+        .chain(g.in_neighbors(v))
+        .copied()
+        .collect();
+    nbrs.sort_unstable();
+    nbrs.dedup();
+    let k = nbrs.len();
+    if k < 2 {
+        return 0.0;
+    }
+    let mut links = 0usize;
+    for (i, &a) in nbrs.iter().enumerate() {
+        for &b in &nbrs[i + 1..] {
+            if g.has_arc(a, b) || g.has_arc(b, a) {
+                links += 1;
+            }
+        }
+    }
+    2.0 * links as f64 / (k * (k - 1)) as f64
+}
+
+/// Average local clustering coefficient over a uniform sample of
+/// `sample_size` nodes (exact when `sample_size >= |V|`).
+pub fn avg_clustering_sampled(g: &Graph, sample_size: usize, rng: &mut impl rand::Rng) -> f64 {
+    let n = g.num_nodes();
+    if n == 0 {
+        return 0.0;
+    }
+    if sample_size >= n {
+        let s: f64 = (0..n as NodeId).map(|v| local_clustering(g, v)).sum();
+        return s / n as f64;
+    }
+    let mut s = 0.0;
+    for _ in 0..sample_size {
+        let v = rng.gen_range(0..n) as NodeId;
+        s += local_clustering(g, v);
+    }
+    s / sample_size as f64
+}
+
+/// Degree statistics matching the reporting convention of Table I.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DegreeStats {
+    /// Mean degree as Table I reports it: `|E|/|V|` for directed graphs and
+    /// `2|E|/|V|` for undirected graphs — in both cases `arcs / |V|`.
+    pub mean_total: f64,
+    /// Maximum in-degree — the quantity the θ-projection bounds.
+    pub max_in: usize,
+    /// Maximum out-degree.
+    pub max_out: usize,
+    /// Number of isolated nodes (total degree zero).
+    pub isolated: usize,
+}
+
+/// Compute [`DegreeStats`] for `g`.
+pub fn degree_stats(g: &Graph) -> DegreeStats {
+    let n = g.num_nodes();
+    let mut max_in = 0;
+    let mut max_out = 0;
+    let mut isolated = 0;
+    for v in g.nodes() {
+        let di = g.in_degree(v);
+        let do_ = g.out_degree(v);
+        max_in = max_in.max(di);
+        max_out = max_out.max(do_);
+        if di + do_ == 0 {
+            isolated += 1;
+        }
+    }
+    DegreeStats {
+        mean_total: if n == 0 {
+            0.0
+        } else {
+            g.num_arcs() as f64 / n as f64
+        },
+        max_in,
+        max_out,
+        isolated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    /// 0 -> 1 -> 2 -> 3, plus 0 -> 2 shortcut.
+    fn path_with_shortcut() -> Graph {
+        let mut b = GraphBuilder::new_directed(4);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 2, 1.0);
+        b.add_edge(2, 3, 1.0);
+        b.add_edge(0, 2, 1.0);
+        b.build()
+    }
+
+    #[test]
+    fn bfs_distances_respect_shortcuts() {
+        let g = path_with_shortcut();
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 1, 2]);
+        assert_eq!(bfs_distances(&g, 3), vec![usize::MAX, usize::MAX, usize::MAX, 0]);
+    }
+
+    #[test]
+    fn r_hop_includes_origin_and_respects_radius() {
+        let g = path_with_shortcut();
+        assert_eq!(r_hop_neighborhood(&g, 0, 0), vec![0]);
+        assert_eq!(r_hop_neighborhood(&g, 0, 1), vec![0, 1, 2]);
+        assert_eq!(r_hop_neighborhood(&g, 0, 2), vec![0, 1, 2, 3]);
+        let bm = r_hop_bitmap(&g, 0, 1);
+        assert_eq!(bm, vec![true, true, true, false]);
+    }
+
+    #[test]
+    fn components_ignore_direction() {
+        let mut b = GraphBuilder::new_directed(5);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(2, 1, 1.0); // 0,1,2 weakly connected
+        b.add_edge(3, 4, 1.0); // separate pair
+        let g = b.build();
+        let (comp, k) = weakly_connected_components(&g);
+        assert_eq!(k, 2);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[1], comp[2]);
+        assert_eq!(comp[3], comp[4]);
+        assert_ne!(comp[0], comp[3]);
+    }
+
+    #[test]
+    fn triangle_clusters_fully() {
+        let mut b = GraphBuilder::new_undirected(3);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 2, 1.0);
+        b.add_edge(2, 0, 1.0);
+        let g = b.build();
+        for v in g.nodes() {
+            assert!((local_clustering(&g, v) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn star_has_zero_clustering() {
+        let mut b = GraphBuilder::new_undirected(5);
+        for v in 1..5 {
+            b.add_edge(0, v, 1.0);
+        }
+        let g = b.build();
+        assert_eq!(local_clustering(&g, 0), 0.0);
+        assert_eq!(local_clustering(&g, 1), 0.0); // degree 1
+    }
+
+    #[test]
+    fn degree_stats_table1_convention() {
+        let g = path_with_shortcut();
+        let s = degree_stats(&g);
+        // 4 arcs, directed: Table I convention |E|/|V| = 4/4.
+        assert!((s.mean_total - 1.0).abs() < 1e-12);
+        assert_eq!(s.max_in, 2); // node 2
+        assert_eq!(s.max_out, 2); // node 0
+        assert_eq!(s.isolated, 0);
+    }
+
+    #[test]
+    fn isolated_nodes_counted() {
+        let g = Graph::empty(3, false);
+        assert_eq!(degree_stats(&g).isolated, 3);
+    }
+}
+
+/// PageRank with damping `d` (teleport `1-d`), `iters` power iterations.
+/// Dangling mass is redistributed uniformly. Useful both as a seed
+/// heuristic baseline and for dataset diagnostics.
+pub fn pagerank(g: &Graph, damping: f64, iters: usize) -> Vec<f64> {
+    assert!((0.0..1.0).contains(&damping), "damping must be in [0, 1)");
+    let n = g.num_nodes();
+    if n == 0 {
+        return Vec::new();
+    }
+    let uniform = 1.0 / n as f64;
+    let mut rank = vec![uniform; n];
+    let mut next = vec![0.0f64; n];
+    for _ in 0..iters {
+        next.iter_mut().for_each(|x| *x = 0.0);
+        let mut dangling = 0.0;
+        for u in 0..n {
+            let out = g.out_neighbors(u as NodeId);
+            if out.is_empty() {
+                dangling += rank[u];
+            } else {
+                let share = rank[u] / out.len() as f64;
+                for &v in out {
+                    next[v as usize] += share;
+                }
+            }
+        }
+        let dangling_share = dangling / n as f64;
+        for x in next.iter_mut() {
+            *x = (1.0 - damping) * uniform + damping * (*x + dangling_share);
+        }
+        std::mem::swap(&mut rank, &mut next);
+    }
+    rank
+}
+
+/// K-core decomposition (undirected view): `core[v]` is the largest `k`
+/// such that `v` belongs to a subgraph where every node has degree ≥ `k`.
+/// Peeling algorithm, `O(|E| + |V|)` with bucket queues.
+pub fn k_core(g: &Graph) -> Vec<usize> {
+    let n = g.num_nodes();
+    // undirected degree = number of distinct neighbours in either direction
+    let mut neighbors: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for v in 0..n as NodeId {
+        let mut nb: Vec<NodeId> = g
+            .out_neighbors(v)
+            .iter()
+            .chain(g.in_neighbors(v))
+            .copied()
+            .collect();
+        nb.sort_unstable();
+        nb.dedup();
+        neighbors[v as usize] = nb;
+    }
+    let mut degree: Vec<usize> = neighbors.iter().map(|nb| nb.len()).collect();
+    let max_deg = degree.iter().copied().max().unwrap_or(0);
+    let mut buckets: Vec<Vec<NodeId>> = vec![Vec::new(); max_deg + 1];
+    for v in 0..n {
+        buckets[degree[v]].push(v as NodeId);
+    }
+    let mut core = vec![0usize; n];
+    let mut removed = vec![false; n];
+    let mut k = 0usize;
+    for d in 0..=max_deg {
+        k = k.max(d);
+        let mut level = d;
+        while level <= k {
+            while let Some(v) = buckets[level].pop() {
+                let vu = v as usize;
+                if removed[vu] || degree[vu] != level {
+                    continue;
+                }
+                removed[vu] = true;
+                core[vu] = k;
+                for &u in &neighbors[vu] {
+                    let uu = u as usize;
+                    if !removed[uu] && degree[uu] > level {
+                        degree[uu] -= 1;
+                        buckets[degree[uu]].push(u);
+                    }
+                }
+            }
+            level += 1;
+            if level > k {
+                break;
+            }
+        }
+    }
+    core
+}
+
+#[cfg(test)]
+mod extra_algo_tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::generators;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn pagerank_sums_to_one_and_favours_hubs() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let g = generators::barabasi_albert(300, 3, &mut rng);
+        let pr = pagerank(&g, 0.85, 50);
+        let total: f64 = pr.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "mass {total}");
+        // the max-in-degree node should be in the top decile of rank
+        let hub = g.nodes().max_by_key(|&v| g.in_degree(v)).unwrap();
+        let mut sorted: Vec<f64> = pr.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        assert!(pr[hub as usize] >= sorted[30], "hub not highly ranked");
+    }
+
+    #[test]
+    fn pagerank_uniform_on_cycle() {
+        let mut b = GraphBuilder::new_directed(5);
+        for i in 0..5u32 {
+            b.add_edge(i, (i + 1) % 5, 1.0);
+        }
+        let g = b.build();
+        let pr = pagerank(&g, 0.85, 100);
+        for &x in &pr {
+            assert!((x - 0.2).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn k_core_of_clique_plus_tail() {
+        // 4-clique (core 3) with a pendant path (core 1)
+        let mut b = GraphBuilder::new_undirected(6);
+        for i in 0..4u32 {
+            for j in (i + 1)..4 {
+                b.add_edge(i, j, 1.0);
+            }
+        }
+        b.add_edge(3, 4, 1.0);
+        b.add_edge(4, 5, 1.0);
+        let g = b.build();
+        let core = k_core(&g);
+        assert_eq!(&core[..4], &[3, 3, 3, 3]);
+        assert_eq!(core[4], 1);
+        assert_eq!(core[5], 1);
+    }
+
+    #[test]
+    fn k_core_empty_and_isolated() {
+        let g = Graph::empty(3, false);
+        assert_eq!(k_core(&g), vec![0, 0, 0]);
+    }
+}

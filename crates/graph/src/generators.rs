@@ -1,0 +1,402 @@
+//! Random graph generators used to synthesise the paper's evaluation
+//! datasets (see `datasets.rs` for the calibration to Table I).
+//!
+//! Each generator documents which structural property it contributes:
+//! degree distribution (heavy-tailed vs homogeneous), clustering, and
+//! small-world diameter — the properties that drive both IM utility and the
+//! DP noise scale.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Graph, NodeId};
+use rand::Rng;
+
+/// G(n, m) Erdős–Rényi: exactly `m` distinct edges chosen uniformly.
+/// Homogeneous (Poisson) degrees, vanishing clustering.
+pub fn erdos_renyi(n: usize, m: usize, directed: bool, rng: &mut impl Rng) -> Graph {
+    assert!(n >= 2, "need at least two nodes");
+    let max_edges = if directed {
+        n * (n - 1)
+    } else {
+        n * (n - 1) / 2
+    };
+    assert!(m <= max_edges, "too many edges requested");
+    let mut b = if directed {
+        GraphBuilder::new_directed(n)
+    } else {
+        GraphBuilder::new_undirected(n)
+    };
+    let mut seen = std::collections::HashSet::with_capacity(m * 2);
+    let mut added = 0usize;
+    while added < m {
+        let u = rng.gen_range(0..n) as NodeId;
+        let v = rng.gen_range(0..n) as NodeId;
+        if u == v {
+            continue;
+        }
+        let key = if directed || u < v { (u, v) } else { (v, u) };
+        if seen.insert(key) {
+            b.add_edge_unit(u, v);
+            added += 1;
+        }
+    }
+    b.build()
+}
+
+/// Barabási–Albert preferential attachment: each new node attaches `m`
+/// edges to existing nodes with probability proportional to degree.
+/// Power-law degrees, low clustering. Undirected.
+pub fn barabasi_albert(n: usize, m: usize, rng: &mut impl Rng) -> Graph {
+    barabasi_albert_fractional(n, m as f64, rng)
+}
+
+/// BA variant with a *fractional* mean attachment count: each arriving node
+/// attaches `floor(m)` or `ceil(m)` edges with the matching probability so
+/// the expected edge count is `(n - m0) * m`. Needed to hit Table I's
+/// fractional average degrees (e.g. LastFM's 3.66 edges per node).
+pub fn barabasi_albert_fractional(n: usize, m: f64, rng: &mut impl Rng) -> Graph {
+    assert!(m >= 1.0, "attachment count must be >= 1");
+    let m0 = (m.ceil() as usize + 1).min(n);
+    let mut b = GraphBuilder::new_undirected(n);
+    // `targets` holds one entry per edge endpoint: sampling uniformly from it
+    // is sampling proportional to degree.
+    let mut targets: Vec<NodeId> = Vec::with_capacity((n as f64 * m * 2.0) as usize);
+    // Seed clique on the first m0 nodes.
+    for i in 0..m0 as NodeId {
+        for j in (i + 1)..m0 as NodeId {
+            b.add_edge_unit(i, j);
+            targets.push(i);
+            targets.push(j);
+        }
+    }
+    let frac = m.fract();
+    for v in m0..n {
+        let mi = if rng.gen_bool(frac.clamp(0.0, 1.0)) {
+            m.ceil() as usize
+        } else {
+            m.floor() as usize
+        };
+        let mi = mi.min(v);
+        let mut chosen: Vec<NodeId> = Vec::with_capacity(mi);
+        let mut guard = 0;
+        while chosen.len() < mi && guard < 50 * mi {
+            guard += 1;
+            let t = targets[rng.gen_range(0..targets.len())];
+            if !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &t in &chosen {
+            b.add_edge_unit(v as NodeId, t);
+            targets.push(v as NodeId);
+            targets.push(t);
+        }
+    }
+    b.build()
+}
+
+/// Holme–Kim "powerlaw cluster" model: BA attachment where each subsequent
+/// link closes a triangle with probability `p_triad`. Power-law degrees
+/// *and* high clustering — the signature of collaboration/social networks
+/// (HepPh, Facebook, Friendster).
+pub fn holme_kim(n: usize, m: f64, p_triad: f64, rng: &mut impl Rng) -> Graph {
+    assert!(m >= 1.0);
+    assert!((0.0..=1.0).contains(&p_triad));
+    let m0 = (m.ceil() as usize + 1).min(n);
+    let mut b = GraphBuilder::new_undirected(n);
+    let mut targets: Vec<NodeId> = Vec::new();
+    let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    let connect = |b: &mut GraphBuilder,
+                       targets: &mut Vec<NodeId>,
+                       adj: &mut Vec<Vec<NodeId>>,
+                       u: NodeId,
+                       v: NodeId| {
+        b.add_edge_unit(u, v);
+        targets.push(u);
+        targets.push(v);
+        adj[u as usize].push(v);
+        adj[v as usize].push(u);
+    };
+    for i in 0..m0 as NodeId {
+        for j in (i + 1)..m0 as NodeId {
+            connect(&mut b, &mut targets, &mut adj, i, j);
+        }
+    }
+    let frac = m.fract();
+    for v in m0..n {
+        let mi = if rng.gen_bool(frac.clamp(0.0, 1.0)) {
+            m.ceil() as usize
+        } else {
+            m.floor() as usize
+        }
+        .min(v);
+        let mut chosen: Vec<NodeId> = Vec::with_capacity(mi);
+        let mut last: Option<NodeId> = None;
+        let mut guard = 0;
+        while chosen.len() < mi && guard < 50 * mi.max(1) {
+            guard += 1;
+            // Triad step: link a random neighbour of the previous target.
+            let cand = if let Some(prev) = last.filter(|_| rng.gen_bool(p_triad)) {
+                let nb = &adj[prev as usize];
+                if nb.is_empty() {
+                    targets[rng.gen_range(0..targets.len())]
+                } else {
+                    nb[rng.gen_range(0..nb.len())]
+                }
+            } else {
+                targets[rng.gen_range(0..targets.len())]
+            };
+            if cand as usize != v && !chosen.contains(&cand) {
+                chosen.push(cand);
+                last = Some(cand);
+            }
+        }
+        for &t in &chosen {
+            connect(&mut b, &mut targets, &mut adj, v as NodeId, t);
+        }
+    }
+    b.build()
+}
+
+/// Watts–Strogatz small world: ring lattice with `k` neighbours per node
+/// (must be even), each edge rewired with probability `beta`.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, rng: &mut impl Rng) -> Graph {
+    assert!(k % 2 == 0 && k < n, "k must be even and < n");
+    assert!((0.0..=1.0).contains(&beta));
+    let mut b = GraphBuilder::new_undirected(n);
+    let mut exists = std::collections::HashSet::new();
+    let add = |b: &mut GraphBuilder,
+                   exists: &mut std::collections::HashSet<(NodeId, NodeId)>,
+                   u: NodeId,
+                   v: NodeId|
+     -> bool {
+        let key = if u < v { (u, v) } else { (v, u) };
+        if u != v && exists.insert(key) {
+            b.add_edge_unit(u, v);
+            true
+        } else {
+            false
+        }
+    };
+    for u in 0..n {
+        for j in 1..=(k / 2) {
+            let u_id = u as NodeId;
+            let mut v_id = ((u + j) % n) as NodeId;
+            if rng.gen_bool(beta) {
+                // Rewire the far endpoint to a uniform non-duplicate target.
+                for _ in 0..100 {
+                    let w = rng.gen_range(0..n) as NodeId;
+                    let key = if u_id < w { (u_id, w) } else { (w, u_id) };
+                    if w != u_id && !exists.contains(&key) {
+                        v_id = w;
+                        break;
+                    }
+                }
+            }
+            let _ = add(&mut b, &mut exists, u_id, v_id);
+        }
+    }
+    b.build()
+}
+
+/// Stochastic block model: nodes split into `blocks.len()` communities with
+/// within-community edge probability `p_in` and cross-community `p_out`.
+/// Used (directed) for the Email dataset, which is a dense institutional
+/// network with departmental structure.
+pub fn stochastic_block_model(
+    blocks: &[usize],
+    p_in: f64,
+    p_out: f64,
+    directed: bool,
+    rng: &mut impl Rng,
+) -> Graph {
+    let n: usize = blocks.iter().sum();
+    let mut block_of = Vec::with_capacity(n);
+    for (bi, &sz) in blocks.iter().enumerate() {
+        block_of.extend(std::iter::repeat(bi).take(sz));
+    }
+    let mut b = if directed {
+        GraphBuilder::new_directed(n)
+    } else {
+        GraphBuilder::new_undirected(n)
+    };
+    // Dense-ish sampling via geometric skipping over the pair space would be
+    // ideal; the Email graph is only ~1K nodes, so the O(n^2) loop is fine.
+    for u in 0..n {
+        let lo = if directed { 0 } else { u + 1 };
+        for v in lo..n {
+            if u == v {
+                continue;
+            }
+            let p = if block_of[u] == block_of[v] { p_in } else { p_out };
+            if rng.gen_bool(p) {
+                b.add_edge_unit(u as NodeId, v as NodeId);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Directed preferential attachment (Bollobás-style, simplified): each new
+/// node emits a *lognormally distributed* number of arcs (mean `m_out`,
+/// dispersion σ = 1.2 — real trust and email networks have a heavy tail of
+/// very active raters/senders, e.g. Bitcoin-OTC's most active rater issued
+/// hundreds of ratings) whose targets are chosen proportional to
+/// (in-degree + 1), giving power-law in-degrees as well.
+pub fn directed_preferential(n: usize, m_out: f64, rng: &mut impl Rng) -> Graph {
+    assert!(m_out >= 1.0);
+    let m0 = (m_out.ceil() as usize + 1).min(n);
+    let mut b = GraphBuilder::new_directed(n);
+    let mut targets: Vec<NodeId> = (0..m0 as NodeId).collect(); // +1 smoothing
+    for i in 0..m0 as NodeId {
+        let j = (i + 1) % m0 as NodeId;
+        if i != j {
+            b.add_edge_unit(i, j);
+            targets.push(j);
+        }
+    }
+    // lognormal out-degree: exp(N(μ, σ²)) with σ = 1.2 and μ chosen so the
+    // mean equals m_out; capped to keep pathological draws bounded.
+    let sigma_ln = 1.2f64;
+    let mu_ln = m_out.ln() - 0.5 * sigma_ln * sigma_ln;
+    let cap = ((m_out * 60.0) as usize).max(4);
+    let normal = move |rng: &mut dyn rand::RngCore| -> f64 {
+        // Box–Muller
+        let u1: f64 = rand::Rng::gen::<f64>(rng).max(f64::MIN_POSITIVE);
+        let u2: f64 = rand::Rng::gen::<f64>(rng);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    };
+    for v in m0..n {
+        let draw = (mu_ln + sigma_ln * normal(rng)).exp();
+        let mi = (draw.round() as usize).clamp(1, cap).min(v);
+        let mut chosen: Vec<NodeId> = Vec::with_capacity(mi);
+        let mut guard = 0;
+        while chosen.len() < mi && guard < 50 * mi.max(1) {
+            guard += 1;
+            let t = targets[rng.gen_range(0..targets.len())];
+            if t as usize != v && !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        targets.push(v as NodeId); // smoothing entry for the new node
+        for &t in &chosen {
+            b.add_edge_unit(v as NodeId, t);
+            targets.push(t);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn er_has_exact_edge_count() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let g = erdos_renyi(100, 500, false, &mut rng);
+        assert_eq!(g.num_edges(), 500);
+        let d = erdos_renyi(100, 500, true, &mut rng);
+        assert_eq!(d.num_edges(), 500);
+        assert!(d.is_directed());
+    }
+
+    #[test]
+    fn ba_mean_degree_matches_m() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let g = barabasi_albert(2000, 5, &mut rng);
+        let stats = algo::degree_stats(&g);
+        // mean total degree ~ 2m
+        assert!(
+            (stats.mean_total - 10.0).abs() < 1.0,
+            "mean degree {}",
+            stats.mean_total
+        );
+    }
+
+    #[test]
+    fn ba_fractional_interpolates() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let g = barabasi_albert_fractional(3000, 3.66, &mut rng);
+        let mean = algo::degree_stats(&g).mean_total;
+        assert!((mean - 7.32).abs() < 0.7, "mean degree {mean}");
+    }
+
+    #[test]
+    fn ba_degrees_are_heavy_tailed() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let g = barabasi_albert(3000, 4, &mut rng);
+        let stats = algo::degree_stats(&g);
+        // hubs should far exceed the mean
+        assert!(stats.max_out as f64 > 5.0 * stats.mean_total);
+    }
+
+    #[test]
+    fn holme_kim_clusters_more_than_ba() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let ba = barabasi_albert(1500, 5, &mut rng);
+        let hk = holme_kim(1500, 5.0, 0.8, &mut rng);
+        let c_ba = algo::avg_clustering_sampled(&ba, 300, &mut rng);
+        let c_hk = algo::avg_clustering_sampled(&hk, 300, &mut rng);
+        assert!(
+            c_hk > 1.5 * c_ba,
+            "holme-kim clustering {c_hk} vs BA {c_ba}"
+        );
+    }
+
+    #[test]
+    fn watts_strogatz_zero_beta_is_ring_lattice() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let g = watts_strogatz(50, 4, 0.0, &mut rng);
+        assert_eq!(g.num_edges(), 50 * 2);
+        for v in g.nodes() {
+            assert_eq!(g.total_degree(v), 4);
+        }
+    }
+
+    #[test]
+    fn watts_strogatz_rewiring_preserves_edge_count_roughly() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let g = watts_strogatz(200, 6, 0.3, &mut rng);
+        // rewiring can occasionally drop an edge on collision; tolerate 5%
+        assert!(g.num_edges() as f64 > 0.95 * 600.0);
+    }
+
+    #[test]
+    fn sbm_prefers_within_block_edges() {
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let g = stochastic_block_model(&[100, 100], 0.1, 0.005, false, &mut rng);
+        let mut within = 0;
+        let mut across = 0;
+        for (u, v, _) in g.arcs() {
+            if (u < 100) == (v < 100) {
+                within += 1;
+            } else {
+                across += 1;
+            }
+        }
+        assert!(within > 5 * across, "within={within} across={across}");
+    }
+
+    #[test]
+    fn directed_preferential_mean_out_degree() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let g = directed_preferential(3000, 6.0, &mut rng);
+        let mean_out = g.num_arcs() as f64 / g.num_nodes() as f64;
+        assert!((mean_out - 6.0).abs() < 0.7, "mean out-degree {mean_out}");
+        assert!(g.is_directed());
+        // in-degree should be heavy tailed
+        let stats = algo::degree_stats(&g);
+        assert!(stats.max_in > 50, "max in-degree {}", stats.max_in);
+    }
+
+    #[test]
+    fn generators_are_deterministic_given_seed() {
+        let g1 = barabasi_albert(500, 3, &mut ChaCha8Rng::seed_from_u64(42));
+        let g2 = barabasi_albert(500, 3, &mut ChaCha8Rng::seed_from_u64(42));
+        assert_eq!(g1.num_arcs(), g2.num_arcs());
+        assert!(g1.arcs().eq(g2.arcs()));
+    }
+}

@@ -1,0 +1,154 @@
+//! Edge-list IO so real SNAP datasets drop in when available.
+//!
+//! Format: one `src dst [weight]` triple per line, `#`-prefixed comments
+//! ignored, whitespace-separated — the format SNAP ships. Node ids may be
+//! sparse; they are compacted to `0..n` and the mapping returned.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Graph, NodeId};
+use std::collections::HashMap;
+use std::io::{self, BufRead, Write};
+use std::path::Path;
+
+/// Result of loading an edge list: the graph plus the original node labels
+/// (`labels[i]` is the raw id that became node `i`).
+pub struct LoadedGraph {
+    /// The compacted graph.
+    pub graph: Graph,
+    /// Original (raw) node label per compacted id.
+    pub labels: Vec<u64>,
+}
+
+/// Parse an edge list from a reader. `directed` controls arc semantics;
+/// missing weights default to 1.0.
+pub fn parse_edge_list<R: BufRead>(reader: R, directed: bool) -> io::Result<LoadedGraph> {
+    let mut raw_edges: Vec<(u64, u64, f64)> = Vec::new();
+    let mut ids: HashMap<u64, NodeId> = HashMap::new();
+    let mut labels: Vec<u64> = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let parse = |s: Option<&str>, what: &str| -> io::Result<u64> {
+            s.and_then(|x| x.parse().ok()).ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {}: bad {what}", lineno + 1),
+                )
+            })
+        };
+        let u = parse(it.next(), "source id")?;
+        let v = parse(it.next(), "target id")?;
+        let w: f64 = match it.next() {
+            Some(ws) => ws.parse().map_err(|_| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {}: bad weight", lineno + 1),
+                )
+            })?,
+            None => 1.0,
+        };
+        raw_edges.push((u, v, w));
+        for raw in [u, v] {
+            ids.entry(raw).or_insert_with(|| {
+                labels.push(raw);
+                (labels.len() - 1) as NodeId
+            });
+        }
+    }
+    let mut b = if directed {
+        GraphBuilder::new_directed(labels.len())
+    } else {
+        GraphBuilder::new_undirected(labels.len())
+    };
+    for (u, v, w) in raw_edges {
+        b.add_edge(ids[&u], ids[&v], w.clamp(0.0, 1.0));
+    }
+    Ok(LoadedGraph {
+        graph: b.build(),
+        labels,
+    })
+}
+
+/// Read an edge list file (see [`parse_edge_list`]).
+pub fn read_edge_list(path: &Path, directed: bool) -> io::Result<LoadedGraph> {
+    let f = std::fs::File::open(path)?;
+    parse_edge_list(io::BufReader::new(f), directed)
+}
+
+/// Write a graph as an edge list (arcs once; undirected pairs once with
+/// `u < v`).
+pub fn write_edge_list<W: Write>(g: &Graph, mut w: W) -> io::Result<()> {
+    writeln!(w, "# nodes {} edges {}", g.num_nodes(), g.num_edges())?;
+    for (u, v, weight) in g.arcs() {
+        if !g.is_directed() && u > v {
+            continue;
+        }
+        writeln!(w, "{u} {v} {weight}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_comments_and_defaults() {
+        let data = "# comment\n% also comment\n10 20\n20 30 0.5\n\n";
+        let loaded = parse_edge_list(Cursor::new(data), true).unwrap();
+        assert_eq!(loaded.graph.num_nodes(), 3);
+        assert_eq!(loaded.graph.num_arcs(), 2);
+        assert_eq!(loaded.labels, vec![10, 20, 30]);
+        let l10 = 0;
+        let l20 = 1;
+        assert_eq!(loaded.graph.arc_weight(l10, l20), Some(1.0));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let data = "1 x\n";
+        assert!(parse_edge_list(Cursor::new(data), true).is_err());
+    }
+
+    #[test]
+    fn roundtrip_directed() {
+        let mut b = GraphBuilder::new_directed(4);
+        b.add_edge(0, 1, 0.25);
+        b.add_edge(2, 3, 1.0);
+        let g = b.build();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let loaded = parse_edge_list(Cursor::new(buf), true).unwrap();
+        assert_eq!(loaded.graph.num_arcs(), 2);
+        // labels preserve raw ids
+        assert!(loaded.labels.contains(&0));
+        assert!(loaded.labels.contains(&3));
+    }
+
+    #[test]
+    fn roundtrip_undirected_halves() {
+        let mut b = GraphBuilder::new_undirected(3);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 2, 1.0);
+        let g = b.build();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        // each undirected edge appears once
+        assert_eq!(text.lines().filter(|l| !l.starts_with('#')).count(), 2);
+        let loaded = parse_edge_list(Cursor::new(buf), false).unwrap();
+        assert_eq!(loaded.graph.num_edges(), 2);
+    }
+
+    #[test]
+    fn weights_out_of_range_are_clamped() {
+        let data = "0 1 3.5\n";
+        let loaded = parse_edge_list(Cursor::new(data), true).unwrap();
+        assert_eq!(loaded.graph.arcs().next().unwrap().2, 1.0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Graph partitioning for the Friendster-scale experiment.
+//!
+//! §V-A: "Due to the hardware memory limitations, we partition Friendster
+//! into multiple graphs during both training and evaluation phases." This
+//! module implements that strategy: a BFS-grown balanced partitioner that
+//! splits a graph into `k` parts of roughly equal size, returning each part
+//! as an induced [`Subgraph`] so training/evaluation can stream over parts.
+
+use crate::csr::{Graph, NodeId};
+use crate::subgraph::{induced_subgraph, Subgraph};
+use std::collections::VecDeque;
+
+/// A partition of a graph into disjoint node sets.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    /// Part id per node.
+    pub part_of: Vec<usize>,
+    /// Number of parts.
+    pub num_parts: usize,
+}
+
+impl Partition {
+    /// Node lists per part.
+    pub fn part_nodes(&self) -> Vec<Vec<NodeId>> {
+        let mut parts = vec![Vec::new(); self.num_parts];
+        for (v, &p) in self.part_of.iter().enumerate() {
+            parts[p].push(v as NodeId);
+        }
+        parts
+    }
+
+    /// Fraction of arcs cut by the partition (quality diagnostic: lower is
+    /// better for preserving influence structure inside parts).
+    pub fn cut_fraction(&self, g: &Graph) -> f64 {
+        if g.num_arcs() == 0 {
+            return 0.0;
+        }
+        let cut = g
+            .arcs()
+            .filter(|&(u, v, _)| self.part_of[u as usize] != self.part_of[v as usize])
+            .count();
+        cut as f64 / g.num_arcs() as f64
+    }
+}
+
+/// BFS-grown balanced partitioning: parts are grown one at a time from
+/// unassigned seed nodes until they reach `ceil(n / k)` nodes, which keeps
+/// each part locally connected (low cut) and balanced (±1 rounding).
+pub fn bfs_partition(g: &Graph, k: usize) -> Partition {
+    assert!(k >= 1, "need at least one part");
+    let n = g.num_nodes();
+    let cap = n.div_ceil(k);
+    let mut part_of = vec![usize::MAX; n];
+    let mut current = 0usize;
+    let mut count = 0usize;
+    let mut q = VecDeque::new();
+    let mut next_seed = 0usize;
+
+    let assign = |v: usize, part_of: &mut Vec<usize>, current: &mut usize, count: &mut usize| {
+        part_of[v] = *current;
+        *count += 1;
+        if *count == cap && *current + 1 < k {
+            *current += 1;
+            *count = 0;
+        }
+    };
+
+    loop {
+        // find next unassigned seed
+        while next_seed < n && part_of[next_seed] != usize::MAX {
+            next_seed += 1;
+        }
+        if next_seed == n {
+            break;
+        }
+        q.clear();
+        q.push_back(next_seed as NodeId);
+        assign(next_seed, &mut part_of, &mut current, &mut count);
+        while let Some(u) = q.pop_front() {
+            for &v in g.out_neighbors(u).iter().chain(g.in_neighbors(u)) {
+                if part_of[v as usize] == usize::MAX {
+                    assign(v as usize, &mut part_of, &mut current, &mut count);
+                    q.push_back(v);
+                }
+            }
+        }
+    }
+    Partition {
+        part_of,
+        num_parts: k,
+    }
+}
+
+/// Materialise each part as an induced subgraph (the unit the Friendster
+/// experiment trains and evaluates on).
+pub fn partition_subgraphs(g: &Graph, partition: &Partition) -> Vec<Subgraph> {
+    partition
+        .part_nodes()
+        .into_iter()
+        .map(|nodes| induced_subgraph(g, &nodes))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn partition_is_balanced_and_total() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let g = generators::barabasi_albert(1000, 4, &mut rng);
+        let p = bfs_partition(&g, 4);
+        let sizes: Vec<usize> = p.part_nodes().iter().map(|v| v.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 1000);
+        for s in &sizes {
+            assert!(*s <= 250, "part size {s}");
+        }
+        assert!(p.part_of.iter().all(|&x| x < 4));
+    }
+
+    #[test]
+    fn single_part_has_zero_cut() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let g = generators::barabasi_albert(200, 3, &mut rng);
+        let p = bfs_partition(&g, 1);
+        assert_eq!(p.cut_fraction(&g), 0.0);
+    }
+
+    #[test]
+    fn bfs_partition_cuts_less_than_random() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let g = generators::barabasi_albert(2000, 4, &mut rng);
+        let bfs = bfs_partition(&g, 8);
+        // random partition baseline
+        let rand_part = Partition {
+            part_of: (0..2000).map(|_| rng.gen_range(0..8)).collect(),
+            num_parts: 8,
+        };
+        assert!(
+            bfs.cut_fraction(&g) < rand_part.cut_fraction(&g),
+            "bfs {} vs random {}",
+            bfs.cut_fraction(&g),
+            rand_part.cut_fraction(&g)
+        );
+    }
+
+    #[test]
+    fn subgraphs_cover_all_nodes_disjointly() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let g = generators::barabasi_albert(500, 3, &mut rng);
+        let p = bfs_partition(&g, 5);
+        let subs = partition_subgraphs(&g, &p);
+        let mut seen = vec![false; 500];
+        for s in &subs {
+            for &o in &s.original {
+                assert!(!seen[o as usize], "node {o} in two parts");
+                seen[o as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn disconnected_graph_partitions_fully() {
+        let g = Graph::empty(10, false);
+        let p = bfs_partition(&g, 3);
+        assert!(p.part_of.iter().all(|&x| x != usize::MAX));
+        let sizes: Vec<usize> = p.part_nodes().iter().map(|v| v.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+    }
+}

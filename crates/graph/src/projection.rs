@@ -1,0 +1,121 @@
+//! θ-bounded in-degree projection (§III-B).
+//!
+//! The naive PrivIM pipeline first projects the original graph `G` into a
+//! θ-bounded graph `G^θ` by *randomly removing* in-arcs from nodes whose
+//! in-degree exceeds θ. This bounds the influence of any single node on its
+//! neighbours' embeddings, which Lemma 1 turns into the occurrence bound
+//! `N_g = Σ_{i=0}^{r} θ^i`.
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Project `g` into a θ-bounded graph: every node keeps at most `theta`
+/// in-arcs, chosen uniformly at random among its in-arcs.
+///
+/// For undirected graphs the projection is applied to the arc representation,
+/// which matches how message passing consumes the graph (each direction is an
+/// independent influence channel); the result is returned as a *directed*
+/// graph because symmetry is generally destroyed by the removal.
+pub fn theta_projection(g: &Graph, theta: usize, rng: &mut impl Rng) -> Graph {
+    assert!(theta >= 1, "theta must be at least 1");
+    let mut b = GraphBuilder::new_directed(g.num_nodes());
+    let mut keep: Vec<usize> = Vec::new();
+    for u in g.nodes() {
+        let srcs = g.in_neighbors(u);
+        let ws = g.in_weights(u);
+        if srcs.len() <= theta {
+            for (i, &s) in srcs.iter().enumerate() {
+                b.add_edge(s, u, ws[i]);
+            }
+        } else {
+            keep.clear();
+            keep.extend(0..srcs.len());
+            keep.shuffle(rng);
+            for &i in keep.iter().take(theta) {
+                b.add_edge(srcs[i], u, ws[i]);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Check the θ-bound invariant. Useful for tests and debug assertions.
+pub fn is_theta_bounded(g: &Graph, theta: usize) -> bool {
+    g.nodes().all(|v| g.in_degree(v) <= theta)
+}
+
+/// Number of arcs removed if `g` were projected to `theta` (deterministic,
+/// no RNG needed — only counts, not identities, matter).
+pub fn projection_removal_count(g: &Graph, theta: usize) -> usize {
+    g.nodes()
+        .map(|v| g.in_degree(v).saturating_sub(theta))
+        .sum()
+}
+
+/// Degree-preserving check helper: nodes whose in-degree already satisfies
+/// the bound must keep *all* their in-arcs.
+pub fn projection_preserves_small_nodes(orig: &Graph, proj: &Graph, theta: usize) -> bool {
+    orig.nodes().all(|v| {
+        if orig.in_degree(v) <= theta {
+            orig.in_neighbors(v) == proj.in_neighbors(v)
+        } else {
+            proj.in_degree(v) == theta
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn projection_bounds_in_degree() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let g = generators::barabasi_albert(500, 5, &mut rng);
+        for theta in [1usize, 3, 10] {
+            let p = theta_projection(&g, theta, &mut rng);
+            assert!(is_theta_bounded(&p, theta), "theta={theta}");
+        }
+    }
+
+    #[test]
+    fn projection_keeps_all_arcs_of_small_nodes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let g = generators::barabasi_albert(300, 4, &mut rng);
+        let p = theta_projection(&g, 10, &mut rng);
+        assert!(projection_preserves_small_nodes(&g, &p, 10));
+    }
+
+    #[test]
+    fn removal_count_matches_actual() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let g = generators::barabasi_albert(400, 6, &mut rng);
+        let theta = 8;
+        let expected_removed = projection_removal_count(&g, theta);
+        let p = theta_projection(&g, theta, &mut rng);
+        assert_eq!(g.num_arcs() - p.num_arcs(), expected_removed);
+    }
+
+    #[test]
+    fn projection_with_huge_theta_is_identity_on_arcs() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let g = generators::barabasi_albert(200, 3, &mut rng);
+        let p = theta_projection(&g, 10_000, &mut rng);
+        assert_eq!(p.num_arcs(), g.num_arcs());
+    }
+
+    #[test]
+    fn kept_arcs_retain_weights() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let g = generators::barabasi_albert(100, 3, &mut rng).with_weighted_cascade();
+        let p = theta_projection(&g, 2, &mut rng);
+        for (u, v, w) in p.arcs() {
+            assert_eq!(g.arc_weight(u, v), Some(w), "arc {u}->{v}");
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Induced subgraph extraction with node-id mapping.
+//!
+//! Both samplers (Algorithms 1 and 3) collect a node set `V_sub` and then
+//! "extract `G_sub` from `G` with nodes in `V_sub`" — i.e. the induced
+//! subgraph. Training needs to map model outputs back to original node ids,
+//! so the mapping is kept alongside the graph.
+
+use crate::csr::{Graph, NodeId};
+use crate::GraphBuilder;
+
+/// An induced subgraph plus the mapping back to the parent graph.
+#[derive(Clone, Debug)]
+pub struct Subgraph {
+    /// The induced graph, with nodes relabelled `0..k`.
+    pub graph: Graph,
+    /// `original[i]` is the parent-graph id of local node `i`. Sorted
+    /// ascending, which makes `local id -> original id` a binary search.
+    pub original: Vec<NodeId>,
+}
+
+impl Subgraph {
+    /// Number of nodes in the subgraph.
+    pub fn len(&self) -> usize {
+        self.original.len()
+    }
+
+    /// True if the subgraph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.original.is_empty()
+    }
+
+    /// Local id of an original node, if present.
+    pub fn local_id(&self, original: NodeId) -> Option<NodeId> {
+        self.original
+            .binary_search(&original)
+            .ok()
+            .map(|i| i as NodeId)
+    }
+
+    /// Original id of a local node.
+    pub fn original_id(&self, local: NodeId) -> NodeId {
+        self.original[local as usize]
+    }
+}
+
+/// Extract the subgraph of `g` induced by `nodes` (duplicates tolerated,
+/// order irrelevant). `O(Σ deg(v) log k)` where `k = |nodes|`.
+pub fn induced_subgraph(g: &Graph, nodes: &[NodeId]) -> Subgraph {
+    let mut original: Vec<NodeId> = nodes.to_vec();
+    original.sort_unstable();
+    original.dedup();
+
+    // Inherit the parent's directedness: for undirected parents every
+    // internal edge is seen twice (once per arc) and the builder dedups,
+    // so |E| statistics stay comparable with the parent.
+    let mut b = if g.is_directed() {
+        GraphBuilder::new_directed(original.len())
+    } else {
+        GraphBuilder::new_undirected(original.len())
+    };
+    for (li, &u) in original.iter().enumerate() {
+        let ws = g.out_weights(u);
+        for (ei, &v) in g.out_neighbors(u).iter().enumerate() {
+            if let Ok(lv) = original.binary_search(&v) {
+                b.add_edge(li as NodeId, lv as NodeId, ws[ei]);
+            }
+        }
+    }
+    Subgraph {
+        graph: b.build(),
+        original,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn sample_graph() -> Graph {
+        // 0 -> 1 -> 2 -> 3 -> 4, 0 -> 3
+        let mut b = GraphBuilder::new_directed(5);
+        b.add_edge(0, 1, 0.1);
+        b.add_edge(1, 2, 0.2);
+        b.add_edge(2, 3, 0.3);
+        b.add_edge(3, 4, 0.4);
+        b.add_edge(0, 3, 0.5);
+        b.build()
+    }
+
+    #[test]
+    fn induced_keeps_only_internal_arcs() {
+        let g = sample_graph();
+        let s = induced_subgraph(&g, &[0, 1, 3]);
+        assert_eq!(s.len(), 3);
+        // arcs inside {0,1,3}: 0->1 and 0->3
+        assert_eq!(s.graph.num_arcs(), 2);
+        let l0 = s.local_id(0).unwrap();
+        let l1 = s.local_id(1).unwrap();
+        let l3 = s.local_id(3).unwrap();
+        assert!(s.graph.has_arc(l0, l1));
+        assert!(s.graph.has_arc(l0, l3));
+        assert_eq!(s.graph.arc_weight(l0, l3), Some(0.5));
+    }
+
+    #[test]
+    fn duplicates_and_order_are_normalised() {
+        let g = sample_graph();
+        let s = induced_subgraph(&g, &[3, 1, 3, 0, 1]);
+        assert_eq!(s.original, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn mapping_roundtrips() {
+        let g = sample_graph();
+        let s = induced_subgraph(&g, &[2, 4]);
+        for local in 0..s.len() as NodeId {
+            let orig = s.original_id(local);
+            assert_eq!(s.local_id(orig), Some(local));
+        }
+        assert_eq!(s.local_id(0), None);
+    }
+
+    #[test]
+    fn full_node_set_reproduces_graph() {
+        let g = sample_graph();
+        let all: Vec<NodeId> = g.nodes().collect();
+        let s = induced_subgraph(&g, &all);
+        assert_eq!(s.graph.num_arcs(), g.num_arcs());
+        for (u, v, w) in g.arcs() {
+            assert_eq!(s.graph.arc_weight(u, v), Some(w));
+        }
+    }
+
+    #[test]
+    fn undirected_parent_gives_undirected_subgraph() {
+        let mut b = GraphBuilder::new_undirected(4);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 2, 1.0);
+        let g = b.build();
+        let s = induced_subgraph(&g, &[0, 1, 2]);
+        assert!(!s.graph.is_directed());
+        assert_eq!(s.graph.num_edges(), 2);
+        assert_eq!(s.graph.num_arcs(), 4);
+    }
+
+    #[test]
+    fn empty_selection_gives_empty_subgraph() {
+        let g = sample_graph();
+        let s = induced_subgraph(&g, &[]);
+        assert!(s.is_empty());
+        assert_eq!(s.graph.num_nodes(), 0);
+    }
+}

@@ -1,0 +1,301 @@
+//! Stochastic diffusion models: Independent Cascade (Definition 6), and
+//! the Linear Threshold and SIS models listed as future work (§VII).
+
+use privim_graph::{Graph, NodeId};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+use std::collections::VecDeque;
+
+/// One IC realisation from `seeds`, run until quiescence or for at most
+/// `max_steps` rounds (`None` = unbounded). Returns the number of activated
+/// nodes. Each newly activated `u` gets a single chance to activate each
+/// inactive out-neighbour `v` with probability `w_uv`.
+pub fn ic_simulate_once(
+    g: &Graph,
+    seeds: &[NodeId],
+    max_steps: Option<usize>,
+    rng: &mut impl Rng,
+) -> usize {
+    let mut active = vec![false; g.num_nodes()];
+    let mut frontier: VecDeque<(NodeId, usize)> = VecDeque::new();
+    let mut count = 0usize;
+    for &s in seeds {
+        if !active[s as usize] {
+            active[s as usize] = true;
+            count += 1;
+            frontier.push_back((s, 0));
+        }
+    }
+    while let Some((u, step)) = frontier.pop_front() {
+        if let Some(limit) = max_steps {
+            if step >= limit {
+                continue;
+            }
+        }
+        let ws = g.out_weights(u);
+        for (i, &v) in g.out_neighbors(u).iter().enumerate() {
+            if !active[v as usize] && rng.gen::<f64>() < ws[i] {
+                active[v as usize] = true;
+                count += 1;
+                frontier.push_back((v, step + 1));
+            }
+        }
+    }
+    count
+}
+
+/// Monte-Carlo estimate of IC influence spread: mean activated count over
+/// `runs` independent realisations (rayon-parallel, deterministic given
+/// `seed`).
+pub fn ic_spread_estimate(
+    g: &Graph,
+    seeds: &[NodeId],
+    max_steps: Option<usize>,
+    runs: usize,
+    seed: u64,
+) -> f64 {
+    assert!(runs >= 1);
+    let total: usize = (0..runs)
+        .into_par_iter()
+        .map(|i| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(i as u64));
+            ic_simulate_once(g, seeds, max_steps, &mut rng)
+        })
+        .sum();
+    total as f64 / runs as f64
+}
+
+/// One Linear Threshold realisation: node `u` activates once
+/// `Σ_{active v ∈ N⁻(u)} w_vu ≥ θ_u` with `θ_u ~ U(0, 1)`. Arc weights
+/// should sum to ≤ 1 per node (use
+/// [`privim_graph::Graph::with_weighted_cascade`]).
+pub fn lt_simulate_once(g: &Graph, seeds: &[NodeId], rng: &mut impl Rng) -> usize {
+    let n = g.num_nodes();
+    let thresholds: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
+    let mut active = vec![false; n];
+    let mut pressure = vec![0.0f64; n];
+    let mut queue: VecDeque<NodeId> = VecDeque::new();
+    let mut count = 0usize;
+    for &s in seeds {
+        if !active[s as usize] {
+            active[s as usize] = true;
+            count += 1;
+            queue.push_back(s);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        let ws = g.out_weights(u);
+        for (i, &v) in g.out_neighbors(u).iter().enumerate() {
+            if active[v as usize] {
+                continue;
+            }
+            pressure[v as usize] += ws[i];
+            if pressure[v as usize] >= thresholds[v as usize] {
+                active[v as usize] = true;
+                count += 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    count
+}
+
+/// Monte-Carlo LT spread estimate.
+pub fn lt_spread_estimate(g: &Graph, seeds: &[NodeId], runs: usize, seed: u64) -> f64 {
+    assert!(runs >= 1);
+    let total: usize = (0..runs)
+        .into_par_iter()
+        .map(|i| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(i as u64));
+            lt_simulate_once(g, seeds, &mut rng)
+        })
+        .sum();
+    total as f64 / runs as f64
+}
+
+/// One SIS (susceptible-infectious-susceptible) realisation for `steps`
+/// rounds: infected nodes infect each susceptible out-neighbour with the
+/// arc weight as infection probability, then recover (become susceptible
+/// again) with probability `recovery`. Returns the number of *distinct*
+/// nodes ever infected — the quantity comparable to IC's spread.
+pub fn sis_simulate_once(
+    g: &Graph,
+    seeds: &[NodeId],
+    recovery: f64,
+    steps: usize,
+    rng: &mut impl Rng,
+) -> usize {
+    assert!((0.0..=1.0).contains(&recovery));
+    let n = g.num_nodes();
+    let mut infected = vec![false; n];
+    let mut ever = vec![false; n];
+    let mut current: Vec<NodeId> = Vec::new();
+    let mut ever_count = 0usize;
+    for &s in seeds {
+        if !infected[s as usize] {
+            infected[s as usize] = true;
+            ever[s as usize] = true;
+            ever_count += 1;
+            current.push(s);
+        }
+    }
+    for _ in 0..steps {
+        if current.is_empty() {
+            break;
+        }
+        let mut newly: Vec<NodeId> = Vec::new();
+        for &u in &current {
+            let ws = g.out_weights(u);
+            for (i, &v) in g.out_neighbors(u).iter().enumerate() {
+                if !infected[v as usize] && rng.gen::<f64>() < ws[i] {
+                    infected[v as usize] = true;
+                    if !ever[v as usize] {
+                        ever[v as usize] = true;
+                        ever_count += 1;
+                    }
+                    newly.push(v);
+                }
+            }
+        }
+        // recovery sweep
+        current.retain(|&u| {
+            if rng.gen::<f64>() < recovery {
+                infected[u as usize] = false;
+                false
+            } else {
+                true
+            }
+        });
+        current.extend(newly);
+    }
+    ever_count
+}
+
+/// Monte-Carlo SIS spread estimate.
+pub fn sis_spread_estimate(
+    g: &Graph,
+    seeds: &[NodeId],
+    recovery: f64,
+    steps: usize,
+    runs: usize,
+    seed: u64,
+) -> f64 {
+    assert!(runs >= 1);
+    let total: usize = (0..runs)
+        .into_par_iter()
+        .map(|i| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(i as u64));
+            sis_simulate_once(g, seeds, recovery, steps, &mut rng)
+        })
+        .sum();
+    total as f64 / runs as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spread::{expected_one_step_spread, one_step_spread};
+    use privim_graph::{generators, GraphBuilder};
+
+    fn chain(weights: f64) -> Graph {
+        let mut b = GraphBuilder::new_directed(4);
+        b.add_edge(0, 1, weights);
+        b.add_edge(1, 2, weights);
+        b.add_edge(2, 3, weights);
+        b.build()
+    }
+
+    #[test]
+    fn unit_weights_activate_everything_reachable() {
+        let g = chain(1.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        assert_eq!(ic_simulate_once(&g, &[0], None, &mut rng), 4);
+        assert_eq!(ic_simulate_once(&g, &[2], None, &mut rng), 2);
+    }
+
+    #[test]
+    fn max_steps_truncates_diffusion() {
+        let g = chain(1.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        assert_eq!(ic_simulate_once(&g, &[0], Some(1), &mut rng), 2);
+        assert_eq!(ic_simulate_once(&g, &[0], Some(2), &mut rng), 3);
+        assert_eq!(ic_simulate_once(&g, &[0], Some(0), &mut rng), 1);
+    }
+
+    #[test]
+    fn zero_weights_spread_nowhere() {
+        let g = chain(0.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        assert_eq!(ic_simulate_once(&g, &[0], None, &mut rng), 1);
+    }
+
+    #[test]
+    fn monte_carlo_matches_exact_one_step() {
+        // On a one-step truncated IC, the MC mean must approach the exact
+        // closed-form expectation.
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let g = generators::barabasi_albert(60, 3, &mut rng).with_weighted_cascade();
+        let seeds: Vec<NodeId> = vec![0, 5, 10];
+        let exact = expected_one_step_spread(&g, &seeds);
+        let mc = ic_spread_estimate(&g, &seeds, Some(1), 4000, 99);
+        assert!(
+            (mc - exact).abs() / exact < 0.05,
+            "MC {mc} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn deterministic_setting_has_zero_variance() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let g = generators::barabasi_albert(100, 3, &mut rng).with_uniform_weights(1.0);
+        let seeds = vec![1u32, 2, 3];
+        let est = ic_spread_estimate(&g, &seeds, Some(1), 10, 7);
+        assert_eq!(est, one_step_spread(&g, &seeds) as f64);
+    }
+
+    #[test]
+    fn lt_unit_weights_cascade_fully() {
+        // With w = 1 every neighbour of an active node crosses any θ ≤ 1.
+        let g = chain(1.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        assert_eq!(lt_simulate_once(&g, &[0], &mut rng), 4);
+    }
+
+    #[test]
+    fn lt_spread_monotone_in_seed_count() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let g = generators::barabasi_albert(80, 3, &mut rng).with_weighted_cascade();
+        let one = lt_spread_estimate(&g, &[0], 500, 11);
+        let three = lt_spread_estimate(&g, &[0, 1, 2], 500, 11);
+        assert!(three > one, "LT spread should grow with seeds: {three} vs {one}");
+    }
+
+    #[test]
+    fn sis_with_instant_recovery_matches_truncated_ic_shape() {
+        let g = chain(1.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        // recovery 1.0: every node recovers right after one infection round,
+        // but the wave still propagates one hop per step.
+        let spread = sis_simulate_once(&g, &[0], 1.0, 3, &mut rng);
+        assert_eq!(spread, 4);
+        let spread_short = sis_simulate_once(&g, &[0], 1.0, 1, &mut rng);
+        assert_eq!(spread_short, 2);
+    }
+
+    #[test]
+    fn sis_zero_steps_counts_seeds_only() {
+        let g = chain(1.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        assert_eq!(sis_simulate_once(&g, &[0, 2], 0.5, 0, &mut rng), 2);
+    }
+
+    #[test]
+    fn estimates_are_deterministic_given_seed() {
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let g = generators::barabasi_albert(60, 3, &mut rng).with_weighted_cascade();
+        let a = ic_spread_estimate(&g, &[0, 1], None, 200, 42);
+        let b = ic_spread_estimate(&g, &[0, 1], None, 200, 42);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,94 @@
+//! Non-learning seed-selection heuristics, used as sanity baselines and in
+//! tests (a trained private GNN should land between random and CELF).
+
+use privim_graph::{Graph, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Top-`k` nodes by out-degree (the classic "degree centrality" heuristic).
+/// Ties broken by lower id for determinism.
+pub fn degree_top_k(g: &Graph, k: usize) -> Vec<NodeId> {
+    let mut nodes: Vec<NodeId> = g.nodes().collect();
+    nodes.sort_by_key(|&v| (std::cmp::Reverse(g.out_degree(v)), v));
+    nodes.truncate(k);
+    nodes
+}
+
+/// `k` distinct uniform random seeds.
+pub fn random_seeds(g: &Graph, k: usize, rng: &mut impl Rng) -> Vec<NodeId> {
+    let mut nodes: Vec<NodeId> = g.nodes().collect();
+    nodes.shuffle(rng);
+    nodes.truncate(k);
+    nodes
+}
+
+/// Top-`k` by a caller-provided per-node score (how the trained GNN's
+/// output probabilities become a seed set). Ties broken by lower id.
+pub fn score_top_k(scores: &[f64], k: usize) -> Vec<NodeId> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    idx.truncate(k);
+    idx.into_iter().map(|i| i as NodeId).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spread::one_step_spread;
+    use privim_graph::generators;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn degree_heuristic_finds_hubs() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let g = generators::barabasi_albert(200, 3, &mut rng);
+        let top = degree_top_k(&g, 5);
+        let min_top_degree = top.iter().map(|&v| g.out_degree(v)).min().unwrap();
+        for v in g.nodes() {
+            if !top.contains(&v) {
+                assert!(g.out_degree(v) <= min_top_degree);
+            }
+        }
+    }
+
+    #[test]
+    fn degree_beats_random_on_scale_free_graphs() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let g = generators::barabasi_albert(500, 3, &mut rng).with_uniform_weights(1.0);
+        let deg = one_step_spread(&g, &degree_top_k(&g, 10));
+        let rnd = one_step_spread(&g, &random_seeds(&g, 10, &mut rng));
+        assert!(deg > rnd, "degree {deg} vs random {rnd}");
+    }
+
+    #[test]
+    fn random_seeds_are_distinct() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let g = generators::barabasi_albert(50, 2, &mut rng);
+        let s = random_seeds(&g, 20, &mut rng);
+        let mut d = s.clone();
+        d.sort_unstable();
+        d.dedup();
+        assert_eq!(d.len(), 20);
+    }
+
+    #[test]
+    fn score_top_k_orders_and_breaks_ties() {
+        let scores = [0.2, 0.9, 0.9, 0.1];
+        assert_eq!(score_top_k(&scores, 3), vec![1, 2, 0]);
+        assert_eq!(score_top_k(&scores, 0), Vec::<NodeId>::new());
+    }
+
+    #[test]
+    fn k_exceeding_v_is_clamped() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let g = generators::barabasi_albert(10, 2, &mut rng);
+        assert_eq!(degree_top_k(&g, 100).len(), 10);
+        assert_eq!(random_seeds(&g, 100, &mut rng).len(), 10);
+    }
+}

@@ -1,0 +1,47 @@
+//! Evaluation metrics (§V-A).
+
+/// Coverage ratio: `|V_method| / |V_CELF|` — the spread of a method's seed
+/// set relative to the CELF ground truth, in percent (the unit Table II
+/// reports).
+pub fn coverage_ratio(method_spread: f64, celf_spread: f64) -> f64 {
+    assert!(celf_spread > 0.0, "CELF spread must be positive");
+    100.0 * method_spread / celf_spread
+}
+
+/// Mean and (population) standard deviation of repeated measurements —
+/// Table II reports `mean ± std` over 5 runs.
+pub fn mean_std(values: &[f64]) -> (f64, f64) {
+    assert!(!values.is_empty());
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_is_percentage() {
+        assert_eq!(coverage_ratio(50.0, 100.0), 50.0);
+        assert_eq!(coverage_ratio(100.0, 100.0), 100.0);
+        // a method may (rarely) beat greedy
+        assert!(coverage_ratio(101.0, 100.0) > 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_celf_rejected() {
+        coverage_ratio(10.0, 0.0);
+    }
+
+    #[test]
+    fn mean_std_basic() {
+        let (m, s) = mean_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m - 5.0).abs() < 1e-12);
+        assert!((s - 2.0).abs() < 1e-12);
+        let (m1, s1) = mean_std(&[3.0]);
+        assert_eq!((m1, s1), (3.0, 0.0));
+    }
+}

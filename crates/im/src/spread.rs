@@ -1,0 +1,170 @@
+//! Exact one-step influence spread (the paper's evaluation setting).
+
+use privim_graph::{Graph, NodeId};
+
+/// Influence spread under `w = 1, j = 1`: the number of nodes activated
+/// after one deterministic step, `|S ∪ N⁺(S)|`.
+pub fn one_step_spread(g: &Graph, seeds: &[NodeId]) -> usize {
+    let mut active = vec![false; g.num_nodes()];
+    let mut count = 0usize;
+    for &s in seeds {
+        if !active[s as usize] {
+            active[s as usize] = true;
+            count += 1;
+        }
+    }
+    for &s in seeds {
+        for &v in g.out_neighbors(s) {
+            if !active[v as usize] {
+                active[v as usize] = true;
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Exact *expected* spread after one IC step with arbitrary weights:
+///
+/// `E[|active|] = |S| + Σ_{u∉S} (1 − Π_{v∈S∩N⁻(u)} (1 − w_vu))`.
+///
+/// Reduces to [`one_step_spread`] when every weight is 1.
+pub fn expected_one_step_spread(g: &Graph, seeds: &[NodeId]) -> f64 {
+    let mut is_seed = vec![false; g.num_nodes()];
+    for &s in seeds {
+        is_seed[s as usize] = true;
+    }
+    let seed_count = is_seed.iter().filter(|&&x| x).count();
+    let mut total = seed_count as f64;
+    // survive[u] = Π (1 - w_vu) over seed in-neighbours v of u.
+    let mut survive = vec![1.0f64; g.num_nodes()];
+    for &s in seeds {
+        let ws = g.out_weights(s);
+        for (i, &u) in g.out_neighbors(s).iter().enumerate() {
+            if !is_seed[u as usize] {
+                survive[u as usize] *= 1.0 - ws[i];
+            }
+        }
+    }
+    for u in g.nodes() {
+        if !is_seed[u as usize] && survive[u as usize] < 1.0 {
+            total += 1.0 - survive[u as usize];
+        }
+    }
+    total
+}
+
+/// Marginal gain of adding `v` to `S` under the exact one-step coverage
+/// (`w = 1, j = 1`). `covered` must be the activation bitmap of `S`
+/// (seeds + their out-neighbours); not modified.
+pub fn one_step_marginal_gain(g: &Graph, covered: &[bool], v: NodeId) -> usize {
+    let mut gain = usize::from(!covered[v as usize]);
+    for &u in g.out_neighbors(v) {
+        if !covered[u as usize] && u != v {
+            gain += 1;
+        }
+    }
+    gain
+}
+
+/// Update an activation bitmap after adding seed `v`. Returns how many new
+/// nodes became covered.
+pub fn one_step_cover(g: &Graph, covered: &mut [bool], v: NodeId) -> usize {
+    let mut added = 0usize;
+    if !covered[v as usize] {
+        covered[v as usize] = true;
+        added += 1;
+    }
+    for &u in g.out_neighbors(v) {
+        if !covered[u as usize] {
+            covered[u as usize] = true;
+            added += 1;
+        }
+    }
+    added
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privim_graph::GraphBuilder;
+
+    /// star: 0 -> {1,2,3}; chain 3 -> 4
+    fn star_chain() -> Graph {
+        let mut b = GraphBuilder::new_directed(5);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(0, 2, 1.0);
+        b.add_edge(0, 3, 1.0);
+        b.add_edge(3, 4, 1.0);
+        b.build()
+    }
+
+    #[test]
+    fn one_step_covers_seed_and_out_neighbors() {
+        let g = star_chain();
+        assert_eq!(one_step_spread(&g, &[0]), 4); // 0,1,2,3 — not 4
+        assert_eq!(one_step_spread(&g, &[3]), 2); // 3,4
+        assert_eq!(one_step_spread(&g, &[0, 3]), 5);
+        assert_eq!(one_step_spread(&g, &[4]), 1);
+        assert_eq!(one_step_spread(&g, &[]), 0);
+    }
+
+    #[test]
+    fn duplicate_seeds_not_double_counted() {
+        let g = star_chain();
+        assert_eq!(one_step_spread(&g, &[0, 0]), 4);
+    }
+
+    #[test]
+    fn expected_matches_deterministic_at_unit_weights() {
+        let g = star_chain();
+        for seeds in [vec![0u32], vec![3], vec![0, 3], vec![1, 2]] {
+            assert_eq!(
+                expected_one_step_spread(&g, &seeds),
+                one_step_spread(&g, &seeds) as f64
+            );
+        }
+    }
+
+    #[test]
+    fn expected_spread_with_fractional_weights() {
+        // 0 -> 1 (0.5), 2 -> 1 (0.5): P(1 active | S={0,2}) = 1 - 0.25
+        let mut b = GraphBuilder::new_directed(3);
+        b.add_edge(0, 1, 0.5);
+        b.add_edge(2, 1, 0.5);
+        let g = b.build();
+        let s = expected_one_step_spread(&g, &[0, 2]);
+        assert!((s - (2.0 + 0.75)).abs() < 1e-12, "spread {s}");
+    }
+
+    #[test]
+    fn marginal_gain_and_cover_agree() {
+        let g = star_chain();
+        let mut covered = vec![false; 5];
+        let gain0 = one_step_marginal_gain(&g, &covered, 0);
+        assert_eq!(gain0, 4);
+        assert_eq!(one_step_cover(&g, &mut covered, 0), 4);
+        // now 3 is covered; adding it only gains node 4
+        let gain3 = one_step_marginal_gain(&g, &covered, 3);
+        assert_eq!(gain3, 1);
+        assert_eq!(one_step_cover(&g, &mut covered, 3), 1);
+        assert_eq!(one_step_marginal_gain(&g, &covered, 3), 0);
+    }
+
+    #[test]
+    fn submodularity_of_coverage() {
+        // gain(v | A) >= gain(v | B) whenever A ⊆ B.
+        let g = star_chain();
+        let mut small = vec![false; 5];
+        one_step_cover(&g, &mut small, 1);
+        let mut big = small.clone();
+        one_step_cover(&g, &mut big, 0);
+        for v in g.nodes() {
+            assert!(
+                one_step_marginal_gain(&g, &small, v)
+                    >= one_step_marginal_gain(&g, &big, v),
+                "submodularity violated at {v}"
+            );
+        }
+    }
+}

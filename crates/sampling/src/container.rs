@@ -1,0 +1,149 @@
+//! The subgraph container `G_sub` with occurrence accounting.
+
+use privim_graph::{induced_subgraph, Graph, NodeId, Subgraph};
+
+/// Pool of training subgraphs plus per-node occurrence counts over the
+/// *original* graph — the empirical counterpart of the `N_g` / `M` bounds
+/// in Lemmas 1–2 and §IV-D.
+pub struct SubgraphContainer {
+    /// The extracted subgraphs (each carries its original-id mapping).
+    pub subgraphs: Vec<Subgraph>,
+    occurrences: Vec<u32>,
+}
+
+impl SubgraphContainer {
+    /// Empty container over a graph with `num_nodes` nodes.
+    pub fn new(num_nodes: usize) -> Self {
+        SubgraphContainer {
+            subgraphs: Vec::new(),
+            occurrences: vec![0; num_nodes],
+        }
+    }
+
+    /// Build a container by inducing each node set from `g`. Node sets must
+    /// be in `g`'s id space.
+    pub fn from_node_sets(g: &Graph, sets: &[Vec<NodeId>]) -> Self {
+        let mut c = SubgraphContainer::new(g.num_nodes());
+        for set in sets {
+            c.push(induced_subgraph(g, set));
+        }
+        c
+    }
+
+    /// Add a subgraph, updating occurrence counts.
+    pub fn push(&mut self, s: Subgraph) {
+        for &orig in &s.original {
+            self.occurrences[orig as usize] += 1;
+        }
+        self.subgraphs.push(s);
+    }
+
+    /// Merge another container (BES joins the two stages' pools). Both must
+    /// cover the same original graph.
+    pub fn merge(&mut self, other: SubgraphContainer) {
+        assert_eq!(
+            self.occurrences.len(),
+            other.occurrences.len(),
+            "containers over different graphs"
+        );
+        for (a, b) in self.occurrences.iter_mut().zip(&other.occurrences) {
+            *a += b;
+        }
+        self.subgraphs.extend(other.subgraphs);
+    }
+
+    /// Number of subgraphs `m = |G_sub|`.
+    pub fn len(&self) -> usize {
+        self.subgraphs.len()
+    }
+
+    /// True if the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.subgraphs.is_empty()
+    }
+
+    /// How many subgraphs contain original node `v`.
+    pub fn occurrence(&self, v: NodeId) -> u32 {
+        self.occurrences[v as usize]
+    }
+
+    /// Maximum occurrence over all nodes — must stay ≤ the theoretical
+    /// bound fed to the accountant.
+    pub fn max_occurrence(&self) -> u32 {
+        self.occurrences.iter().copied().max().unwrap_or(0)
+    }
+
+    /// How many subgraphs contain *both* endpoints — the edge-level
+    /// occurrence the edge-DP extension bounds. Always ≤
+    /// `min(occurrence(u), occurrence(v))`.
+    pub fn edge_occurrence(&self, u: NodeId, v: NodeId) -> u32 {
+        self.subgraphs
+            .iter()
+            .filter(|s| s.local_id(u).is_some() && s.local_id(v).is_some())
+            .count() as u32
+    }
+
+    /// Mean subgraph size (diagnostics).
+    pub fn mean_size(&self) -> f64 {
+        if self.subgraphs.is_empty() {
+            return 0.0;
+        }
+        self.subgraphs.iter().map(|s| s.len()).sum::<usize>() as f64
+            / self.subgraphs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privim_graph::generators;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn occurrences_count_memberships() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let g = generators::barabasi_albert(50, 3, &mut rng);
+        let sets = vec![vec![0u32, 1, 2], vec![2, 3], vec![2, 0]];
+        let c = SubgraphContainer::from_node_sets(&g, &sets);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.occurrence(2), 3);
+        assert_eq!(c.occurrence(0), 2);
+        assert_eq!(c.occurrence(4), 0);
+        assert_eq!(c.max_occurrence(), 3);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let g = generators::barabasi_albert(20, 2, &mut rng);
+        let mut a = SubgraphContainer::from_node_sets(&g, &[vec![0, 1]]);
+        let b = SubgraphContainer::from_node_sets(&g, &[vec![1, 2], vec![1, 3]]);
+        a.merge(b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.occurrence(1), 3);
+        assert!((a.mean_size() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edge_occurrence_bounded_by_node_occurrences() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let g = generators::barabasi_albert(60, 3, &mut rng);
+        let sets = vec![vec![0u32, 1, 2], vec![1, 2, 3], vec![0, 3]];
+        let c = SubgraphContainer::from_node_sets(&g, &sets);
+        assert_eq!(c.edge_occurrence(1, 2), 2);
+        assert_eq!(c.edge_occurrence(0, 3), 1);
+        assert_eq!(c.edge_occurrence(0, 4), 0);
+        for (u, v) in [(1u32, 2u32), (0, 3), (2, 3)] {
+            assert!(c.edge_occurrence(u, v) <= c.occurrence(u).min(c.occurrence(v)));
+        }
+    }
+
+    #[test]
+    fn empty_container() {
+        let c = SubgraphContainer::new(10);
+        assert!(c.is_empty());
+        assert_eq!(c.max_occurrence(), 0);
+        assert_eq!(c.mean_size(), 0.0);
+    }
+}

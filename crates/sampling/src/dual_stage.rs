@@ -1,0 +1,251 @@
+//! Algorithm 3 end-to-end: the dual-stage adaptive frequency sampling
+//! scheme (§IV).
+//!
+//! Stage 1 — Sensitivity-Constrained Sampling (SCS): `FreqSampling` on the
+//! *original* graph with a fresh frequency vector.
+//!
+//! Stage 2 — Boundary-Enhanced Sampling (BES): remove every node that
+//! reached the threshold `M`, build the residual graph `G_re`, carry the
+//! surviving nodes' frequencies over as `f*`, and run `FreqSampling` again
+//! with subgraph size `n / s`. Because the per-node budget `M` is shared
+//! across both stages, stage 2 adds structural information *without*
+//! loosening the occurrence bound — which is why it is free in privacy
+//! terms (§IV-D).
+
+use crate::container::SubgraphContainer;
+use crate::freq::{freq_sampling, FreqConfig};
+use privim_graph::{induced_subgraph, Graph, NodeId};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters for the full dual-stage scheme.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct DualStageConfig {
+    /// Stage-1 `FreqSampling` parameters (n, τ, μ, q, L, M).
+    pub stage1: FreqConfig,
+    /// BES shrink factor `s ≥ 1`: stage-2 subgraphs have size `n / s`
+    /// (minimum 2).
+    pub shrink: usize,
+    /// Whether to run stage 2 at all (lets Table II ablate SCS alone).
+    pub enable_bes: bool,
+}
+
+impl DualStageConfig {
+    /// Paper defaults: μ=1, τ=0.3, L=200, q=256/|V_train|, s=2, BES on.
+    pub fn paper_defaults(subgraph_size: usize, threshold: u32, v_train: usize) -> Self {
+        DualStageConfig {
+            stage1: FreqConfig::paper_defaults(subgraph_size, threshold, v_train),
+            shrink: 2,
+            enable_bes: true,
+        }
+    }
+
+    /// Stage-2 configuration derived from stage 1: same walk parameters,
+    /// same threshold, reduced subgraph size.
+    pub fn stage2(&self) -> FreqConfig {
+        FreqConfig {
+            subgraph_size: (self.stage1.subgraph_size / self.shrink.max(1)).max(2),
+            ..self.stage1
+        }
+    }
+}
+
+/// Outcome of Algorithm 3 with per-stage diagnostics.
+pub struct DualStageOutput {
+    /// Combined container `G_sub = G_sub,stage1 + G_sub,stage2` with
+    /// occurrence accounting over the original graph.
+    pub container: SubgraphContainer,
+    /// Number of stage-1 subgraphs.
+    pub stage1_count: usize,
+    /// Number of stage-2 subgraphs.
+    pub stage2_count: usize,
+    /// Nodes removed before stage 2 (`f_v = M` after stage 1).
+    pub saturated_nodes: usize,
+    /// Final per-node frequencies over the original graph.
+    pub frequencies: Vec<u32>,
+}
+
+/// Run Algorithm 3 over `g`.
+pub fn dual_stage_sampling(
+    g: &Graph,
+    cfg: &DualStageConfig,
+    rng: &mut impl Rng,
+) -> DualStageOutput {
+    // ---- Stage 1: SCS (Lines 1-2) ----
+    let mut freq = vec![0u32; g.num_nodes()];
+    let stage1_sets = freq_sampling(g, &mut freq, &cfg.stage1, rng);
+    let mut container = SubgraphContainer::from_node_sets(g, &stage1_sets);
+    let stage1_count = container.len();
+
+    if !cfg.enable_bes {
+        return DualStageOutput {
+            container,
+            stage1_count,
+            stage2_count: 0,
+            saturated_nodes: freq
+                .iter()
+                .filter(|&&f| f >= cfg.stage1.threshold)
+                .count(),
+            frequencies: freq,
+        };
+    }
+
+    // ---- Stage 2: BES (Lines 3-6) ----
+    // V_re = V \ {v : f_v = M}; build G_re and the restricted vector f*.
+    let remaining: Vec<NodeId> = g
+        .nodes()
+        .filter(|&v| freq[v as usize] < cfg.stage1.threshold)
+        .collect();
+    let saturated_nodes = g.num_nodes() - remaining.len();
+
+    let stage2_count;
+    if remaining.len() >= 2 {
+        let residual = induced_subgraph(g, &remaining);
+        // f* carries the surviving nodes' stage-1 counts, so the shared
+        // budget M continues to bind.
+        let mut f_star: Vec<u32> = residual
+            .original
+            .iter()
+            .map(|&o| freq[o as usize])
+            .collect();
+        let stage2_sets = freq_sampling(&residual.graph, &mut f_star, &cfg.stage2(), rng);
+        stage2_count = stage2_sets.len();
+
+        // Map residual-graph ids back to original ids, then induce the
+        // stage-2 subgraphs from the original graph. (Inducing a subset of
+        // V_re from G equals inducing it from G_re, so this is faithful.)
+        let mapped: Vec<Vec<NodeId>> = stage2_sets
+            .iter()
+            .map(|set| set.iter().map(|&l| residual.original_id(l)).collect())
+            .collect();
+        let stage2_container = SubgraphContainer::from_node_sets(g, &mapped);
+        container.merge(stage2_container);
+
+        // Propagate stage-2 counts into the global frequency vector.
+        for (local, &orig) in residual.original.iter().enumerate() {
+            freq[orig as usize] = f_star[local];
+        }
+    } else {
+        stage2_count = 0;
+    }
+
+    DualStageOutput {
+        container,
+        stage1_count,
+        stage2_count,
+        saturated_nodes,
+        frequencies: freq,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privim_graph::generators;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn cfg(n: usize, m: u32, q: f64, bes: bool) -> DualStageConfig {
+        DualStageConfig {
+            stage1: FreqConfig {
+                subgraph_size: n,
+                return_prob: 0.3,
+                decay: 1.0,
+                sampling_rate: q,
+                walk_len: 200,
+                threshold: m,
+            },
+            shrink: 2,
+            enable_bes: bes,
+        }
+    }
+
+    #[test]
+    fn combined_occurrences_respect_shared_budget() {
+        // The privacy-critical invariant of §IV-D: across BOTH stages no
+        // node exceeds M occurrences.
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let g = generators::barabasi_albert(400, 5, &mut rng);
+        for m in [2u32, 4, 6] {
+            let out = dual_stage_sampling(&g, &cfg(16, m, 1.0, true), &mut rng);
+            assert!(
+                out.container.max_occurrence() <= m,
+                "M={m}: combined max occurrence {}",
+                out.container.max_occurrence()
+            );
+        }
+    }
+
+    #[test]
+    fn bes_adds_subgraphs() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let g = generators::barabasi_albert(600, 4, &mut rng);
+        let with = dual_stage_sampling(&g, &cfg(20, 4, 1.0, true), &mut rng);
+        assert!(with.stage2_count > 0, "BES produced nothing");
+        assert_eq!(
+            with.container.len(),
+            with.stage1_count + with.stage2_count
+        );
+    }
+
+    #[test]
+    fn stage2_subgraphs_are_smaller() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let g = generators::barabasi_albert(600, 4, &mut rng);
+        let c = cfg(20, 4, 1.0, true);
+        let out = dual_stage_sampling(&g, &c, &mut rng);
+        // stage-1 subgraphs are the first `stage1_count`, each of size 20;
+        // stage-2 ones have size n/s = 10.
+        for (i, s) in out.container.subgraphs.iter().enumerate() {
+            if i < out.stage1_count {
+                assert_eq!(s.len(), 20);
+            } else {
+                assert_eq!(s.len(), 10);
+            }
+        }
+    }
+
+    #[test]
+    fn disabling_bes_skips_stage2() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let g = generators::barabasi_albert(300, 4, &mut rng);
+        let out = dual_stage_sampling(&g, &cfg(16, 4, 1.0, false), &mut rng);
+        assert_eq!(out.stage2_count, 0);
+        assert_eq!(out.container.len(), out.stage1_count);
+    }
+
+    #[test]
+    fn stage2_avoids_saturated_nodes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let g = generators::barabasi_albert(500, 5, &mut rng);
+        let m = 2;
+        let out = dual_stage_sampling(&g, &cfg(12, m, 1.0, true), &mut rng);
+        // Nodes that were saturated after stage 1 must not appear in any
+        // stage-2 subgraph; equivalently no node's final frequency exceeds M.
+        assert!(out.frequencies.iter().all(|&f| f <= m));
+        // container accounting matches the frequency vector
+        for v in g.nodes() {
+            assert_eq!(out.container.occurrence(v), out.frequencies[v as usize]);
+        }
+    }
+
+    #[test]
+    fn tiny_graph_degenerates_gracefully() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let g = generators::barabasi_albert(8, 2, &mut rng);
+        let out = dual_stage_sampling(&g, &cfg(4, 2, 1.0, true), &mut rng);
+        assert!(out.container.max_occurrence() <= 2);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn prop_shared_budget_invariant(seed in 0u64..1000, m in 1u32..5) {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let g = generators::barabasi_albert(200, 4, &mut rng);
+            let out = dual_stage_sampling(&g, &cfg(10, m, 1.0, true), &mut rng);
+            proptest::prop_assert!(out.container.max_occurrence() <= m);
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! The `FreqSampling` routine of Algorithm 3 (Lines 9–28): random walk with
+//! restart whose next-step distribution is the frequency-decayed Eq. 9, and
+//! whose node occurrences are hard-capped at the global threshold `M`.
+//!
+//! This is the Sensitivity-Constrained Sampling (SCS) stage when run on the
+//! full graph with a fresh frequency vector, and the Boundary-Enhanced
+//! Sampling (BES) stage when run on the residual graph with the carried-over
+//! frequency vector and a reduced subgraph size.
+
+use crate::container::SubgraphContainer;
+use privim_graph::{Graph, NodeId};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of `FreqSampling`.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct FreqConfig {
+    /// Subgraph size `n`.
+    pub subgraph_size: usize,
+    /// Restart probability `τ` (0.3).
+    pub return_prob: f64,
+    /// Decay factor `μ` of Eq. 9 (how strongly past occurrences suppress
+    /// re-sampling); `μ = 0` recovers uniform RWR.
+    pub decay: f64,
+    /// Per-node start-sampling rate `q`.
+    pub sampling_rate: f64,
+    /// Maximum walk length `L` (200).
+    pub walk_len: usize,
+    /// Global frequency threshold `M`: no node may appear in more than `M`
+    /// subgraphs.
+    pub threshold: u32,
+}
+
+impl FreqConfig {
+    /// Paper defaults with the given `n` and `M` for `v_train` training
+    /// nodes (μ = 1, τ = 0.3, L = 200, q = 256/|V_train|).
+    pub fn paper_defaults(subgraph_size: usize, threshold: u32, v_train: usize) -> Self {
+        FreqConfig {
+            subgraph_size,
+            return_prob: 0.3,
+            decay: 1.0,
+            sampling_rate: (256.0 / v_train.max(1) as f64).min(1.0),
+            walk_len: 200,
+            threshold,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.subgraph_size >= 2, "subgraph size must be >= 2");
+        assert!((0.0..=1.0).contains(&self.return_prob));
+        assert!(self.decay >= 0.0);
+        assert!((0.0..=1.0).contains(&self.sampling_rate));
+        assert!(self.walk_len >= 1);
+        assert!(self.threshold >= 1, "threshold M must be >= 1");
+    }
+}
+
+/// Eq. 9 numerator: `e_v = 1 / (f_v + 1)^μ` while `f_v < M`, else 0.
+#[inline]
+fn eq9_weight(freq: u32, threshold: u32, decay: f64) -> f64 {
+    if freq >= threshold {
+        0.0
+    } else {
+        1.0 / ((freq + 1) as f64).powf(decay)
+    }
+}
+
+/// Run `FreqSampling(f, G, n)` (Algorithm 3, Lines 9–28) over `g`, reading
+/// and updating the frequency vector `freq` in place. Returns the node sets
+/// of the extracted subgraphs, in `g`'s id space.
+///
+/// The frequency vector is indexed by `g`'s node ids; the dual-stage driver
+/// maps between the full and residual graphs.
+pub fn freq_sampling(
+    g: &Graph,
+    freq: &mut [u32],
+    cfg: &FreqConfig,
+    rng: &mut impl Rng,
+) -> Vec<Vec<NodeId>> {
+    cfg.validate();
+    assert_eq!(freq.len(), g.num_nodes(), "frequency vector length mismatch");
+    let mut sets: Vec<Vec<NodeId>> = Vec::new();
+    for v0 in g.nodes() {
+        if rng.gen::<f64>() >= cfg.sampling_rate || freq[v0 as usize] >= cfg.threshold {
+            continue;
+        }
+        if let Some(set) = walk_from(g, v0, freq, cfg, rng) {
+            // Line 26: update f with V_sub after each completed subgraph.
+            for &v in &set {
+                freq[v as usize] += 1;
+            }
+            sets.push(set);
+        }
+    }
+    sets
+}
+
+/// Convenience wrapper: run [`freq_sampling`] and build a container.
+pub fn freq_sampling_container(
+    g: &Graph,
+    freq: &mut [u32],
+    cfg: &FreqConfig,
+    rng: &mut impl Rng,
+) -> SubgraphContainer {
+    let sets = freq_sampling(g, freq, cfg, rng);
+    SubgraphContainer::from_node_sets(g, &sets)
+}
+
+fn walk_from(
+    g: &Graph,
+    v0: NodeId,
+    freq: &[u32],
+    cfg: &FreqConfig,
+    rng: &mut impl Rng,
+) -> Option<Vec<NodeId>> {
+    let mut v_sub: Vec<NodeId> = vec![v0];
+    let mut in_sub = vec![false; g.num_nodes()];
+    in_sub[v0 as usize] = true;
+    let mut v_cur = v0;
+    let mut weights: Vec<f64> = Vec::new();
+
+    for _ in 0..cfg.walk_len {
+        if rng.gen::<f64>() < cfg.return_prob {
+            v_cur = v0;
+        }
+        let nbrs = g.out_neighbors(v_cur);
+        weights.clear();
+        weights.extend(
+            nbrs.iter()
+                .map(|&u| eq9_weight(freq[u as usize], cfg.threshold, cfg.decay)),
+        );
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            // Every neighbour saturated (or none exist): teleport.
+            v_cur = v0;
+            continue;
+        }
+        // Sample v_next ∝ d_v (Eq. 9).
+        let mut target = rng.gen::<f64>() * total;
+        let mut pick = nbrs.len() - 1;
+        for (i, &w) in weights.iter().enumerate() {
+            if target < w {
+                pick = i;
+                break;
+            }
+            target -= w;
+        }
+        let v_next = nbrs[pick];
+        v_cur = v_next;
+        if !in_sub[v_next as usize] {
+            in_sub[v_next as usize] = true;
+            v_sub.push(v_next);
+        }
+        if v_sub.len() == cfg.subgraph_size {
+            return Some(v_sub);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privim_graph::generators;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn cfg(n: usize, m: u32, q: f64) -> FreqConfig {
+        FreqConfig {
+            subgraph_size: n,
+            return_prob: 0.3,
+            decay: 1.0,
+            sampling_rate: q,
+            walk_len: 200,
+            threshold: m,
+        }
+    }
+
+    #[test]
+    fn eq9_weight_decays_and_saturates() {
+        assert_eq!(eq9_weight(0, 4, 1.0), 1.0);
+        assert_eq!(eq9_weight(1, 4, 1.0), 0.5);
+        assert_eq!(eq9_weight(3, 4, 1.0), 0.25);
+        assert_eq!(eq9_weight(4, 4, 1.0), 0.0, "at threshold: excluded");
+        assert_eq!(eq9_weight(9, 4, 1.0), 0.0);
+        // μ = 0: uniform regardless of frequency (until the cap)
+        assert_eq!(eq9_weight(3, 4, 0.0), 1.0);
+        // μ = 2: quadratic decay
+        assert_eq!(eq9_weight(1, 4, 2.0), 0.25);
+    }
+
+    #[test]
+    fn occurrences_never_exceed_threshold() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let g = generators::barabasi_albert(300, 5, &mut rng);
+        for m in [1u32, 2, 4, 8] {
+            let mut freq = vec![0u32; g.num_nodes()];
+            let c = freq_sampling_container(&g, &mut freq, &cfg(10, m, 1.0), &mut rng);
+            assert!(
+                c.max_occurrence() <= m,
+                "M={m}: max occurrence {}",
+                c.max_occurrence()
+            );
+            // container accounting agrees with the frequency vector
+            for v in g.nodes() {
+                assert_eq!(c.occurrence(v), freq[v as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn subgraphs_have_exact_size() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let g = generators::barabasi_albert(300, 5, &mut rng);
+        let mut freq = vec![0u32; g.num_nodes()];
+        let c = freq_sampling_container(&g, &mut freq, &cfg(15, 6, 0.8), &mut rng);
+        assert!(!c.is_empty());
+        for s in &c.subgraphs {
+            assert_eq!(s.len(), 15);
+        }
+    }
+
+    #[test]
+    fn saturated_start_nodes_are_skipped() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let g = generators::barabasi_albert(100, 4, &mut rng);
+        let mut freq = vec![2u32; g.num_nodes()]; // everyone at the cap
+        let sets = freq_sampling(&g, &mut freq, &cfg(5, 2, 1.0), &mut rng);
+        assert!(sets.is_empty());
+        assert!(freq.iter().all(|&f| f == 2), "frequencies unchanged");
+    }
+
+    #[test]
+    fn decay_flattens_occurrence_distribution() {
+        // The point of Eq. 9: frequently sampled nodes (hubs) get suppressed,
+        // so with decay the maximum occurrence count drops relative to
+        // uniform RWR at the same (uncapped) budget.
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let g = generators::barabasi_albert(500, 4, &mut rng);
+        let max_freq = |decay: f64, rng: &mut ChaCha8Rng| {
+            let mut freq = vec![0u32; g.num_nodes()];
+            let c = FreqConfig {
+                decay,
+                ..cfg(20, 100_000, 1.0)
+            };
+            freq_sampling(&g, &mut freq, &c, rng);
+            freq.iter().copied().max().unwrap_or(0)
+        };
+        let peaked_uniform = max_freq(0.0, &mut rng);
+        let peaked_decay = max_freq(2.0, &mut rng);
+        assert!(
+            peaked_decay < peaked_uniform,
+            "decay max {peaked_decay} vs uniform max {peaked_uniform}"
+        );
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = Graph::empty(10, true);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut freq = vec![0u32; 10];
+        assert!(freq_sampling(&g, &mut freq, &cfg(3, 4, 1.0), &mut rng).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_freq_length_panics() {
+        let g = Graph::empty(10, true);
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let mut freq = vec![0u32; 5];
+        freq_sampling(&g, &mut freq, &cfg(3, 4, 1.0), &mut rng);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(10))]
+
+        #[test]
+        fn prop_threshold_invariant(seed in 0u64..1000, m in 1u32..6, n in 4usize..20) {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let g = generators::barabasi_albert(150, 3, &mut rng);
+            let mut freq = vec![0u32; g.num_nodes()];
+            let c = freq_sampling_container(&g, &mut freq, &cfg(n, m, 1.0), &mut rng);
+            proptest::prop_assert!(c.max_occurrence() <= m);
+        }
+    }
+}

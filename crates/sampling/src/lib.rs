@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+//! # privim-sampling
+//!
+//! The subgraph-extraction machinery of PrivIM:
+//!
+//! - [`rwr`] — Algorithm 1: random-walk-with-restart extraction on a
+//!   θ-bounded graph, constrained to the r-hop neighbourhood of the start
+//!   node (the naive PrivIM sampler).
+//! - [`freq`] — the `FreqSampling` routine of Algorithm 3: adaptive
+//!   frequency sampling with per-node decay (Eq. 9) and a hard occurrence
+//!   threshold `M` (the SCS stage).
+//! - [`dual_stage`] — Algorithm 3 end-to-end: SCS followed by
+//!   Boundary-Enhanced Sampling on the residual graph.
+//! - [`container`] — the subgraph container `G_sub` with per-node occurrence
+//!   accounting (the quantity the privacy proofs bound).
+//! - [`indicator`] — the Gamma-pdf parameter-selection indicator `I(n, M)`
+//!   of §IV-C with the least-squares fitting of Appendix H.
+//!
+//! ## Privacy invariants
+//!
+//! The whole privacy analysis rests on occurrence bounds that these samplers
+//! must enforce *by construction*:
+//!
+//! - Algorithm 1 on a θ-bounded graph: max occurrence ≤ `N_g = Σ θ^i`
+//!   (Lemma 1).
+//! - Algorithm 3: max occurrence ≤ `M` (both stages share one frequency
+//!   budget).
+//!
+//! Property tests in each module check these invariants on random graphs.
+
+pub mod container;
+pub mod dual_stage;
+pub mod freq;
+pub mod indicator;
+pub mod rwr;
+
+pub use container::SubgraphContainer;
+pub use dual_stage::{dual_stage_sampling, DualStageConfig};
+pub use freq::{freq_sampling, FreqConfig};
+pub use indicator::{Indicator, IndicatorParams};
+pub use rwr::{extract_subgraphs, RwrConfig};

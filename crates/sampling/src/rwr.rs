@@ -1,0 +1,250 @@
+//! Algorithm 1: subgraph extraction by random walk with restart on a
+//! θ-bounded graph, constrained to the r-hop neighbourhood of the start
+//! node.
+
+use crate::container::SubgraphContainer;
+use privim_graph::{algo, Graph, NodeId};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of Algorithm 1 (paper defaults in parentheses).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct RwrConfig {
+    /// Subgraph size `n` — walks stop once this many unique nodes are
+    /// collected.
+    pub subgraph_size: usize,
+    /// Restart probability `τ` (0.3).
+    pub return_prob: f64,
+    /// Per-node start-sampling rate `q` (256 / |V_train|).
+    pub sampling_rate: f64,
+    /// Maximum walk length `L` (200).
+    pub walk_len: usize,
+    /// Hop bound `r`: walks stay inside `N_r(v0)`; equals the GNN depth (3).
+    pub hops: usize,
+}
+
+impl RwrConfig {
+    /// The paper's default parameterisation for a graph with `v_train`
+    /// training nodes.
+    pub fn paper_defaults(subgraph_size: usize, v_train: usize) -> Self {
+        RwrConfig {
+            subgraph_size,
+            return_prob: 0.3,
+            sampling_rate: (256.0 / v_train.max(1) as f64).min(1.0),
+            walk_len: 200,
+            hops: 3,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.subgraph_size >= 2, "subgraph size must be >= 2");
+        assert!((0.0..=1.0).contains(&self.return_prob));
+        assert!((0.0..=1.0).contains(&self.sampling_rate));
+        assert!(self.walk_len >= 1);
+        assert!(self.hops >= 1);
+    }
+}
+
+/// Run Algorithm 1 over `g_theta` (the θ-bounded graph — callers project
+/// first with [`privim_graph::projection::theta_projection`]). Returns the
+/// subgraph container.
+///
+/// Walk rules (Lines 6–17): with probability τ teleport back to `v0`;
+/// otherwise step to a uniform neighbour of `v_cur` that lies within
+/// `N_r(v0)`. If `v_cur` has no eligible neighbour the walk teleports to
+/// `v0` (the standard RWR dead-end convention). Only walks that collect
+/// exactly `n` unique nodes within `L` steps yield a subgraph.
+pub fn extract_subgraphs(
+    g_theta: &Graph,
+    cfg: &RwrConfig,
+    rng: &mut impl Rng,
+) -> SubgraphContainer {
+    cfg.validate();
+    let mut node_sets: Vec<Vec<NodeId>> = Vec::new();
+    for v0 in g_theta.nodes() {
+        if rng.gen::<f64>() >= cfg.sampling_rate {
+            continue;
+        }
+        if let Some(set) = walk_from(g_theta, v0, cfg, rng) {
+            node_sets.push(set);
+        }
+    }
+    SubgraphContainer::from_node_sets(g_theta, &node_sets)
+}
+
+/// One RWR walk from `v0`; `Some(V_sub)` iff `n` unique nodes were reached.
+fn walk_from(
+    g: &Graph,
+    v0: NodeId,
+    cfg: &RwrConfig,
+    rng: &mut impl Rng,
+) -> Option<Vec<NodeId>> {
+    let in_r_hop = algo::r_hop_bitmap(g, v0, cfg.hops);
+    let mut v_sub: Vec<NodeId> = vec![v0];
+    let mut in_sub = vec![false; g.num_nodes()];
+    in_sub[v0 as usize] = true;
+    let mut v_cur = v0;
+    let mut candidates: Vec<NodeId> = Vec::new();
+
+    for _ in 0..cfg.walk_len {
+        if rng.gen::<f64>() < cfg.return_prob {
+            v_cur = v0;
+        }
+        candidates.clear();
+        candidates.extend(
+            g.out_neighbors(v_cur)
+                .iter()
+                .copied()
+                .filter(|&u| in_r_hop[u as usize]),
+        );
+        if candidates.is_empty() {
+            // dead end: teleport and retry next step
+            v_cur = v0;
+            continue;
+        }
+        let v_next = candidates[rng.gen_range(0..candidates.len())];
+        v_cur = v_next;
+        if !in_sub[v_next as usize] {
+            in_sub[v_next as usize] = true;
+            v_sub.push(v_next);
+        }
+        if v_sub.len() == cfg.subgraph_size {
+            return Some(v_sub);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privim_dp::sensitivity::naive_occurrence_bound;
+    use privim_graph::{generators, projection};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn sample_setup(seed: u64, theta: usize) -> (Graph, ChaCha8Rng) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = generators::barabasi_albert(400, 5, &mut rng);
+        let gt = projection::theta_projection(&g, theta, &mut rng);
+        (gt, rng)
+    }
+
+    #[test]
+    fn subgraphs_have_exact_size() {
+        let (gt, mut rng) = sample_setup(1, 10);
+        let cfg = RwrConfig {
+            subgraph_size: 12,
+            return_prob: 0.3,
+            sampling_rate: 0.5,
+            walk_len: 200,
+            hops: 3,
+        };
+        let c = extract_subgraphs(&gt, &cfg, &mut rng);
+        assert!(!c.is_empty(), "should extract some subgraphs");
+        for s in &c.subgraphs {
+            assert_eq!(s.len(), 12);
+        }
+    }
+
+    #[test]
+    fn walk_respects_r_hop_constraint() {
+        let (gt, mut rng) = sample_setup(2, 10);
+        let cfg = RwrConfig {
+            subgraph_size: 8,
+            return_prob: 0.3,
+            sampling_rate: 1.0,
+            walk_len: 200,
+            hops: 2,
+        };
+        for v0 in gt.nodes().take(50) {
+            if let Some(set) = walk_from(&gt, v0, &cfg, &mut rng) {
+                let hood = algo::r_hop_neighborhood(&gt, v0, 2);
+                for v in set {
+                    assert!(hood.binary_search(&v).is_ok(), "{v} outside N_r({v0})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn occurrence_stays_under_lemma1_bound() {
+        // Lemma 1: with θ-bounded in-degree and r-layer locality, any node
+        // occurs at most N_g = Σ θ^i times.
+        let (gt, mut rng) = sample_setup(3, 4);
+        let cfg = RwrConfig {
+            subgraph_size: 10,
+            return_prob: 0.3,
+            sampling_rate: 1.0,
+            walk_len: 150,
+            hops: 2,
+        };
+        let c = extract_subgraphs(&gt, &cfg, &mut rng);
+        let bound = naive_occurrence_bound(4, 2); // 1 + 4 + 16 = 21
+        assert!(
+            (c.max_occurrence() as u64) <= bound,
+            "max occurrence {} > bound {bound}",
+            c.max_occurrence()
+        );
+    }
+
+    #[test]
+    fn zero_sampling_rate_yields_nothing() {
+        let (gt, mut rng) = sample_setup(4, 10);
+        let cfg = RwrConfig {
+            subgraph_size: 10,
+            return_prob: 0.3,
+            sampling_rate: 0.0,
+            walk_len: 100,
+            hops: 3,
+        };
+        assert!(extract_subgraphs(&gt, &cfg, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn isolated_start_produces_no_subgraph() {
+        let g = Graph::empty(5, true);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let cfg = RwrConfig {
+            subgraph_size: 3,
+            return_prob: 0.3,
+            sampling_rate: 1.0,
+            walk_len: 50,
+            hops: 2,
+        };
+        assert!(extract_subgraphs(&g, &cfg, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn paper_defaults_clamp_sampling_rate() {
+        let cfg = RwrConfig::paper_defaults(40, 100);
+        assert_eq!(cfg.sampling_rate, 1.0);
+        let cfg2 = RwrConfig::paper_defaults(40, 10_000);
+        assert!((cfg2.sampling_rate - 0.0256).abs() < 1e-12);
+        assert_eq!(cfg2.walk_len, 200);
+        assert_eq!(cfg2.hops, 3);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn prop_all_subgraph_nodes_within_r_hops(seed in 0u64..500) {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let g = generators::barabasi_albert(120, 3, &mut rng);
+            let gt = projection::theta_projection(&g, 6, &mut rng);
+            let cfg = RwrConfig {
+                subgraph_size: 6,
+                return_prob: 0.3,
+                sampling_rate: 0.3,
+                walk_len: 80,
+                hops: 2,
+            };
+            let c = extract_subgraphs(&gt, &cfg, &mut rng);
+            // invariant: every extracted set has the exact requested size
+            for s in &c.subgraphs {
+                proptest::prop_assert_eq!(s.len(), 6);
+            }
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! CSR sparse matrix for graph adjacency in message passing.
+//!
+//! GNN aggregation (Eq. 1 and the variants in Appendix G) is a sparse-dense
+//! product `A · H` where `A` never needs gradients (the graph is data, not a
+//! parameter). This type is the bridge between `privim-graph`'s CSR graphs
+//! and the autograd tape's `spmm` op.
+
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Immutable CSR sparse matrix (no gradient support — used as constants).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SparseMatrix {
+    rows: usize,
+    cols: usize,
+    offsets: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl SparseMatrix {
+    /// Build from (row, col, value) triplets. Duplicate coordinates are
+    /// summed.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: impl IntoIterator<Item = (usize, usize, f64)>,
+    ) -> Self {
+        let mut t: Vec<(usize, usize, f64)> = triplets.into_iter().collect();
+        for &(r, c, _) in &t {
+            assert!(r < rows && c < cols, "triplet ({r},{c}) out of bounds");
+        }
+        t.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        // merge duplicates
+        let mut merged: Vec<(usize, usize, f64)> = Vec::with_capacity(t.len());
+        for (r, c, v) in t {
+            if let Some(last) = merged.last_mut() {
+                if last.0 == r && last.1 == c {
+                    last.2 += v;
+                    continue;
+                }
+            }
+            merged.push((r, c, v));
+        }
+        let mut offsets = vec![0usize; rows + 1];
+        for &(r, _, _) in &merged {
+            offsets[r + 1] += 1;
+        }
+        for i in 0..rows {
+            offsets[i + 1] += offsets[i];
+        }
+        SparseMatrix {
+            rows,
+            cols,
+            offsets,
+            col_idx: merged.iter().map(|&(_, c, _)| c as u32).collect(),
+            values: merged.iter().map(|&(_, _, v)| v).collect(),
+        }
+    }
+
+    /// Identity-free empty matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        SparseMatrix {
+            rows,
+            cols,
+            offsets: vec![0; rows + 1],
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Non-zeros of row `r` as parallel `(cols, values)` slices.
+    pub fn row(&self, r: usize) -> (&[u32], &[f64]) {
+        let s = self.offsets[r];
+        let e = self.offsets[r + 1];
+        (&self.col_idx[s..e], &self.values[s..e])
+    }
+
+    /// Dense product `self × dense` → `rows × dense.cols()`.
+    pub fn spmm(&self, dense: &Matrix) -> Matrix {
+        assert_eq!(self.cols, dense.rows(), "spmm inner dimension mismatch");
+        let dc = dense.cols();
+        let mut out = Matrix::zeros(self.rows, dc);
+        for r in 0..self.rows {
+            let (cols, vals) = self.row(r);
+            let orow = out.row_mut(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                let drow = dense.row(c as usize);
+                for j in 0..dc {
+                    orow[j] += v * drow[j];
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed product `selfᵀ × dense` → `cols × dense.cols()`. This is
+    /// the backward pass of [`Self::spmm`] with respect to the dense input,
+    /// computed without materialising the transpose.
+    pub fn spmm_transpose(&self, dense: &Matrix) -> Matrix {
+        assert_eq!(self.rows, dense.rows(), "spmm_t dimension mismatch");
+        let dc = dense.cols();
+        let mut out = Matrix::zeros(self.cols, dc);
+        for r in 0..self.rows {
+            let (cols, vals) = self.row(r);
+            let drow = dense.row(r).to_vec();
+            for (&c, &v) in cols.iter().zip(vals) {
+                let orow = out.row_mut(c as usize);
+                for j in 0..dc {
+                    orow[j] += v * drow[j];
+                }
+            }
+        }
+        out
+    }
+
+    /// Densify (tests only — O(rows × cols) memory).
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                m.set(r, c as usize, v);
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triplets_merge_duplicates() {
+        let s = SparseMatrix::from_triplets(2, 2, [(0, 1, 1.0), (0, 1, 2.0), (1, 0, 5.0)]);
+        assert_eq!(s.nnz(), 2);
+        assert_eq!(s.to_dense().get(0, 1), 3.0);
+    }
+
+    #[test]
+    fn spmm_matches_dense_product() {
+        let s = SparseMatrix::from_triplets(2, 3, [(0, 0, 2.0), (0, 2, 1.0), (1, 1, -1.0)]);
+        let d = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let expect = s.to_dense().matmul(&d);
+        assert_eq!(s.spmm(&d), expect);
+    }
+
+    #[test]
+    fn spmm_transpose_matches_dense() {
+        let s = SparseMatrix::from_triplets(2, 3, [(0, 0, 2.0), (0, 2, 1.0), (1, 1, -1.0)]);
+        let d = Matrix::from_rows(&[&[1.0], &[2.0]]);
+        let expect = s.to_dense().transpose().matmul(&d);
+        assert_eq!(s.spmm_transpose(&d), expect);
+    }
+
+    #[test]
+    fn empty_rows_are_fine() {
+        let s = SparseMatrix::zeros(3, 3);
+        let d = Matrix::full(3, 2, 1.0);
+        let out = s.spmm(&d);
+        assert_eq!(out, Matrix::zeros(3, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn triplet_out_of_bounds_panics() {
+        let _ = SparseMatrix::from_triplets(2, 2, [(2, 0, 1.0)]);
+    }
+}

@@ -1,0 +1,79 @@
+//! A walkthrough of the PrivIM privacy accounting (§II-B, §III-D) with no
+//! training involved: sensitivity bounds (Lemmas 1–2), the Theorem 3
+//! subsampled-Gaussian RDP curve, the Theorem 1 conversion, and noise
+//! calibration — showing exactly why the dual-stage sampler's `M = 4`
+//! beats the naive sampler's `N_g = 1111`.
+//!
+//! ```text
+//! cargo run --release --example privacy_accounting
+//! ```
+
+use privim_dp::accountant::{
+    best_epsilon, calibrate_sigma, rdp_gamma_per_step, rdp_to_dp, PrivacyParams,
+};
+use privim_dp::sensitivity::{
+    naive_occurrence_bound, node_sensitivity, sampled_occurrence_bound,
+};
+
+fn main() {
+    println!("== Lemma 1: occurrence bounds ==");
+    let theta = 10u64;
+    let r = 3u32;
+    let n_g = naive_occurrence_bound(theta, r);
+    println!("naive sampler, θ = {theta}, r = {r}:  N_g = Σ θ^i = {n_g}");
+    let refined = sampled_occurrence_bound(theta, r, 256.0 / 3_800.0, 1e-6);
+    println!("  with q = 256/3800 start sampling (Chernoff, δ_s = 1e-6): {refined}");
+    let m = 4u64;
+    println!("dual-stage sampler (Algorithm 3):  N_g* = M = {m}");
+
+    println!("\n== Lemma 2: sensitivity at clip bound C = 1 ==");
+    println!("naive:      Δ_g = C·N_g  = {}", node_sensitivity(1.0, n_g));
+    println!("refined:    Δ_g = C·N_g' = {}", node_sensitivity(1.0, refined));
+    println!("dual-stage: Δ_g = C·M    = {}", node_sensitivity(1.0, m));
+
+    println!("\n== Theorem 3: per-step RDP γ(α) at σ = 1 ==");
+    let dual = PrivacyParams {
+        n_g: m,
+        batch: 32,
+        container: 300,
+        steps: 80,
+    };
+    println!("  α     γ(α) per step");
+    for alpha in [2.0, 4.0, 8.0, 16.0, 32.0] {
+        println!("  {alpha:<5} {:.6}", rdp_gamma_per_step(alpha, 1.0, &dual));
+    }
+
+    println!("\n== Theorem 1: (α, γT)-RDP → (ε, δ)-DP at δ = 1e-4 ==");
+    for alpha in [2.0, 8.0, 32.0] {
+        let gamma_total = rdp_gamma_per_step(alpha, 1.0, &dual) * dual.steps as f64;
+        println!(
+            "  α = {alpha:<4}: ε = {:.4}",
+            rdp_to_dp(alpha, gamma_total, 1e-4)
+        );
+    }
+    println!(
+        "  optimised over the α grid: ε = {:.4}",
+        best_epsilon(1.0, 1e-4, &dual)
+    );
+
+    println!("\n== Calibration: smallest σ reaching a target ε ==");
+    println!("  target ε | σ (M = 4) | σ (N_g' = {refined}) | effective noise ratio");
+    for eps in [1.0, 2.0, 4.0, 6.0] {
+        let s_dual = calibrate_sigma(eps, 1e-4, &dual);
+        let naive_params = PrivacyParams {
+            n_g: refined,
+            ..dual
+        };
+        let s_naive = calibrate_sigma(eps, 1e-4, &naive_params);
+        let ratio = (s_naive * refined as f64) / (s_dual * m as f64);
+        println!(
+            "  {eps:<8} | {s_dual:<9.3} | {s_naive:<12.3} | {ratio:.1}x more noise"
+        );
+    }
+
+    println!(
+        "\nThe dual-stage sampler wins not by a smaller multiplier σ but by \
+         shrinking the sensitivity Δ_g = C·N_g the multiplier scales — \
+         the mechanism behind every utility gap in Figure 5."
+    );
+}

@@ -1,0 +1,101 @@
+//! Beyond IM: the §VI generality claim in action — train a node-level
+//! differentially private GNN for **Maximum Cut** by swapping only the
+//! loss function, reusing the dual-stage sampler, the RDP accountant and
+//! DP-SGD unchanged.
+//!
+//! ```text
+//! cargo run --release --example private_maxcut
+//! ```
+
+use privim::maxcut::{cut_value, greedy_local_cut, train_maxcut};
+use privim::trainer::{DpSgdConfig, NoiseKind, TrainItem};
+use privim::LossConfig;
+use privim_dp::accountant::{calibrate_sigma, PrivacyParams};
+use privim_gnn::{GnnConfig, GnnKind, GnnModel};
+use privim_graph::{generators, induced_subgraph};
+use privim_sampling::{dual_stage_sampling, DualStageConfig, FreqConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    // A locally clustered network — the regime where Max-Cut is non-trivial.
+    let g = generators::erdos_renyi(600, 2_400, false, &mut rng);
+    println!("graph: {} nodes, {} edges", g.num_nodes(), g.num_edges());
+
+    // Module 1: the same dual-stage sampler (M = 4 occurrence budget).
+    let scfg = DualStageConfig {
+        stage1: FreqConfig {
+            subgraph_size: 20,
+            return_prob: 0.3,
+            decay: 1.0,
+            sampling_rate: 1.0,
+            walk_len: 150,
+            threshold: 4,
+        },
+        shrink: 2,
+        enable_bes: true,
+    };
+    let out = dual_stage_sampling(&g, &scfg, &mut rng);
+    let subs: Vec<_> = out
+        .container
+        .subgraphs
+        .iter()
+        .map(|s| induced_subgraph(&g, &s.original))
+        .collect();
+    let items = TrainItem::from_container(&subs);
+    println!(
+        "sampler: {} subgraphs, max node occurrence {} (bound M = 4)",
+        out.container.len(),
+        out.container.max_occurrence()
+    );
+
+    // Module 2: the same accountant, ε = 3.
+    let params = PrivacyParams {
+        n_g: 4,
+        batch: 16,
+        container: out.container.len().max(1) as u64,
+        steps: 60,
+    };
+    let sigma = calibrate_sigma(3.0, 1e-3, &params);
+    println!("accountant: σ = {sigma:.3} for (ε = 3, δ = 1e-3)-node-DP");
+
+    // Module 3: DP-SGD with the Max-Cut loss instead of the IM loss.
+    let mut model = GnnModel::new(
+        GnnConfig {
+            kind: GnnKind::Gcn,
+            layers: 2,
+            hidden: 16,
+            in_dim: privim_gnn::FEATURE_DIM,
+        },
+        &mut rng,
+    );
+    let cfg = DpSgdConfig {
+        batch: 16,
+        iters: 60,
+        lr: 0.1,
+        clip: 1.0,
+        sigma,
+        occurrence_bound: 4,
+        loss: LossConfig::paper_default(), // unused by the Max-Cut loop
+        noise: NoiseKind::Gaussian,
+        seed: 11,
+        tail_average: true,
+        weight_decay: 0.01,
+    };
+    let side = train_maxcut(&mut model, &items, &g, &cfg, 0.5);
+
+    let private_cut = cut_value(&g, &side);
+    let trivial = cut_value(&g, &vec![true; g.num_nodes()]);
+    let expected_random = g.num_edges() / 2;
+    let local = cut_value(&g, &greedy_local_cut(&g, &side));
+    println!("\ncut values:");
+    println!("  all-one partition      {trivial}");
+    println!("  random expectation     ~{expected_random}");
+    println!("  private GNN (ε = 3)    {private_cut}");
+    println!("  + greedy local polish  {local}");
+    println!(
+        "\nSame pipeline, different combinatorial problem — the framework \
+         generality §VI claims."
+    );
+}

@@ -1,0 +1,59 @@
+//! Viral marketing (§I): a company wants to seed a product campaign with
+//! the most influential users of a social platform, but the platform must
+//! not leak whether any individual user is in the training graph. This
+//! example sweeps the privacy budget and shows the privacy-utility
+//! trade-off the paper's Figure 5 quantifies, then runs the chosen seed set
+//! through full multi-step IC simulations (not just the one-step training
+//! objective) to estimate the actual campaign reach.
+//!
+//! ```text
+//! cargo run --release --example viral_marketing
+//! ```
+
+use privim::pipeline::{run_method, EvalSetup, Method};
+use privim_graph::datasets::Dataset;
+use privim_im::ic_spread_estimate;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+
+    // A Facebook-page-like network with realistic influence probabilities:
+    // weighted-cascade weights (w_vu = 1 / in-degree(u)).
+    let graph = Dataset::Facebook
+        .generate_scaled(0.05, &mut rng)
+        .with_weighted_cascade();
+    println!(
+        "campaign network: {} pages, {} mutual-like edges",
+        graph.num_nodes(),
+        graph.num_edges()
+    );
+
+    let setup = EvalSetup::paper_defaults(&graph, 25, &mut rng);
+
+    println!("\n  ε      | coverage of CELF | est. campaign reach (IC, 500 runs)");
+    println!("  -------|------------------|-----------------------------------");
+    for eps in [1.0, 2.0, 4.0, 6.0] {
+        let out = run_method(Method::PrivImStar { epsilon: eps }, &setup, 1);
+        // Multi-step IC Monte-Carlo with the weighted-cascade probabilities:
+        // the "real" reach a marketer cares about.
+        let reach = ic_spread_estimate(&graph, &out.seeds, None, 500, 99);
+        println!(
+            "  {eps:<6} | {:>15.1}% | {reach:.0} users",
+            out.coverage_ratio
+        );
+    }
+
+    let non_private = run_method(Method::NonPrivate, &setup, 1);
+    let np_reach = ic_spread_estimate(&graph, &non_private.seeds, None, 500, 99);
+    println!(
+        "  ∞      | {:>15.1}% | {np_reach:.0} users (no privacy)",
+        non_private.coverage_ratio
+    );
+
+    println!(
+        "\nTakeaway: the campaign keeps most of its reach under a strict \
+         node-level DP guarantee — the paper's headline trade-off."
+    );
+}

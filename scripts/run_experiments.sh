@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper at CPU-feasible scales
+# (see EXPERIMENTS.md for the scale rationale). Results land in results/.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+BIN=target/release
+run() {
+    local name="$1"; shift
+    echo "=== $name: $* ==="
+    "$@" --out "results/$name.json" 2>&1 | tee "results/$name.log"
+}
+
+# Table I — dataset statistics (full published sizes except Friendster).
+run table1 $BIN/exp_table1 --scale 1
+
+# Figure 5 + Figure 14 (hepph panel) — influence spread vs ε, all methods.
+run fig5_small  $BIN/exp_fig5 --dataset email,bitcoin,lastfm --scale 0.5  --eps 1,4 --reps 1
+run fig5_medium $BIN/exp_fig5 --dataset hepph,facebook       --scale 0.2  --eps 1,4 --reps 1
+run fig5_gowalla $BIN/exp_fig5 --dataset gowalla             --scale 0.05 --eps 1,4 --reps 1
+
+# Table II — SCS/BES ablation at ε ∈ {1, 4}.
+run table2 $BIN/exp_table2 --dataset email,bitcoin,lastfm,hepph,facebook,gowalla \
+    --scale 0.25 --reps 1 --eps 4,1
+
+# Figures 6/10 — threshold M sweep (the paper's main-text datasets).
+run fig6_m $BIN/exp_fig6_m --dataset facebook,gowalla --scale 0.06 --reps 1
+
+# Figures 7/11 — subgraph size n sweep.
+run fig7_n $BIN/exp_fig7_n --dataset lastfm,gowalla --scale 0.15 --reps 1
+
+# Figures 8/12 — indicator vs empirical peaks (ε = 3).
+run fig8_indicator $BIN/exp_fig8_indicator --dataset lastfm --scale 0.2 --reps 1
+
+# Figure 15 — indicator at ε ∈ {1, 6} on LastFM.
+run fig15_indicator $BIN/exp_fig8_indicator --dataset lastfm --scale 0.2 --reps 1 --eps 1,6
+
+# Figure 9 — five GNN architectures at ε ∈ {2, 5}.
+run fig9_gnn $BIN/exp_fig9_gnn --dataset lastfm,facebook --scale 0.2 --reps 1
+
+# Figure 13 — θ sweep for naive PrivIM.
+run fig13_theta $BIN/exp_fig13_theta --dataset lastfm --scale 0.2 --reps 1
+
+# Table III — preprocessing vs per-epoch time.
+run table3_time $BIN/exp_table3_time --scale 0.15 --reps 1
+
+# Friendster panel of Figure 5 — partitioned large-scale run.
+run friendster $BIN/exp_friendster --scale 6 --eps 1,4 --reps 1
+
+# Example 2 — private greedy infeasibility.
+run example2 $BIN/exp_example2_naive_greedy --scale 0.25 --reps 3
+
+# Ablations (DESIGN.md §5).
+run ablation_mu  $BIN/exp_ablations --which mu  --dataset lastfm --scale 0.2 --reps 1
+run ablation_s   $BIN/exp_ablations --which s   --dataset lastfm --scale 0.2 --reps 1
+run ablation_tau $BIN/exp_ablations --which tau --dataset lastfm --scale 0.2 --reps 1
+run ablation_clipping $BIN/exp_ablations --which clipping --dataset lastfm --scale 0.2 --reps 1
+run ablation_accountant $BIN/exp_ablations --which accountant
+
+echo "ALL EXPERIMENTS DONE"

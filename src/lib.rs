@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+//! Umbrella crate for the PrivIM reproduction workspace.
+//!
+//! This crate exists to host the runnable examples in `examples/` and the
+//! cross-crate integration tests in `tests/`. The actual library surface
+//! lives in the member crates and is re-exported here for convenience:
+//!
+//! - [`privim`] — the PrivIM framework (pipelines, baselines, training)
+//! - [`privim_graph`] — graph core + calibrated dataset generators
+//! - [`privim_tensor`] — reverse-mode autodiff engine
+//! - [`privim_gnn`] — GCN / GraphSAGE / GAT / GRAT / GIN
+//! - [`privim_dp`] — RDP accounting and DP mechanisms
+//! - [`privim_sampling`] — Algorithms 1 & 3 and the parameter indicator
+//! - [`privim_im`] — diffusion models, CELF and IM heuristics
+
+pub use privim;
+pub use privim_dp;
+pub use privim_gnn;
+pub use privim_graph;
+pub use privim_im;
+pub use privim_sampling;
+pub use privim_tensor;

@@ -1,0 +1,96 @@
+//! Dataset-calibration integration tests: the synthetic generators must
+//! track Table I's statistics (at any scale) and expose the structural
+//! families the substitution argument relies on.
+
+use privim_graph::datasets::{measure, Dataset};
+use privim_graph::{algo, io};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+#[test]
+fn all_datasets_match_table1_statistics() {
+    for d in Dataset::ALL {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let g = d.generate_scaled(d.test_scale(), &mut rng);
+        let m = measure(d.spec().name, &g);
+        let spec = d.spec();
+        assert_eq!(m.directed, spec.directed, "{}", spec.name);
+        let rel = (m.avg_degree - spec.avg_degree).abs() / spec.avg_degree;
+        assert!(
+            rel < 0.3,
+            "{}: avg degree {} vs paper {} ({:.0}% off)",
+            spec.name,
+            m.avg_degree,
+            spec.avg_degree,
+            rel * 100.0
+        );
+        // expected node count at the test scale
+        let want = ((spec.nodes as f64 * d.test_scale()).round() as usize).max(64);
+        assert_eq!(m.nodes, want, "{}", spec.name);
+    }
+}
+
+#[test]
+fn degree_distributions_are_heavy_tailed_where_expected() {
+    let mut rng = ChaCha8Rng::seed_from_u64(8);
+    for d in [Dataset::Bitcoin, Dataset::LastFm, Dataset::Gowalla] {
+        let g = d.generate_scaled(d.test_scale(), &mut rng);
+        let stats = algo::degree_stats(&g);
+        assert!(
+            stats.max_in as f64 > 5.0 * stats.mean_total,
+            "{}: max in-degree {} vs mean {}",
+            d.spec().name,
+            stats.max_in,
+            stats.mean_total
+        );
+    }
+}
+
+#[test]
+fn labels_are_shuffled() {
+    // Growth generators put hubs at low ids; the dataset builders must
+    // destroy that correlation (index-based tie-breaking otherwise
+    // contaminates every experiment).
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    let g = Dataset::Gowalla.generate_scaled(0.01, &mut rng);
+    let n = g.num_nodes();
+    let head: usize = (0..(n / 10) as u32).map(|v| g.out_degree(v)).sum();
+    let total: usize = g.nodes().map(|v| g.out_degree(v)).sum();
+    let head_share = head as f64 / total as f64;
+    assert!(
+        head_share < 0.25,
+        "first 10% of ids hold {:.0}% of degree — labels not shuffled?",
+        head_share * 100.0
+    );
+}
+
+#[test]
+fn edge_list_roundtrip_preserves_pipeline_compatibility() {
+    // Real SNAP files must drop in: write a generated dataset as an edge
+    // list, re-read it, and check the graphs agree.
+    let mut rng = ChaCha8Rng::seed_from_u64(10);
+    let g = Dataset::Bitcoin.generate_scaled(0.02, &mut rng);
+    let mut buf = Vec::new();
+    io::write_edge_list(&g, &mut buf).unwrap();
+    let loaded = io::parse_edge_list(std::io::Cursor::new(buf), true).unwrap();
+    assert_eq!(loaded.graph.num_arcs(), g.num_arcs());
+    let s1 = algo::degree_stats(&g);
+    let s2 = algo::degree_stats(&loaded.graph);
+    assert_eq!(s1.max_in, s2.max_in);
+    assert_eq!(s1.max_out, s2.max_out);
+}
+
+#[test]
+fn friendster_partition_balances_and_preserves_nodes() {
+    use privim_graph::partition::bfs_partition;
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let g = Dataset::Friendster.generate_scaled(Dataset::Friendster.test_scale(), &mut rng);
+    for k in [2usize, 4, 8] {
+        let p = bfs_partition(&g, k);
+        let sizes: Vec<usize> = p.part_nodes().iter().map(|v| v.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), g.num_nodes());
+        let max = *sizes.iter().max().unwrap();
+        assert!(max <= g.num_nodes().div_ceil(k), "k={k}: part size {max}");
+        assert!(p.cut_fraction(&g) < 0.9, "k={k}");
+    }
+}

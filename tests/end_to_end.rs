@@ -1,0 +1,114 @@
+//! End-to-end integration: the full PrivIM pipeline (dataset generation →
+//! subgraph sampling → privacy accounting → DP-SGD training → seed
+//! selection → evaluation) across crates.
+
+use privim::pipeline::{run_method, EvalSetup, Method, PipelineParams};
+use privim_graph::datasets::Dataset;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn fast_params(n: usize) -> PipelineParams {
+    let mut p = PipelineParams::paper_defaults(n);
+    p.iters = 20;
+    p.batch = 8;
+    p.hidden = 12;
+    p.layers = 2;
+    p.subgraph_size = 12;
+    p.walk_len = 80;
+    p
+}
+
+#[test]
+fn full_pipeline_on_lastfm_sample() {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let g = Dataset::LastFm.generate_scaled(Dataset::LastFm.test_scale(), &mut rng);
+    let params = fast_params(g.num_nodes());
+    let setup = EvalSetup::with_params(&g, 15, params, &mut rng);
+
+    let star = run_method(Method::PrivImStar { epsilon: 4.0 }, &setup, 1);
+    assert_eq!(star.seeds.len(), 15);
+    assert!(star.spread >= 15.0);
+    assert!(star.sigma > 0.0, "noise must be calibrated");
+    assert!(star.container_size > 0);
+    assert!(star.max_occurrence as u64 <= star.occurrence_bound);
+    assert!(star.preprocess_secs >= 0.0 && star.train_secs > 0.0);
+}
+
+#[test]
+fn all_methods_produce_valid_outputs() {
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let g = Dataset::Bitcoin.generate_scaled(Dataset::Bitcoin.test_scale(), &mut rng);
+    let params = fast_params(g.num_nodes());
+    let setup = EvalSetup::with_params(&g, 10, params, &mut rng);
+
+    for method in [
+        Method::Celf,
+        Method::Degree,
+        Method::Random,
+        Method::NonPrivate,
+        Method::PrivIm { epsilon: 3.0 },
+        Method::PrivImScs { epsilon: 3.0 },
+        Method::PrivImStar { epsilon: 3.0 },
+        Method::Egn { epsilon: 3.0 },
+        Method::Hp { epsilon: 3.0 },
+        Method::HpGrat { epsilon: 3.0 },
+    ] {
+        let out = run_method(method, &setup, 7);
+        assert_eq!(out.seeds.len(), 10, "{}", out.method);
+        assert!(out.spread > 0.0, "{}", out.method);
+        assert!(
+            out.coverage_ratio > 0.0 && out.coverage_ratio <= 110.0,
+            "{}: coverage {}",
+            out.method,
+            out.coverage_ratio
+        );
+        // seeds are valid, distinct node ids
+        let mut s = out.seeds.clone();
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(s.len(), 10, "{}: duplicate seeds", out.method);
+        assert!(s.iter().all(|&v| (v as usize) < g.num_nodes()));
+    }
+}
+
+#[test]
+fn directed_and_undirected_datasets_both_work() {
+    for d in [Dataset::Email, Dataset::LastFm] {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let g = d.generate_scaled(d.test_scale(), &mut rng);
+        let params = fast_params(g.num_nodes());
+        let setup = EvalSetup::with_params(&g, 8, params, &mut rng);
+        let out = run_method(Method::PrivImStar { epsilon: 4.0 }, &setup, 1);
+        assert_eq!(out.seeds.len(), 8, "{}", d.spec().name);
+    }
+}
+
+#[test]
+fn results_are_reproducible_for_same_replicate() {
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    let g = Dataset::LastFm.generate_scaled(Dataset::LastFm.test_scale(), &mut rng);
+    let params = fast_params(g.num_nodes());
+    let setup = EvalSetup::with_params(&g, 10, params, &mut rng);
+    let a = run_method(Method::PrivImStar { epsilon: 2.0 }, &setup, 5);
+    let b = run_method(Method::PrivImStar { epsilon: 2.0 }, &setup, 5);
+    assert_eq!(a.seeds, b.seeds);
+    assert_eq!(a.spread, b.spread);
+    assert_eq!(a.sigma, b.sigma);
+}
+
+#[test]
+fn friendster_partitioned_path_runs() {
+    use privim_graph::partition::{bfs_partition, partition_subgraphs};
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let g = Dataset::Friendster.generate_scaled(Dataset::Friendster.test_scale(), &mut rng);
+    let partition = bfs_partition(&g, 3);
+    let subs = partition_subgraphs(&g, &partition);
+    assert_eq!(subs.iter().map(|s| s.len()).sum::<usize>(), g.num_nodes());
+    // train on one partition end-to-end
+    let part = &subs[0];
+    let params = fast_params(part.graph.num_nodes());
+    let mut rng2 = ChaCha8Rng::seed_from_u64(6);
+    let setup = EvalSetup::with_params(&part.graph, 5, params, &mut rng2);
+    let out = run_method(Method::PrivImStar { epsilon: 4.0 }, &setup, 1);
+    assert_eq!(out.seeds.len(), 5);
+}

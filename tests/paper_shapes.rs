@@ -1,0 +1,149 @@
+//! Qualitative reproduction tests: the *shapes* the paper's evaluation
+//! establishes must hold on small instances — who wins, roughly by what
+//! factor, and which way the trends point.
+
+use privim::pipeline::{run_method, EvalSetup, Method, PipelineParams};
+use privim_graph::datasets::Dataset;
+use privim_im::metrics::mean_std;
+use privim_sampling::{Indicator, IndicatorParams};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn params(n: usize) -> PipelineParams {
+    let mut p = PipelineParams::paper_defaults(n);
+    p.iters = 40;
+    p.batch = 16;
+    p.hidden = 16;
+    p.subgraph_size = 16;
+    p.walk_len = 120;
+    p
+}
+
+fn avg_coverage(method: Method, setup: &EvalSetup<'_>, reps: u64) -> f64 {
+    let vals: Vec<f64> = (0..reps)
+        .map(|r| run_method(method, setup, 100 + r).coverage_ratio)
+        .collect();
+    mean_std(&vals).0
+}
+
+/// Figure 5's headline: Non-Private ≈ CELF, and at a generous budget
+/// PrivIM* sits far above the naive pipeline and EGN.
+#[test]
+fn figure5_ordering_on_lastfm() {
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let g = Dataset::LastFm.generate_scaled(0.15, &mut rng);
+    let setup = EvalSetup::with_params(&g, 20, params(g.num_nodes()), &mut rng);
+
+    let non_private = avg_coverage(Method::NonPrivate, &setup, 2);
+    assert!(
+        non_private > 90.0,
+        "non-private should approach CELF: {non_private}"
+    );
+
+    let star = avg_coverage(Method::PrivImStar { epsilon: 4.0 }, &setup, 3);
+    let naive = avg_coverage(Method::PrivIm { epsilon: 4.0 }, &setup, 3);
+    let egn = avg_coverage(Method::Egn { epsilon: 4.0 }, &setup, 3);
+    assert!(
+        star > naive + 10.0,
+        "PrivIM* {star} should clearly beat naive {naive}"
+    );
+    assert!(star > egn, "PrivIM* {star} vs EGN {egn}");
+}
+
+/// Table II's ablation direction: adding SCS to the naive pipeline helps,
+/// and PrivIM* (SCS+BES) does not fall below SCS alone.
+#[test]
+fn table2_ablation_direction() {
+    let mut rng = ChaCha8Rng::seed_from_u64(12);
+    let g = Dataset::Facebook.generate_scaled(0.04, &mut rng);
+    let setup = EvalSetup::with_params(&g, 20, params(g.num_nodes()), &mut rng);
+    let eps = 4.0;
+    let naive = avg_coverage(Method::PrivIm { epsilon: eps }, &setup, 3);
+    let scs = avg_coverage(Method::PrivImScs { epsilon: eps }, &setup, 3);
+    let star = avg_coverage(Method::PrivImStar { epsilon: eps }, &setup, 3);
+    assert!(scs > naive, "SCS {scs} should beat naive {naive}");
+    assert!(
+        star >= scs - 5.0,
+        "BES must not regress materially: {star} vs {scs}"
+    );
+}
+
+/// The sensitivity mechanics behind every gap: at equal ε, effective noise
+/// σ·N_g is an order of magnitude larger for naive than dual-stage, and
+/// larger still for EGN.
+#[test]
+fn effective_noise_ordering() {
+    let mut rng = ChaCha8Rng::seed_from_u64(13);
+    let g = Dataset::LastFm.generate_scaled(0.1, &mut rng);
+    let setup = EvalSetup::with_params(&g, 10, params(g.num_nodes()), &mut rng);
+    let eps = 2.0;
+    let star = run_method(Method::PrivImStar { epsilon: eps }, &setup, 1);
+    let naive = run_method(Method::PrivIm { epsilon: eps }, &setup, 1);
+    let egn = run_method(Method::Egn { epsilon: eps }, &setup, 1);
+    let noise = |o: &privim::MethodOutput| o.sigma * o.occurrence_bound as f64;
+    assert!(
+        noise(&naive) > 3.0 * noise(&star),
+        "naive {} vs star {}",
+        noise(&naive),
+        noise(&star)
+    );
+    assert!(
+        noise(&egn) > noise(&star),
+        "egn {} vs star {}",
+        noise(&egn),
+        noise(&star)
+    );
+}
+
+/// §V-B: the privacy-utility gap widens as ε shrinks — PrivIM* at a tight
+/// budget must not beat itself at a loose budget (within noise).
+#[test]
+fn utility_monotone_in_epsilon() {
+    let mut rng = ChaCha8Rng::seed_from_u64(14);
+    let g = Dataset::LastFm.generate_scaled(0.15, &mut rng);
+    let mut p = params(g.num_nodes());
+    p.batch = 8; // smaller batch = stronger noise response for the test
+    let setup = EvalSetup::with_params(&g, 20, p, &mut rng);
+    let tight = avg_coverage(Method::PrivImStar { epsilon: 0.5 }, &setup, 4);
+    let loose = avg_coverage(Method::PrivImStar { epsilon: 6.0 }, &setup, 4);
+    assert!(
+        loose + 5.0 >= tight,
+        "coverage should not degrade with more budget: ε=0.5 → {tight}, ε=6 → {loose}"
+    );
+}
+
+/// §V-D: the indicator's argmax is a sensible configuration — it must lie
+/// strictly inside the candidate grids for mid-sized datasets (unimodal,
+/// not a boundary artefact).
+#[test]
+fn indicator_picks_interior_optimum() {
+    let ind = Indicator::for_dataset(IndicatorParams::paper_values(), 12_000);
+    let n_grid = [10usize, 20, 30, 40, 50, 60, 70, 80];
+    let m_grid = [2u32, 3, 4, 6, 8, 10, 12];
+    let (n, m) = ind.best_parameters(&n_grid, &m_grid);
+    assert!(n > 10 && n < 80, "n* = {n} on the boundary");
+    assert!(m > 2 && m < 12, "M* = {m} on the boundary");
+}
+
+/// Fig. 9's premise: every one of the five GNN architectures trains to a
+/// usable model inside PrivIM* (none collapses to random).
+#[test]
+fn every_gnn_architecture_works_in_pipeline() {
+    use privim_gnn::GnnKind;
+    let mut rng = ChaCha8Rng::seed_from_u64(15);
+    let g = Dataset::LastFm.generate_scaled(0.15, &mut rng);
+    let setup = EvalSetup::with_params(&g, 20, params(g.num_nodes()), &mut rng);
+    let random = avg_coverage(Method::Random, &setup, 4);
+    for kind in GnnKind::ALL {
+        let cov = avg_coverage(
+            Method::PrivImStarWith { epsilon: 5.0, kind },
+            &setup,
+            2,
+        );
+        assert!(
+            cov > random,
+            "{}: coverage {cov} not above random {random}",
+            kind.name()
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! Privacy-invariant integration tests: the occurrence bounds the DP
+//! analysis rests on must hold for every sampler across random graphs, and
+//! the accountant must behave monotonically.
+
+use privim_dp::accountant::{best_epsilon, calibrate_sigma, PrivacyParams};
+use privim_dp::sensitivity::{naive_occurrence_bound, sampled_occurrence_bound};
+use privim_graph::{generators, projection::theta_projection};
+use privim_sampling::{
+    dual_stage_sampling, extract_subgraphs, DualStageConfig, FreqConfig, RwrConfig,
+};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Lemma 1's invariant: Algorithm 1 on a θ-bounded graph never lets a
+    /// node occur more than N_g = Σθ^i times — on arbitrary BA graphs,
+    /// θ values and subgraph sizes.
+    #[test]
+    fn algorithm1_occurrence_bound(seed in 0u64..10_000, theta in 2usize..6, n_sub in 5usize..15) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = generators::barabasi_albert(200, 4, &mut rng);
+        let projected = theta_projection(&g, theta, &mut rng);
+        let hops = 2;
+        let cfg = RwrConfig {
+            subgraph_size: n_sub,
+            return_prob: 0.3,
+            sampling_rate: 1.0,
+            walk_len: 100,
+            hops,
+        };
+        let c = extract_subgraphs(&projected, &cfg, &mut rng);
+        let bound = naive_occurrence_bound(theta as u64, hops as u32);
+        prop_assert!(
+            (c.max_occurrence() as u64) <= bound,
+            "max {} > N_g {}", c.max_occurrence(), bound
+        );
+    }
+
+    /// §IV-D's invariant: the dual-stage scheme keeps every node's
+    /// occurrence at most M across BOTH stages.
+    #[test]
+    fn dual_stage_occurrence_bound(seed in 0u64..10_000, m in 1u32..6) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = generators::holme_kim(250, 4.0, 0.5, &mut rng);
+        let cfg = DualStageConfig {
+            stage1: FreqConfig {
+                subgraph_size: 12,
+                return_prob: 0.3,
+                decay: 1.0,
+                sampling_rate: 1.0,
+                walk_len: 120,
+                threshold: m,
+            },
+            shrink: 2,
+            enable_bes: true,
+        };
+        let out = dual_stage_sampling(&g, &cfg, &mut rng);
+        prop_assert!(out.container.max_occurrence() <= m);
+    }
+
+    /// The refined bound is always between 1 and the worst case, and the
+    /// accountant's ε is monotone in σ (more noise never costs more budget).
+    #[test]
+    fn accounting_monotonicity(q in 0.01f64..0.9, sigma in 0.3f64..4.0) {
+        let refined = sampled_occurrence_bound(10, 3, q, 1e-6);
+        prop_assert!(refined >= 1 && refined <= 1111);
+        let params = PrivacyParams { n_g: 8, batch: 16, container: 200, steps: 40 };
+        let e1 = best_epsilon(sigma, 1e-5, &params);
+        let e2 = best_epsilon(sigma * 1.5, 1e-5, &params);
+        prop_assert!(e2 <= e1 + 1e-9, "eps not monotone: {e1} -> {e2}");
+    }
+}
+
+#[test]
+fn calibration_respects_budget_across_settings() {
+    for (n_g, container) in [(4u64, 300u64), (11, 1900), (145, 256), (256, 256)] {
+        for eps in [1.0, 3.0, 6.0] {
+            let p = PrivacyParams {
+                n_g,
+                batch: 32,
+                container,
+                steps: 80,
+            };
+            let sigma = calibrate_sigma(eps, 1e-4, &p);
+            let achieved = best_epsilon(sigma, 1e-4, &p);
+            assert!(
+                achieved <= eps + 1e-9,
+                "n_g={n_g}, m={container}, eps={eps}: achieved {achieved}"
+            );
+        }
+    }
+}
+
+#[test]
+fn container_accounting_matches_frequencies() {
+    // The container's occurrence counters are the quantity the proofs
+    // bound; they must agree with the sampler's frequency vector exactly.
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    let g = generators::barabasi_albert(300, 4, &mut rng);
+    let cfg = DualStageConfig {
+        stage1: FreqConfig {
+            subgraph_size: 15,
+            return_prob: 0.3,
+            decay: 1.0,
+            sampling_rate: 0.8,
+            walk_len: 150,
+            threshold: 5,
+        },
+        shrink: 2,
+        enable_bes: true,
+    };
+    let out = dual_stage_sampling(&g, &cfg, &mut rng);
+    for v in g.nodes() {
+        assert_eq!(
+            out.container.occurrence(v),
+            out.frequencies[v as usize],
+            "node {v}"
+        );
+    }
+}
