@@ -2,13 +2,11 @@
 //! evaluation (a log-space binomial mixture over up to N_g terms) and the
 //! full σ calibration bisection.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use privim_dp::accountant::{
-    best_epsilon, calibrate_sigma, rdp_gamma_per_step, PrivacyParams,
-};
+use privim_dp::accountant::{best_epsilon, calibrate_sigma, rdp_gamma_per_step, PrivacyParams};
+use privim_rt::bench::Bench;
 
-fn bench_gamma(c: &mut Criterion) {
-    let mut group = c.benchmark_group("accountant");
+fn main() {
+    let mut bench = Bench::new("accountant");
     for &n_g in &[4u64, 100, 1_111] {
         let params = PrivacyParams {
             n_g,
@@ -16,20 +14,15 @@ fn bench_gamma(c: &mut Criterion) {
             container: 10_000,
             steps: 80,
         };
-        group.bench_with_input(BenchmarkId::new("gamma_per_step", n_g), &params, |b, p| {
-            b.iter(|| rdp_gamma_per_step(8.0, 1.0, p))
-        });
-        group.bench_with_input(BenchmarkId::new("best_epsilon", n_g), &params, |b, p| {
-            b.iter(|| best_epsilon(1.0, 1e-5, p))
-        });
-        group.bench_with_input(
-            BenchmarkId::new("calibrate_sigma", n_g),
-            &params,
-            |b, p| b.iter(|| calibrate_sigma(3.0, 1e-5, p)),
-        );
+        bench
+            .case(&format!("gamma_per_step/{n_g}"), || {
+                rdp_gamma_per_step(8.0, 1.0, &params)
+            })
+            .case(&format!("best_epsilon/{n_g}"), || {
+                best_epsilon(1.0, 1e-5, &params)
+            })
+            .case(&format!("calibrate_sigma/{n_g}"), || {
+                calibrate_sigma(3.0, 1e-5, &params)
+            });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_gamma);
-criterion_main!(benches);

@@ -1,42 +1,30 @@
 //! Microbenchmarks for the IM substrate: CELF lazy greedy (exact coverage
 //! oracle), exact one-step spread, and Monte-Carlo IC estimation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use privim_graph::generators;
 use privim_im::{celf_exact, ic_spread_estimate, one_step_spread};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use privim_rt::bench::Bench;
+use privim_rt::{ChaCha8Rng, SeedableRng};
 
-fn bench_celf(c: &mut Criterion) {
-    let mut group = c.benchmark_group("celf");
-    group.sample_size(10);
+fn main() {
+    let mut celf = Bench::with_iters("celf", 10);
     for &n in &[2_000usize, 20_000] {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let g = generators::barabasi_albert(n, 5, &mut rng).with_uniform_weights(1.0);
-        group.bench_with_input(BenchmarkId::new("celf_exact_k50", n), &g, |b, g| {
-            b.iter(|| celf_exact(g, 50).spread)
-        });
+        celf.case(&format!("celf_exact_k50/{n}"), || celf_exact(&g, 50).spread);
         let seeds: Vec<u32> = (0..50).map(|i| (i * (n as u32 / 50)) as u32).collect();
-        group.bench_with_input(BenchmarkId::new("one_step_spread", n), &g, |b, g| {
-            b.iter(|| one_step_spread(g, &seeds))
+        celf.case(&format!("one_step_spread/{n}"), || {
+            one_step_spread(&g, &seeds)
         });
     }
-    group.finish();
-}
 
-fn bench_monte_carlo(c: &mut Criterion) {
     let mut rng = ChaCha8Rng::seed_from_u64(2);
     let g = generators::barabasi_albert(5_000, 4, &mut rng).with_weighted_cascade();
     let seeds: Vec<u32> = (0..50).collect();
-    let mut group = c.benchmark_group("ic_monte_carlo");
-    group.sample_size(10);
+    let mut mc = Bench::with_iters("ic_monte_carlo", 10);
     for &runs in &[100usize, 1_000] {
-        group.bench_with_input(BenchmarkId::new("estimate", runs), &runs, |b, &r| {
-            b.iter(|| ic_spread_estimate(&g, &seeds, None, r, 42))
+        mc.case(&format!("estimate/{runs}"), || {
+            ic_spread_estimate(&g, &seeds, None, runs, 42)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_celf, bench_monte_carlo);
-criterion_main!(benches);

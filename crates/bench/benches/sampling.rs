@@ -2,76 +2,52 @@
 //! θ-bounded graph) versus Algorithm 3 (dual-stage adaptive frequency
 //! sampling) — the preprocessing costs behind Table III.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use privim_graph::{generators, projection::theta_projection};
+use privim_rt::bench::Bench;
+use privim_rt::{ChaCha8Rng, SeedableRng};
 use privim_sampling::{
     dual_stage_sampling, extract_subgraphs, DualStageConfig, FreqConfig, RwrConfig,
 };
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 
-fn bench_samplers(c: &mut Criterion) {
-    let mut group = c.benchmark_group("samplers");
-    group.sample_size(10);
+fn main() {
+    let mut bench = Bench::with_iters("samplers", 10);
     for &n_nodes in &[1_000usize, 5_000] {
         let mut rng = ChaCha8Rng::seed_from_u64(7);
         let g = generators::barabasi_albert(n_nodes, 4, &mut rng);
         let projected = theta_projection(&g, 10, &mut rng);
 
-        group.bench_with_input(
-            BenchmarkId::new("algorithm1_rwr", n_nodes),
-            &n_nodes,
-            |b, _| {
-                let cfg = RwrConfig {
-                    subgraph_size: 40,
-                    return_prob: 0.3,
-                    sampling_rate: (256.0 / n_nodes as f64).min(1.0),
-                    walk_len: 200,
-                    hops: 3,
-                };
-                b.iter(|| {
-                    let mut rng = ChaCha8Rng::seed_from_u64(11);
-                    extract_subgraphs(&projected, &cfg, &mut rng).len()
-                })
-            },
-        );
+        let rwr_cfg = RwrConfig {
+            subgraph_size: 40,
+            return_prob: 0.3,
+            sampling_rate: (256.0 / n_nodes as f64).min(1.0),
+            walk_len: 200,
+            hops: 3,
+        };
+        bench.case(&format!("algorithm1_rwr/{n_nodes}"), || {
+            let mut rng = ChaCha8Rng::seed_from_u64(11);
+            extract_subgraphs(&projected, &rwr_cfg, &mut rng).len()
+        });
 
-        group.bench_with_input(
-            BenchmarkId::new("algorithm3_dual_stage", n_nodes),
-            &n_nodes,
-            |b, _| {
-                let cfg = DualStageConfig {
-                    stage1: FreqConfig {
-                        subgraph_size: 40,
-                        return_prob: 0.3,
-                        decay: 1.0,
-                        sampling_rate: (256.0 / n_nodes as f64).min(1.0),
-                        walk_len: 200,
-                        threshold: 4,
-                    },
-                    shrink: 2,
-                    enable_bes: true,
-                };
-                b.iter(|| {
-                    let mut rng = ChaCha8Rng::seed_from_u64(11);
-                    dual_stage_sampling(&g, &cfg, &mut rng).container.len()
-                })
+        let dual_cfg = DualStageConfig {
+            stage1: FreqConfig {
+                subgraph_size: 40,
+                return_prob: 0.3,
+                decay: 1.0,
+                sampling_rate: (256.0 / n_nodes as f64).min(1.0),
+                walk_len: 200,
+                threshold: 4,
             },
-        );
+            shrink: 2,
+            enable_bes: true,
+        };
+        bench.case(&format!("algorithm3_dual_stage/{n_nodes}"), || {
+            let mut rng = ChaCha8Rng::seed_from_u64(11);
+            dual_stage_sampling(&g, &dual_cfg, &mut rng).container.len()
+        });
 
-        group.bench_with_input(
-            BenchmarkId::new("theta_projection", n_nodes),
-            &n_nodes,
-            |b, _| {
-                b.iter(|| {
-                    let mut rng = ChaCha8Rng::seed_from_u64(13);
-                    theta_projection(&g, 10, &mut rng).num_arcs()
-                })
-            },
-        );
+        bench.case(&format!("theta_projection/{n_nodes}"), || {
+            let mut rng = ChaCha8Rng::seed_from_u64(13);
+            theta_projection(&g, 10, &mut rng).num_arcs()
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_samplers);
-criterion_main!(benches);

@@ -2,14 +2,13 @@
 //! architecture (forward + backward + clip + noise on one batch) — the
 //! per-epoch training costs behind Table III.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use privim::trainer::{train_dpgnn, DpSgdConfig, NoiseKind, TrainItem};
 use privim::LossConfig;
 use privim_gnn::{GnnConfig, GnnKind, GnnModel, FEATURE_DIM};
 use privim_graph::{generators, induced_subgraph};
+use privim_rt::bench::Bench;
+use privim_rt::{ChaCha8Rng, SeedableRng};
 use privim_sampling::{freq_sampling, FreqConfig};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 
 fn make_items() -> Vec<TrainItem> {
     let mut rng = ChaCha8Rng::seed_from_u64(3);
@@ -28,55 +27,41 @@ fn make_items() -> Vec<TrainItem> {
     TrainItem::from_container(&subs)
 }
 
-fn bench_training_step(c: &mut Criterion) {
+fn main() {
     let items = make_items();
-    let mut group = c.benchmark_group("dp_sgd_step");
-    group.sample_size(10);
+    let mut step = Bench::with_iters("dp_sgd_step", 10);
     for kind in GnnKind::ALL {
-        group.bench_with_input(BenchmarkId::new("one_step", kind.name()), &kind, |b, &k| {
-            let mut rng = ChaCha8Rng::seed_from_u64(5);
-            let model = GnnModel::new(
-                GnnConfig {
-                    kind: k,
-                    layers: 3,
-                    hidden: 32,
-                    in_dim: FEATURE_DIM,
-                },
-                &mut rng,
-            );
-            let cfg = DpSgdConfig {
-                batch: 16,
-                iters: 1,
-                lr: 0.05,
-                clip: 1.0,
-                sigma: 1.0,
-                occurrence_bound: 6,
-                loss: LossConfig::paper_default(),
-                noise: NoiseKind::Gaussian,
-                seed: 9,
-                tail_average: false,
-                weight_decay: 0.0,
-            };
-            b.iter(|| {
-                let mut m = model.clone();
-                train_dpgnn(&mut m, &items, &cfg);
-            })
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let model = GnnModel::new(
+            GnnConfig {
+                kind,
+                layers: 3,
+                hidden: 32,
+                in_dim: FEATURE_DIM,
+            },
+            &mut rng,
+        );
+        let cfg = DpSgdConfig {
+            batch: 16,
+            iters: 1,
+            lr: 0.05,
+            clip: 1.0,
+            sigma: 1.0,
+            occurrence_bound: 6,
+            loss: LossConfig::paper_default(),
+            noise: NoiseKind::Gaussian,
+            seed: 9,
+            tail_average: false,
+            weight_decay: 0.0,
+        };
+        step.case(&format!("one_step/{}", kind.name()), || {
+            let mut m = model.clone();
+            train_dpgnn(&mut m, &items, &cfg);
         });
     }
-    group.finish();
-}
 
-fn bench_inference(c: &mut Criterion) {
     let mut rng = ChaCha8Rng::seed_from_u64(17);
     let g = generators::barabasi_albert(20_000, 5, &mut rng).with_uniform_weights(1.0);
     let model = GnnModel::new(GnnConfig::paper_default(), &mut rng);
-    let mut group = c.benchmark_group("inference");
-    group.sample_size(10);
-    group.bench_function("score_graph_20k", |b| {
-        b.iter(|| model.score_graph(&g).len())
-    });
-    group.finish();
+    Bench::with_iters("inference", 10).case("score_graph_20k", || model.score_graph(&g).len());
 }
-
-criterion_group!(benches, bench_training_step, bench_inference);
-criterion_main!(benches);

@@ -15,11 +15,9 @@ use privim::pipeline::{run_method, EvalSetup, Method};
 use privim_bench::{print_table, ExpArgs};
 use privim_dp::accountant::{calibrate_sigma, PrivacyParams};
 use privim_im::metrics::mean_std;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-use serde::Serialize;
+use privim_rt::ChaCha8Rng;
+use privim_rt::SeedableRng;
 
-#[derive(Serialize)]
 struct Row {
     which: String,
     dataset: String,
@@ -27,6 +25,13 @@ struct Row {
     value_mean: f64,
     value_std: f64,
 }
+privim_rt::impl_to_json_struct!(Row {
+    which,
+    dataset,
+    setting,
+    value_mean,
+    value_std
+});
 
 fn main() {
     // peel off --which before the common parser sees it
@@ -78,7 +83,12 @@ fn main() {
             })
             .collect();
         print_table(
-            &["budget", "sigma (Theorem 3)", "sigma (no amplification)", "saving"],
+            &[
+                "budget",
+                "sigma (Theorem 3)",
+                "sigma (no amplification)",
+                "saving",
+            ],
             &table,
         );
         args.write_json(&rows);

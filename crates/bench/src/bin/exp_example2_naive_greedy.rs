@@ -15,11 +15,9 @@ use privim_bench::{print_table, ExpArgs};
 use privim_dp::mechanisms::laplace_noise_vec;
 use privim_graph::datasets::Dataset;
 use privim_im::spread::one_step_marginal_gain;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-use serde::Serialize;
+use privim_rt::ChaCha8Rng;
+use privim_rt::SeedableRng;
 
-#[derive(Serialize)]
 struct Row {
     epsilon: f64,
     sensitivity: f64,
@@ -27,6 +25,13 @@ struct Row {
     max_true_gain: f64,
     top50_hit_rate: f64,
 }
+privim_rt::impl_to_json_struct!(Row {
+    epsilon,
+    sensitivity,
+    noise_scale,
+    max_true_gain,
+    top50_hit_rate
+});
 
 fn main() {
     let args = ExpArgs::parse_env();
@@ -64,7 +69,10 @@ fn main() {
                     .partial_cmp(&(gains[a] + noise[a]))
                     .unwrap()
             });
-            hits += noisy_order[..50].iter().filter(|v| true_top.contains(v)).count();
+            hits += noisy_order[..50]
+                .iter()
+                .filter(|v| true_top.contains(v))
+                .count();
             total += 50;
         }
         rows.push(Row {
@@ -89,7 +97,13 @@ fn main() {
         })
         .collect();
     print_table(
-        &["eps", "sensitivity Δf", "noise scale Δf/ε", "max true gain", "noisy top-50 hit rate"],
+        &[
+            "eps",
+            "sensitivity Δf",
+            "noise scale Δf/ε",
+            "max true gain",
+            "noisy top-50 hit rate",
+        ],
         &table,
     );
     println!(

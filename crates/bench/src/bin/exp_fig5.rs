@@ -9,11 +9,9 @@
 use privim::pipeline::{run_method, EvalSetup, Method};
 use privim_bench::{print_table, ExpArgs};
 use privim_im::metrics::mean_std;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-use serde::Serialize;
+use privim_rt::ChaCha8Rng;
+use privim_rt::SeedableRng;
 
-#[derive(Serialize)]
 struct Row {
     dataset: String,
     method: String,
@@ -22,6 +20,14 @@ struct Row {
     spread_std: f64,
     coverage_mean: f64,
 }
+privim_rt::impl_to_json_struct!(Row {
+    dataset,
+    method,
+    epsilon,
+    spread_mean,
+    spread_std,
+    coverage_mean
+});
 
 fn main() {
     let args = ExpArgs::parse_env();

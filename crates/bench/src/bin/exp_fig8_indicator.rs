@@ -11,12 +11,10 @@
 use privim::pipeline::{run_method, EvalSetup, Method};
 use privim_bench::{print_table, ExpArgs};
 use privim_im::metrics::mean_std;
+use privim_rt::ChaCha8Rng;
+use privim_rt::SeedableRng;
 use privim_sampling::{Indicator, IndicatorParams};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     dataset: String,
     epsilon: f64,
@@ -27,6 +25,16 @@ struct Row {
     spread_mean: f64,
     spread_std: f64,
 }
+privim_rt::impl_to_json_struct!(Row {
+    dataset,
+    epsilon,
+    sweep,
+    n,
+    m,
+    indicator,
+    spread_mean,
+    spread_std
+});
 
 fn main() {
     let mut args = ExpArgs::parse_env();
@@ -44,10 +52,8 @@ fn main() {
         // instance, so feed it the paper's |V|.
         let ind = Indicator::for_dataset(IndicatorParams::paper_values(), dataset.spec().nodes);
         let base = args.pipeline_params(g.num_nodes());
-        let (n_star, m_star) = ind.best_parameters(
-            &[10, 20, 30, 40, 50, 60, 70, 80],
-            &[2, 3, 4, 6, 8, 10, 12],
-        );
+        let (n_star, m_star) =
+            ind.best_parameters(&[10, 20, 30, 40, 50, 60, 70, 80], &[2, 3, 4, 6, 8, 10, 12]);
 
         for &eps in &args.eps {
             // Sweep M at fixed n*.
@@ -126,7 +132,15 @@ fn main() {
         })
         .collect();
     print_table(
-        &["dataset", "eps", "sweep", "n", "M", "indicator", "influence spread"],
+        &[
+            "dataset",
+            "eps",
+            "sweep",
+            "n",
+            "M",
+            "indicator",
+            "influence spread",
+        ],
         &table,
     );
     args.write_json(&rows);

@@ -9,11 +9,9 @@ use privim::pipeline::{run_method, EvalSetup, Method};
 use privim_bench::{print_table, ExpArgs};
 use privim_gnn::GnnKind;
 use privim_im::metrics::mean_std;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-use serde::Serialize;
+use privim_rt::ChaCha8Rng;
+use privim_rt::SeedableRng;
 
-#[derive(Serialize)]
 struct Row {
     dataset: String,
     model: String,
@@ -21,6 +19,13 @@ struct Row {
     coverage_mean: f64,
     coverage_std: f64,
 }
+privim_rt::impl_to_json_struct!(Row {
+    dataset,
+    model,
+    epsilon,
+    coverage_mean,
+    coverage_std
+});
 
 fn main() {
     let mut args = ExpArgs::parse_env();

@@ -14,17 +14,21 @@ use privim_bench::{print_table, ExpArgs};
 use privim_graph::datasets::Dataset;
 use privim_graph::partition::{bfs_partition, partition_subgraphs};
 use privim_im::{celf_exact, heuristics, one_step_spread};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-use serde::Serialize;
+use privim_rt::ChaCha8Rng;
+use privim_rt::SeedableRng;
 
-#[derive(Serialize)]
 struct Row {
     method: String,
     epsilon: Option<f64>,
     spread: f64,
     coverage: f64,
 }
+privim_rt::impl_to_json_struct!(Row {
+    method,
+    epsilon,
+    spread,
+    coverage
+});
 
 fn main() {
     let args = ExpArgs::parse_env();

@@ -8,11 +8,9 @@
 
 use privim_bench::{print_table, ExpArgs};
 use privim_graph::datasets::{measure, Dataset};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-use serde::Serialize;
+use privim_rt::ChaCha8Rng;
+use privim_rt::SeedableRng;
 
-#[derive(Serialize)]
 struct Row {
     dataset: String,
     paper_nodes: usize,
@@ -24,6 +22,17 @@ struct Row {
     directed: bool,
     scale: f64,
 }
+privim_rt::impl_to_json_struct!(Row {
+    dataset,
+    paper_nodes,
+    paper_edges,
+    paper_avg_degree,
+    generated_nodes,
+    generated_edges,
+    generated_avg_degree,
+    directed,
+    scale
+});
 
 fn main() {
     let mut args = ExpArgs::parse_env();

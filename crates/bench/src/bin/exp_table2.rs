@@ -9,11 +9,9 @@
 
 use privim::pipeline::{run_method, EvalSetup, Method};
 use privim_bench::{fmt_mean_std, print_table, ExpArgs};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-use serde::Serialize;
+use privim_rt::ChaCha8Rng;
+use privim_rt::SeedableRng;
 
-#[derive(Serialize)]
 struct Row {
     method: String,
     epsilon: Option<f64>,
@@ -22,6 +20,14 @@ struct Row {
     coverage_std: f64,
     pretty: String,
 }
+privim_rt::impl_to_json_struct!(Row {
+    method,
+    epsilon,
+    dataset,
+    coverage_mean,
+    coverage_std,
+    pretty
+});
 
 fn main() {
     let mut args = ExpArgs::parse_env();
@@ -81,10 +87,7 @@ fn main() {
     let table: Vec<Vec<String>> = keys
         .iter()
         .map(|(m, e)| {
-            let mut row = vec![
-                m.clone(),
-                e.map_or("∞".into(), |x| format!("{x}")),
-            ];
+            let mut row = vec![m.clone(), e.map_or("∞".into(), |x| format!("{x}"))];
             for d in &datasets {
                 let cell = rows
                     .iter()

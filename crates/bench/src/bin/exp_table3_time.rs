@@ -8,17 +8,21 @@
 
 use privim::pipeline::{run_method, EvalSetup, Method};
 use privim_bench::{print_table, ExpArgs};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-use serde::Serialize;
+use privim_rt::ChaCha8Rng;
+use privim_rt::SeedableRng;
 
-#[derive(Serialize)]
 struct Row {
     method: String,
     dataset: String,
     preprocess_secs: f64,
     per_epoch_secs: f64,
 }
+privim_rt::impl_to_json_struct!(Row {
+    method,
+    dataset,
+    preprocess_secs,
+    per_epoch_secs
+});
 
 fn main() {
     let mut args = ExpArgs::parse_env();

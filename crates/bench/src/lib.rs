@@ -13,7 +13,6 @@
 
 use privim::pipeline::PipelineParams;
 use privim_graph::datasets::Dataset;
-use serde::Serialize;
 use std::io::Write;
 use std::path::PathBuf;
 
@@ -126,9 +125,9 @@ impl ExpArgs {
     }
 
     /// Write `rows` as pretty JSON to `--out` if given.
-    pub fn write_json<T: Serialize>(&self, rows: &T) {
+    pub fn write_json<T: privim_rt::json::ToJson + ?Sized>(&self, rows: &T) {
         if let Some(path) = &self.out {
-            let json = serde_json::to_string_pretty(rows).expect("serialise results");
+            let json = rows.to_json().to_json_string_pretty();
             let mut f = std::fs::File::create(path)
                 .unwrap_or_else(|e| die(&format!("cannot create {}: {e}", path.display())));
             f.write_all(json.as_bytes())

@@ -20,13 +20,12 @@ use crate::loss::LossConfig;
 use crate::trainer::{train_dpgnn, DpSgdConfig, NoiseKind, TrainItem};
 use privim_gnn::{GnnConfig, GnnKind, GnnModel};
 use privim_graph::{induced_subgraph, Graph, NodeId};
+use privim_rt::ChaCha8Rng;
+use privim_rt::{Rng, SeedableRng};
 use privim_sampling::{dual_stage_sampling, DualStageConfig, FreqConfig};
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of one membership-inference audit.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct AuditConfig {
     /// Number of target nodes audited (one IN/OUT model pair each).
     pub targets: usize,
@@ -57,7 +56,7 @@ impl AuditConfig {
 }
 
 /// Result of a membership-inference audit.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct AuditResult {
     /// Per-target attack statistic for the IN world (node present).
     pub in_scores: Vec<f64>,
@@ -75,12 +74,7 @@ pub fn dp_advantage_bound(epsilon: f64, delta: f64) -> f64 {
     ((epsilon.exp() - 1.0 + 2.0 * delta) / (epsilon.exp() + 1.0)).clamp(0.0, 1.0)
 }
 
-fn train_once(
-    g: &Graph,
-    cfg: &AuditConfig,
-    model_seed: u64,
-    train_seed: u64,
-) -> GnnModel {
+fn train_once(g: &Graph, cfg: &AuditConfig, model_seed: u64, train_seed: u64) -> GnnModel {
     let mut rng = ChaCha8Rng::seed_from_u64(train_seed);
     let scfg = DualStageConfig {
         stage1: FreqConfig {
@@ -98,8 +92,7 @@ fn train_once(
     let mut container = out.container;
     if container.is_empty() {
         let all: Vec<NodeId> = g.nodes().collect();
-        container =
-            privim_sampling::SubgraphContainer::from_node_sets(g, &[all]);
+        container = privim_sampling::SubgraphContainer::from_node_sets(g, &[all]);
     }
     let items = TrainItem::from_container(&container.subgraphs);
     let mut model = GnnModel::new(
@@ -176,10 +169,8 @@ pub fn best_threshold_advantage(in_scores: &[f64], out_scores: &[f64]) -> f64 {
     cuts.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let mut best = 0.0f64;
     for &c in &cuts {
-        let tpr = in_scores.iter().filter(|&&s| s >= c).count() as f64
-            / in_scores.len() as f64;
-        let fpr = out_scores.iter().filter(|&&s| s >= c).count() as f64
-            / out_scores.len() as f64;
+        let tpr = in_scores.iter().filter(|&&s| s >= c).count() as f64 / in_scores.len() as f64;
+        let fpr = out_scores.iter().filter(|&&s| s >= c).count() as f64 / out_scores.len() as f64;
         best = best.max((tpr - fpr).abs());
     }
     best
@@ -212,8 +203,8 @@ mod tests {
         // (nearly) non-private run. This is a statistical statement; the
         // small sample keeps it directional rather than tight.
         let mut rng = ChaCha8Rng::seed_from_u64(33);
-        let g = privim_graph::generators::barabasi_albert(120, 3, &mut rng)
-            .with_uniform_weights(1.0);
+        let g =
+            privim_graph::generators::barabasi_albert(120, 3, &mut rng).with_uniform_weights(1.0);
         let noisy = membership_inference_audit(&g, &AuditConfig::quick(4.0, 5));
         let clean = membership_inference_audit(&g, &AuditConfig::quick(0.0, 5));
         assert!(

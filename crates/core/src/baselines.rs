@@ -15,8 +15,8 @@
 //!   See DESIGN.md for the fidelity notes.
 
 use privim_graph::{projection::theta_projection, Graph, NodeId};
+use privim_rt::Rng;
 use privim_sampling::SubgraphContainer;
-use rand::Rng;
 
 /// EGN-style container: `count` subgraphs, each `size` uniform random
 /// nodes (no locality, no occurrence control).
@@ -51,11 +51,7 @@ pub fn egn_container(
 /// occurrence across ego sets is capped at `theta + 1` (own ego plus at
 /// most θ neighbours' egos), enforced by construction — that cap is the
 /// sensitivity unit the SML noise is calibrated to.
-pub fn hp_container(
-    g: &Graph,
-    theta: usize,
-    rng: &mut impl Rng,
-) -> (Graph, SubgraphContainer) {
+pub fn hp_container(g: &Graph, theta: usize, rng: &mut impl Rng) -> (Graph, SubgraphContainer) {
     assert!(g.num_nodes() >= 2);
     let capped = theta_projection(g, theta, rng);
     let cap = theta as u32 + 1;
@@ -86,8 +82,8 @@ pub fn hp_container(
 mod tests {
     use super::*;
     use privim_graph::generators;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use privim_rt::ChaCha8Rng;
+    use privim_rt::SeedableRng;
 
     #[test]
     fn egn_sets_have_exact_size_and_no_duplicates() {

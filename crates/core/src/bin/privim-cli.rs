@@ -76,9 +76,7 @@ fn parse_flags(args: &[String]) -> Flags {
             "--seed" => f.seed = val("--seed").parse().unwrap_or_else(|_| usage()),
             "--out" => f.out = Some(PathBuf::from(val("--out"))),
             "--nodes" => f.nodes = val("--nodes").parse().unwrap_or_else(|_| usage()),
-            "--threshold" => {
-                f.threshold = val("--threshold").parse().unwrap_or_else(|_| usage())
-            }
+            "--threshold" => f.threshold = val("--threshold").parse().unwrap_or_else(|_| usage()),
             _ => usage(),
         }
     }
@@ -124,9 +122,9 @@ fn cmd_stats(flags: Flags) {
 }
 
 fn cmd_seeds(flags: Flags) {
-    use rand::SeedableRng;
+    use privim_rt::SeedableRng;
     let (g, labels) = load(&flags);
-    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(flags.seed);
+    let mut rng = privim_rt::ChaCha8Rng::seed_from_u64(flags.seed);
     let setup = EvalSetup::paper_defaults(&g, flags.k, &mut rng);
     let eps = flags.eps[0];
     let method = match flags.method.as_str() {
@@ -181,7 +179,10 @@ fn cmd_accounting(flags: Flags) {
         steps: 80,
     };
     let delta = (0.5 / train_nodes.max(2) as f64).min(1e-3);
-    println!("|V| = {}, M = {}, δ = {delta:.2e}", flags.nodes, flags.threshold);
+    println!(
+        "|V| = {}, M = {}, δ = {delta:.2e}",
+        flags.nodes, flags.threshold
+    );
     println!("eps   | sigma  | noise std (C = 1)");
     for &eps in &flags.eps {
         let sigma = calibrate_sigma(eps, delta, &params);

@@ -25,9 +25,9 @@
 //! ```no_run
 //! use privim::pipeline::{run_method, EvalSetup, Method};
 //! use privim_graph::datasets::Dataset;
-//! use rand::SeedableRng;
+//! use privim_rt::SeedableRng;
 //!
-//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+//! let mut rng = privim_rt::ChaCha8Rng::seed_from_u64(7);
 //! let g = Dataset::LastFm.generate_scaled(0.1, &mut rng);
 //! let setup = EvalSetup::paper_defaults(&g, 50, &mut rng);
 //! let out = run_method(Method::PrivImStar { epsilon: 4.0 }, &setup, 1);

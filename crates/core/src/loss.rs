@@ -18,11 +18,10 @@
 
 use privim_gnn::GraphTensors;
 use privim_tensor::{Tape, Var};
-use serde::{Deserialize, Serialize};
 
 /// The probability map φ of Theorem 2. The theorem only requires φ to map
 /// the aggregated mass into `[0, 1]`; two implementations are provided.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum PhiKind {
     /// Hard `clamp₀₁` — the literal reading of Eq. 3. Exact at binary
     /// seed vectors but gradient-dead once the mass exceeds 1.
@@ -34,7 +33,7 @@ pub enum PhiKind {
 }
 
 /// Loss hyperparameters.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct LossConfig {
     /// Diffusion steps `j ≤ r` (the paper's evaluation uses `j = 1`).
     pub steps: usize,
@@ -200,9 +199,7 @@ mod tests {
         };
         // keep probs strictly inside (0,1) and p̂ away from the clamp kink
         let p = Matrix::col_vector(&[0.3, 0.2, 0.1]);
-        gradcheck::assert_gradients_match(&[p], 1e-5, move |t, v| {
-            im_loss(t, &gt, v[0], &cfg)
-        });
+        gradcheck::assert_gradients_match(&[p], 1e-5, move |t, v| im_loss(t, &gt, v[0], &cfg));
     }
 
     #[test]

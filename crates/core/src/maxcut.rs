@@ -128,9 +128,9 @@ pub fn train_maxcut(
 fn train_maxcut_loop(model: &mut GnnModel, items: &[TrainItem], cfg: &DpSgdConfig, lambda: f64) {
     use privim_dp::mechanisms::gaussian_noise_vec;
     use privim_dp::sensitivity::node_sensitivity;
+    use privim_rt::{Rng, SeedableRng};
     use privim_tensor::{GradClip, Matrix};
-    use rand::{Rng, SeedableRng};
-    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(cfg.seed);
+    let mut rng = privim_rt::ChaCha8Rng::seed_from_u64(cfg.seed);
     let sensitivity = node_sensitivity(cfg.clip, cfg.occurrence_bound.max(1));
     for _ in 0..cfg.iters {
         let mut summed: Vec<Matrix> = model
@@ -154,8 +154,7 @@ fn train_maxcut_loop(model: &mut GnnModel, items: &[TrainItem], cfg: &DpSgdConfi
         }
         if cfg.sigma > 0.0 {
             for s in summed.iter_mut() {
-                let noise =
-                    gaussian_noise_vec(s.data().len(), cfg.sigma, sensitivity, &mut rng);
+                let noise = gaussian_noise_vec(s.data().len(), cfg.sigma, sensitivity, &mut rng);
                 for (x, n) in s.data_mut().iter_mut().zip(noise) {
                     *x += n;
                 }
@@ -175,10 +174,10 @@ mod tests {
     use crate::trainer::NoiseKind;
     use privim_gnn::{GnnConfig, GnnKind};
     use privim_graph::{generators, induced_subgraph, GraphBuilder};
+    use privim_rt::ChaCha8Rng;
+    use privim_rt::SeedableRng;
     use privim_sampling::{freq_sampling, FreqConfig};
     use privim_tensor::Matrix;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
 
     #[test]
     fn cut_value_counts_crossing_edges() {

@@ -13,21 +13,18 @@ use crate::trainer::{train_dpgnn, DpSgdConfig, NoiseKind, TrainItem};
 use privim_dp::accountant::{calibrate_sigma, PrivacyParams};
 use privim_dp::sensitivity::sampled_occurrence_bound;
 use privim_gnn::{GnnConfig, GnnKind, GnnModel};
-use privim_graph::{
-    induced_subgraph, projection::theta_projection, Graph, NodeId, Subgraph,
-};
+use privim_graph::{induced_subgraph, projection::theta_projection, Graph, NodeId, Subgraph};
 use privim_im::{celf_exact, coverage_ratio, heuristics, one_step_spread};
+use privim_rt::ChaCha8Rng;
+use privim_rt::{Rng, SeedableRng, SliceRandom};
 use privim_sampling::{
     dual_stage_sampling, extract_subgraphs, DualStageConfig, FreqConfig, Indicator,
     IndicatorParams, RwrConfig, SubgraphContainer,
 };
-use rand::{seq::SliceRandom, Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 /// Shared pipeline hyperparameters (paper values in §V-A).
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct PipelineParams {
     /// Max in-degree bound θ for the naive projection (10).
     pub theta: usize,
@@ -73,10 +70,8 @@ impl PipelineParams {
     /// graph of `num_nodes` nodes.
     pub fn paper_defaults(num_nodes: usize) -> Self {
         let ind = Indicator::for_dataset(IndicatorParams::paper_values(), num_nodes.max(2));
-        let (n, m) = ind.best_parameters(
-            &[10, 20, 30, 40, 50, 60, 70, 80],
-            &[2, 3, 4, 6, 8, 10, 12],
-        );
+        let (n, m) =
+            ind.best_parameters(&[10, 20, 30, 40, 50, 60, 70, 80], &[2, 3, 4, 6, 8, 10, 12]);
         let train_nodes = (num_nodes as f64 * 0.5).max(2.0);
         PipelineParams {
             theta: 10,
@@ -159,8 +154,7 @@ impl<'a> EvalSetup<'a> {
     ) -> Self {
         let mut nodes: Vec<NodeId> = graph.nodes().collect();
         nodes.shuffle(rng);
-        let n_train =
-            ((graph.num_nodes() as f64 * params.train_fraction) as usize).max(2);
+        let n_train = ((graph.num_nodes() as f64 * params.train_fraction) as usize).max(2);
         let train_graph = induced_subgraph(graph, &nodes[..n_train.min(nodes.len())]);
         let celf = celf_exact(graph, k);
         EvalSetup {
@@ -175,7 +169,7 @@ impl<'a> EvalSetup<'a> {
 }
 
 /// The evaluated methods (Figure 5 legend plus reference heuristics).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum Method {
     /// Naive PrivIM (§III): θ-projection + Algorithm 1, `N_g = Σθ^i`.
     PrivIm {
@@ -310,12 +304,8 @@ fn prepare(method: Method, setup: &EvalSetup<'_>, rng: &mut ChaCha8Rng) -> Prepa
             // sampling; half of δ pays for the Chernoff failure event (the
             // accounting below calibrates to the other half).
             let q = p.sampling_rate(v_train);
-            let refined = sampled_occurrence_bound(
-                p.theta as u64,
-                p.layers as u32,
-                q,
-                p.delta * 0.5,
-            );
+            let refined =
+                sampled_occurrence_bound(p.theta as u64, p.layers as u32, q, p.delta * 0.5);
             PreparedRun {
                 container,
                 occurrence_bound: refined,
@@ -380,8 +370,7 @@ fn prepare(method: Method, setup: &EvalSetup<'_>, rng: &mut ChaCha8Rng) -> Prepa
         Method::Egn { .. } => {
             let count = (p.sampling_rate(v_train) * v_train as f64).round() as usize;
             let count = count.max(8);
-            let container =
-                egn_container(tg, count, p.subgraph_size.min(v_train / 2).max(2), rng);
+            let container = egn_container(tg, count, p.subgraph_size.min(v_train / 2).max(2), rng);
             let m = container.len() as u64;
             PreparedRun {
                 container,
@@ -432,10 +421,7 @@ fn run_learning_method(
         // fall back to a single subgraph over the whole training graph so
         // the pipeline stays total.
         let all: Vec<NodeId> = setup.train_graph.graph.nodes().collect();
-        prep.container = SubgraphContainer::from_node_sets(
-            &setup.train_graph.graph,
-            &[all],
-        );
+        prep.container = SubgraphContainer::from_node_sets(&setup.train_graph.graph, &[all]);
         prep.occurrence_bound = prep.occurrence_bound.max(1);
     }
 
@@ -508,8 +494,7 @@ fn run_learning_method(
     let spread = one_step_spread(setup.graph, &seeds) as f64;
     let cr = coverage_ratio(spread, setup.celf_spread);
 
-    let iters_per_epoch =
-        (prep.container.len() as f64 / batch as f64).max(1.0);
+    let iters_per_epoch = (prep.container.len() as f64 / batch as f64).max(1.0);
     MethodOutput {
         method: method.name(),
         spread,

@@ -2,11 +2,10 @@
 //! EXPERIMENTS.md tooling.
 
 use privim_graph::NodeId;
-use serde::{Deserialize, Serialize};
 
 /// Everything one method run produces: utility, privacy, and cost — the
 /// union of what Figure 5, Table II and Table III report.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct MethodOutput {
     /// Method name (`privim*`, `privim+scs`, `privim`, `non-private`,
     /// `egn`, `hp`, `hp-grat`, `celf`, ...).
@@ -43,10 +42,76 @@ pub struct MethodOutput {
     pub final_loss: f64,
 }
 
+impl privim_rt::json::ToJson for MethodOutput {
+    fn to_json(&self) -> privim_rt::json::Value {
+        use privim_rt::json::Value;
+        Value::obj(vec![
+            ("method", self.method.to_json()),
+            ("spread", self.spread.to_json()),
+            ("coverage_ratio", self.coverage_ratio.to_json()),
+            ("epsilon", self.epsilon.to_json()),
+            ("sigma", self.sigma.to_json()),
+            ("container_size", self.container_size.to_json()),
+            ("max_occurrence", self.max_occurrence.to_json()),
+            ("occurrence_bound", self.occurrence_bound.to_json()),
+            ("preprocess_secs", self.preprocess_secs.to_json()),
+            ("train_secs", self.train_secs.to_json()),
+            ("per_epoch_secs", self.per_epoch_secs.to_json()),
+            ("train_iters", self.train_iters.to_json()),
+            ("seeds", self.seeds.to_json()),
+            ("final_loss", self.final_loss.to_json()),
+        ])
+    }
+}
+
 impl MethodOutput {
+    /// Parse the [`privim_rt::json::ToJson`] form back.
+    pub fn from_json(v: &privim_rt::json::Value) -> Result<MethodOutput, String> {
+        let f = |name: &str| {
+            v.get(name)
+                .and_then(|x| x.as_f64())
+                .ok_or_else(|| format!("MethodOutput: missing {name}"))
+        };
+        Ok(MethodOutput {
+            method: v
+                .get("method")
+                .and_then(|x| x.as_str())
+                .ok_or("MethodOutput: missing method")?
+                .to_string(),
+            spread: f("spread")?,
+            coverage_ratio: f("coverage_ratio")?,
+            epsilon: match v.get("epsilon") {
+                None | Some(privim_rt::json::Value::Null) => None,
+                Some(x) => Some(x.as_f64().ok_or("MethodOutput: bad epsilon")?),
+            },
+            sigma: f("sigma")?,
+            container_size: f("container_size")? as usize,
+            max_occurrence: f("max_occurrence")? as u32,
+            occurrence_bound: f("occurrence_bound")? as u64,
+            preprocess_secs: f("preprocess_secs")?,
+            train_secs: f("train_secs")?,
+            per_epoch_secs: f("per_epoch_secs")?,
+            train_iters: f("train_iters")? as usize,
+            seeds: v
+                .get("seeds")
+                .and_then(|x| x.as_array())
+                .ok_or("MethodOutput: missing seeds")?
+                .iter()
+                .map(|x| x.as_u64().map(|s| s as NodeId))
+                .collect::<Option<_>>()
+                .ok_or("MethodOutput: bad seed entry")?,
+            final_loss: f("final_loss")?,
+        })
+    }
+
     /// A non-learning output (CELF / heuristics) with zeroed training
     /// fields.
-    pub fn non_learning(method: &str, spread: f64, coverage_ratio: f64, seeds: Vec<NodeId>) -> Self {
+    pub fn non_learning(
+        method: &str,
+        spread: f64,
+        coverage_ratio: f64,
+        seeds: Vec<NodeId>,
+    ) -> Self {
         MethodOutput {
             method: method.to_string(),
             spread,
@@ -71,12 +136,26 @@ mod tests {
     use super::*;
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
+        use privim_rt::json::{ToJson, Value};
         let out = MethodOutput::non_learning("celf", 123.0, 100.0, vec![1, 2, 3]);
-        let json = serde_json::to_string(&out).unwrap();
-        let back: MethodOutput = serde_json::from_str(&json).unwrap();
+        let json = out.to_json().to_json_string();
+        let back = MethodOutput::from_json(&Value::parse(&json).unwrap()).unwrap();
         assert_eq!(back.method, "celf");
         assert_eq!(back.seeds, vec![1, 2, 3]);
         assert_eq!(back.spread, 123.0);
+        assert_eq!(back.epsilon, None);
+    }
+
+    #[test]
+    fn json_roundtrip_with_epsilon() {
+        use privim_rt::json::{ToJson, Value};
+        let mut out = MethodOutput::non_learning("privim*", 10.0, 80.0, vec![7]);
+        out.epsilon = Some(2.0);
+        out.sigma = 1.5;
+        let back = MethodOutput::from_json(&Value::parse(&out.to_json().to_json_string()).unwrap())
+            .unwrap();
+        assert_eq!(back.epsilon, Some(2.0));
+        assert_eq!(back.sigma, 1.5);
     }
 }

@@ -10,11 +10,9 @@ use privim_dp::mechanisms::{gaussian_noise_vec, sml_noise_vec};
 use privim_dp::sensitivity::node_sensitivity;
 use privim_gnn::{node_features, GnnModel, GraphTensors};
 use privim_graph::Subgraph;
+use privim_rt::ChaCha8Rng;
+use privim_rt::{Rng, SeedableRng};
 use privim_tensor::{GradClip, Matrix, Tape};
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
-use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
 
 /// A subgraph prepared for training: message-passing operators + features.
 pub struct TrainItem {
@@ -35,12 +33,12 @@ impl TrainItem {
 
     /// Prepare a whole container in parallel.
     pub fn from_container(subs: &[Subgraph]) -> Vec<TrainItem> {
-        subs.par_iter().map(TrainItem::from_subgraph).collect()
+        privim_rt::par::map(subs, TrainItem::from_subgraph)
     }
 }
 
 /// Noise family added to the summed clipped gradients.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum NoiseKind {
     /// Gaussian `N(0, σ²Δ_g²)` — Algorithm 2 (PrivIM, PrivIM*, EGN).
     Gaussian,
@@ -49,7 +47,7 @@ pub enum NoiseKind {
 }
 
 /// Algorithm 2 hyperparameters.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct DpSgdConfig {
     /// Batch size `B` (independent uniform draws per step, matching the
     /// Binomial subsampling model of Theorem 3).
@@ -105,7 +103,7 @@ impl DpSgdConfig {
 }
 
 /// Diagnostics from a training run.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct TrainReport {
     /// Mean per-sample loss at each iteration (pre-update).
     pub loss_trace: Vec<f64>,
@@ -161,10 +159,8 @@ pub fn train_dpgnn(model: &mut GnnModel, items: &[TrainItem], cfg: &DpSgdConfig)
             .collect();
 
         // Lines 4–7: per-sample gradients, clipped, summed.
-        let results: Vec<(Vec<Matrix>, f64, bool)> = batch_idx
-            .par_iter()
-            .map(|&i| sample_gradient(model, &items[i], cfg))
-            .collect();
+        let results: Vec<(Vec<Matrix>, f64, bool)> =
+            privim_rt::par::map(&batch_idx, |&i| sample_gradient(model, &items[i], cfg));
 
         let mut summed: Vec<Matrix> = model
             .params()
@@ -297,7 +293,7 @@ mod tests {
             noise: NoiseKind::Gaussian,
             seed: 3,
             tail_average: false,
-                weight_decay: 0.0,
+            weight_decay: 0.0,
         };
         let report = train_dpgnn(&mut model, &items, &cfg);
         let first: f64 = report.loss_trace[..5].iter().sum::<f64>() / 5.0;
@@ -323,7 +319,7 @@ mod tests {
             noise: NoiseKind::Gaussian,
             seed: 9,
             tail_average: false,
-                weight_decay: 0.0,
+            weight_decay: 0.0,
         };
         let mut m1 = small_model(GnnKind::Gcn, 5);
         let mut m2 = m1.clone();
@@ -348,7 +344,7 @@ mod tests {
             noise: NoiseKind::Gaussian,
             seed: 10,
             tail_average: false,
-                weight_decay: 0.0,
+            weight_decay: 0.0,
         };
         let mut m = small_model(GnnKind::Gcn, 7);
         let r_small = train_dpgnn(&mut m.clone(), &items, &base);
@@ -427,7 +423,7 @@ mod tests {
             noise: NoiseKind::Gaussian,
             seed: 14,
             tail_average: false,
-                weight_decay: 0.0,
+            weight_decay: 0.0,
         };
         let report = train_dpgnn(&mut model, &items, &cfg);
         assert!(report.clipped_fraction > 0.99);
@@ -456,7 +452,7 @@ mod tests {
             noise: NoiseKind::Sml,
             seed: 18,
             tail_average: false,
-                weight_decay: 0.0,
+            weight_decay: 0.0,
         };
         let report = train_dpgnn(&mut model, &items, &cfg);
         assert_eq!(report.loss_trace.len(), 3);

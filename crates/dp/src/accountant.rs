@@ -16,10 +16,9 @@
 //! hundreds, and `m` in the tens of thousands stay numerically exact.
 
 use crate::math::{ln_binomial, log_sum_exp};
-use serde::{Deserialize, Serialize};
 
 /// Inputs to the Theorem 3 accountant.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct PrivacyParams {
     /// Upper bound on any node's occurrences across subgraphs (`N_g` from
     /// Lemma 1 for the naive sampler, or the threshold `M` for PrivIM*).
@@ -119,7 +118,10 @@ pub fn calibrate_sigma(target_eps: f64, delta: f64, params: &PrivacyParams) -> f
     while best_epsilon(hi, delta, params) > target_eps {
         hi *= 2.0;
         guard += 1;
-        assert!(guard < 64, "cannot reach epsilon {target_eps} with any sigma");
+        assert!(
+            guard < 64,
+            "cannot reach epsilon {target_eps} with any sigma"
+        );
     }
     // shrink lo until it violates (so the root is bracketed)
     while best_epsilon(lo, delta, params) <= target_eps && lo > 1e-6 {
@@ -241,8 +243,14 @@ mod tests {
 
     #[test]
     fn epsilon_monotone_in_steps() {
-        let p1 = PrivacyParams { steps: 10, ..params() };
-        let p2 = PrivacyParams { steps: 100, ..params() };
+        let p1 = PrivacyParams {
+            steps: 10,
+            ..params()
+        };
+        let p2 = PrivacyParams {
+            steps: 100,
+            ..params()
+        };
         let e1 = best_epsilon(1.0, 1e-5, &p1);
         let e2 = best_epsilon(1.0, 1e-5, &p2);
         assert!(e2 > e1);
@@ -298,7 +306,10 @@ mod tests {
 
     #[test]
     fn accountant_accumulates_linearly() {
-        let p = PrivacyParams { steps: 1, ..params() };
+        let p = PrivacyParams {
+            steps: 1,
+            ..params()
+        };
         let mut acc = RdpAccountant::new(1e-5);
         acc.record_steps(1.0, 25, &p);
         acc.record_steps(1.0, 25, &p);

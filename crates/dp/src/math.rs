@@ -55,12 +55,14 @@ pub fn log_sum_exp(xs: &[f64]) -> f64 {
 /// Gamma-distribution probability density `ξ(x; β, ψ)` — Eq. 11 of the
 /// paper (shape `β`, scale `ψ`).
 pub fn gamma_pdf(x: f64, shape: f64, scale: f64) -> f64 {
-    assert!(shape > 0.0 && scale > 0.0, "gamma pdf params must be positive");
+    assert!(
+        shape > 0.0 && scale > 0.0,
+        "gamma pdf params must be positive"
+    );
     if x <= 0.0 {
         return 0.0;
     }
-    let ln_pdf =
-        (shape - 1.0) * x.ln() - x / scale - shape * scale.ln() - ln_gamma(shape);
+    let ln_pdf = (shape - 1.0) * x.ln() - x / scale - shape * scale.ln() - ln_gamma(shape);
     ln_pdf.exp()
 }
 
@@ -77,8 +79,13 @@ mod tests {
     #[test]
     fn ln_gamma_matches_factorials() {
         // Γ(n) = (n-1)!
-        let facts: [(f64, f64); 5] =
-            [(1.0, 1.0), (2.0, 1.0), (3.0, 2.0), (5.0, 24.0), (7.0, 720.0)];
+        let facts: [(f64, f64); 5] = [
+            (1.0, 1.0),
+            (2.0, 1.0),
+            (3.0, 2.0),
+            (5.0, 24.0),
+            (7.0, 720.0),
+        ];
         for (x, f) in facts {
             assert!(
                 (ln_gamma(x) - f.ln()).abs() < 1e-10,

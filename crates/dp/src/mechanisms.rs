@@ -2,7 +2,7 @@
 //! naive private-greedy strawman of Example 2), and the Symmetric
 //! Multivariate Laplace noise used by the HP baseline (Xiang et al.).
 
-use rand::Rng;
+use privim_rt::Rng;
 
 /// Sample one standard normal via Box–Muller.
 fn standard_normal(rng: &mut impl Rng) -> f64 {
@@ -19,12 +19,7 @@ fn standard_normal(rng: &mut impl Rng) -> f64 {
 /// iid `N(0, (σ·Δ)²)` noise vector — the Gaussian mechanism with noise
 /// multiplier `sigma` and sensitivity `delta` (Algorithm 2 adds this to the
 /// summed clipped gradients).
-pub fn gaussian_noise_vec(
-    len: usize,
-    sigma: f64,
-    delta: f64,
-    rng: &mut impl Rng,
-) -> Vec<f64> {
+pub fn gaussian_noise_vec(len: usize, sigma: f64, delta: f64, rng: &mut impl Rng) -> Vec<f64> {
     assert!(sigma >= 0.0 && delta >= 0.0);
     let s = sigma * delta;
     (0..len).map(|_| standard_normal(rng) * s).collect()
@@ -64,8 +59,8 @@ pub fn sml_noise_vec(len: usize, scale: f64, rng: &mut impl Rng) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use privim_rt::ChaCha8Rng;
+    use privim_rt::SeedableRng;
 
     fn var(xs: &[f64]) -> f64 {
         let n = xs.len() as f64;

@@ -129,13 +129,32 @@ mod tests {
 /// The unit of privacy (Definition 2). The paper primarily analyses
 /// node-level DP but notes the method "can be extended to edge-level DP";
 /// this enum lets the accounting switch between the two.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum PrivacyUnit {
     /// Adjacent graphs differ by one node and all its incident edges
     /// (unbounded node-level DP — the paper's default).
     Node,
     /// Adjacent graphs differ by one edge.
     Edge,
+}
+
+impl PrivacyUnit {
+    /// Stable lowercase name (used in JSON output and CLI flags).
+    pub fn name(self) -> &'static str {
+        match self {
+            PrivacyUnit::Node => "node",
+            PrivacyUnit::Edge => "edge",
+        }
+    }
+
+    /// Parse a [`Self::name`] string.
+    pub fn from_name(name: &str) -> Option<PrivacyUnit> {
+        match name {
+            "node" => Some(PrivacyUnit::Node),
+            "edge" => Some(PrivacyUnit::Edge),
+            _ => None,
+        }
+    }
 }
 
 /// Occurrence bound for the chosen privacy unit under the dual-stage
@@ -173,9 +192,10 @@ mod unit_tests {
     }
 
     #[test]
-    fn unit_serde_roundtrip() {
-        let json = serde_json::to_string(&PrivacyUnit::Edge).unwrap();
-        let back: PrivacyUnit = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, PrivacyUnit::Edge);
+    fn unit_name_roundtrip() {
+        for unit in [PrivacyUnit::Node, PrivacyUnit::Edge] {
+            assert_eq!(PrivacyUnit::from_name(unit.name()), Some(unit));
+        }
+        assert_eq!(PrivacyUnit::from_name("graph"), None);
     }
 }

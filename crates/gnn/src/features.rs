@@ -46,8 +46,8 @@ pub fn node_features(g: &Graph) -> Matrix {
 mod tests {
     use super::*;
     use privim_graph::{generators, GraphBuilder};
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use privim_rt::ChaCha8Rng;
+    use privim_rt::SeedableRng;
 
     #[test]
     fn features_are_normalised() {

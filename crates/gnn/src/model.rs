@@ -8,13 +8,12 @@
 
 use crate::features::FEATURE_DIM;
 use crate::structures::GraphTensors;
+use privim_rt::Rng;
 use privim_tensor::{init, Matrix, SparseMatrix, Tape, Var};
-use rand::Rng;
-use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// Which architecture (Appendix G).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum GnnKind {
     /// Degree-normalised convolution (Kipf & Welling).
     Gcn,
@@ -57,7 +56,7 @@ impl GnnKind {
 }
 
 /// Model hyperparameters. Paper defaults: 3 layers × 32 hidden units.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct GnnConfig {
     /// Architecture.
     pub kind: GnnKind,
@@ -94,10 +93,10 @@ impl GnnConfig {
 /// use [`Self::params`]/[`Self::params_mut`] for optimisation and
 /// [`Self::forward`]'s returned vars to fetch per-parameter gradients.
 ///
-/// Serialisable: a trained (privatised) model can be persisted with serde
+/// Serialisable: a trained (privatised) model can be persisted as JSON
 /// and shipped — under DP, releasing the trained parameters is exactly the
 /// threat model the training pipeline protects.
-#[derive(Clone, Serialize, Deserialize)]
+#[derive(Clone)]
 pub struct GnnModel {
     config: GnnConfig,
     params: Vec<Matrix>,
@@ -172,19 +171,64 @@ impl GnnModel {
     }
 
     /// Persist the model as JSON.
-    pub fn save_json<W: std::io::Write>(&self, w: W) -> std::io::Result<()> {
-        serde_json::to_writer(w, self)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    pub fn save_json<W: std::io::Write>(&self, mut w: W) -> std::io::Result<()> {
+        use privim_rt::json::Value;
+        let json = Value::obj(vec![
+            (
+                "config",
+                Value::obj(vec![
+                    ("kind", Value::Str(self.config.kind.name().to_string())),
+                    ("layers", Value::Num(self.config.layers as f64)),
+                    ("hidden", Value::Num(self.config.hidden as f64)),
+                    ("in_dim", Value::Num(self.config.in_dim as f64)),
+                ]),
+            ),
+            (
+                "params",
+                Value::Arr(self.params.iter().map(Matrix::to_json).collect()),
+            ),
+        ]);
+        w.write_all(json.to_json_string().as_bytes())
     }
 
     /// Load a model persisted with [`Self::save_json`]. Validates the
     /// parameter layout against the stored config.
-    pub fn load_json<R: std::io::Read>(r: R) -> std::io::Result<Self> {
-        let model: GnnModel = serde_json::from_reader(r)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    pub fn load_json<R: std::io::Read>(mut r: R) -> std::io::Result<Self> {
+        use privim_rt::json::Value;
+        let bad = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+        let mut text = String::new();
+        r.read_to_string(&mut text)?;
+        let json = Value::parse(&text).map_err(|e| bad(e.to_string()))?;
+        let cfg = json
+            .get("config")
+            .ok_or_else(|| bad("missing config".into()))?;
+        let kind = cfg
+            .get("kind")
+            .and_then(|v| v.as_str())
+            .and_then(GnnKind::from_name)
+            .ok_or_else(|| bad("bad config.kind".into()))?;
+        let field = |name: &str| {
+            cfg.get(name)
+                .and_then(|v| v.as_usize())
+                .ok_or_else(|| bad(format!("bad config.{name}")))
+        };
+        let config = GnnConfig {
+            kind,
+            layers: field("layers")?,
+            hidden: field("hidden")?,
+            in_dim: field("in_dim")?,
+        };
+        let params: Vec<Matrix> = json
+            .get("params")
+            .and_then(|v| v.as_array())
+            .ok_or_else(|| bad("missing params".into()))?
+            .iter()
+            .map(|v| Matrix::from_json(v).map_err(bad))
+            .collect::<Result<_, _>>()?;
+        let model = GnnModel { config, params };
         // cheap sanity: rebuild a reference model and compare shapes
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
-        use rand::SeedableRng as _;
+        let mut rng = privim_rt::ChaCha8Rng::seed_from_u64(0);
+        use privim_rt::SeedableRng as _;
         let reference = GnnModel::new(model.config, &mut rng);
         if reference.params.len() != model.params.len()
             || reference
@@ -280,8 +324,7 @@ impl GnnModel {
                     pi += 5;
                     let neigh = tape.spmm(sum_id, h);
                     let one_plus_eps = tape.add_scalar(eps, 1.0);
-                    let eps_col =
-                        tape.gather_rows(one_plus_eps, Arc::new(vec![0u32; gt.n]));
+                    let eps_col = tape.gather_rows(one_plus_eps, Arc::new(vec![0u32; gt.n]));
                     let scaled_self = tape.mul_col_broadcast(eps_col, h);
                     let pre = tape.add(neigh, scaled_self);
                     let l1 = tape.matmul(pre, w1);
@@ -451,8 +494,8 @@ mod tests {
     use super::*;
     use crate::features::node_features;
     use privim_graph::generators;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use privim_rt::ChaCha8Rng;
+    use privim_rt::SeedableRng;
 
     fn setup(kind: GnnKind, seed: u64) -> (GnnModel, GraphTensors, Matrix) {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -586,10 +629,10 @@ mod tests {
 }
 
 #[cfg(test)]
-mod serde_tests {
+mod json_tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use privim_rt::ChaCha8Rng;
+    use privim_rt::SeedableRng;
 
     #[test]
     fn model_json_roundtrip_preserves_inference() {

@@ -53,9 +53,7 @@ impl GraphTensors {
         }
 
         // GCN: symmetric-ish normalisation on the in-adjacency + self loops.
-        let dt: Vec<f64> = (0..n)
-            .map(|u| (g.in_degree(u as u32) + 1) as f64)
-            .collect();
+        let dt: Vec<f64> = (0..n).map(|u| (g.in_degree(u as u32) + 1) as f64).collect();
         let mut gcn = Vec::new();
         for u in 0..n {
             gcn.push((u, u, 1.0 / dt[u]));

@@ -119,7 +119,7 @@ pub fn local_clustering(g: &Graph, v: NodeId) -> f64 {
 
 /// Average local clustering coefficient over a uniform sample of
 /// `sample_size` nodes (exact when `sample_size >= |V|`).
-pub fn avg_clustering_sampled(g: &Graph, sample_size: usize, rng: &mut impl rand::Rng) -> f64 {
+pub fn avg_clustering_sampled(g: &Graph, sample_size: usize, rng: &mut impl privim_rt::Rng) -> f64 {
     let n = g.num_nodes();
     if n == 0 {
         return 0.0;
@@ -196,7 +196,10 @@ mod tests {
     fn bfs_distances_respect_shortcuts() {
         let g = path_with_shortcut();
         assert_eq!(bfs_distances(&g, 0), vec![0, 1, 1, 2]);
-        assert_eq!(bfs_distances(&g, 3), vec![usize::MAX, usize::MAX, usize::MAX, 0]);
+        assert_eq!(
+            bfs_distances(&g, 3),
+            vec![usize::MAX, usize::MAX, usize::MAX, 0]
+        );
     }
 
     #[test]
@@ -360,8 +363,8 @@ mod extra_algo_tests {
     use super::*;
     use crate::builder::GraphBuilder;
     use crate::generators;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use privim_rt::ChaCha8Rng;
+    use privim_rt::SeedableRng;
 
     #[test]
     fn pagerank_sums_to_one_and_favours_hubs() {

@@ -63,9 +63,9 @@ impl GraphBuilder {
     /// True if `u -> v` was already added (linear scan; only for small
     /// builders / tests — generators use their own bookkeeping).
     pub fn contains_edge(&self, u: NodeId, v: NodeId) -> bool {
-        self.edges.iter().any(|&(a, b, _)| {
-            (a, b) == (u, v) || (!self.directed && (b, a) == (u, v))
-        })
+        self.edges
+            .iter()
+            .any(|&(a, b, _)| (a, b) == (u, v) || (!self.directed && (b, a) == (u, v)))
     }
 
     /// Finalise into an immutable CSR graph. `O(|E| log |E|)`.

@@ -5,8 +5,6 @@
 //! statistics such as Table I's `|E|` and average degree are reported the way
 //! the paper reports them.
 
-use serde::{Deserialize, Serialize};
-
 /// Node identifier. Graphs in the evaluation reach a few hundred thousand
 /// nodes, so `u32` keeps adjacency arrays half the size of `usize`.
 pub type NodeId = u32;
@@ -17,7 +15,7 @@ pub type NodeId = u32;
 /// (Definition 6). The in-adjacency mirror is required by the message-passing
 /// formulation (Eq. 2): node `u` aggregates over its *in*-neighbours with
 /// weights `w_vu`.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Graph {
     n: usize,
     directed: bool,
@@ -352,8 +350,8 @@ pub fn relabel(g: &Graph, perm: &[NodeId]) -> Graph {
 }
 
 /// Relabel with a uniformly random permutation.
-pub fn relabel_shuffled(g: &Graph, rng: &mut impl rand::Rng) -> Graph {
-    use rand::seq::SliceRandom;
+pub fn relabel_shuffled(g: &Graph, rng: &mut impl privim_rt::Rng) -> Graph {
+    use privim_rt::SliceRandom;
     let mut perm: Vec<NodeId> = (0..g.num_nodes() as NodeId).collect();
     perm.shuffle(rng);
     relabel(g, &perm)
@@ -363,7 +361,7 @@ pub fn relabel_shuffled(g: &Graph, rng: &mut impl rand::Rng) -> Graph {
 mod relabel_tests {
     use super::*;
     use crate::builder::GraphBuilder;
-    use rand::SeedableRng;
+    use privim_rt::SeedableRng;
 
     #[test]
     fn relabel_preserves_structure() {
@@ -382,7 +380,7 @@ mod relabel_tests {
 
     #[test]
     fn shuffle_preserves_degree_multiset() {
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+        let mut rng = privim_rt::ChaCha8Rng::seed_from_u64(5);
         let g = crate::generators::barabasi_albert(200, 3, &mut rng);
         let r = relabel_shuffled(&g, &mut rng);
         let mut d1: Vec<usize> = g.nodes().map(|v| g.out_degree(v)).collect();
@@ -398,12 +396,10 @@ mod relabel_tests {
     fn shuffle_breaks_id_degree_correlation() {
         // In raw BA graphs the oldest (lowest-id) nodes are hubs; after a
         // shuffle the first 10% of ids must no longer dominate.
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(6);
+        let mut rng = privim_rt::ChaCha8Rng::seed_from_u64(6);
         let g = crate::generators::barabasi_albert(1000, 4, &mut rng);
         let r = relabel_shuffled(&g, &mut rng);
-        let head_degree = |gr: &Graph| -> usize {
-            (0..100u32).map(|v| gr.out_degree(v)).sum()
-        };
+        let head_degree = |gr: &Graph| -> usize { (0..100u32).map(|v| gr.out_degree(v)).sum() };
         assert!(
             head_degree(&r) < head_degree(&g) / 2,
             "shuffle left hubs at low ids: {} vs {}",

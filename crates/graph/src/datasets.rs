@@ -20,11 +20,10 @@
 
 use crate::csr::Graph;
 use crate::generators;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use privim_rt::Rng;
 
 /// The seven evaluation datasets of Table I.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Dataset {
     /// European research-institution email network (directed, dense).
     Email,
@@ -43,7 +42,7 @@ pub enum Dataset {
 }
 
 /// Static statistics of a dataset as reported in Table I.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct DatasetSpec {
     /// Canonical lowercase name used on the CLI and in JSON output.
     pub name: &'static str,
@@ -138,9 +137,7 @@ impl Dataset {
     /// Parse a CLI name (case-insensitive).
     pub fn from_name(name: &str) -> Option<Dataset> {
         let lower = name.to_ascii_lowercase();
-        Dataset::ALL
-            .into_iter()
-            .find(|d| d.spec().name == lower)
+        Dataset::ALL.into_iter().find(|d| d.spec().name == lower)
     }
 
     /// Generate the dataset at full Table I size. Friendster at 65.6M nodes
@@ -224,7 +221,7 @@ impl Dataset {
 }
 
 /// Measured statistics of a generated graph, for Table I reproduction.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct MeasuredStats {
     /// Dataset name.
     pub name: String,
@@ -253,8 +250,8 @@ pub fn measure(name: &str, g: &Graph) -> MeasuredStats {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use privim_rt::ChaCha8Rng;
+    use privim_rt::SeedableRng;
 
     #[test]
     fn names_roundtrip() {

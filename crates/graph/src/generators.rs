@@ -8,7 +8,7 @@
 
 use crate::builder::GraphBuilder;
 use crate::csr::{Graph, NodeId};
-use rand::Rng;
+use privim_rt::Rng;
 
 /// G(n, m) Erdős–Rényi: exactly `m` distinct edges chosen uniformly.
 /// Homogeneous (Poisson) degrees, vanishing clustering.
@@ -106,10 +106,10 @@ pub fn holme_kim(n: usize, m: f64, p_triad: f64, rng: &mut impl Rng) -> Graph {
     let mut targets: Vec<NodeId> = Vec::new();
     let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
     let connect = |b: &mut GraphBuilder,
-                       targets: &mut Vec<NodeId>,
-                       adj: &mut Vec<Vec<NodeId>>,
-                       u: NodeId,
-                       v: NodeId| {
+                   targets: &mut Vec<NodeId>,
+                   adj: &mut Vec<Vec<NodeId>>,
+                   u: NodeId,
+                   v: NodeId| {
         b.add_edge_unit(u, v);
         targets.push(u);
         targets.push(v);
@@ -165,9 +165,9 @@ pub fn watts_strogatz(n: usize, k: usize, beta: f64, rng: &mut impl Rng) -> Grap
     let mut b = GraphBuilder::new_undirected(n);
     let mut exists = std::collections::HashSet::new();
     let add = |b: &mut GraphBuilder,
-                   exists: &mut std::collections::HashSet<(NodeId, NodeId)>,
-                   u: NodeId,
-                   v: NodeId|
+               exists: &mut std::collections::HashSet<(NodeId, NodeId)>,
+               u: NodeId,
+               v: NodeId|
      -> bool {
         let key = if u < v { (u, v) } else { (v, u) };
         if u != v && exists.insert(key) {
@@ -227,7 +227,11 @@ pub fn stochastic_block_model(
             if u == v {
                 continue;
             }
-            let p = if block_of[u] == block_of[v] { p_in } else { p_out };
+            let p = if block_of[u] == block_of[v] {
+                p_in
+            } else {
+                p_out
+            };
             if rng.gen_bool(p) {
                 b.add_edge_unit(u as NodeId, v as NodeId);
             }
@@ -259,12 +263,8 @@ pub fn directed_preferential(n: usize, m_out: f64, rng: &mut impl Rng) -> Graph 
     let sigma_ln = 1.2f64;
     let mu_ln = m_out.ln() - 0.5 * sigma_ln * sigma_ln;
     let cap = ((m_out * 60.0) as usize).max(4);
-    let normal = move |rng: &mut dyn rand::RngCore| -> f64 {
-        // Box–Muller
-        let u1: f64 = rand::Rng::gen::<f64>(rng).max(f64::MIN_POSITIVE);
-        let u2: f64 = rand::Rng::gen::<f64>(rng);
-        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
-    };
+    let normal =
+        |rng: &mut dyn privim_rt::RngCore| -> f64 { privim_rt::dist::standard_normal(rng) };
     for v in m0..n {
         let draw = (mu_ln + sigma_ln * normal(rng)).exp();
         let mi = (draw.round() as usize).clamp(1, cap).min(v);
@@ -290,8 +290,8 @@ pub fn directed_preferential(n: usize, m_out: f64, rng: &mut impl Rng) -> Graph 
 mod tests {
     use super::*;
     use crate::algo;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use privim_rt::ChaCha8Rng;
+    use privim_rt::SeedableRng;
 
     #[test]
     fn er_has_exact_edge_count() {

@@ -9,16 +9,16 @@
 //! block model, directed preferential attachment) and dataset builders
 //! calibrated to Table I of the paper.
 //!
-//! All randomised routines take an explicit [`rand::Rng`] so experiments are
+//! All randomised routines take an explicit [`privim_rt::Rng`] so experiments are
 //! reproducible from a seed.
 //!
 //! ## Quick example
 //!
 //! ```
 //! use privim_graph::{datasets::Dataset, algo};
-//! use rand::SeedableRng;
+//! use privim_rt::SeedableRng;
 //!
-//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+//! let mut rng = privim_rt::ChaCha8Rng::seed_from_u64(7);
 //! let g = Dataset::LastFm.generate_scaled(0.05, &mut rng);
 //! assert!(g.num_nodes() > 300);
 //! let stats = algo::degree_stats(&g);

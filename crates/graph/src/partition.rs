@@ -105,8 +105,8 @@ pub fn partition_subgraphs(g: &Graph, partition: &Partition) -> Vec<Subgraph> {
 mod tests {
     use super::*;
     use crate::generators;
-    use rand::{Rng, SeedableRng};
-    use rand_chacha::ChaCha8Rng;
+    use privim_rt::ChaCha8Rng;
+    use privim_rt::{Rng, SeedableRng};
 
     #[test]
     fn partition_is_balanced_and_total() {
@@ -136,7 +136,7 @@ mod tests {
         let bfs = bfs_partition(&g, 8);
         // random partition baseline
         let rand_part = Partition {
-            part_of: (0..2000).map(|_| rng.gen_range(0..8)).collect(),
+            part_of: (0..2000).map(|_| rng.gen_range(0..8usize)).collect(),
             num_parts: 8,
         };
         assert!(

@@ -8,8 +8,8 @@
 
 use crate::builder::GraphBuilder;
 use crate::csr::Graph;
-use rand::seq::SliceRandom;
-use rand::Rng;
+use privim_rt::Rng;
+use privim_rt::SliceRandom;
 
 /// Project `g` into a θ-bounded graph: every node keeps at most `theta`
 /// in-arcs, chosen uniformly at random among its in-arcs.
@@ -70,8 +70,8 @@ pub fn projection_preserves_small_nodes(orig: &Graph, proj: &Graph, theta: usize
 mod tests {
     use super::*;
     use crate::generators;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use privim_rt::ChaCha8Rng;
+    use privim_rt::SeedableRng;
 
     #[test]
     fn projection_bounds_in_degree() {

@@ -162,8 +162,8 @@ mod tests {
     use super::*;
     use crate::spread::one_step_spread;
     use privim_graph::{generators, GraphBuilder};
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use privim_rt::ChaCha8Rng;
+    use privim_rt::SeedableRng;
 
     /// Two stars: hub 0 -> 1..=4 and hub 5 -> 6..=7, isolated 8.
     fn two_stars() -> Graph {
@@ -249,11 +249,13 @@ mod tests {
         assert_eq!(r.spread, 0.0);
     }
 
-    proptest::proptest! {
-        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(10))]
-
-        #[test]
-        fn prop_greedy_beats_random_k_subsets(seed in 0u64..500) {
+    #[test]
+    fn prop_greedy_beats_random_k_subsets() {
+        // Deterministic property test: 10 seeds sampled from [0, 500).
+        use privim_rt::Rng;
+        let mut meta = ChaCha8Rng::seed_from_u64(0xCE1F);
+        for _ in 0..10 {
+            let seed = meta.gen_range(0u64..500);
             let mut rng = ChaCha8Rng::seed_from_u64(seed);
             let g = generators::barabasi_albert(80, 2, &mut rng).with_uniform_weights(1.0);
             let k = 5;
@@ -261,11 +263,11 @@ mod tests {
             // any random k-subset must not beat greedy by more than the
             // (1 - 1/e) guarantee allows — in particular greedy must reach
             // at least 63% of any other set's spread.
-            use rand::seq::SliceRandom;
+            use privim_rt::SliceRandom;
             let mut nodes: Vec<NodeId> = g.nodes().collect();
             nodes.shuffle(&mut rng);
             let rand_spread = one_step_spread(&g, &nodes[..k]);
-            proptest::prop_assert!(r.spread >= 0.63 * rand_spread as f64);
+            assert!(r.spread >= 0.63 * rand_spread as f64, "case seed {seed}");
         }
     }
 }

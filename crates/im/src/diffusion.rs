@@ -2,9 +2,8 @@
 //! the Linear Threshold and SIS models listed as future work (§VII).
 
 use privim_graph::{Graph, NodeId};
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
-use rayon::prelude::*;
+use privim_rt::ChaCha8Rng;
+use privim_rt::{Rng, SeedableRng};
 use std::collections::VecDeque;
 
 /// One IC realisation from `seeds`, run until quiescence or for at most
@@ -46,8 +45,8 @@ pub fn ic_simulate_once(
 }
 
 /// Monte-Carlo estimate of IC influence spread: mean activated count over
-/// `runs` independent realisations (rayon-parallel, deterministic given
-/// `seed`).
+/// `runs` independent realisations (thread-parallel, deterministic given
+/// `seed` at any thread count).
 pub fn ic_spread_estimate(
     g: &Graph,
     seeds: &[NodeId],
@@ -56,13 +55,10 @@ pub fn ic_spread_estimate(
     seed: u64,
 ) -> f64 {
     assert!(runs >= 1);
-    let total: usize = (0..runs)
-        .into_par_iter()
-        .map(|i| {
-            let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(i as u64));
-            ic_simulate_once(g, seeds, max_steps, &mut rng)
-        })
-        .sum();
+    let total: usize = privim_rt::par::sum_range(runs, |i| {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(i as u64));
+        ic_simulate_once(g, seeds, max_steps, &mut rng)
+    });
     total as f64 / runs as f64
 }
 
@@ -104,13 +100,10 @@ pub fn lt_simulate_once(g: &Graph, seeds: &[NodeId], rng: &mut impl Rng) -> usiz
 /// Monte-Carlo LT spread estimate.
 pub fn lt_spread_estimate(g: &Graph, seeds: &[NodeId], runs: usize, seed: u64) -> f64 {
     assert!(runs >= 1);
-    let total: usize = (0..runs)
-        .into_par_iter()
-        .map(|i| {
-            let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(i as u64));
-            lt_simulate_once(g, seeds, &mut rng)
-        })
-        .sum();
+    let total: usize = privim_rt::par::sum_range(runs, |i| {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(i as u64));
+        lt_simulate_once(g, seeds, &mut rng)
+    });
     total as f64 / runs as f64
 }
 
@@ -182,13 +175,10 @@ pub fn sis_spread_estimate(
     seed: u64,
 ) -> f64 {
     assert!(runs >= 1);
-    let total: usize = (0..runs)
-        .into_par_iter()
-        .map(|i| {
-            let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(i as u64));
-            sis_simulate_once(g, seeds, recovery, steps, &mut rng)
-        })
-        .sum();
+    let total: usize = privim_rt::par::sum_range(runs, |i| {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(i as u64));
+        sis_simulate_once(g, seeds, recovery, steps, &mut rng)
+    });
     total as f64 / runs as f64
 }
 
@@ -268,7 +258,10 @@ mod tests {
         let g = generators::barabasi_albert(80, 3, &mut rng).with_weighted_cascade();
         let one = lt_spread_estimate(&g, &[0], 500, 11);
         let three = lt_spread_estimate(&g, &[0, 1, 2], 500, 11);
-        assert!(three > one, "LT spread should grow with seeds: {three} vs {one}");
+        assert!(
+            three > one,
+            "LT spread should grow with seeds: {three} vs {one}"
+        );
     }
 
     #[test]

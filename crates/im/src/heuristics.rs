@@ -2,8 +2,8 @@
 //! tests (a trained private GNN should land between random and CELF).
 
 use privim_graph::{Graph, NodeId};
-use rand::seq::SliceRandom;
-use rand::Rng;
+use privim_rt::Rng;
+use privim_rt::SliceRandom;
 
 /// Top-`k` nodes by out-degree (the classic "degree centrality" heuristic).
 /// Ties broken by lower id for determinism.
@@ -41,8 +41,8 @@ mod tests {
     use super::*;
     use crate::spread::one_step_spread;
     use privim_graph::generators;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use privim_rt::ChaCha8Rng;
+    use privim_rt::SeedableRng;
 
     #[test]
     fn degree_heuristic_finds_hubs() {

@@ -25,7 +25,9 @@ pub mod ris;
 pub mod spread;
 
 pub use celf::{celf_exact, celf_monte_carlo, CelfResult};
-pub use diffusion::{ic_simulate_once, ic_spread_estimate, lt_spread_estimate, sis_spread_estimate};
+pub use diffusion::{
+    ic_simulate_once, ic_spread_estimate, lt_spread_estimate, sis_spread_estimate,
+};
 pub use metrics::coverage_ratio;
 pub use ris::{random_rr_set, ris_select, RisResult};
 pub use spread::{expected_one_step_spread, one_step_spread};

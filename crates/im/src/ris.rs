@@ -10,9 +10,8 @@
 //! fraction of the simulation cost on large graphs.
 
 use privim_graph::{Graph, NodeId};
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
-use rayon::prelude::*;
+use privim_rt::ChaCha8Rng;
+use privim_rt::{Rng, SeedableRng};
 
 /// One random RR set: reverse-BFS from a uniform target, traversing each
 /// in-arc `v → u` with probability `w_vu`, truncated at `max_steps` hops
@@ -54,8 +53,8 @@ pub struct RisResult {
     pub num_rr_sets: usize,
 }
 
-/// RIS seed selection: sample `num_rr_sets` RR sets (rayon-parallel,
-/// deterministic given `seed`) and run greedy max-coverage.
+/// RIS seed selection: sample `num_rr_sets` RR sets (thread-parallel,
+/// deterministic given `seed` at any thread count) and run greedy max-coverage.
 pub fn ris_select(
     g: &Graph,
     k: usize,
@@ -66,13 +65,10 @@ pub fn ris_select(
     assert!(num_rr_sets >= 1);
     let n = g.num_nodes();
     let k = k.min(n);
-    let rr_sets: Vec<Vec<NodeId>> = (0..num_rr_sets)
-        .into_par_iter()
-        .map(|i| {
-            let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(i as u64));
-            random_rr_set(g, max_steps, &mut rng)
-        })
-        .collect();
+    let rr_sets: Vec<Vec<NodeId>> = privim_rt::par::map_range(num_rr_sets, |i| {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(i as u64));
+        random_rr_set(g, max_steps, &mut rng)
+    });
 
     // Inverted index: node -> RR sets containing it.
     let mut index: Vec<Vec<u32>> = vec![Vec::new(); n];
@@ -90,11 +86,12 @@ pub fn ris_select(
     let mut covered_count = 0usize;
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
-    let mut heap: BinaryHeap<(usize, Reverse<NodeId>)> = (0..n)
-        .map(|v| (gain[v], Reverse(v as NodeId)))
-        .collect();
+    let mut heap: BinaryHeap<(usize, Reverse<NodeId>)> =
+        (0..n).map(|v| (gain[v], Reverse(v as NodeId))).collect();
     while seeds.len() < k {
-        let Some((g_est, Reverse(v))) = heap.pop() else { break };
+        let Some((g_est, Reverse(v))) = heap.pop() else {
+            break;
+        };
         if stale[v as usize] {
             // recompute
             let fresh = index[v as usize]

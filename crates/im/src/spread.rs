@@ -161,8 +161,7 @@ mod tests {
         one_step_cover(&g, &mut big, 0);
         for v in g.nodes() {
             assert!(
-                one_step_marginal_gain(&g, &small, v)
-                    >= one_step_marginal_gain(&g, &big, v),
+                one_step_marginal_gain(&g, &small, v) >= one_step_marginal_gain(&g, &big, v),
                 "submodularity violated at {v}"
             );
         }

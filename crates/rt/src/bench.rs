@@ -1,0 +1,96 @@
+//! A fixed-iteration micro-benchmark harness replacing `criterion`.
+//!
+//! No statistics machinery — each case runs a warm-up slice followed by a
+//! fixed measured iteration count and prints mean ns/iter. That is enough
+//! to compare hot-path changes between commits while keeping the workspace
+//! dependency-free; `scripts/ci.sh` builds the benches but does not gate
+//! on their numbers.
+
+use std::time::Instant;
+
+/// Re-export of the compiler optimisation barrier, for bench closures.
+pub use std::hint::black_box;
+
+/// One benchmark group, printed as an aligned table.
+pub struct Bench {
+    group: String,
+    iters: u64,
+}
+
+impl Bench {
+    /// A group with the default iteration budget (read from
+    /// `PRIVIM_BENCH_ITERS`, default 30 — the experiment kernels here are
+    /// milliseconds-scale, not nanoseconds-scale).
+    pub fn new(group: &str) -> Self {
+        let iters = std::env::var("PRIVIM_BENCH_ITERS")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(30);
+        Self::with_iters(group, iters)
+    }
+
+    /// A group with an explicit measured iteration count.
+    pub fn with_iters(group: &str, iters: u64) -> Self {
+        assert!(iters >= 1);
+        println!("## {group}");
+        Bench {
+            group: group.to_string(),
+            iters,
+        }
+    }
+
+    /// Run one case: warm-up (10% of the budget, at least one run), then
+    /// `iters` measured runs; prints mean time per iteration.
+    pub fn case<T>(&mut self, name: &str, mut f: impl FnMut() -> T) -> &mut Self {
+        for _ in 0..(self.iters / 10).max(1) {
+            black_box(f());
+        }
+        let t0 = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        let per_iter = t0.elapsed().as_secs_f64() / self.iters as f64;
+        println!(
+            "{:<48} {:>14}  ({} iters)",
+            format!("{}/{}", self.group, name),
+            fmt_duration(per_iter),
+            self.iters
+        );
+        self
+    }
+}
+
+fn fmt_duration(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_cases_and_counts_calls() {
+        let mut calls = 0u64;
+        Bench::with_iters("test", 5).case("count", || {
+            calls += 1;
+        });
+        // 5 measured + ceil(5/10)=1 warm-up? (5/10).max(1) = 1 warm-up
+        assert_eq!(calls, 6);
+    }
+
+    #[test]
+    fn duration_formatting_picks_sane_units() {
+        assert!(fmt_duration(5e-9).ends_with("ns"));
+        assert!(fmt_duration(5e-6).ends_with("µs"));
+        assert!(fmt_duration(5e-3).ends_with("ms"));
+        assert!(fmt_duration(2.0).ends_with('s'));
+    }
+}

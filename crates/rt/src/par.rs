@@ -1,0 +1,178 @@
+//! Scoped thread-pool primitives replacing `rayon` in the workspace's hot
+//! paths (Monte-Carlo diffusion, RR-set sampling, per-sample gradients,
+//! tensor prep).
+//!
+//! Work is split into contiguous index chunks, one per worker, executed
+//! with `std::thread::scope`, and re-assembled in input order — so every
+//! result is bit-identical to the sequential run regardless of the thread
+//! count (`tests/determinism.rs` pins this end to end).
+//!
+//! Thread-count resolution order:
+//! 1. [`set_threads`] override (tests, embedders),
+//! 2. the `PRIVIM_THREADS` environment variable,
+//! 3. `std::thread::available_parallelism()`.
+//!
+//! `PRIVIM_THREADS=1` (or a single-core box) short-circuits to a plain
+//! sequential loop with zero thread overhead.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Force the worker count (`0` clears the override and returns to
+/// `PRIVIM_THREADS` / detected parallelism). Takes effect for subsequent
+/// calls; in-flight scopes are unaffected.
+pub fn set_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// The worker count the next parallel call will use.
+pub fn num_threads() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if forced > 0 {
+        return forced;
+    }
+    if let Ok(v) = std::env::var("PRIVIM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// `(0..n).map(f)` evaluated on the pool; results in index order.
+pub fn map_range<U, F>(n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let threads = num_threads().min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut out: Vec<U> = Vec::with_capacity(n);
+    std::thread::scope(|s| {
+        let f = &f;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n);
+                s.spawn(move || (lo..hi).map(f).collect::<Vec<U>>())
+            })
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("privim-rt worker panicked"));
+        }
+    });
+    out
+}
+
+/// Parallel map over a slice; results in input order.
+pub fn map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    map_range(items.len(), |i| f(&items[i]))
+}
+
+/// Parallel `(0..n).map(f).sum()` — each worker folds its chunk locally,
+/// the chunk sums are added in chunk order (deterministic).
+pub fn sum_range<U, F>(n: usize, f: F) -> U
+where
+    U: Send + std::iter::Sum<U>,
+    F: Fn(usize) -> U + Sync,
+{
+    let threads = num_threads().min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).sum();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut partials: Vec<U> = Vec::with_capacity(threads);
+    std::thread::scope(|s| {
+        let f = &f;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n);
+                s.spawn(move || (lo..hi).map(f).sum::<U>())
+            })
+            .collect();
+        for h in handles {
+            partials.push(h.join().expect("privim-rt worker panicked"));
+        }
+    });
+    partials.into_iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    // `set_threads` is process-global; serialise the tests that poke it so
+    // they don't race under the parallel test runner.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn map_range_preserves_order() {
+        let _g = LOCK.lock().unwrap();
+        set_threads(4);
+        let v = map_range(1000, |i| i * i);
+        set_threads(0);
+        assert_eq!(v, (0..1000).map(|i| i * i).collect::<Vec<usize>>());
+    }
+
+    #[test]
+    fn map_matches_sequential() {
+        let _g = LOCK.lock().unwrap();
+        let items: Vec<u64> = (0..257).collect();
+        set_threads(3);
+        let par: Vec<u64> = map(&items, |&x| x * 3 + 1);
+        set_threads(0);
+        let seq: Vec<u64> = items.iter().map(|&x| x * 3 + 1).collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn sum_range_matches_sequential() {
+        let _g = LOCK.lock().unwrap();
+        for threads in [1usize, 2, 7] {
+            set_threads(threads);
+            let s: u64 = sum_range(10_001, |i| i as u64);
+            assert_eq!(s, 10_001 * 10_000 / 2, "threads = {threads}");
+        }
+        set_threads(0);
+    }
+
+    #[test]
+    fn handles_empty_and_tiny_inputs() {
+        let _g = LOCK.lock().unwrap();
+        set_threads(8);
+        assert!(map_range(0, |i| i).is_empty());
+        assert_eq!(map_range(1, |i| i), vec![0]);
+        assert_eq!(sum_range(0, |i| i), 0);
+        set_threads(0);
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let _g = LOCK.lock().unwrap();
+        set_threads(64);
+        assert_eq!(map_range(3, |i| i + 1), vec![1, 2, 3]);
+        set_threads(0);
+    }
+
+    #[test]
+    fn override_wins_over_env() {
+        let _g = LOCK.lock().unwrap();
+        set_threads(2);
+        assert_eq!(num_threads(), 2);
+        set_threads(0);
+        assert!(num_threads() >= 1);
+    }
+}

@@ -88,8 +88,7 @@ impl SubgraphContainer {
         if self.subgraphs.is_empty() {
             return 0.0;
         }
-        self.subgraphs.iter().map(|s| s.len()).sum::<usize>() as f64
-            / self.subgraphs.len() as f64
+        self.subgraphs.iter().map(|s| s.len()).sum::<usize>() as f64 / self.subgraphs.len() as f64
     }
 }
 
@@ -97,8 +96,8 @@ impl SubgraphContainer {
 mod tests {
     use super::*;
     use privim_graph::generators;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use privim_rt::ChaCha8Rng;
+    use privim_rt::SeedableRng;
 
     #[test]
     fn occurrences_count_memberships() {

@@ -13,11 +13,10 @@
 //! `n/ψ_n = k_n ln|V| + b_n − 1` (Eq. 47) and the mirrored Eq. 50/51 for `M`.
 
 use privim_dp::math::{gamma_mode, gamma_pdf};
-use serde::{Deserialize, Serialize};
 
 /// Fitted indicator parameters. The paper's published values:
 /// `ψ_n = 25, k_n = 0.47, b_n = −1.03, ψ_M = 5, k_M = 4.02, b_M = 1.22`.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct IndicatorParams {
     /// Scale for the subgraph-size pdf.
     pub psi_n: f64,
@@ -58,7 +57,9 @@ impl IndicatorParams {
         // Eq. 47: n/ψ_n = k_n ln|V| + (b_n − 1) — least squares on
         // x = ln|V|, y = n/ψ_n.
         let (k_n, c_n) = least_squares(
-            observations.iter().map(|&(v, n, _)| ((v as f64).ln(), n / psi_n)),
+            observations
+                .iter()
+                .map(|&(v, n, _)| ((v as f64).ln(), n / psi_n)),
         );
         // Eqs. 50–51: M/ψ_M = k_M ln(1/|V|)⁻¹... the paper regresses on
         // x = 1/ln|V| (matching β_M = k_M / ln|V| + b_M and the mode rule).

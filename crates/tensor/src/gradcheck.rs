@@ -12,11 +12,7 @@ use crate::tape::{Tape, Var};
 /// `f` receives a fresh tape plus leaf vars for each input and must return
 /// the scalar loss var. Returns the maximum absolute deviation over all
 /// input coordinates.
-pub fn max_gradient_error(
-    inputs: &[Matrix],
-    h: f64,
-    f: impl Fn(&mut Tape, &[Var]) -> Var,
-) -> f64 {
+pub fn max_gradient_error(inputs: &[Matrix], h: f64, f: impl Fn(&mut Tape, &[Var]) -> Var) -> f64 {
     // Analytic gradients.
     let mut tape = Tape::new();
     let vars: Vec<Var> = inputs.iter().map(|m| tape.leaf(m.clone())).collect();
@@ -46,11 +42,7 @@ pub fn max_gradient_error(
 }
 
 /// Assert gradients agree within `tol`.
-pub fn assert_gradients_match(
-    inputs: &[Matrix],
-    tol: f64,
-    f: impl Fn(&mut Tape, &[Var]) -> Var,
-) {
+pub fn assert_gradients_match(inputs: &[Matrix], tol: f64, f: impl Fn(&mut Tape, &[Var]) -> Var) {
     let err = max_gradient_error(inputs, 1e-5, f);
     assert!(err < tol, "gradient mismatch: max error {err} > tol {tol}");
 }
@@ -59,47 +51,68 @@ pub fn assert_gradients_match(
 mod tests {
     use super::*;
     use crate::sparse::SparseMatrix;
-    use proptest::prelude::*;
+    use privim_rt::{ChaCha8Rng, Rng, SeedableRng};
     use std::sync::Arc;
 
-    fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
-        proptest::collection::vec(-2.0f64..2.0, rows * cols)
-            .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+    fn small_matrix(rows: usize, cols: usize, rng: &mut ChaCha8Rng) -> Matrix {
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-2.0f64..2.0))
+            .collect();
+        Matrix::from_vec(rows, cols, data)
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(24))]
+    /// Deterministic property harness: run `f` over `n` seeded cases.
+    fn for_cases(n: u64, mut f: impl FnMut(&mut ChaCha8Rng)) {
+        for case in 0..n {
+            let mut rng = ChaCha8Rng::seed_from_u64(0x6AD0_0000 + case);
+            f(&mut rng);
+        }
+    }
 
-        #[test]
-        fn matmul_sigmoid_sum_gradcheck(a in small_matrix(3, 2), b in small_matrix(2, 4)) {
+    #[test]
+    fn matmul_sigmoid_sum_gradcheck() {
+        for_cases(24, |rng| {
+            let a = small_matrix(3, 2, rng);
+            let b = small_matrix(2, 4, rng);
             assert_gradients_match(&[a, b], 1e-6, |t, v| {
                 let c = t.matmul(v[0], v[1]);
                 let s = t.sigmoid(c);
                 t.sum(s)
             });
-        }
+        });
+    }
 
-        #[test]
-        fn elementwise_chain_gradcheck(a in small_matrix(2, 3), b in small_matrix(2, 3)) {
+    #[test]
+    fn elementwise_chain_gradcheck() {
+        for_cases(24, |rng| {
+            let a = small_matrix(2, 3, rng);
+            let b = small_matrix(2, 3, rng);
             assert_gradients_match(&[a, b], 1e-6, |t, v| {
                 let m = t.mul(v[0], v[1]);
                 let s = t.sub(m, v[1]);
                 let tt = t.tanh(s);
                 t.mean(tt)
             });
-        }
+        });
+    }
 
-        #[test]
-        fn bias_broadcast_gradcheck(a in small_matrix(4, 3), b in small_matrix(1, 3)) {
+    #[test]
+    fn bias_broadcast_gradcheck() {
+        for_cases(24, |rng| {
+            let a = small_matrix(4, 3, rng);
+            let b = small_matrix(1, 3, rng);
             assert_gradients_match(&[a, b], 1e-6, |t, v| {
                 let y = t.add_row_broadcast(v[0], v[1]);
                 let r = t.relu(y);
                 t.sum(r)
             });
-        }
+        });
+    }
 
-        #[test]
-        fn leaky_relu_exp_gradcheck(a in small_matrix(3, 3)) {
+    #[test]
+    fn leaky_relu_exp_gradcheck() {
+        for_cases(24, |rng| {
+            let a = small_matrix(3, 3, rng);
             // avoid kink at 0 by shifting
             let shifted = a.map(|x| if x.abs() < 0.05 { x + 0.1 } else { x });
             assert_gradients_match(&[shifted], 1e-5, |t, v| {
@@ -107,19 +120,26 @@ mod tests {
                 let e = t.exp(l);
                 t.mean(e)
             });
-        }
+        });
+    }
 
-        #[test]
-        fn concat_gradcheck(a in small_matrix(3, 2), b in small_matrix(3, 3)) {
+    #[test]
+    fn concat_gradcheck() {
+        for_cases(24, |rng| {
+            let a = small_matrix(3, 2, rng);
+            let b = small_matrix(3, 3, rng);
             assert_gradients_match(&[a, b], 1e-6, |t, v| {
                 let c = t.concat_cols(v[0], v[1]);
                 let s = t.sigmoid(c);
                 t.sum(s)
             });
-        }
+        });
+    }
 
-        #[test]
-        fn gather_scatter_gradcheck(a in small_matrix(4, 2)) {
+    #[test]
+    fn gather_scatter_gradcheck() {
+        for_cases(24, |rng| {
+            let a = small_matrix(4, 2, rng);
             let idx = Arc::new(vec![3u32, 0, 0, 2, 1]);
             let back = Arc::new(vec![1u32, 1, 0, 3, 2]);
             assert_gradients_match(&[a], 1e-6, move |t, v| {
@@ -128,31 +148,42 @@ mod tests {
                 let sq = t.mul(s, s);
                 t.sum(sq)
             });
-        }
+        });
+    }
 
-        #[test]
-        fn segment_softmax_gradcheck(s in small_matrix(6, 1)) {
+    #[test]
+    fn segment_softmax_gradcheck() {
+        for_cases(24, |rng| {
+            let s = small_matrix(6, 1, rng);
             let seg = Arc::new(vec![0u32, 0, 1, 1, 1, 2]);
             assert_gradients_match(&[s], 1e-5, move |t, v| {
                 let y = t.segment_softmax(v[0], seg.clone());
                 let sq = t.mul(y, y);
                 t.sum(sq)
             });
-        }
+        });
+    }
 
-        #[test]
-        fn mul_col_broadcast_gradcheck(c in small_matrix(3, 1), a in small_matrix(3, 4)) {
+    #[test]
+    fn mul_col_broadcast_gradcheck() {
+        for_cases(24, |rng| {
+            let c = small_matrix(3, 1, rng);
+            let a = small_matrix(3, 4, rng);
             assert_gradients_match(&[c, a], 1e-6, |t, v| {
                 let y = t.mul_col_broadcast(v[0], v[1]);
                 let s = t.sigmoid(y);
                 t.sum(s)
             });
-        }
+        });
+    }
 
-        #[test]
-        fn spmm_gradcheck(h in small_matrix(4, 2)) {
+    #[test]
+    fn spmm_gradcheck() {
+        for_cases(24, |rng| {
+            let h = small_matrix(4, 2, rng);
             let sp = SparseMatrix::from_triplets(
-                3, 4,
+                3,
+                4,
                 [(0, 1, 0.5), (0, 3, -1.2), (1, 0, 2.0), (2, 2, 0.7)],
             );
             assert_gradients_match(&[h], 1e-6, move |t, v| {
@@ -161,15 +192,26 @@ mod tests {
                 let s = t.tanh(y);
                 t.sum(s)
             });
-        }
+        });
+    }
 
-        #[test]
-        fn im_loss_shape_gradcheck(p_raw in small_matrix(5, 1)) {
+    #[test]
+    fn im_loss_shape_gradcheck() {
+        for_cases(24, |rng| {
+            let p_raw = small_matrix(5, 1, rng);
             // The actual Eq. 5 structure: p = sigmoid(x); inactive = 1 - clamp01(A·p);
             // loss = sum(inactive) + λ sum(p)
             let sp = SparseMatrix::from_triplets(
-                5, 5,
-                [(0, 1, 0.3), (1, 2, 0.3), (2, 3, 0.3), (3, 4, 0.3), (4, 0, 0.3), (0, 2, 0.3)],
+                5,
+                5,
+                [
+                    (0, 1, 0.3),
+                    (1, 2, 0.3),
+                    (2, 3, 0.3),
+                    (3, 4, 0.3),
+                    (4, 0, 0.3),
+                    (0, 2, 0.3),
+                ],
             );
             assert_gradients_match(&[p_raw], 1e-5, move |t, v| {
                 let p = t.sigmoid(v[0]);
@@ -182,7 +224,7 @@ mod tests {
                 let b_scaled = t.scale(b, 0.5);
                 t.add(a, b_scaled)
             });
-        }
+        });
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Weight initialisation schemes.
 
 use crate::matrix::Matrix;
-use rand::Rng;
+use privim_rt::Rng;
 
 /// Xavier/Glorot uniform: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
 /// The default for the GNN weight matrices (matches PyG's reset defaults for
@@ -49,8 +49,8 @@ pub fn gaussian_matrix(rows: usize, cols: usize, std: f64, rng: &mut impl Rng) -
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use privim_rt::ChaCha8Rng;
+    use privim_rt::SeedableRng;
 
     #[test]
     fn xavier_respects_bound() {

@@ -1,6 +1,5 @@
 //! Dense row-major `f64` matrix with the arithmetic the autograd tape needs.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Dense row-major matrix.
@@ -8,7 +7,7 @@ use std::fmt;
 /// Sized for PrivIM's workload (≤ a few hundred thousand rows × 32 columns);
 /// all operations are straightforward loops — at these shapes cache-friendly
 /// row-major traversal beats anything fancier.
-#[derive(Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -50,6 +49,40 @@ impl Matrix {
         Matrix { rows, cols, data }
     }
 
+    /// JSON form: `{"rows": r, "cols": c, "data": [..]}` with exact `f64`
+    /// round-trip (model checkpoints rely on bit-identical reload).
+    pub fn to_json(&self) -> privim_rt::json::Value {
+        use privim_rt::json::{ToJson, Value};
+        Value::obj(vec![
+            ("rows", self.rows.to_json()),
+            ("cols", self.cols.to_json()),
+            ("data", self.data.to_json()),
+        ])
+    }
+
+    /// Parse the [`Self::to_json`] form.
+    pub fn from_json(v: &privim_rt::json::Value) -> Result<Matrix, String> {
+        let rows = v
+            .get("rows")
+            .and_then(|x| x.as_usize())
+            .ok_or("matrix: missing rows")?;
+        let cols = v
+            .get("cols")
+            .and_then(|x| x.as_usize())
+            .ok_or("matrix: missing cols")?;
+        let data: Vec<f64> = v
+            .get("data")
+            .and_then(|x| x.as_array())
+            .ok_or("matrix: missing data")?
+            .iter()
+            .map(|x| x.as_f64().ok_or("matrix: non-numeric entry".to_string()))
+            .collect::<Result<_, _>>()?;
+        if data.len() != rows * cols {
+            return Err(format!("matrix: {} entries for {rows}x{cols}", data.len()));
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
     /// Build from row slices (test convenience).
     pub fn from_rows(rows: &[&[f64]]) -> Self {
         let r = rows.len();
@@ -59,7 +92,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend_from_slice(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Column vector from a slice.

@@ -147,10 +147,7 @@ mod tests {
 
     #[test]
     fn global_norm_over_multiple_matrices() {
-        let grads = vec![
-            Matrix::from_rows(&[&[3.0]]),
-            Matrix::from_rows(&[&[4.0]]),
-        ];
+        let grads = vec![Matrix::from_rows(&[&[3.0]]), Matrix::from_rows(&[&[4.0]])];
         assert!((GradClip::global_norm(&grads) - 5.0).abs() < 1e-12);
     }
 
@@ -164,10 +161,7 @@ mod tests {
 
     #[test]
     fn clip_scales_to_exact_bound() {
-        let mut grads = vec![
-            Matrix::from_rows(&[&[3.0]]),
-            Matrix::from_rows(&[&[4.0]]),
-        ];
+        let mut grads = vec![Matrix::from_rows(&[&[3.0]]), Matrix::from_rows(&[&[4.0]])];
         GradClip::clip(&mut grads, 1.0);
         let post = GradClip::global_norm(&grads);
         assert!((post - 1.0).abs() < 1e-12, "post-clip norm {post}");

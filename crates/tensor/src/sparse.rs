@@ -6,10 +6,9 @@
 //! and the autograd tape's `spmm` op.
 
 use crate::matrix::Matrix;
-use serde::{Deserialize, Serialize};
 
 /// Immutable CSR sparse matrix (no gradient support — used as constants).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SparseMatrix {
     rows: usize,
     cols: usize,

@@ -324,8 +324,7 @@ impl Tape {
     pub fn backward(&self, loss: Var) -> Gradients {
         let lm = self.value(loss);
         assert_eq!(lm.shape(), (1, 1), "backward needs a scalar loss");
-        let shapes: Vec<(usize, usize)> =
-            self.nodes.iter().map(|n| n.value.shape()).collect();
+        let shapes: Vec<(usize, usize)> = self.nodes.iter().map(|n| n.value.shape()).collect();
         let mut grads: Vec<Option<Matrix>> = vec![None; self.nodes.len()];
         grads[loss.0] = Some(Matrix::from_vec(1, 1, vec![1.0]));
 
@@ -348,11 +347,7 @@ impl Tape {
             // Interior gradients are consumed (moved out); leaves keep
             // theirs for the caller.
             let is_leaf = matches!(self.nodes[id].op, Op::Leaf);
-            let Some(d) = (if is_leaf {
-                None
-            } else {
-                grads[id].take()
-            }) else {
+            let Some(d) = (if is_leaf { None } else { grads[id].take() }) else {
                 continue;
             };
             match &self.nodes[id].op {
@@ -390,9 +385,7 @@ impl Tape {
                 Op::Scale(a, c) => acc_scaled(&mut grads, a.0, &d, *c),
                 Op::AddScalar(a) => acc(&mut grads, a.0, d),
                 Op::Relu(a) => {
-                    let da = self
-                        .value(*a)
-                        .zip(&d, |x, g| if x > 0.0 { g } else { 0.0 });
+                    let da = self.value(*a).zip(&d, |x, g| if x > 0.0 { g } else { 0.0 });
                     acc(&mut grads, a.0, da);
                 }
                 Op::LeakyRelu(a, alpha) => {

@@ -13,8 +13,8 @@
 use privim::pipeline::{run_method, EvalSetup, Method};
 use privim_graph::datasets::Dataset;
 use privim_im::{lt_spread_estimate, sis_spread_estimate};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use privim_rt::ChaCha8Rng;
+use privim_rt::SeedableRng;
 
 fn main() {
     let mut rng = ChaCha8Rng::seed_from_u64(2024);
@@ -28,7 +28,10 @@ fn main() {
 
     let k = 30;
     let setup = EvalSetup::paper_defaults(&graph, k, &mut rng);
-    println!("CELF monitor placement covers {:.0} accounts", setup.celf_spread);
+    println!(
+        "CELF monitor placement covers {:.0} accounts",
+        setup.celf_spread
+    );
 
     // Private placement at a conservative budget.
     let private = run_method(Method::PrivImStar { epsilon: 2.0 }, &setup, 1);

@@ -11,9 +11,7 @@
 use privim_dp::accountant::{
     best_epsilon, calibrate_sigma, rdp_gamma_per_step, rdp_to_dp, PrivacyParams,
 };
-use privim_dp::sensitivity::{
-    naive_occurrence_bound, node_sensitivity, sampled_occurrence_bound,
-};
+use privim_dp::sensitivity::{naive_occurrence_bound, node_sensitivity, sampled_occurrence_bound};
 
 fn main() {
     println!("== Lemma 1: occurrence bounds ==");
@@ -28,7 +26,10 @@ fn main() {
 
     println!("\n== Lemma 2: sensitivity at clip bound C = 1 ==");
     println!("naive:      Δ_g = C·N_g  = {}", node_sensitivity(1.0, n_g));
-    println!("refined:    Δ_g = C·N_g' = {}", node_sensitivity(1.0, refined));
+    println!(
+        "refined:    Δ_g = C·N_g' = {}",
+        node_sensitivity(1.0, refined)
+    );
     println!("dual-stage: Δ_g = C·M    = {}", node_sensitivity(1.0, m));
 
     println!("\n== Theorem 3: per-step RDP γ(α) at σ = 1 ==");
@@ -66,9 +67,7 @@ fn main() {
         };
         let s_naive = calibrate_sigma(eps, 1e-4, &naive_params);
         let ratio = (s_naive * refined as f64) / (s_dual * m as f64);
-        println!(
-            "  {eps:<8} | {s_dual:<9.3} | {s_naive:<12.3} | {ratio:.1}x more noise"
-        );
+        println!("  {eps:<8} | {s_dual:<9.3} | {s_naive:<12.3} | {ratio:.1}x more noise");
     }
 
     println!(

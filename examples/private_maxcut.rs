@@ -13,9 +13,9 @@ use privim::LossConfig;
 use privim_dp::accountant::{calibrate_sigma, PrivacyParams};
 use privim_gnn::{GnnConfig, GnnKind, GnnModel};
 use privim_graph::{generators, induced_subgraph};
+use privim_rt::ChaCha8Rng;
+use privim_rt::SeedableRng;
 use privim_sampling::{dual_stage_sampling, DualStageConfig, FreqConfig};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 
 fn main() {
     let mut rng = ChaCha8Rng::seed_from_u64(9);

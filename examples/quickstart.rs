@@ -10,8 +10,8 @@ use privim::pipeline::{run_method, EvalSetup, Method};
 use privim_graph::datasets::Dataset;
 use privim_im::heuristics;
 use privim_im::one_step_spread;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use privim_rt::ChaCha8Rng;
+use privim_rt::SeedableRng;
 
 fn main() {
     let mut rng = ChaCha8Rng::seed_from_u64(42);
@@ -55,6 +55,9 @@ fn main() {
         one_step_spread(&graph, &degree) as f64,
     );
 
-    assert!(out.coverage_ratio > 50.0, "private model should beat random");
+    assert!(
+        out.coverage_ratio > 50.0,
+        "private model should beat random"
+    );
     println!("\nfirst ten private seeds: {:?}", &out.seeds[..10]);
 }

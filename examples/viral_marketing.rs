@@ -13,8 +13,8 @@
 use privim::pipeline::{run_method, EvalSetup, Method};
 use privim_graph::datasets::Dataset;
 use privim_im::ic_spread_estimate;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use privim_rt::ChaCha8Rng;
+use privim_rt::SeedableRng;
 
 fn main() {
     let mut rng = ChaCha8Rng::seed_from_u64(7);

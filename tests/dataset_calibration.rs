@@ -4,8 +4,8 @@
 
 use privim_graph::datasets::{measure, Dataset};
 use privim_graph::{algo, io};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use privim_rt::ChaCha8Rng;
+use privim_rt::SeedableRng;
 
 #[test]
 fn all_datasets_match_table1_statistics() {

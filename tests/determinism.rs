@@ -1,0 +1,136 @@
+//! Determinism regression tests: the same seed must produce bit-identical
+//! results regardless of the worker-thread count. The runtime's parallel
+//! primitives chunk contiguously and every Monte-Carlo loop seeds its RNG
+//! per item, so thread scheduling can never reorder random draws.
+
+use privim::pipeline::{run_method, EvalSetup, Method, PipelineParams};
+use privim::trainer::{train_dpgnn, DpSgdConfig, TrainItem};
+use privim_gnn::{GnnConfig, GnnKind, GnnModel};
+use privim_graph::{generators, induced_subgraph};
+use privim_im::ic_spread_estimate;
+use privim_rt::{ChaCha8Rng, SeedableRng};
+use privim_sampling::{freq_sampling, FreqConfig};
+use std::sync::Mutex;
+
+/// Tests in this file flip the process-global thread override and must not
+/// interleave.
+static THREADS_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
+    privim_rt::par::set_threads(n);
+    let out = f();
+    privim_rt::par::set_threads(0); // back to the environment default
+    out
+}
+
+#[test]
+fn training_trajectory_identical_across_thread_counts() {
+    let _guard = THREADS_LOCK.lock().unwrap();
+    let mut rng = ChaCha8Rng::seed_from_u64(31);
+    let g = generators::barabasi_albert(250, 4, &mut rng).with_uniform_weights(1.0);
+    let mut freq = vec![0u32; g.num_nodes()];
+    let cfg = FreqConfig {
+        subgraph_size: 12,
+        return_prob: 0.3,
+        decay: 1.0,
+        sampling_rate: 1.0,
+        walk_len: 120,
+        threshold: 6,
+    };
+    let sets = freq_sampling(&g, &mut freq, &cfg, &mut rng);
+    let subs: Vec<_> = sets.iter().map(|s| induced_subgraph(&g, s)).collect();
+
+    let train_cfg = DpSgdConfig::paper_default(0.8, 6);
+    let run = |threads: usize| {
+        with_threads(threads, || {
+            let items = TrainItem::from_container(&subs);
+            let mut model = GnnModel::new(
+                GnnConfig {
+                    kind: GnnKind::Grat,
+                    layers: 2,
+                    hidden: 8,
+                    in_dim: privim_gnn::FEATURE_DIM,
+                },
+                &mut ChaCha8Rng::seed_from_u64(7),
+            );
+            let report = train_dpgnn(&mut model, &items, &train_cfg);
+            (report.loss_trace, model.params().to_vec())
+        })
+    };
+
+    let (trace1, params1) = run(1);
+    for threads in [2, 4, 8] {
+        let (trace_n, params_n) = run(threads);
+        assert_eq!(
+            trace1, trace_n,
+            "loss trajectory diverged at {threads} threads"
+        );
+        assert_eq!(
+            params1, params_n,
+            "parameters diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn pipeline_seed_set_identical_across_thread_counts() {
+    let _guard = THREADS_LOCK.lock().unwrap();
+    let mut rng = ChaCha8Rng::seed_from_u64(77);
+    let g = generators::barabasi_albert(300, 4, &mut rng).with_uniform_weights(1.0);
+    let mut params = PipelineParams::paper_defaults(g.num_nodes());
+    params.iters = 10;
+    params.batch = 8;
+    params.hidden = 16;
+    let setup = EvalSetup::with_params(&g, 10, params, &mut ChaCha8Rng::seed_from_u64(5));
+
+    let run = |threads: usize| {
+        with_threads(threads, || {
+            run_method(Method::PrivImStar { epsilon: 3.0 }, &setup, 0)
+        })
+    };
+    let base = run(1);
+    for threads in [2, 4] {
+        let out = run(threads);
+        assert_eq!(
+            base.seeds, out.seeds,
+            "seed set diverged at {threads} threads"
+        );
+        assert_eq!(
+            base.final_loss.to_bits(),
+            out.final_loss.to_bits(),
+            "final loss diverged at {threads} threads"
+        );
+        assert_eq!(base.spread, out.spread);
+        assert_eq!(base.sigma, out.sigma);
+    }
+}
+
+#[test]
+fn monte_carlo_estimates_identical_across_thread_counts() {
+    let _guard = THREADS_LOCK.lock().unwrap();
+    let mut rng = ChaCha8Rng::seed_from_u64(13);
+    let g = generators::barabasi_albert(150, 3, &mut rng).with_weighted_cascade();
+    let seeds = [0u32, 3, 9];
+    let base = with_threads(1, || ic_spread_estimate(&g, &seeds, None, 500, 21));
+    for threads in [2, 4, 8] {
+        let est = with_threads(threads, || ic_spread_estimate(&g, &seeds, None, 500, 21));
+        assert_eq!(
+            base.to_bits(),
+            est.to_bits(),
+            "MC estimate diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn par_primitives_preserve_order_at_any_width() {
+    let _guard = THREADS_LOCK.lock().unwrap();
+    let items: Vec<u64> = (0..1000).collect();
+    let base = with_threads(1, || privim_rt::par::map(&items, |&x| x * x));
+    for threads in [2, 3, 7, 16] {
+        let out = with_threads(threads, || privim_rt::par::map(&items, |&x| x * x));
+        assert_eq!(base, out, "map order diverged at {threads} threads");
+        let sum = with_threads(threads, || privim_rt::par::sum_range(1000, |i| i as u64));
+        assert_eq!(sum, 999 * 1000 / 2);
+    }
+}

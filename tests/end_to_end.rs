@@ -4,8 +4,8 @@
 
 use privim::pipeline::{run_method, EvalSetup, Method, PipelineParams};
 use privim_graph::datasets::Dataset;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use privim_rt::ChaCha8Rng;
+use privim_rt::SeedableRng;
 
 fn fast_params(n: usize) -> PipelineParams {
     let mut p = PipelineParams::paper_defaults(n);

@@ -5,9 +5,9 @@
 use privim::pipeline::{run_method, EvalSetup, Method, PipelineParams};
 use privim_graph::datasets::Dataset;
 use privim_im::metrics::mean_std;
+use privim_rt::ChaCha8Rng;
+use privim_rt::SeedableRng;
 use privim_sampling::{Indicator, IndicatorParams};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 
 fn params(n: usize) -> PipelineParams {
     let mut p = PipelineParams::paper_defaults(n);
@@ -135,11 +135,7 @@ fn every_gnn_architecture_works_in_pipeline() {
     let setup = EvalSetup::with_params(&g, 20, params(g.num_nodes()), &mut rng);
     let random = avg_coverage(Method::Random, &setup, 4);
     for kind in GnnKind::ALL {
-        let cov = avg_coverage(
-            Method::PrivImStarWith { epsilon: 5.0, kind },
-            &setup,
-            2,
-        );
+        let cov = avg_coverage(Method::PrivImStarWith { epsilon: 5.0, kind }, &setup, 2);
         assert!(
             cov > random,
             "{}: coverage {cov} not above random {random}",

@@ -5,21 +5,22 @@
 use privim_dp::accountant::{best_epsilon, calibrate_sigma, PrivacyParams};
 use privim_dp::sensitivity::{naive_occurrence_bound, sampled_occurrence_bound};
 use privim_graph::{generators, projection::theta_projection};
+use privim_rt::{ChaCha8Rng, Rng, SeedableRng};
 use privim_sampling::{
     dual_stage_sampling, extract_subgraphs, DualStageConfig, FreqConfig, RwrConfig,
 };
-use proptest::prelude::*;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(6))]
-
-    /// Lemma 1's invariant: Algorithm 1 on a θ-bounded graph never lets a
-    /// node occur more than N_g = Σθ^i times — on arbitrary BA graphs,
-    /// θ values and subgraph sizes.
-    #[test]
-    fn algorithm1_occurrence_bound(seed in 0u64..10_000, theta in 2usize..6, n_sub in 5usize..15) {
+/// Lemma 1's invariant: Algorithm 1 on a θ-bounded graph never lets a
+/// node occur more than N_g = Σθ^i times — on arbitrary BA graphs,
+/// θ values and subgraph sizes. Deterministic property test: 6 sampled
+/// (seed, theta, n_sub) cases.
+#[test]
+fn algorithm1_occurrence_bound() {
+    let mut meta = ChaCha8Rng::seed_from_u64(0xA160);
+    for _ in 0..6 {
+        let seed = meta.gen_range(0u64..10_000);
+        let theta = meta.gen_range(2usize..6);
+        let n_sub = meta.gen_range(5usize..15);
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let g = generators::barabasi_albert(200, 4, &mut rng);
         let projected = theta_projection(&g, theta, &mut rng);
@@ -33,16 +34,23 @@ proptest! {
         };
         let c = extract_subgraphs(&projected, &cfg, &mut rng);
         let bound = naive_occurrence_bound(theta as u64, hops as u32);
-        prop_assert!(
+        assert!(
             (c.max_occurrence() as u64) <= bound,
-            "max {} > N_g {}", c.max_occurrence(), bound
+            "seed {seed}: max {} > N_g {bound}",
+            c.max_occurrence()
         );
     }
+}
 
-    /// §IV-D's invariant: the dual-stage scheme keeps every node's
-    /// occurrence at most M across BOTH stages.
-    #[test]
-    fn dual_stage_occurrence_bound(seed in 0u64..10_000, m in 1u32..6) {
+/// §IV-D's invariant: the dual-stage scheme keeps every node's
+/// occurrence at most M across BOTH stages. Deterministic property test:
+/// 6 sampled (seed, m) cases.
+#[test]
+fn dual_stage_occurrence_bound() {
+    let mut meta = ChaCha8Rng::seed_from_u64(0xD0A2);
+    for _ in 0..6 {
+        let seed = meta.gen_range(0u64..10_000);
+        let m = meta.gen_range(1u32..6);
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let g = generators::holme_kim(250, 4.0, 0.5, &mut rng);
         let cfg = DualStageConfig {
@@ -58,19 +66,33 @@ proptest! {
             enable_bes: true,
         };
         let out = dual_stage_sampling(&g, &cfg, &mut rng);
-        prop_assert!(out.container.max_occurrence() <= m);
+        assert!(out.container.max_occurrence() <= m, "seed {seed} m {m}");
     }
+}
 
-    /// The refined bound is always between 1 and the worst case, and the
-    /// accountant's ε is monotone in σ (more noise never costs more budget).
-    #[test]
-    fn accounting_monotonicity(q in 0.01f64..0.9, sigma in 0.3f64..4.0) {
+/// The refined bound is always between 1 and the worst case, and the
+/// accountant's ε is monotone in σ (more noise never costs more budget).
+/// Deterministic property test: 6 sampled (q, sigma) cases.
+#[test]
+fn accounting_monotonicity() {
+    let mut meta = ChaCha8Rng::seed_from_u64(0xACC0);
+    for _ in 0..6 {
+        let q = meta.gen_range(0.01f64..0.9);
+        let sigma = meta.gen_range(0.3f64..4.0);
         let refined = sampled_occurrence_bound(10, 3, q, 1e-6);
-        prop_assert!(refined >= 1 && refined <= 1111);
-        let params = PrivacyParams { n_g: 8, batch: 16, container: 200, steps: 40 };
+        assert!(refined >= 1 && refined <= 1111);
+        let params = PrivacyParams {
+            n_g: 8,
+            batch: 16,
+            container: 200,
+            steps: 40,
+        };
         let e1 = best_epsilon(sigma, 1e-5, &params);
         let e2 = best_epsilon(sigma * 1.5, 1e-5, &params);
-        prop_assert!(e2 <= e1 + 1e-9, "eps not monotone: {e1} -> {e2}");
+        assert!(
+            e2 <= e1 + 1e-9,
+            "eps not monotone at sigma {sigma}: {e1} -> {e2}"
+        );
     }
 }
 
