@@ -42,7 +42,7 @@ fn main() {
         };
         bench.case(&format!("algorithm3_dual_stage/{n_nodes}"), || {
             let mut rng = ChaCha8Rng::seed_from_u64(11);
-            dual_stage_sampling(&g, &dual_cfg, &mut rng).container.len()
+            dual_stage_sampling(&g, &dual_cfg, &mut rng).unwrap().container.len()
         });
 
         bench.case(&format!("theta_projection/{n_nodes}"), || {

@@ -22,7 +22,7 @@ fn make_items() -> Vec<TrainItem> {
         walk_len: 200,
         threshold: 6,
     };
-    let sets = freq_sampling(&g, &mut freq, &cfg, &mut rng);
+    let sets = freq_sampling(&g, &mut freq, &cfg, &mut rng).unwrap();
     let subs: Vec<_> = sets.iter().map(|s| induced_subgraph(&g, s)).collect();
     TrainItem::from_container(&subs)
 }
@@ -53,10 +53,12 @@ fn main() {
             seed: 9,
             tail_average: false,
             weight_decay: 0.0,
+            max_recoveries: 8,
+            fault: None,
         };
         step.case(&format!("one_step/{}", kind.name()), || {
             let mut m = model.clone();
-            train_dpgnn(&mut m, &items, &cfg);
+            train_dpgnn(&mut m, &items, &cfg).unwrap();
         });
     }
 

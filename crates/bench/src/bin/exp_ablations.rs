@@ -137,7 +137,7 @@ fn main() {
             let setup = EvalSetup::with_params(&g, args.k, params, &mut srng);
             let coverages: Vec<f64> = (0..args.reps)
                 .map(|r| {
-                    run_method(Method::PrivImStar { epsilon: eps }, &setup, args.seed + r)
+                    privim_bench::must_run("ablation cell", || run_method(Method::PrivImStar { epsilon: eps }, &setup, args.seed + r))
                         .coverage_ratio
                 })
                 .collect();

@@ -45,7 +45,7 @@ fn main() {
             let setup = EvalSetup::with_params(&g, args.k, params, &mut srng);
             let coverages: Vec<f64> = (0..args.reps)
                 .map(|r| {
-                    run_method(Method::PrivIm { epsilon: eps }, &setup, args.seed + r)
+                    privim_bench::must_run("fig13 cell", || run_method(Method::PrivIm { epsilon: eps }, &setup, args.seed + r))
                         .coverage_ratio
                 })
                 .collect();

@@ -1,54 +1,59 @@
 //! Figure 5 (and Figure 14 via `--dataset hepph`): influence spread of all
 //! methods versus privacy budget ε ∈ {1..6} over the six main datasets.
 //!
+//! Runs through [`CellRunner`], so each (dataset, method, ε) cell is
+//! isolated, failed cells are retried and reported without killing the
+//! sweep, results land on disk incrementally after every cell, and
+//! re-running with the same `--out` resumes instead of recomputing.
+//!
 //! ```text
 //! cargo run --release -p privim-bench --bin exp_fig5 -- --fast --reps 2
 //! cargo run --release -p privim-bench --bin exp_fig5              # full size
 //! ```
 
 use privim::pipeline::{run_method, EvalSetup, Method};
-use privim_bench::{print_table, ExpArgs};
+use privim_bench::{print_table, CellRunner, ExpArgs};
 use privim_im::metrics::mean_std;
+use privim_rt::json::{ToJson, Value};
 use privim_rt::ChaCha8Rng;
 use privim_rt::SeedableRng;
 
-struct Row {
-    dataset: String,
-    method: String,
-    epsilon: Option<f64>,
-    spread_mean: f64,
-    spread_std: f64,
-    coverage_mean: f64,
+fn cell_row(
+    dataset: &str,
+    method: Method,
+    label_eps: Option<f64>,
+    setup: &EvalSetup<'_>,
+    args: &ExpArgs,
+) -> privim_rt::PrivimResult<Value> {
+    let mut spreads = Vec::new();
+    let mut coverages = Vec::new();
+    for r in 0..args.reps {
+        let out = run_method(method, setup, args.seed.wrapping_add(r))?;
+        spreads.push(out.spread);
+        coverages.push(out.coverage_ratio);
+    }
+    let (sm, ss) = mean_std(&spreads);
+    let (cm, _) = mean_std(&coverages);
+    Ok(Value::obj(vec![
+        ("dataset", dataset.to_json()),
+        ("method", method.name().to_json()),
+        ("epsilon", label_eps.to_json()),
+        ("spread_mean", sm.to_json()),
+        ("spread_std", ss.to_json()),
+        ("coverage_mean", cm.to_json()),
+    ]))
 }
-privim_rt::impl_to_json_struct!(Row {
-    dataset,
-    method,
-    epsilon,
-    spread_mean,
-    spread_std,
-    coverage_mean
-});
 
 fn main() {
     let args = ExpArgs::parse_env();
-    let mut rows: Vec<Row> = Vec::new();
+    let mut runner = CellRunner::new(args.out.as_deref());
 
     for dataset in &args.datasets {
-        let mut rng = ChaCha8Rng::seed_from_u64(args.seed);
-        let scale = args.dataset_scale(*dataset);
-        eprintln!("== {} (scale {scale:.4}) ==", dataset.spec().name);
-        let g = dataset.generate_scaled(scale, &mut rng);
-        let params = args.pipeline_params(g.num_nodes());
-        let setup = EvalSetup::with_params(&g, args.k, params, &mut rng);
-
-        // ε-independent references first.
-        for m in [Method::Celf, Method::NonPrivate] {
-            let outs: Vec<_> = (0..args.reps)
-                .map(|r| run_method(m, &setup, args.seed.wrapping_add(r)))
-                .collect();
-            push_row(&mut rows, dataset.spec().name, &m.name(), None, &outs);
-        }
-
+        let name = dataset.spec().name;
+        // The cell grid for this dataset, in a fixed order (the resume
+        // order must match the original run's order exactly).
+        let mut grid: Vec<(Method, Option<f64>)> =
+            vec![(Method::Celf, None), (Method::NonPrivate, None)];
         for &eps in &args.eps {
             for m in [
                 Method::PrivImStar { epsilon: eps },
@@ -57,23 +62,53 @@ fn main() {
                 Method::Hp { epsilon: eps },
                 Method::Egn { epsilon: eps },
             ] {
-                let outs: Vec<_> = (0..args.reps)
-                    .map(|r| run_method(m, &setup, args.seed.wrapping_add(r)))
-                    .collect();
-                push_row(&mut rows, dataset.spec().name, &m.name(), Some(eps), &outs);
+                grid.push((m, Some(eps)));
             }
+        }
+        let key = |m: &Method, eps: Option<f64>| -> String {
+            match eps {
+                Some(e) => format!("{name}/{}/eps={e}", m.name()),
+                None => format!("{name}/{}", m.name()),
+            }
+        };
+
+        // Dataset generation is the expensive part of a resumed run; skip
+        // it entirely when every cell is already on disk.
+        let all_cached = grid.iter().all(|(m, e)| runner.is_cached(&key(m, *e)));
+        if all_cached {
+            eprintln!("== {name}: all cells cached, skipping generation ==");
+            for (m, e) in &grid {
+                runner.run_cell(&key(m, *e), || unreachable!("cached"));
+            }
+            continue;
+        }
+
+        let mut rng = ChaCha8Rng::seed_from_u64(args.seed);
+        let scale = args.dataset_scale(*dataset);
+        eprintln!("== {name} (scale {scale:.4}) ==");
+        let g = dataset.generate_scaled(scale, &mut rng);
+        let params = args.pipeline_params(g.num_nodes());
+        let setup = EvalSetup::with_params(&g, args.k, params, &mut rng);
+
+        for (m, e) in &grid {
+            runner.run_cell(&key(m, *e), || cell_row(name, *m, *e, &setup, &args));
         }
     }
 
-    let table: Vec<Vec<String>> = rows
+    let table: Vec<Vec<String>> = runner
+        .rows()
         .iter()
         .map(|r| {
+            let s = |k: &str| r.get(k).and_then(|v| v.as_str()).unwrap_or("?").to_string();
+            let f = |k: &str| r.get(k).and_then(|v| v.as_f64()).unwrap_or(f64::NAN);
             vec![
-                r.dataset.clone(),
-                r.method.clone(),
-                r.epsilon.map_or("∞".into(), |e| format!("{e}")),
-                format!("{:.1} ± {:.1}", r.spread_mean, r.spread_std),
-                format!("{:.2}%", r.coverage_mean),
+                s("dataset"),
+                s("method"),
+                r.get("epsilon")
+                    .and_then(|v| v.as_f64())
+                    .map_or("∞".into(), |e| format!("{e}")),
+                format!("{:.1} ± {:.1}", f("spread_mean"), f("spread_std")),
+                format!("{:.2}%", f("coverage_mean")),
             ]
         })
         .collect();
@@ -81,26 +116,5 @@ fn main() {
         &["dataset", "method", "eps", "influence spread", "coverage"],
         &table,
     );
-    args.write_json(&rows);
-}
-
-fn push_row(
-    rows: &mut Vec<Row>,
-    dataset: &str,
-    method: &str,
-    epsilon: Option<f64>,
-    outs: &[privim::MethodOutput],
-) {
-    let spreads: Vec<f64> = outs.iter().map(|o| o.spread).collect();
-    let coverages: Vec<f64> = outs.iter().map(|o| o.coverage_ratio).collect();
-    let (sm, ss) = mean_std(&spreads);
-    let (cm, _) = mean_std(&coverages);
-    rows.push(Row {
-        dataset: dataset.to_string(),
-        method: method.to_string(),
-        epsilon,
-        spread_mean: sm,
-        spread_std: ss,
-        coverage_mean: cm,
-    });
+    std::process::exit(runner.finish());
 }

@@ -48,11 +48,11 @@ fn main() {
             let setup = EvalSetup::with_params(&g, args.k, params, &mut setup_rng);
             let spreads: Vec<f64> = (0..args.reps)
                 .map(|r| {
-                    run_method(
+                    privim_bench::must_run("fig cell", || run_method(
                         Method::PrivImStar { epsilon: eps },
                         &setup,
                         args.seed.wrapping_add(r),
-                    )
+                    ))
                     .spread
                 })
                 .collect();

@@ -69,7 +69,7 @@ fn main() {
                 let setup = EvalSetup::with_params(&g, args.k, params, &mut srng);
                 let spreads: Vec<f64> = (0..args.reps)
                     .map(|r| {
-                        run_method(Method::PrivImStar { epsilon: eps }, &setup, args.seed + r)
+                        privim_bench::must_run("fig8 cell", || run_method(Method::PrivImStar { epsilon: eps }, &setup, args.seed + r))
                             .spread
                     })
                     .collect();
@@ -98,7 +98,7 @@ fn main() {
                 let setup = EvalSetup::with_params(&g, args.k, params, &mut srng);
                 let spreads: Vec<f64> = (0..args.reps)
                     .map(|r| {
-                        run_method(Method::PrivImStar { epsilon: eps }, &setup, args.seed + r)
+                        privim_bench::must_run("fig8 cell", || run_method(Method::PrivImStar { epsilon: eps }, &setup, args.seed + r))
                             .spread
                     })
                     .collect();

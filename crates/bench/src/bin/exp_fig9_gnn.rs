@@ -46,11 +46,11 @@ fn main() {
             for kind in GnnKind::ALL {
                 let coverages: Vec<f64> = (0..args.reps)
                     .map(|r| {
-                        run_method(
+                        privim_bench::must_run("fig9 cell", || run_method(
                             Method::PrivImStarWith { epsilon: eps, kind },
                             &setup,
                             args.seed.wrapping_add(r),
-                        )
+                        ))
                         .coverage_ratio
                     })
                     .collect();

@@ -78,7 +78,7 @@ fn main() {
                 let mut srng = ChaCha8Rng::seed_from_u64(args.seed);
                 let params = args.pipeline_params(sub.graph.num_nodes());
                 let setup = EvalSetup::with_params(&sub.graph, per_part, params, &mut srng);
-                let out = run_method(m, &setup, args.seed);
+                let out = privim_bench::must_run("friendster cell", || run_method(m, &setup, args.seed));
                 // map local seed ids back into the full graph
                 seeds.extend(out.seeds.iter().map(|&l| sub.original_id(l)));
             }

@@ -3,83 +3,107 @@
 //! ε ∈ {1, 4}, mean ± std over `--reps` runs, plus the Non-Private
 //! reference row.
 //!
+//! Each (dataset, method, ε) cell runs isolated through [`CellRunner`]:
+//! failures are retried/reported per cell, output is written atomically
+//! after every cell, and an interrupted sweep resumes from its `--out`
+//! file.
+//!
 //! ```text
 //! cargo run --release -p privim-bench --bin exp_table2 -- --fast
 //! ```
 
 use privim::pipeline::{run_method, EvalSetup, Method};
-use privim_bench::{fmt_mean_std, print_table, ExpArgs};
+use privim_bench::{fmt_mean_std, print_table, CellRunner, ExpArgs};
+use privim_rt::json::{ToJson, Value};
 use privim_rt::ChaCha8Rng;
 use privim_rt::SeedableRng;
 
-struct Row {
-    method: String,
-    epsilon: Option<f64>,
-    dataset: String,
-    coverage_mean: f64,
-    coverage_std: f64,
-    pretty: String,
+fn cell_row(
+    dataset: &str,
+    method: Method,
+    label: &str,
+    setup: &EvalSetup<'_>,
+    args: &ExpArgs,
+) -> privim_rt::PrivimResult<Value> {
+    let mut coverages = Vec::new();
+    for r in 0..args.reps {
+        coverages.push(run_method(method, setup, args.seed.wrapping_add(r))?.coverage_ratio);
+    }
+    let (m, s) = privim_im::metrics::mean_std(&coverages);
+    Ok(Value::obj(vec![
+        ("method", label.to_json()),
+        ("epsilon", method.epsilon().to_json()),
+        ("dataset", dataset.to_json()),
+        ("coverage_mean", m.to_json()),
+        ("coverage_std", s.to_json()),
+        ("pretty", fmt_mean_std(&coverages).to_json()),
+    ]))
 }
-privim_rt::impl_to_json_struct!(Row {
-    method,
-    epsilon,
-    dataset,
-    coverage_mean,
-    coverage_std,
-    pretty
-});
 
 fn main() {
     let mut args = ExpArgs::parse_env();
     if args.eps == vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0] {
         args.eps = vec![4.0, 1.0]; // Table II reports ε = 4 and ε = 1
     }
-    let mut rows: Vec<Row> = Vec::new();
+    let mut runner = CellRunner::new(args.out.as_deref());
 
     for dataset in args.datasets.clone() {
+        let name = dataset.spec().name;
+        let mut grid: Vec<(Method, String)> =
+            vec![(Method::NonPrivate, "non-private".to_string())];
+        for &eps in &args.eps {
+            grid.push((Method::PrivIm { epsilon: eps }, "privim".into()));
+            grid.push((Method::PrivImScs { epsilon: eps }, "privim+scs".into()));
+            grid.push((
+                Method::PrivImStar { epsilon: eps },
+                "privim+scs+bes (privim*)".into(),
+            ));
+        }
+        let key = |m: &Method, label: &str| -> String {
+            match m.epsilon() {
+                Some(e) => format!("{name}/{label}/eps={e}"),
+                None => format!("{name}/{label}"),
+            }
+        };
+
+        let all_cached = grid.iter().all(|(m, l)| runner.is_cached(&key(m, l)));
+        if all_cached {
+            eprintln!("== {name}: all cells cached, skipping generation ==");
+            for (m, l) in &grid {
+                runner.run_cell(&key(m, l), || unreachable!("cached"));
+            }
+            continue;
+        }
+
         let mut rng = ChaCha8Rng::seed_from_u64(args.seed);
         let scale = args.dataset_scale(dataset);
-        eprintln!("== {} (scale {scale:.4}) ==", dataset.spec().name);
+        eprintln!("== {name} (scale {scale:.4}) ==");
         let g = dataset.generate_scaled(scale, &mut rng);
         let params = args.pipeline_params(g.num_nodes());
         let setup = EvalSetup::with_params(&g, args.k, params, &mut rng);
 
-        let record = |method: Method, label: &str, rows: &mut Vec<Row>| {
-            let coverages: Vec<f64> = (0..args.reps)
-                .map(|r| run_method(method, &setup, args.seed.wrapping_add(r)).coverage_ratio)
-                .collect();
-            let (m, s) = privim_im::metrics::mean_std(&coverages);
-            rows.push(Row {
-                method: label.to_string(),
-                epsilon: method.epsilon(),
-                dataset: dataset.spec().name.to_string(),
-                coverage_mean: m,
-                coverage_std: s,
-                pretty: fmt_mean_std(&coverages),
-            });
-        };
-
-        record(Method::NonPrivate, "non-private", &mut rows);
-        for &eps in &args.eps {
-            record(Method::PrivIm { epsilon: eps }, "privim", &mut rows);
-            record(Method::PrivImScs { epsilon: eps }, "privim+scs", &mut rows);
-            record(
-                Method::PrivImStar { epsilon: eps },
-                "privim+scs+bes (privim*)",
-                &mut rows,
-            );
+        for (m, l) in &grid {
+            runner.run_cell(&key(m, l), || cell_row(name, *m, l, &setup, &args));
         }
     }
 
     // Pivot: method × ε rows, dataset columns (the paper's layout).
+    let rows = runner.rows();
     let datasets: Vec<String> = args
         .datasets
         .iter()
         .map(|d| d.spec().name.to_string())
         .collect();
+    let row_method = |r: &Value| -> String {
+        r.get("method")
+            .and_then(|v| v.as_str())
+            .unwrap_or("?")
+            .to_string()
+    };
+    let row_eps = |r: &Value| -> Option<f64> { r.get("epsilon").and_then(|v| v.as_f64()) };
     let mut keys: Vec<(String, Option<f64>)> = Vec::new();
-    for r in &rows {
-        let k = (r.method.clone(), r.epsilon);
+    for r in rows {
+        let k = (row_method(r), row_eps(r));
         if !keys.contains(&k) {
             keys.push(k);
         }
@@ -91,9 +115,14 @@ fn main() {
             for d in &datasets {
                 let cell = rows
                     .iter()
-                    .find(|r| &r.method == m && r.epsilon == *e && &r.dataset == d)
-                    .map(|r| r.pretty.clone())
-                    .unwrap_or_default();
+                    .find(|r| {
+                        &row_method(r) == m
+                            && row_eps(r) == *e
+                            && r.get("dataset").and_then(|v| v.as_str()) == Some(d)
+                    })
+                    .and_then(|r| r.get("pretty").and_then(|v| v.as_str()))
+                    .unwrap_or_default()
+                    .to_string();
                 row.push(cell);
             }
             row
@@ -103,5 +132,5 @@ fn main() {
     let owned: Vec<String> = datasets.clone();
     headers.extend(owned.iter().map(|s| s.as_str()));
     print_table(&headers, &table);
-    args.write_json(&rows);
+    std::process::exit(runner.finish());
 }

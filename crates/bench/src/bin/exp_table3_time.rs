@@ -49,7 +49,7 @@ fn main() {
             let mut pre = 0.0;
             let mut epoch = 0.0;
             for r in 0..args.reps {
-                let out = run_method(method, &setup, args.seed.wrapping_add(r));
+                let out = privim_bench::must_run("table3 cell", || run_method(method, &setup, args.seed.wrapping_add(r)));
                 pre += out.preprocess_secs;
                 epoch += out.per_epoch_secs;
             }

@@ -13,8 +13,10 @@
 
 use privim::pipeline::PipelineParams;
 use privim_graph::datasets::Dataset;
-use std::io::Write;
 use std::path::PathBuf;
+
+pub mod runner;
+pub use runner::{must_run, CellOutcome, CellRunner};
 
 /// Common experiment arguments. Parse with [`ExpArgs::parse_env`].
 #[derive(Clone, Debug)]
@@ -124,13 +126,12 @@ impl ExpArgs {
         p
     }
 
-    /// Write `rows` as pretty JSON to `--out` if given.
+    /// Write `rows` as pretty JSON to `--out` if given. Writes are atomic
+    /// (tmp + rename), so a crash mid-write never leaves a truncated file.
     pub fn write_json<T: privim_rt::json::ToJson + ?Sized>(&self, rows: &T) {
         if let Some(path) = &self.out {
             let json = rows.to_json().to_json_string_pretty();
-            let mut f = std::fs::File::create(path)
-                .unwrap_or_else(|e| die(&format!("cannot create {}: {e}", path.display())));
-            f.write_all(json.as_bytes())
+            privim::results::write_atomic(path, &json)
                 .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", path.display())));
             eprintln!("wrote {}", path.display());
         }

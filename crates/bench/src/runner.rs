@@ -1,0 +1,434 @@
+//! Crash-safe, resumable experiment execution.
+//!
+//! A full experiment suite is a grid of independent *cells* — one
+//! (dataset, method, ε) combination each. The pre-existing harness ran the
+//! whole grid in one process and wrote one JSON file at the very end, so a
+//! panic in cell 37 of 40 threw away half an hour of finished work and a
+//! `kill -9` mid-write could leave a truncated file. [`CellRunner`] fixes
+//! both:
+//!
+//! * **Isolation** — each cell runs under `catch_unwind`, so one diverging
+//!   configuration cannot take down the rest of the sweep.
+//! * **Retries** — transient failures ([`PrivimError::is_transient`]) are
+//!   retried with capped exponential backoff (`PRIVIM_RETRIES`, default 2).
+//! * **Incremental atomic writes** — after every finished cell the full
+//!   row array is rewritten via tmp-file + rename, so the output on disk
+//!   is always a complete, valid JSON document.
+//! * **Resume** — on startup the existing output file (if any) is indexed
+//!   by cell key; already-present cells are served from it without
+//!   recomputation. Because every cell seeds its own RNG from its key
+//!   inputs alone, a resumed suite produces byte-for-byte the same final
+//!   JSON as an uninterrupted one.
+
+use privim::results::write_atomic;
+use privim_rt::json::Value;
+use privim_rt::{PrivimError, PrivimResult};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+
+/// How a cell was satisfied this run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CellOutcome {
+    /// Computed fresh in this process.
+    Computed,
+    /// Served from the existing output file.
+    Resumed,
+    /// All attempts failed; the cell is absent from the output.
+    Failed,
+}
+
+/// Per-run failure record.
+#[derive(Clone, Debug)]
+pub struct CellFailure {
+    /// The cell key that failed.
+    pub key: String,
+    /// Rendering of the last error (or panic payload).
+    pub message: String,
+    /// Attempts made, including retries.
+    pub attempts: u32,
+}
+
+/// The resumable cell executor. Construct once per experiment binary,
+/// funnel every grid cell through [`CellRunner::run_cell`], and call
+/// [`CellRunner::finish`] at the end for the summary + process exit code.
+pub struct CellRunner {
+    out: Option<PathBuf>,
+    rows: Vec<Value>,
+    cache: HashMap<String, Value>,
+    computed: usize,
+    resumed: usize,
+    failures: Vec<CellFailure>,
+    max_retries: u32,
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+impl CellRunner {
+    /// Create a runner writing to `out` (or running write-free when
+    /// `None`). An existing well-formed output file is loaded as the
+    /// resume cache; a malformed one is ignored with a warning so a
+    /// corrupted file never wedges the suite.
+    pub fn new(out: Option<&Path>) -> CellRunner {
+        let mut cache = HashMap::new();
+        if let Some(path) = out {
+            match std::fs::read_to_string(path) {
+                Ok(text) => match Value::parse(&text) {
+                    Ok(Value::Arr(rows)) => {
+                        for row in rows {
+                            if let Some(key) = row.get("cell").and_then(|v| v.as_str()) {
+                                cache.insert(key.to_string(), row.clone());
+                            }
+                        }
+                        if !cache.is_empty() {
+                            eprintln!(
+                                "resuming: {} finished cells found in {}",
+                                cache.len(),
+                                path.display()
+                            );
+                        }
+                    }
+                    Ok(_) => eprintln!(
+                        "warning: {} is not a JSON array; starting fresh",
+                        path.display()
+                    ),
+                    Err(e) => eprintln!(
+                        "warning: cannot parse {} ({e}); starting fresh",
+                        path.display()
+                    ),
+                },
+                Err(_) => {} // no prior output: fresh run
+            }
+        }
+        CellRunner {
+            out: out.map(Path::to_path_buf),
+            rows: Vec::new(),
+            cache,
+            computed: 0,
+            resumed: 0,
+            failures: Vec::new(),
+            max_retries: env_u64("PRIVIM_RETRIES", 2) as u32,
+        }
+    }
+
+    /// Run (or resume) one cell. `key` must uniquely identify the cell
+    /// within the suite and be stable across runs — it is stored in the
+    /// row under `"cell"`. `f` computes the row; it must derive all its
+    /// randomness from the cell inputs (not from prior cells) so that
+    /// resumed and uninterrupted runs agree.
+    ///
+    /// Returns the row and how it was obtained; on failure the cell is
+    /// recorded and skipped.
+    pub fn run_cell(
+        &mut self,
+        key: &str,
+        f: impl FnMut() -> PrivimResult<Value>,
+    ) -> (Option<Value>, CellOutcome) {
+        if let Some(row) = self.cache.get(key).cloned() {
+            self.rows.push(row.clone());
+            self.resumed += 1;
+            self.write_snapshot();
+            return (Some(row), CellOutcome::Resumed);
+        }
+        match self.attempt_cell(key, f) {
+            Ok(mut row) => {
+                // Tag the row with its key so a later run can resume it.
+                if let Value::Obj(fields) = &mut row {
+                    if !fields.iter().any(|(k, _)| k == "cell") {
+                        fields.insert(0, ("cell".to_string(), Value::Str(key.to_string())));
+                    }
+                }
+                self.rows.push(row.clone());
+                self.computed += 1;
+                self.write_snapshot();
+                (Some(row), CellOutcome::Computed)
+            }
+            Err(failure) => {
+                eprintln!(
+                    "cell {key} FAILED after {} attempt(s): {}",
+                    failure.attempts, failure.message
+                );
+                self.failures.push(failure);
+                (None, CellOutcome::Failed)
+            }
+        }
+    }
+
+    fn attempt_cell(
+        &self,
+        key: &str,
+        mut f: impl FnMut() -> PrivimResult<Value>,
+    ) -> Result<Value, CellFailure> {
+        let mut last = String::new();
+        for attempt in 0..=self.max_retries {
+            if attempt > 0 {
+                let backoff = backoff_ms(attempt);
+                eprintln!("cell {key}: retry {attempt}/{} in {backoff} ms ({last})", self.max_retries);
+                std::thread::sleep(std::time::Duration::from_millis(backoff));
+            }
+            match catch_unwind(AssertUnwindSafe(&mut f)) {
+                Ok(Ok(row)) => return Ok(row),
+                Ok(Err(e)) => {
+                    let transient = e.is_transient();
+                    last = e.to_string();
+                    if !transient {
+                        // Deterministic failures would just fail again.
+                        return Err(CellFailure {
+                            key: key.to_string(),
+                            message: last,
+                            attempts: attempt + 1,
+                        });
+                    }
+                }
+                Err(payload) => {
+                    last = panic_message(&*payload);
+                }
+            }
+        }
+        Err(CellFailure {
+            key: key.to_string(),
+            message: last,
+            attempts: self.max_retries + 1,
+        })
+    }
+
+    /// Persist everything finished so far. A failed snapshot write is
+    /// downgraded to a warning: the rows stay in memory and the next
+    /// snapshot (or `finish`) retries.
+    fn write_snapshot(&self) {
+        if let Some(path) = &self.out {
+            let doc = Value::Arr(self.rows.clone()).to_json_string_pretty();
+            if let Err(e) = write_with_retry(path, &doc, self.max_retries) {
+                eprintln!("warning: snapshot write to {} failed: {e}", path.display());
+            }
+        }
+    }
+
+    /// Whether `key` can be served from the resume cache without
+    /// computing. Lets a binary skip expensive per-dataset setup when
+    /// every cell that needs it is already on disk.
+    pub fn is_cached(&self, key: &str) -> bool {
+        self.cache.contains_key(key)
+    }
+
+    /// Rows finished this run, in execution order.
+    pub fn rows(&self) -> &[Value] {
+        &self.rows
+    }
+
+    /// Failures recorded this run.
+    pub fn failures(&self) -> &[CellFailure] {
+        &self.failures
+    }
+
+    /// Write the final output, print the run summary, and return the
+    /// process exit code (0 iff no cell failed).
+    pub fn finish(self) -> i32 {
+        if let Some(path) = &self.out {
+            let doc = Value::Arr(self.rows.clone()).to_json_string_pretty();
+            match write_with_retry(path, &doc, self.max_retries) {
+                Ok(()) => eprintln!("wrote {}", path.display()),
+                Err(e) => {
+                    eprintln!("error: final write to {} failed: {e}", path.display());
+                    return 1;
+                }
+            }
+        }
+        eprintln!(
+            "cells: {} computed, {} resumed, {} failed",
+            self.computed,
+            self.resumed,
+            self.failures.len()
+        );
+        if self.failures.is_empty() {
+            0
+        } else {
+            for f in &self.failures {
+                eprintln!("  FAILED {}: {}", f.key, f.message);
+            }
+            1
+        }
+    }
+}
+
+/// Capped exponential backoff: 100 ms · 2^(attempt−1), capped at 2 s.
+/// `PRIVIM_RETRY_BACKOFF_MS` overrides the base (tests use 0).
+fn backoff_ms(attempt: u32) -> u64 {
+    let base = env_u64("PRIVIM_RETRY_BACKOFF_MS", 100);
+    (base.saturating_mul(1u64 << (attempt - 1).min(8))).min(2_000)
+}
+
+fn write_with_retry(path: &Path, contents: &str, max_retries: u32) -> PrivimResult<()> {
+    let mut last: Option<PrivimError> = None;
+    for attempt in 0..=max_retries {
+        if attempt > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(backoff_ms(attempt)));
+        }
+        match write_atomic(path, contents) {
+            Ok(()) => return Ok(()),
+            Err(e) if e.is_transient() => last = Some(e),
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last.unwrap_or_else(|| PrivimError::invalid("unreachable: no write attempted")))
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panicked: {s}")
+    } else {
+        "panicked (non-string payload)".to_string()
+    }
+}
+
+/// Run a fallible computation with the same retry policy as a cell, but
+/// abort the process on final failure — for experiment binaries whose
+/// output is one indivisible document rather than a resumable grid.
+pub fn must_run<T>(desc: &str, mut f: impl FnMut() -> PrivimResult<T>) -> T {
+    let max_retries = env_u64("PRIVIM_RETRIES", 2) as u32;
+    let mut last = String::new();
+    for attempt in 0..=max_retries {
+        if attempt > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(backoff_ms(attempt)));
+        }
+        match f() {
+            Ok(v) => return v,
+            Err(e) => {
+                let transient = e.is_transient();
+                last = e.to_string();
+                if !transient {
+                    break;
+                }
+            }
+        }
+    }
+    eprintln!("error: {desc}: {last}");
+    std::process::exit(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privim_rt::json::ToJson;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("privim_runner_test_{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn row(x: f64) -> Value {
+        Value::obj(vec![("x", x.to_json())])
+    }
+
+    #[test]
+    fn cells_compute_and_write_incrementally() {
+        let dir = tmpdir("basic");
+        let out = dir.join("r.json");
+        let mut runner = CellRunner::new(Some(&out));
+        let (r, o) = runner.run_cell("a", || Ok(row(1.0)));
+        assert_eq!(o, CellOutcome::Computed);
+        assert_eq!(r.unwrap().get("cell").unwrap().as_str(), Some("a"));
+        // the file already holds the finished cell before finish()
+        let doc = Value::parse(&std::fs::read_to_string(&out).unwrap()).unwrap();
+        assert_eq!(doc.as_array().unwrap().len(), 1);
+        runner.run_cell("b", || Ok(row(2.0)));
+        assert_eq!(runner.finish(), 0);
+        let doc = Value::parse(&std::fs::read_to_string(&out).unwrap()).unwrap();
+        assert_eq!(doc.as_array().unwrap().len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_skips_finished_cells_and_matches_bytes() {
+        let dir = tmpdir("resume");
+        let out = dir.join("r.json");
+        // Uninterrupted reference run.
+        let mut full = CellRunner::new(Some(&out));
+        full.run_cell("a", || Ok(row(1.5)));
+        full.run_cell("b", || Ok(row(2.5)));
+        assert_eq!(full.finish(), 0);
+        let reference = std::fs::read_to_string(&out).unwrap();
+
+        // Simulate a crash after cell a: output holds only a.
+        let doc = Value::parse(&reference).unwrap();
+        let partial = Value::Arr(doc.as_array().unwrap()[..1].to_vec());
+        std::fs::write(&out, partial.to_json_string_pretty()).unwrap();
+
+        // Resume: a must come from the cache, b recomputed.
+        let mut resumed = CellRunner::new(Some(&out));
+        let (_, oa) = resumed.run_cell("a", || panic!("must not recompute"));
+        assert_eq!(oa, CellOutcome::Resumed);
+        let (_, ob) = resumed.run_cell("b", || Ok(row(2.5)));
+        assert_eq!(ob, CellOutcome::Computed);
+        assert_eq!(resumed.finish(), 0);
+        assert_eq!(
+            std::fs::read_to_string(&out).unwrap(),
+            reference,
+            "resumed output must be byte-identical"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn panics_are_contained_and_reported() {
+        std::env::set_var("PRIVIM_RETRY_BACKOFF_MS", "0");
+        let mut runner = CellRunner::new(None);
+        let (r, o) = runner.run_cell("bad", || panic!("boom"));
+        assert!(r.is_none());
+        assert_eq!(o, CellOutcome::Failed);
+        // a later healthy cell still runs
+        let (_, o2) = runner.run_cell("good", || Ok(row(3.0)));
+        assert_eq!(o2, CellOutcome::Computed);
+        assert_eq!(runner.failures().len(), 1);
+        assert!(runner.failures()[0].message.contains("boom"));
+        assert_eq!(runner.finish(), 1);
+    }
+
+    #[test]
+    fn transient_errors_are_retried_fatal_ones_are_not() {
+        std::env::set_var("PRIVIM_RETRY_BACKOFF_MS", "0");
+        let mut runner = CellRunner::new(None);
+        let mut calls = 0;
+        let (r, _) = runner.run_cell("flaky", || {
+            calls += 1;
+            if calls < 3 {
+                Err(PrivimError::InjectedFault {
+                    point: "io_write_fail".into(),
+                })
+            } else {
+                Ok(row(9.0))
+            }
+        });
+        assert!(r.is_some(), "transient failure should be retried to success");
+        assert_eq!(calls, 3);
+
+        let mut fatal_calls = 0;
+        let (r, _) = runner.run_cell("fatal", || {
+            fatal_calls += 1;
+            Err(PrivimError::invalid("bad config"))
+        });
+        assert!(r.is_none());
+        assert_eq!(fatal_calls, 1, "deterministic failures must not be retried");
+    }
+
+    #[test]
+    fn corrupt_output_file_starts_fresh() {
+        let dir = tmpdir("corrupt");
+        let out = dir.join("r.json");
+        std::fs::write(&out, "{not json").unwrap();
+        let mut runner = CellRunner::new(Some(&out));
+        let (_, o) = runner.run_cell("a", || Ok(row(4.0)));
+        assert_eq!(o, CellOutcome::Computed);
+        assert_eq!(runner.finish(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

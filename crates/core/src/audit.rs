@@ -21,7 +21,7 @@ use crate::trainer::{train_dpgnn, DpSgdConfig, NoiseKind, TrainItem};
 use privim_gnn::{GnnConfig, GnnKind, GnnModel};
 use privim_graph::{induced_subgraph, Graph, NodeId};
 use privim_rt::ChaCha8Rng;
-use privim_rt::{Rng, SeedableRng};
+use privim_rt::{PrivimError, PrivimResult, Rng, SeedableRng};
 use privim_sampling::{dual_stage_sampling, DualStageConfig, FreqConfig};
 
 /// Configuration of one membership-inference audit.
@@ -74,7 +74,12 @@ pub fn dp_advantage_bound(epsilon: f64, delta: f64) -> f64 {
     ((epsilon.exp() - 1.0 + 2.0 * delta) / (epsilon.exp() + 1.0)).clamp(0.0, 1.0)
 }
 
-fn train_once(g: &Graph, cfg: &AuditConfig, model_seed: u64, train_seed: u64) -> GnnModel {
+fn train_once(
+    g: &Graph,
+    cfg: &AuditConfig,
+    model_seed: u64,
+    train_seed: u64,
+) -> PrivimResult<GnnModel> {
     let mut rng = ChaCha8Rng::seed_from_u64(train_seed);
     let scfg = DualStageConfig {
         stage1: FreqConfig {
@@ -88,7 +93,7 @@ fn train_once(g: &Graph, cfg: &AuditConfig, model_seed: u64, train_seed: u64) ->
         shrink: 2,
         enable_bes: true,
     };
-    let out = dual_stage_sampling(g, &scfg, &mut rng);
+    let out = dual_stage_sampling(g, &scfg, &mut rng)?;
     let mut container = out.container;
     if container.is_empty() {
         let all: Vec<NodeId> = g.nodes().collect();
@@ -116,18 +121,24 @@ fn train_once(g: &Graph, cfg: &AuditConfig, model_seed: u64, train_seed: u64) ->
         seed: train_seed,
         tail_average: true,
         weight_decay: 0.01,
+        max_recoveries: 8,
+        fault: None,
     };
-    train_dpgnn(&mut model, &items, &tcfg);
-    model
+    train_dpgnn(&mut model, &items, &tcfg)?;
+    Ok(model)
 }
 
 /// Run the audit on `g`. For each target node `v`, trains an IN model (on
 /// `g`) and an OUT model (on `g` with `v` removed), scores `v`'s
 /// neighbourhood with both, and uses the score gap as the attack
 /// statistic. Returns the distributions and the attack advantage.
-pub fn membership_inference_audit(g: &Graph, cfg: &AuditConfig) -> AuditResult {
-    assert!(cfg.targets >= 2, "need at least two targets");
-    assert!(g.num_nodes() >= 8, "graph too small to audit");
+pub fn membership_inference_audit(g: &Graph, cfg: &AuditConfig) -> PrivimResult<AuditResult> {
+    if cfg.targets < 2 {
+        return Err(PrivimError::invalid("need at least two audit targets"));
+    }
+    if g.num_nodes() < 8 {
+        return Err(PrivimError::empty("graph too small to audit (< 8 nodes)"));
+    }
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
     let mut in_scores = Vec::with_capacity(cfg.targets);
     let mut out_scores = Vec::with_capacity(cfg.targets);
@@ -141,7 +152,7 @@ pub fn membership_inference_audit(g: &Graph, cfg: &AuditConfig) -> AuditResult {
             scores[target as usize]
         };
 
-        let in_model = train_once(g, cfg, cfg.seed + 1_000 + t as u64, cfg.seed + t as u64);
+        let in_model = train_once(g, cfg, cfg.seed + 1_000 + t as u64, cfg.seed + t as u64)?;
         in_scores.push(probe(&in_model));
 
         // OUT world: remove the node and all its edges (unbounded node DP)
@@ -152,15 +163,15 @@ pub fn membership_inference_audit(g: &Graph, cfg: &AuditConfig) -> AuditResult {
             cfg,
             cfg.seed + 1_000 + t as u64,
             cfg.seed + t as u64,
-        );
+        )?;
         out_scores.push(probe(&out_model));
     }
 
-    AuditResult {
+    Ok(AuditResult {
         advantage: best_threshold_advantage(&in_scores, &out_scores),
         in_scores,
         out_scores,
-    }
+    })
 }
 
 /// Max over thresholds of |TPR − FPR| for a one-dimensional statistic.
@@ -205,8 +216,8 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(33);
         let g =
             privim_graph::generators::barabasi_albert(120, 3, &mut rng).with_uniform_weights(1.0);
-        let noisy = membership_inference_audit(&g, &AuditConfig::quick(4.0, 5));
-        let clean = membership_inference_audit(&g, &AuditConfig::quick(0.0, 5));
+        let noisy = membership_inference_audit(&g, &AuditConfig::quick(4.0, 5)).unwrap();
+        let clean = membership_inference_audit(&g, &AuditConfig::quick(0.0, 5)).unwrap();
         assert!(
             noisy.advantage <= clean.advantage + 0.35,
             "noisy {} vs clean {}",

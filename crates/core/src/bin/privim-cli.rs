@@ -139,7 +139,10 @@ fn cmd_seeds(flags: Flags) {
             usage()
         }
     };
-    let out = run_method(method, &setup, flags.seed);
+    let out = run_method(method, &setup, flags.seed).unwrap_or_else(|e| {
+        eprintln!("method {} failed: {e}", flags.method);
+        exit(1)
+    });
     eprintln!(
         "method {} | spread {:.0} | {:.1}% of CELF | sigma {:.3} | {} subgraphs",
         out.method, out.spread, out.coverage_ratio, out.sigma, out.container_size

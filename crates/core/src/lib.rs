@@ -30,7 +30,7 @@
 //! let mut rng = privim_rt::ChaCha8Rng::seed_from_u64(7);
 //! let g = Dataset::LastFm.generate_scaled(0.1, &mut rng);
 //! let setup = EvalSetup::paper_defaults(&g, 50, &mut rng);
-//! let out = run_method(Method::PrivImStar { epsilon: 4.0 }, &setup, 1);
+//! let out = run_method(Method::PrivImStar { epsilon: 4.0 }, &setup, 1).unwrap();
 //! println!("spread {} (coverage {:.1}%)", out.spread, out.coverage_ratio);
 //! ```
 

@@ -255,7 +255,7 @@ mod tests {
             walk_len: 100,
             threshold: 6,
         };
-        let sets = freq_sampling(&g, &mut freq, &scfg, &mut rng);
+        let sets = freq_sampling(&g, &mut freq, &scfg, &mut rng).unwrap();
         let subs: Vec<_> = sets.iter().map(|s| induced_subgraph(&g, s)).collect();
         let items = TrainItem::from_container(&subs);
         let mut model = GnnModel::new(
@@ -279,6 +279,8 @@ mod tests {
             seed: 4,
             tail_average: false,
             weight_decay: 0.0,
+            max_recoveries: 8,
+            fault: None,
         };
         let side = train_maxcut(&mut model, &items, &g, &cfg, 0.5);
         let trained_cut = cut_value(&g, &side);

@@ -16,7 +16,7 @@ use privim_gnn::{GnnConfig, GnnKind, GnnModel};
 use privim_graph::{induced_subgraph, projection::theta_projection, Graph, NodeId, Subgraph};
 use privim_im::{celf_exact, coverage_ratio, heuristics, one_step_spread};
 use privim_rt::ChaCha8Rng;
-use privim_rt::{Rng, SeedableRng, SliceRandom};
+use privim_rt::{PrivimResult, Rng, SeedableRng, SliceRandom};
 use privim_sampling::{
     dual_stage_sampling, extract_subgraphs, DualStageConfig, FreqConfig, Indicator,
     IndicatorParams, RwrConfig, SubgraphContainer,
@@ -268,9 +268,12 @@ struct PreparedRun {
 
 /// Run one method once. `rep` perturbs every RNG so repeated calls give
 /// independent replicates (Table II's mean ± std over 5 runs).
-pub fn run_method(method: Method, setup: &EvalSetup<'_>, rep: u64) -> MethodOutput {
+///
+/// Failures surface as typed errors rather than panics so the experiment
+/// runner can isolate and retry a single (dataset, method, ε) cell.
+pub fn run_method(method: Method, setup: &EvalSetup<'_>, rep: u64) -> PrivimResult<MethodOutput> {
     let mut rng = ChaCha8Rng::seed_from_u64(0x9e3779b9u64.wrapping_mul(rep + 1));
-    match method {
+    Ok(match method {
         Method::Celf => {
             let spread = one_step_spread(setup.graph, &setup.celf_seeds) as f64;
             MethodOutput::non_learning("celf", spread, 100.0, setup.celf_seeds.clone())
@@ -287,16 +290,20 @@ pub fn run_method(method: Method, setup: &EvalSetup<'_>, rep: u64) -> MethodOutp
             let cr = coverage_ratio(spread, setup.celf_spread);
             MethodOutput::non_learning("random", spread, cr, seeds)
         }
-        _ => run_learning_method(method, setup, &mut rng),
-    }
+        _ => run_learning_method(method, setup, &mut rng)?,
+    })
 }
 
-fn prepare(method: Method, setup: &EvalSetup<'_>, rng: &mut ChaCha8Rng) -> PreparedRun {
+fn prepare(
+    method: Method,
+    setup: &EvalSetup<'_>,
+    rng: &mut ChaCha8Rng,
+) -> PrivimResult<PreparedRun> {
     let p = &setup.params;
     let tg = &setup.train_graph.graph;
     let v_train = tg.num_nodes();
     let t0 = Instant::now();
-    match method {
+    Ok(match method {
         Method::PrivIm { .. } => {
             let projected = theta_projection(tg, p.theta, rng);
             let container = extract_subgraphs(&projected, &p.rwr_config(v_train), rng);
@@ -322,7 +329,7 @@ fn prepare(method: Method, setup: &EvalSetup<'_>, rng: &mut ChaCha8Rng) -> Prepa
                 shrink: p.shrink,
                 enable_bes: false,
             };
-            let out = dual_stage_sampling(tg, &cfg, rng);
+            let out = dual_stage_sampling(tg, &cfg, rng)?;
             PreparedRun {
                 container: out.container,
                 occurrence_bound: p.threshold as u64,
@@ -339,7 +346,7 @@ fn prepare(method: Method, setup: &EvalSetup<'_>, rng: &mut ChaCha8Rng) -> Prepa
                 shrink: p.shrink,
                 enable_bes: true,
             };
-            let out = dual_stage_sampling(tg, &cfg, rng);
+            let out = dual_stage_sampling(tg, &cfg, rng)?;
             PreparedRun {
                 container: out.container,
                 occurrence_bound: p.threshold as u64,
@@ -356,7 +363,7 @@ fn prepare(method: Method, setup: &EvalSetup<'_>, rng: &mut ChaCha8Rng) -> Prepa
                 shrink: p.shrink,
                 enable_bes: true,
             };
-            let out = dual_stage_sampling(tg, &cfg, rng);
+            let out = dual_stage_sampling(tg, &cfg, rng)?;
             PreparedRun {
                 container: out.container,
                 occurrence_bound: p.threshold as u64,
@@ -406,16 +413,16 @@ fn prepare(method: Method, setup: &EvalSetup<'_>, rng: &mut ChaCha8Rng) -> Prepa
         Method::Celf | Method::Degree | Method::Random => {
             unreachable!("handled before prepare")
         }
-    }
+    })
 }
 
 fn run_learning_method(
     method: Method,
     setup: &EvalSetup<'_>,
     rng: &mut ChaCha8Rng,
-) -> MethodOutput {
+) -> PrivimResult<MethodOutput> {
     let p = &setup.params;
-    let mut prep = prepare(method, setup, rng);
+    let mut prep = prepare(method, setup, rng)?;
     if prep.container.is_empty() {
         // Degenerate graphs (too small / too sparse for the walk length):
         // fall back to a single subgraph over the whole training graph so
@@ -483,9 +490,11 @@ fn run_learning_method(
         seed: rng.gen(),
         tail_average: true,
         weight_decay: 0.01,
+        max_recoveries: 8,
+        fault: None,
     };
     let t_train = Instant::now();
-    let report = train_dpgnn(&mut model, &items, &train_cfg);
+    let report = train_dpgnn(&mut model, &items, &train_cfg)?;
     let train_secs = t_train.elapsed().as_secs_f64();
 
     // Seed selection on the full graph + evaluation.
@@ -495,7 +504,7 @@ fn run_learning_method(
     let cr = coverage_ratio(spread, setup.celf_spread);
 
     let iters_per_epoch = (prep.container.len() as f64 / batch as f64).max(1.0);
-    MethodOutput {
+    Ok(MethodOutput {
         method: method.name(),
         spread,
         coverage_ratio: cr,
@@ -510,7 +519,7 @@ fn run_learning_method(
         train_iters: p.iters,
         seeds,
         final_loss: report.loss_trace.last().copied().unwrap_or(f64::NAN),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -536,7 +545,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let (g, p) = small_setup(&mut rng);
         let setup = EvalSetup::with_params(&g, 10, p, &mut rng);
-        let out = run_method(Method::Celf, &setup, 1);
+        let out = run_method(Method::Celf, &setup, 1).unwrap();
         assert_eq!(out.coverage_ratio, 100.0);
         assert_eq!(out.seeds.len(), 10);
     }
@@ -555,7 +564,7 @@ mod tests {
             Method::Hp { epsilon: 4.0 },
             Method::HpGrat { epsilon: 4.0 },
         ] {
-            let out = run_method(m, &setup, 1);
+            let out = run_method(m, &setup, 1).unwrap();
             assert_eq!(out.seeds.len(), 10, "{}", out.method);
             assert!(out.spread >= 10.0, "{}: spread {}", out.method, out.spread);
             assert!(out.coverage_ratio > 0.0);
@@ -573,10 +582,10 @@ mod tests {
         let (g, p) = small_setup(&mut rng);
         let threshold = p.threshold;
         let setup = EvalSetup::with_params(&g, 10, p, &mut rng);
-        let star = run_method(Method::PrivImStar { epsilon: 4.0 }, &setup, 1);
+        let star = run_method(Method::PrivImStar { epsilon: 4.0 }, &setup, 1).unwrap();
         assert!(star.max_occurrence <= threshold);
         assert_eq!(star.occurrence_bound, threshold as u64);
-        let naive = run_method(Method::PrivIm { epsilon: 4.0 }, &setup, 1);
+        let naive = run_method(Method::PrivIm { epsilon: 4.0 }, &setup, 1).unwrap();
         // layers = 2, θ = 10 ⇒ N_g = 1 + 10 + 100 (Lemma 1)
         assert_eq!(naive.occurrence_bound, 111);
         assert!(naive.occurrence_bound >= 9 * star.occurrence_bound);
@@ -597,7 +606,7 @@ mod tests {
         p.iters = 30; // enough budget for the non-private model to learn
         let setup = EvalSetup::with_params(&g, 10, p, &mut rng);
         let avg = |m: Method| -> f64 {
-            (0..5).map(|r| run_method(m, &setup, r).spread).sum::<f64>() / 5.0
+            (0..5).map(|r| run_method(m, &setup, r).unwrap().spread).sum::<f64>() / 5.0
         };
         let np = avg(Method::NonPrivate);
         let egn = avg(Method::Egn { epsilon: 1.0 });
@@ -607,8 +616,8 @@ mod tests {
         );
         // EGN's uncontrolled occurrences force vastly more effective noise
         // than PrivIM* at the same ε — the deterministic part of the claim.
-        let star = run_method(Method::PrivImStar { epsilon: 1.0 }, &setup, 0);
-        let egn_run = run_method(Method::Egn { epsilon: 1.0 }, &setup, 0);
+        let star = run_method(Method::PrivImStar { epsilon: 1.0 }, &setup, 0).unwrap();
+        let egn_run = run_method(Method::Egn { epsilon: 1.0 }, &setup, 0).unwrap();
         let noise_egn = egn_run.sigma * egn_run.occurrence_bound as f64;
         let noise_star = star.sigma * star.occurrence_bound as f64;
         assert!(
@@ -622,8 +631,8 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         let (g, p) = small_setup(&mut rng);
         let setup = EvalSetup::with_params(&g, 10, p, &mut rng);
-        let a = run_method(Method::PrivImStar { epsilon: 2.0 }, &setup, 1);
-        let b = run_method(Method::PrivImStar { epsilon: 2.0 }, &setup, 2);
+        let a = run_method(Method::PrivImStar { epsilon: 2.0 }, &setup, 1).unwrap();
+        let b = run_method(Method::PrivImStar { epsilon: 2.0 }, &setup, 2).unwrap();
         // different noise draws -> (almost surely) different seed sets
         assert!(a.seeds != b.seeds || a.spread == b.spread);
     }

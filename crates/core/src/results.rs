@@ -1,7 +1,47 @@
 //! Structured experiment outputs consumed by the bench harness and
-//! EXPERIMENTS.md tooling.
+//! EXPERIMENTS.md tooling, plus the crash-safe result writer every
+//! experiment binary goes through.
 
 use privim_graph::NodeId;
+use privim_rt::fault::{self, FaultPoint};
+use privim_rt::{PrivimError, PrivimResult};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counter of atomic writes in this process — the logical index
+/// the `io_write_fail` fault point keys on.
+static WRITE_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Write `contents` to `path` atomically: the bytes go to `<path>.tmp`
+/// first and only a successful write is renamed over the destination, so a
+/// crash (or an injected I/O fault) mid-write can never leave a truncated
+/// or half-old result file behind.
+pub fn write_atomic(path: impl AsRef<Path>, contents: &str) -> PrivimResult<()> {
+    let path = path.as_ref();
+    let idx = WRITE_COUNTER.fetch_add(1, Ordering::Relaxed);
+    if fault::env_plan().is_some_and(|p| p.fires(FaultPoint::IoWriteFail, idx)) {
+        return Err(PrivimError::InjectedFault {
+            point: FaultPoint::IoWriteFail.name().to_string(),
+        });
+    }
+    let tmp = path.with_extension(match path.extension().and_then(|e| e.to_str()) {
+        Some(ext) => format!("{ext}.tmp"),
+        None => "tmp".to_string(),
+    });
+    let ctx = |what: &str| format!("{what} {}", tmp.display());
+    std::fs::write(&tmp, contents).map_err(|e| PrivimError::io(ctx("writing"), e))?;
+    std::fs::rename(&tmp, path)
+        .map_err(|e| PrivimError::io(format!("renaming {} -> {}", tmp.display(), path.display()), e))
+}
+
+/// [`write_atomic`] for a JSON value, pretty-printed (the format every
+/// `exp_*` binary emits).
+pub fn write_json_atomic(
+    path: impl AsRef<Path>,
+    value: &privim_rt::json::Value,
+) -> PrivimResult<()> {
+    write_atomic(path, &value.to_json_string_pretty())
+}
 
 /// Everything one method run produces: utility, privacy, and cost — the
 /// union of what Figure 5, Table II and Table III report.
@@ -145,6 +185,24 @@ mod tests {
         assert_eq!(back.seeds, vec![1, 2, 3]);
         assert_eq!(back.spread, 123.0);
         assert_eq!(back.epsilon, None);
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_cleans_up() {
+        let dir = std::env::temp_dir().join("privim_results_test_aw");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.json");
+        write_atomic(&path, "{\"v\": 1}").unwrap();
+        write_atomic(&path, "{\"v\": 2}").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"v\": 2}");
+        assert!(!dir.join("out.json.tmp").exists(), "tmp file left behind");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn atomic_write_to_bad_path_is_typed_io_error() {
+        let err = write_atomic("/nonexistent-dir-privim/out.json", "x").unwrap_err();
+        assert!(matches!(err, privim_rt::PrivimError::Io { .. }), "{err}");
     }
 
     #[test]

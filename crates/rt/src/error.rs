@@ -1,0 +1,173 @@
+//! The workspace-wide typed error, [`PrivimError`].
+//!
+//! Library entry points that used to `assert!`/`panic!` on bad input now
+//! return `Result<_, PrivimError>` so the experiment harness can isolate,
+//! retry, and report failures instead of dying mid-suite. The taxonomy is
+//! deliberately small — callers dispatch on *recoverability*, not on the
+//! precise site that failed:
+//!
+//! | variant | meaning | recoverable? |
+//! |---|---|---|
+//! | [`PrivimError::InvalidInput`] | caller bug (bad config, mismatched lengths) | no — fix the call |
+//! | [`PrivimError::EmptyInput`] | degenerate data (empty graph/container) | no — skip the cell |
+//! | [`PrivimError::Diverged`] | DP-SGD exhausted its recovery budget | no — raise `max_recoveries` or lower `lr` |
+//! | [`PrivimError::Io`] | filesystem failure | yes — retry with backoff |
+//! | [`PrivimError::InjectedFault`] | deterministic fault injection fired | yes — retry |
+
+use std::fmt;
+
+/// Shorthand for `Result<T, PrivimError>`.
+pub type PrivimResult<T> = Result<T, PrivimError>;
+
+/// The typed error shared by every crate in the workspace.
+#[derive(Debug)]
+pub enum PrivimError {
+    /// A caller-side contract violation: invalid configuration values,
+    /// mismatched vector lengths, out-of-range parameters.
+    InvalidInput(String),
+    /// Structurally valid but degenerate input that the operation cannot
+    /// produce a meaningful result for (empty graph, empty container).
+    EmptyInput(String),
+    /// DP-SGD detected non-finite state more often than its bounded
+    /// recovery budget allows. The privacy spend of all attempted steps
+    /// has already been charged when this is returned.
+    Diverged {
+        /// Iteration at which the recovery budget ran out.
+        step: u64,
+        /// Recovery attempts consumed before giving up.
+        recoveries: u32,
+        /// What the sentinel kept observing (e.g. "non-finite gradient").
+        message: String,
+    },
+    /// A filesystem operation failed.
+    Io {
+        /// What was being attempted (usually a path).
+        context: String,
+        /// The underlying OS error.
+        source: std::io::Error,
+    },
+    /// A deterministic fault point fired (see [`crate::fault`]). Only ever
+    /// produced under an active fault plan; treated as transient by the
+    /// experiment runner so retry paths are exercised.
+    InjectedFault {
+        /// Name of the fault point that fired.
+        point: String,
+    },
+    /// Malformed serialized data (JSON results, checkpoints).
+    Parse(String),
+}
+
+impl PrivimError {
+    /// Convenience constructor for [`PrivimError::InvalidInput`].
+    pub fn invalid(msg: impl Into<String>) -> Self {
+        PrivimError::InvalidInput(msg.into())
+    }
+
+    /// Convenience constructor for [`PrivimError::EmptyInput`].
+    pub fn empty(msg: impl Into<String>) -> Self {
+        PrivimError::EmptyInput(msg.into())
+    }
+
+    /// Convenience constructor for [`PrivimError::Io`].
+    pub fn io(context: impl Into<String>, source: std::io::Error) -> Self {
+        PrivimError::Io {
+            context: context.into(),
+            source,
+        }
+    }
+
+    /// True for failures worth retrying (transient I/O, injected faults);
+    /// false for deterministic failures that would just fail again.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            PrivimError::Io { .. } | PrivimError::InjectedFault { .. }
+        )
+    }
+}
+
+impl fmt::Display for PrivimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrivimError::InvalidInput(m) => write!(f, "invalid input: {m}"),
+            PrivimError::EmptyInput(m) => write!(f, "empty input: {m}"),
+            PrivimError::Diverged {
+                step,
+                recoveries,
+                message,
+            } => write!(
+                f,
+                "training diverged at step {step} after {recoveries} recovery attempts: {message}"
+            ),
+            PrivimError::Io { context, source } => write!(f, "io error ({context}): {source}"),
+            PrivimError::InjectedFault { point } => {
+                write!(f, "injected fault fired: {point}")
+            }
+            PrivimError::Parse(m) => write!(f, "parse error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PrivimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PrivimError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PrivimError {
+    fn from(e: std::io::Error) -> Self {
+        PrivimError::Io {
+            context: String::new(),
+            source: e,
+        }
+    }
+}
+
+impl From<crate::json::ParseError> for PrivimError {
+    fn from(e: crate::json::ParseError) -> Self {
+        PrivimError::Parse(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = PrivimError::invalid("batch must be >= 1");
+        assert!(e.to_string().contains("batch must be >= 1"));
+        let e = PrivimError::Diverged {
+            step: 12,
+            recoveries: 8,
+            message: "non-finite gradient".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("step 12") && s.contains("8 recovery"));
+    }
+
+    #[test]
+    fn transience_classification() {
+        assert!(PrivimError::io("x", std::io::Error::other("boom")).is_transient());
+        assert!(PrivimError::InjectedFault { point: "io".into() }.is_transient());
+        assert!(!PrivimError::invalid("x").is_transient());
+        assert!(!PrivimError::empty("x").is_transient());
+    }
+
+    #[test]
+    fn io_source_chains() {
+        use std::error::Error;
+        let e = PrivimError::io("writing results", std::io::Error::other("disk full"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn json_parse_error_converts() {
+        let bad = crate::json::Value::parse("{oops").unwrap_err();
+        let e: PrivimError = bad.into();
+        assert!(matches!(e, PrivimError::Parse(_)));
+    }
+}

@@ -1,0 +1,262 @@
+//! Deterministic fault injection for exercising recovery paths.
+//!
+//! A [`FaultPlan`] decides, purely as a function of `(seed, point, index)`,
+//! whether a given fault point fires at a given logical index. Decisions
+//! are keyed on *logical* indices (DP-SGD step number, container item
+//! index, write counter) rather than wall clock or global mutable state,
+//! so a faulty run replays bit-identically at any thread count — the same
+//! property the rest of the workspace guarantees for healthy runs.
+//!
+//! Plans come from two places:
+//!
+//! * explicitly, in tests: `FaultPlan::at_step(seed, point, step)` or
+//!   `FaultPlan::new(seed, &points, rate)`;
+//! * from the environment, for whole-process experiments:
+//!   `PRIVIM_FAULT=nan_gradient,io_write_fail` (or `all`) enables points,
+//!   with `PRIVIM_FAULT_SEED` (default 0), `PRIVIM_FAULT_RATE` (default
+//!   0.05) and optional `PRIVIM_FAULT_AT=<index>` pinning the firing index.
+//!   [`env_plan`] parses once and caches.
+
+use crate::{ChaCha8Rng, Rng, SeedableRng};
+use std::sync::OnceLock;
+
+/// The registry of fault points threaded through the workspace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultPoint {
+    /// Replace one coordinate of the summed per-step gradient with NaN
+    /// (trainer, indexed by step).
+    NanGradient,
+    /// Scale the summed per-step gradient by 1e9 (trainer, indexed by
+    /// step) — a finite but divergence-inducing blow-up.
+    OversizedGradient,
+    /// Drop every sample from one DP-SGD batch (trainer, indexed by step).
+    EmptyBatch,
+    /// Poison one prepared subgraph's feature matrix with NaN (container
+    /// preparation, indexed by item).
+    PoisonedSubgraph,
+    /// Fail an atomic result write before the rename (result writer,
+    /// indexed by write counter).
+    IoWriteFail,
+}
+
+impl FaultPoint {
+    /// Every fault point, in registry order.
+    pub const ALL: [FaultPoint; 5] = [
+        FaultPoint::NanGradient,
+        FaultPoint::OversizedGradient,
+        FaultPoint::EmptyBatch,
+        FaultPoint::PoisonedSubgraph,
+        FaultPoint::IoWriteFail,
+    ];
+
+    /// Canonical snake_case name (the `PRIVIM_FAULT` vocabulary).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultPoint::NanGradient => "nan_gradient",
+            FaultPoint::OversizedGradient => "oversized_gradient",
+            FaultPoint::EmptyBatch => "empty_batch",
+            FaultPoint::PoisonedSubgraph => "poisoned_subgraph",
+            FaultPoint::IoWriteFail => "io_write_fail",
+        }
+    }
+
+    /// Parse a canonical name.
+    pub fn from_name(s: &str) -> Option<FaultPoint> {
+        FaultPoint::ALL.into_iter().find(|p| p.name() == s)
+    }
+
+    fn bit(&self) -> u8 {
+        match self {
+            FaultPoint::NanGradient => 1 << 0,
+            FaultPoint::OversizedGradient => 1 << 1,
+            FaultPoint::EmptyBatch => 1 << 2,
+            FaultPoint::PoisonedSubgraph => 1 << 3,
+            FaultPoint::IoWriteFail => 1 << 4,
+        }
+    }
+
+    /// Per-point domain separator for the firing hash.
+    fn salt(&self) -> u64 {
+        0xFA17_0000u64 | self.bit() as u64
+    }
+}
+
+/// A deterministic fault schedule: which points are armed, and when they
+/// fire. `Copy` so configs that embed it stay `Copy`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    mask: u8,
+    rate: f64,
+    /// When set, armed points fire exactly at this index (rate ignored).
+    at: Option<u64>,
+}
+
+impl FaultPlan {
+    /// A plan arming `points` with independent per-index firing
+    /// probability `rate` (clamped to `[0, 1]`).
+    pub fn new(seed: u64, points: &[FaultPoint], rate: f64) -> FaultPlan {
+        let mut mask = 0u8;
+        for p in points {
+            mask |= p.bit();
+        }
+        FaultPlan {
+            seed,
+            mask,
+            rate: rate.clamp(0.0, 1.0),
+            at: None,
+        }
+    }
+
+    /// A plan where `point` fires exactly once, at logical index `step` —
+    /// the workhorse for reproducing a specific failure in tests.
+    pub fn at_step(seed: u64, point: FaultPoint, step: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            mask: point.bit(),
+            rate: 1.0,
+            at: Some(step),
+        }
+    }
+
+    /// Whether `point` is armed at all.
+    pub fn enabled(&self, point: FaultPoint) -> bool {
+        self.mask & point.bit() != 0
+    }
+
+    /// The seed this plan derives its decisions from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Does `point` fire at logical `index`? Pure function of
+    /// `(seed, point, index)` — no interior state, no thread sensitivity.
+    pub fn fires(&self, point: FaultPoint, index: u64) -> bool {
+        if !self.enabled(point) {
+            return false;
+        }
+        match self.at {
+            Some(a) => index == a,
+            None => {
+                let key = self
+                    .seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(point.salt())
+                    .wrapping_add(index.wrapping_mul(0xD134_2543_DE82_EF95));
+                let mut rng = ChaCha8Rng::seed_from_u64(key);
+                rng.gen::<f64>() < self.rate
+            }
+        }
+    }
+}
+
+/// The process-wide plan parsed from the environment, if any. Parsed once;
+/// `None` unless `PRIVIM_FAULT` is set to a non-empty point list.
+pub fn env_plan() -> Option<FaultPlan> {
+    static PLAN: OnceLock<Option<FaultPlan>> = OnceLock::new();
+    *PLAN.get_or_init(parse_env)
+}
+
+fn parse_env() -> Option<FaultPlan> {
+    let spec = std::env::var("PRIVIM_FAULT").ok()?;
+    let spec = spec.trim();
+    if spec.is_empty() {
+        return None;
+    }
+    let points: Vec<FaultPoint> = if spec == "all" {
+        FaultPoint::ALL.to_vec()
+    } else {
+        spec.split(',')
+            .filter_map(|s| {
+                let s = s.trim();
+                let p = FaultPoint::from_name(s);
+                if p.is_none() && !s.is_empty() {
+                    eprintln!("warning: unknown PRIVIM_FAULT point {s:?} ignored");
+                }
+                p
+            })
+            .collect()
+    };
+    if points.is_empty() {
+        return None;
+    }
+    let var_u64 = |name: &str, default: u64| {
+        std::env::var(name)
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(default)
+    };
+    let rate = std::env::var("PRIVIM_FAULT_RATE")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0.05);
+    let mut plan = FaultPlan::new(var_u64("PRIVIM_FAULT_SEED", 0), &points, rate);
+    if let Ok(at) = std::env::var("PRIVIM_FAULT_AT") {
+        if let Ok(at) = at.trim().parse() {
+            plan.at = Some(at);
+        }
+    }
+    Some(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for p in FaultPoint::ALL {
+            assert_eq!(FaultPoint::from_name(p.name()), Some(p));
+        }
+        assert_eq!(FaultPoint::from_name("no_such_fault"), None);
+    }
+
+    #[test]
+    fn firing_is_deterministic_and_seed_sensitive() {
+        let a = FaultPlan::new(1, &[FaultPoint::NanGradient], 0.5);
+        let b = FaultPlan::new(1, &[FaultPoint::NanGradient], 0.5);
+        let c = FaultPlan::new(2, &[FaultPoint::NanGradient], 0.5);
+        let fire = |p: &FaultPlan| -> Vec<bool> {
+            (0..64).map(|i| p.fires(FaultPoint::NanGradient, i)).collect()
+        };
+        assert_eq!(fire(&a), fire(&b), "same seed must replay identically");
+        assert_ne!(fire(&a), fire(&c), "different seeds must differ");
+    }
+
+    #[test]
+    fn disarmed_points_never_fire() {
+        let p = FaultPlan::new(3, &[FaultPoint::NanGradient], 1.0);
+        assert!(!p.fires(FaultPoint::IoWriteFail, 0));
+        assert!(p.fires(FaultPoint::NanGradient, 0));
+    }
+
+    #[test]
+    fn at_step_fires_exactly_once() {
+        let p = FaultPlan::at_step(9, FaultPoint::OversizedGradient, 5);
+        let hits: Vec<u64> = (0..100)
+            .filter(|&i| p.fires(FaultPoint::OversizedGradient, i))
+            .collect();
+        assert_eq!(hits, vec![5]);
+    }
+
+    #[test]
+    fn rate_zero_and_one_are_exact() {
+        let never = FaultPlan::new(4, &[FaultPoint::EmptyBatch], 0.0);
+        let always = FaultPlan::new(4, &[FaultPoint::EmptyBatch], 1.0);
+        for i in 0..50 {
+            assert!(!never.fires(FaultPoint::EmptyBatch, i));
+            assert!(always.fires(FaultPoint::EmptyBatch, i));
+        }
+    }
+
+    #[test]
+    fn rate_is_roughly_respected() {
+        let p = FaultPlan::new(11, &[FaultPoint::PoisonedSubgraph], 0.2);
+        let n = 2000;
+        let hits = (0..n)
+            .filter(|&i| p.fires(FaultPoint::PoisonedSubgraph, i))
+            .count();
+        let frac = hits as f64 / n as f64;
+        assert!((frac - 0.2).abs() < 0.05, "empirical rate {frac}");
+    }
+}

@@ -24,12 +24,23 @@
 //!   output and model persistence. `f64` values round-trip exactly.
 //! * [`bench`] — a tiny fixed-iteration micro-benchmark harness replacing
 //!   `criterion` for the `crates/bench` benches.
+//!
+//! Two fault-tolerance subsystems sit alongside them:
+//!
+//! * [`error`] — [`PrivimError`], the typed error every library-path
+//!   `Result` in the workspace carries.
+//! * [`fault`] — deterministic, seed-driven fault injection
+//!   ([`fault::FaultPlan`]) used to test divergence-recovery and retry
+//!   paths bit-reproducibly at any thread count.
 
 pub mod bench;
 pub mod chacha;
+pub mod error;
+pub mod fault;
 pub mod json;
 pub mod par;
 pub mod rng;
 
 pub use chacha::{ChaCha12Rng, ChaCha20Rng, ChaCha8Rng};
+pub use error::{PrivimError, PrivimResult};
 pub use rng::{dist, Rng, RngCore, SeedableRng, SliceRandom};

@@ -15,7 +15,7 @@
 use crate::container::SubgraphContainer;
 use crate::freq::{freq_sampling, FreqConfig};
 use privim_graph::{induced_subgraph, Graph, NodeId};
-use privim_rt::Rng;
+use privim_rt::{PrivimResult, Rng};
 
 /// Parameters for the full dual-stage scheme.
 #[derive(Clone, Copy, Debug)]
@@ -64,26 +64,28 @@ pub struct DualStageOutput {
     pub frequencies: Vec<u32>,
 }
 
-/// Run Algorithm 3 over `g`.
+/// Run Algorithm 3 over `g`. Degenerate graphs (empty, zero-edge,
+/// single-node) yield an empty container, not an error; invalid
+/// configurations are [`privim_rt::PrivimError::InvalidInput`].
 pub fn dual_stage_sampling(
     g: &Graph,
     cfg: &DualStageConfig,
     rng: &mut impl Rng,
-) -> DualStageOutput {
+) -> PrivimResult<DualStageOutput> {
     // ---- Stage 1: SCS (Lines 1-2) ----
     let mut freq = vec![0u32; g.num_nodes()];
-    let stage1_sets = freq_sampling(g, &mut freq, &cfg.stage1, rng);
+    let stage1_sets = freq_sampling(g, &mut freq, &cfg.stage1, rng)?;
     let mut container = SubgraphContainer::from_node_sets(g, &stage1_sets);
     let stage1_count = container.len();
 
     if !cfg.enable_bes {
-        return DualStageOutput {
+        return Ok(DualStageOutput {
             container,
             stage1_count,
             stage2_count: 0,
             saturated_nodes: freq.iter().filter(|&&f| f >= cfg.stage1.threshold).count(),
             frequencies: freq,
-        };
+        });
     }
 
     // ---- Stage 2: BES (Lines 3-6) ----
@@ -104,7 +106,7 @@ pub fn dual_stage_sampling(
             .iter()
             .map(|&o| freq[o as usize])
             .collect();
-        let stage2_sets = freq_sampling(&residual.graph, &mut f_star, &cfg.stage2(), rng);
+        let stage2_sets = freq_sampling(&residual.graph, &mut f_star, &cfg.stage2(), rng)?;
         stage2_count = stage2_sets.len();
 
         // Map residual-graph ids back to original ids, then induce the
@@ -125,13 +127,13 @@ pub fn dual_stage_sampling(
         stage2_count = 0;
     }
 
-    DualStageOutput {
+    Ok(DualStageOutput {
         container,
         stage1_count,
         stage2_count,
         saturated_nodes,
         frequencies: freq,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -163,7 +165,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let g = generators::barabasi_albert(400, 5, &mut rng);
         for m in [2u32, 4, 6] {
-            let out = dual_stage_sampling(&g, &cfg(16, m, 1.0, true), &mut rng);
+            let out = dual_stage_sampling(&g, &cfg(16, m, 1.0, true), &mut rng).unwrap();
             assert!(
                 out.container.max_occurrence() <= m,
                 "M={m}: combined max occurrence {}",
@@ -176,7 +178,7 @@ mod tests {
     fn bes_adds_subgraphs() {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let g = generators::barabasi_albert(600, 4, &mut rng);
-        let with = dual_stage_sampling(&g, &cfg(20, 4, 1.0, true), &mut rng);
+        let with = dual_stage_sampling(&g, &cfg(20, 4, 1.0, true), &mut rng).unwrap();
         assert!(with.stage2_count > 0, "BES produced nothing");
         assert_eq!(with.container.len(), with.stage1_count + with.stage2_count);
     }
@@ -186,7 +188,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let g = generators::barabasi_albert(600, 4, &mut rng);
         let c = cfg(20, 4, 1.0, true);
-        let out = dual_stage_sampling(&g, &c, &mut rng);
+        let out = dual_stage_sampling(&g, &c, &mut rng).unwrap();
         // stage-1 subgraphs are the first `stage1_count`, each of size 20;
         // stage-2 ones have size n/s = 10.
         for (i, s) in out.container.subgraphs.iter().enumerate() {
@@ -202,7 +204,7 @@ mod tests {
     fn disabling_bes_skips_stage2() {
         let mut rng = ChaCha8Rng::seed_from_u64(4);
         let g = generators::barabasi_albert(300, 4, &mut rng);
-        let out = dual_stage_sampling(&g, &cfg(16, 4, 1.0, false), &mut rng);
+        let out = dual_stage_sampling(&g, &cfg(16, 4, 1.0, false), &mut rng).unwrap();
         assert_eq!(out.stage2_count, 0);
         assert_eq!(out.container.len(), out.stage1_count);
     }
@@ -212,7 +214,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         let g = generators::barabasi_albert(500, 5, &mut rng);
         let m = 2;
-        let out = dual_stage_sampling(&g, &cfg(12, m, 1.0, true), &mut rng);
+        let out = dual_stage_sampling(&g, &cfg(12, m, 1.0, true), &mut rng).unwrap();
         // Nodes that were saturated after stage 1 must not appear in any
         // stage-2 subgraph; equivalently no node's final frequency exceeds M.
         assert!(out.frequencies.iter().all(|&f| f <= m));
@@ -226,7 +228,7 @@ mod tests {
     fn tiny_graph_degenerates_gracefully() {
         let mut rng = ChaCha8Rng::seed_from_u64(6);
         let g = generators::barabasi_albert(8, 2, &mut rng);
-        let out = dual_stage_sampling(&g, &cfg(4, 2, 1.0, true), &mut rng);
+        let out = dual_stage_sampling(&g, &cfg(4, 2, 1.0, true), &mut rng).unwrap();
         assert!(out.container.max_occurrence() <= 2);
     }
 
@@ -240,7 +242,7 @@ mod tests {
             let m = meta.gen_range(1u32..5);
             let mut rng = ChaCha8Rng::seed_from_u64(seed);
             let g = generators::barabasi_albert(200, 4, &mut rng);
-            let out = dual_stage_sampling(&g, &cfg(10, m, 1.0, true), &mut rng);
+            let out = dual_stage_sampling(&g, &cfg(10, m, 1.0, true), &mut rng).unwrap();
             assert!(out.container.max_occurrence() <= m, "seed {seed} m {m}");
         }
     }

@@ -9,7 +9,7 @@
 
 use crate::container::SubgraphContainer;
 use privim_graph::{Graph, NodeId};
-use privim_rt::Rng;
+use privim_rt::{PrivimError, PrivimResult, Rng};
 
 /// Parameters of `FreqSampling`.
 #[derive(Clone, Copy, Debug)]
@@ -44,13 +44,35 @@ impl FreqConfig {
         }
     }
 
-    fn validate(&self) {
-        assert!(self.subgraph_size >= 2, "subgraph size must be >= 2");
-        assert!((0.0..=1.0).contains(&self.return_prob));
-        assert!(self.decay >= 0.0);
-        assert!((0.0..=1.0).contains(&self.sampling_rate));
-        assert!(self.walk_len >= 1);
-        assert!(self.threshold >= 1, "threshold M must be >= 1");
+    pub(crate) fn validate(&self) -> PrivimResult<()> {
+        if self.subgraph_size < 2 {
+            return Err(PrivimError::invalid("subgraph size must be >= 2"));
+        }
+        if !(0.0..=1.0).contains(&self.return_prob) {
+            return Err(PrivimError::invalid(format!(
+                "return_prob must be in [0, 1], got {}",
+                self.return_prob
+            )));
+        }
+        if !(self.decay >= 0.0) {
+            return Err(PrivimError::invalid(format!(
+                "decay must be >= 0, got {}",
+                self.decay
+            )));
+        }
+        if !(0.0..=1.0).contains(&self.sampling_rate) {
+            return Err(PrivimError::invalid(format!(
+                "sampling_rate must be in [0, 1], got {}",
+                self.sampling_rate
+            )));
+        }
+        if self.walk_len < 1 {
+            return Err(PrivimError::invalid("walk_len must be >= 1"));
+        }
+        if self.threshold < 1 {
+            return Err(PrivimError::invalid("threshold M must be >= 1"));
+        }
+        Ok(())
     }
 }
 
@@ -70,18 +92,23 @@ fn eq9_weight(freq: u32, threshold: u32, decay: f64) -> f64 {
 ///
 /// The frequency vector is indexed by `g`'s node ids; the dual-stage driver
 /// maps between the full and residual graphs.
+///
+/// Degenerate inputs (empty graph, zero-edge graph) are not errors: the
+/// walks simply never complete and the result is an empty set list.
 pub fn freq_sampling(
     g: &Graph,
     freq: &mut [u32],
     cfg: &FreqConfig,
     rng: &mut impl Rng,
-) -> Vec<Vec<NodeId>> {
-    cfg.validate();
-    assert_eq!(
-        freq.len(),
-        g.num_nodes(),
-        "frequency vector length mismatch"
-    );
+) -> PrivimResult<Vec<Vec<NodeId>>> {
+    cfg.validate()?;
+    if freq.len() != g.num_nodes() {
+        return Err(PrivimError::invalid(format!(
+            "frequency vector length mismatch: {} entries for {} nodes",
+            freq.len(),
+            g.num_nodes()
+        )));
+    }
     let mut sets: Vec<Vec<NodeId>> = Vec::new();
     for v0 in g.nodes() {
         if rng.gen::<f64>() >= cfg.sampling_rate || freq[v0 as usize] >= cfg.threshold {
@@ -95,7 +122,7 @@ pub fn freq_sampling(
             sets.push(set);
         }
     }
-    sets
+    Ok(sets)
 }
 
 /// Convenience wrapper: run [`freq_sampling`] and build a container.
@@ -104,9 +131,9 @@ pub fn freq_sampling_container(
     freq: &mut [u32],
     cfg: &FreqConfig,
     rng: &mut impl Rng,
-) -> SubgraphContainer {
-    let sets = freq_sampling(g, freq, cfg, rng);
-    SubgraphContainer::from_node_sets(g, &sets)
+) -> PrivimResult<SubgraphContainer> {
+    let sets = freq_sampling(g, freq, cfg, rng)?;
+    Ok(SubgraphContainer::from_node_sets(g, &sets))
 }
 
 fn walk_from(
@@ -198,7 +225,7 @@ mod tests {
         let g = generators::barabasi_albert(300, 5, &mut rng);
         for m in [1u32, 2, 4, 8] {
             let mut freq = vec![0u32; g.num_nodes()];
-            let c = freq_sampling_container(&g, &mut freq, &cfg(10, m, 1.0), &mut rng);
+            let c = freq_sampling_container(&g, &mut freq, &cfg(10, m, 1.0), &mut rng).unwrap();
             assert!(
                 c.max_occurrence() <= m,
                 "M={m}: max occurrence {}",
@@ -216,7 +243,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let g = generators::barabasi_albert(300, 5, &mut rng);
         let mut freq = vec![0u32; g.num_nodes()];
-        let c = freq_sampling_container(&g, &mut freq, &cfg(15, 6, 0.8), &mut rng);
+        let c = freq_sampling_container(&g, &mut freq, &cfg(15, 6, 0.8), &mut rng).unwrap();
         assert!(!c.is_empty());
         for s in &c.subgraphs {
             assert_eq!(s.len(), 15);
@@ -228,7 +255,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let g = generators::barabasi_albert(100, 4, &mut rng);
         let mut freq = vec![2u32; g.num_nodes()]; // everyone at the cap
-        let sets = freq_sampling(&g, &mut freq, &cfg(5, 2, 1.0), &mut rng);
+        let sets = freq_sampling(&g, &mut freq, &cfg(5, 2, 1.0), &mut rng).unwrap();
         assert!(sets.is_empty());
         assert!(freq.iter().all(|&f| f == 2), "frequencies unchanged");
     }
@@ -246,7 +273,7 @@ mod tests {
                 decay,
                 ..cfg(20, 100_000, 1.0)
             };
-            freq_sampling(&g, &mut freq, &c, rng);
+            freq_sampling(&g, &mut freq, &c, rng).unwrap();
             freq.iter().copied().max().unwrap_or(0)
         };
         let peaked_uniform = max_freq(0.0, &mut rng);
@@ -262,16 +289,44 @@ mod tests {
         let g = Graph::empty(10, true);
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         let mut freq = vec![0u32; 10];
-        assert!(freq_sampling(&g, &mut freq, &cfg(3, 4, 1.0), &mut rng).is_empty());
+        assert!(freq_sampling(&g, &mut freq, &cfg(3, 4, 1.0), &mut rng)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
-    #[should_panic(expected = "length mismatch")]
-    fn wrong_freq_length_panics() {
+    fn wrong_freq_length_is_typed_error() {
+        use privim_rt::PrivimError;
         let g = Graph::empty(10, true);
         let mut rng = ChaCha8Rng::seed_from_u64(6);
         let mut freq = vec![0u32; 5];
-        freq_sampling(&g, &mut freq, &cfg(3, 4, 1.0), &mut rng);
+        let err = freq_sampling(&g, &mut freq, &cfg(3, 4, 1.0), &mut rng).unwrap_err();
+        assert!(matches!(err, PrivimError::InvalidInput(_)), "{err}");
+        assert!(err.to_string().contains("length mismatch"));
+    }
+
+    #[test]
+    fn invalid_config_is_typed_error() {
+        use privim_rt::PrivimError;
+        let g = Graph::empty(10, true);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut freq = vec![0u32; 10];
+        for bad in [
+            cfg(1, 4, 1.0),              // subgraph size < 2
+            cfg(3, 0, 1.0),              // threshold 0
+            cfg(3, 4, 1.5),              // sampling rate out of range
+            FreqConfig {
+                return_prob: -0.1,
+                ..cfg(3, 4, 1.0)
+            },
+            FreqConfig {
+                decay: f64::NAN,
+                ..cfg(3, 4, 1.0)
+            },
+        ] {
+            let err = freq_sampling(&g, &mut freq, &bad, &mut rng).unwrap_err();
+            assert!(matches!(err, PrivimError::InvalidInput(_)), "{err}");
+        }
     }
 
     #[test]
@@ -286,7 +341,7 @@ mod tests {
             let mut rng = ChaCha8Rng::seed_from_u64(seed);
             let g = generators::barabasi_albert(150, 3, &mut rng);
             let mut freq = vec![0u32; g.num_nodes()];
-            let c = freq_sampling_container(&g, &mut freq, &cfg(n, m, 1.0), &mut rng);
+            let c = freq_sampling_container(&g, &mut freq, &cfg(n, m, 1.0), &mut rng).unwrap();
             assert!(c.max_occurrence() <= m, "seed {seed} m {m} n {n}");
         }
     }

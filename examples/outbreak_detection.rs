@@ -34,7 +34,7 @@ fn main() {
     );
 
     // Private placement at a conservative budget.
-    let private = run_method(Method::PrivImStar { epsilon: 2.0 }, &setup, 1);
+    let private = run_method(Method::PrivImStar { epsilon: 2.0 }, &setup, 1).unwrap();
     println!(
         "private placement (ε = 2) covers {:.0} accounts ({:.1}% of CELF)",
         private.spread, private.coverage_ratio

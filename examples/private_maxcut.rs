@@ -36,7 +36,7 @@ fn main() {
         shrink: 2,
         enable_bes: true,
     };
-    let out = dual_stage_sampling(&g, &scfg, &mut rng);
+    let out = dual_stage_sampling(&g, &scfg, &mut rng).unwrap();
     let subs: Vec<_> = out
         .container
         .subgraphs
@@ -82,6 +82,8 @@ fn main() {
         seed: 11,
         tail_average: true,
         weight_decay: 0.01,
+        max_recoveries: 8,
+        fault: None,
     };
     let side = train_maxcut(&mut model, &items, &g, &cfg, 0.5);
 

@@ -39,7 +39,7 @@ fn main() {
     );
 
     // 3. Train PrivIM* with a privacy budget of ε = 3 and select seeds.
-    let out = run_method(Method::PrivImStar { epsilon: 3.0 }, &setup, 1);
+    let out = run_method(Method::PrivImStar { epsilon: 3.0 }, &setup, 1).unwrap();
     println!(
         "PrivIM* (ε = 3): spread {:.0} → coverage {:.1}% of CELF \
          (σ = {:.3}, container of {} subgraphs, max node occurrence {})",

@@ -35,7 +35,7 @@ fn main() {
     println!("\n  ε      | coverage of CELF | est. campaign reach (IC, 500 runs)");
     println!("  -------|------------------|-----------------------------------");
     for eps in [1.0, 2.0, 4.0, 6.0] {
-        let out = run_method(Method::PrivImStar { epsilon: eps }, &setup, 1);
+        let out = run_method(Method::PrivImStar { epsilon: eps }, &setup, 1).unwrap();
         // Multi-step IC Monte-Carlo with the weighted-cascade probabilities:
         // the "real" reach a marketer cares about.
         let reach = ic_spread_estimate(&graph, &out.seeds, None, 500, 99);
@@ -45,7 +45,7 @@ fn main() {
         );
     }
 
-    let non_private = run_method(Method::NonPrivate, &setup, 1);
+    let non_private = run_method(Method::NonPrivate, &setup, 1).unwrap();
     let np_reach = ic_spread_estimate(&graph, &non_private.seeds, None, 500, 99);
     println!(
         "  ∞      | {:>15.1}% | {np_reach:.0} users (no privacy)",

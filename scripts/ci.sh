@@ -37,4 +37,13 @@ cargo build --release --offline --all-targets
 echo "== offline tests (workspace)"
 cargo test -q --offline --workspace
 
+echo "== panic-surface gate (library code must stay Result-based)"
+scripts/panic_gate.sh
+
+echo "== fault-injection matrix (divergence recovery under seeded faults)"
+for seed in 1 2; do
+    echo "-- PRIVIM_FAULT_SEED=$seed"
+    PRIVIM_FAULT_SEED=$seed cargo test -q --offline -p privim-repro --test fault_tolerance
+done
+
 echo "CI green"

@@ -1,14 +1,48 @@
 #!/usr/bin/env bash
 # Regenerates every table and figure of the paper at CPU-feasible scales
 # (see EXPERIMENTS.md for the scale rationale). Results land in results/.
+#
+# Fault tolerance: every run is recorded as PASSED/FAILED/SKIPPED; a failed
+# run never aborts the suite, the summary lists it and the script exits
+# non-zero. Completed runs drop a `results/<name>.done` stamp holding the
+# exact command line — re-running the script skips them (so an interrupted
+# suite resumes where it died), and the `exp_*` binaries additionally resume
+# per-cell from their own --out files. Set FORCE=1 to re-run everything.
 set -uo pipefail
 cd "$(dirname "$0")/.."
 mkdir -p results
 BIN=target/release
+FORCE="${FORCE:-0}"
+
+PASSED=()
+FAILED=()
+SKIPPED=()
+
 run() {
     local name="$1"; shift
+    local stamp="results/$name.done"
+    local cmdline="$* --out results/$name.json"
+    if [[ "$FORCE" != 1 && -f "$stamp" ]] && [[ "$(cat "$stamp")" == "$cmdline" ]]; then
+        echo "=== $name: already done, skipping (FORCE=1 to re-run) ==="
+        SKIPPED+=("$name")
+        return 0
+    fi
     echo "=== $name: $* ==="
-    "$@" --out "results/$name.json" 2>&1 | tee "results/$name.log"
+    local status=0
+    if "$@" --out "results/$name.json" 2>&1 | tee "results/$name.log"; then
+        status=0
+    else
+        status=$?
+    fi
+    if [[ $status -eq 0 ]]; then
+        printf '%s' "$cmdline" > "$stamp"
+        PASSED+=("$name")
+    else
+        rm -f "$stamp"
+        FAILED+=("$name (exit $status)")
+        echo "!!! $name FAILED with exit $status (continuing)"
+    fi
+    return 0
 }
 
 # Table I — dataset statistics (full published sizes except Friendster).
@@ -57,4 +91,14 @@ run ablation_tau $BIN/exp_ablations --which tau --dataset lastfm --scale 0.2 --r
 run ablation_clipping $BIN/exp_ablations --which clipping --dataset lastfm --scale 0.2 --reps 1
 run ablation_accountant $BIN/exp_ablations --which accountant
 
+echo
+echo "=== SUITE SUMMARY ==="
+echo "passed:  ${#PASSED[@]} (${PASSED[*]:-})"
+echo "skipped: ${#SKIPPED[@]} (${SKIPPED[*]:-})"
+echo "failed:  ${#FAILED[@]}"
+if [[ ${#FAILED[@]} -gt 0 ]]; then
+    for f in "${FAILED[@]}"; do echo "  FAILED: $f"; done
+    echo "re-run ./scripts/run_experiments.sh to retry only the failed runs"
+    exit 1
+fi
 echo "ALL EXPERIMENTS DONE"

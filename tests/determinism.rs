@@ -37,7 +37,7 @@ fn training_trajectory_identical_across_thread_counts() {
         walk_len: 120,
         threshold: 6,
     };
-    let sets = freq_sampling(&g, &mut freq, &cfg, &mut rng);
+    let sets = freq_sampling(&g, &mut freq, &cfg, &mut rng).unwrap();
     let subs: Vec<_> = sets.iter().map(|s| induced_subgraph(&g, s)).collect();
 
     let train_cfg = DpSgdConfig::paper_default(0.8, 6);
@@ -53,7 +53,7 @@ fn training_trajectory_identical_across_thread_counts() {
                 },
                 &mut ChaCha8Rng::seed_from_u64(7),
             );
-            let report = train_dpgnn(&mut model, &items, &train_cfg);
+            let report = train_dpgnn(&mut model, &items, &train_cfg).unwrap();
             (report.loss_trace, model.params().to_vec())
         })
     };
@@ -85,7 +85,7 @@ fn pipeline_seed_set_identical_across_thread_counts() {
 
     let run = |threads: usize| {
         with_threads(threads, || {
-            run_method(Method::PrivImStar { epsilon: 3.0 }, &setup, 0)
+            run_method(Method::PrivImStar { epsilon: 3.0 }, &setup, 0).unwrap()
         })
     };
     let base = run(1);

@@ -25,7 +25,7 @@ fn full_pipeline_on_lastfm_sample() {
     let params = fast_params(g.num_nodes());
     let setup = EvalSetup::with_params(&g, 15, params, &mut rng);
 
-    let star = run_method(Method::PrivImStar { epsilon: 4.0 }, &setup, 1);
+    let star = run_method(Method::PrivImStar { epsilon: 4.0 }, &setup, 1).unwrap();
     assert_eq!(star.seeds.len(), 15);
     assert!(star.spread >= 15.0);
     assert!(star.sigma > 0.0, "noise must be calibrated");
@@ -53,7 +53,7 @@ fn all_methods_produce_valid_outputs() {
         Method::Hp { epsilon: 3.0 },
         Method::HpGrat { epsilon: 3.0 },
     ] {
-        let out = run_method(method, &setup, 7);
+        let out = run_method(method, &setup, 7).unwrap();
         assert_eq!(out.seeds.len(), 10, "{}", out.method);
         assert!(out.spread > 0.0, "{}", out.method);
         assert!(
@@ -78,7 +78,7 @@ fn directed_and_undirected_datasets_both_work() {
         let g = d.generate_scaled(d.test_scale(), &mut rng);
         let params = fast_params(g.num_nodes());
         let setup = EvalSetup::with_params(&g, 8, params, &mut rng);
-        let out = run_method(Method::PrivImStar { epsilon: 4.0 }, &setup, 1);
+        let out = run_method(Method::PrivImStar { epsilon: 4.0 }, &setup, 1).unwrap();
         assert_eq!(out.seeds.len(), 8, "{}", d.spec().name);
     }
 }
@@ -89,8 +89,8 @@ fn results_are_reproducible_for_same_replicate() {
     let g = Dataset::LastFm.generate_scaled(Dataset::LastFm.test_scale(), &mut rng);
     let params = fast_params(g.num_nodes());
     let setup = EvalSetup::with_params(&g, 10, params, &mut rng);
-    let a = run_method(Method::PrivImStar { epsilon: 2.0 }, &setup, 5);
-    let b = run_method(Method::PrivImStar { epsilon: 2.0 }, &setup, 5);
+    let a = run_method(Method::PrivImStar { epsilon: 2.0 }, &setup, 5).unwrap();
+    let b = run_method(Method::PrivImStar { epsilon: 2.0 }, &setup, 5).unwrap();
     assert_eq!(a.seeds, b.seeds);
     assert_eq!(a.spread, b.spread);
     assert_eq!(a.sigma, b.sigma);
@@ -109,6 +109,6 @@ fn friendster_partitioned_path_runs() {
     let params = fast_params(part.graph.num_nodes());
     let mut rng2 = ChaCha8Rng::seed_from_u64(6);
     let setup = EvalSetup::with_params(&part.graph, 5, params, &mut rng2);
-    let out = run_method(Method::PrivImStar { epsilon: 4.0 }, &setup, 1);
+    let out = run_method(Method::PrivImStar { epsilon: 4.0 }, &setup, 1).unwrap();
     assert_eq!(out.seeds.len(), 5);
 }

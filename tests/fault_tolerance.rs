@@ -1,0 +1,287 @@
+//! Fault-tolerance integration tests: divergence recovery under injected
+//! faults, graceful degradation on degenerate inputs, and crash-safe
+//! atomic result writes.
+//!
+//! The fault plans are parameterised by `PRIVIM_FAULT_SEED` (default 7) so
+//! CI can sweep a seed matrix: every assertion here must hold for *any*
+//! seed, not one lucky draw.
+
+use privim::trainer::{train_dpgnn, DpSgdConfig, TrainItem};
+use privim_dp::accountant::{best_epsilon, PrivacyParams};
+use privim_gnn::{GnnConfig, GnnKind, GnnModel};
+use privim_graph::{generators, induced_subgraph, Graph};
+use privim_rt::fault::{FaultPlan, FaultPoint};
+use privim_rt::{ChaCha8Rng, PrivimError, SeedableRng};
+use privim_sampling::{dual_stage_sampling, freq_sampling, DualStageConfig, FreqConfig};
+
+/// The fault seed under test — CI sweeps this over a small matrix.
+fn fault_seed() -> u64 {
+    std::env::var("PRIVIM_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7)
+}
+
+fn freq_cfg() -> FreqConfig {
+    FreqConfig {
+        subgraph_size: 10,
+        return_prob: 0.3,
+        decay: 1.0,
+        sampling_rate: 1.0,
+        walk_len: 120,
+        threshold: 6,
+    }
+}
+
+fn make_items(graph_seed: u64) -> Vec<TrainItem> {
+    let mut rng = ChaCha8Rng::seed_from_u64(graph_seed);
+    let g = generators::barabasi_albert(200, 4, &mut rng).with_uniform_weights(1.0);
+    let mut freq = vec![0u32; g.num_nodes()];
+    let sets = freq_sampling(&g, &mut freq, &freq_cfg(), &mut rng).unwrap();
+    let subs: Vec<_> = sets.iter().map(|s| induced_subgraph(&g, s)).collect();
+    TrainItem::from_container(&subs)
+}
+
+fn small_model(seed: u64) -> GnnModel {
+    GnnModel::new(
+        GnnConfig {
+            kind: GnnKind::Gcn,
+            layers: 2,
+            hidden: 8,
+            in_dim: privim_gnn::FEATURE_DIM,
+        },
+        &mut ChaCha8Rng::seed_from_u64(seed),
+    )
+}
+
+fn train_cfg(fault: Option<FaultPlan>) -> DpSgdConfig {
+    DpSgdConfig {
+        batch: 8,
+        iters: 30,
+        lr: 0.05,
+        sigma: 1.2,
+        occurrence_bound: 6,
+        seed: 17,
+        fault,
+        ..DpSgdConfig::paper_default(1.2, 6)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Divergence sentinel: recovery must not distort the privacy accounting.
+// ---------------------------------------------------------------------------
+
+/// A NaN-gradient fault mid-run must be absorbed: the run finishes with
+/// finite parameters, reports the recovery, and — the key invariant —
+/// reports exactly the same ε spend as an uninterrupted run, because the
+/// faulted attempt was still charged to the budget.
+#[test]
+fn nan_fault_recovery_preserves_epsilon_spend() {
+    let items = make_items(41);
+    let cfg_clean = train_cfg(None);
+    let cfg_faulted = train_cfg(Some(FaultPlan::at_step(
+        fault_seed(),
+        FaultPoint::NanGradient,
+        9,
+    )));
+
+    let mut clean_model = small_model(42);
+    let clean = train_dpgnn(&mut clean_model, &items, &cfg_clean).unwrap();
+
+    let mut faulted_model = small_model(42);
+    let faulted = train_dpgnn(&mut faulted_model, &items, &cfg_faulted).unwrap();
+
+    // The fault fired, was recovered, and training still completed.
+    assert!(
+        !faulted.recoveries.is_empty(),
+        "injected NaN gradient must be recorded as a recovery"
+    );
+    assert_eq!(faulted.recoveries[0].step, 9);
+    assert!(faulted_model.params().iter().all(|p| !p.has_non_finite()));
+    assert!(faulted.loss_trace.last().unwrap().is_finite());
+
+    // Privacy invariant: attempted steps are what the accountant charges,
+    // and recovery never un-charges an attempt.
+    assert_eq!(clean.attempted_steps, cfg_clean.iters as u64);
+    assert_eq!(faulted.attempted_steps, clean.attempted_steps);
+    assert!(faulted.applied_steps < faulted.attempted_steps);
+
+    let params = |steps: u64| PrivacyParams {
+        n_g: 6,
+        batch: 8,
+        container: items.len() as u64,
+        steps,
+    };
+    let eps_clean = best_epsilon(cfg_clean.sigma, 1e-3, &params(clean.attempted_steps));
+    let eps_faulted = best_epsilon(cfg_faulted.sigma, 1e-3, &params(faulted.attempted_steps));
+    assert!(eps_clean.is_finite() && eps_clean > 0.0);
+    assert_eq!(
+        eps_clean.to_bits(),
+        eps_faulted.to_bits(),
+        "a recovered run must report the same ε as an uninterrupted one"
+    );
+}
+
+/// Random NaN faults at 20% rate (any seed) must still converge to a
+/// finite model while charging every attempted step.
+#[test]
+fn random_nan_faults_are_absorbed_at_any_seed() {
+    let items = make_items(43);
+    let mut cfg = train_cfg(Some(FaultPlan::new(
+        fault_seed(),
+        &[FaultPoint::NanGradient, FaultPoint::EmptyBatch],
+        0.2,
+    )));
+    cfg.max_recoveries = cfg.iters as u32; // generous budget: rate < 1
+    let mut model = small_model(44);
+    let report = train_dpgnn(&mut model, &items, &cfg).unwrap();
+    assert_eq!(report.attempted_steps, cfg.iters as u64);
+    assert_eq!(
+        report.applied_steps + report.recoveries.len() as u64,
+        report.attempted_steps
+    );
+    assert!(model.params().iter().all(|p| !p.has_non_finite()));
+}
+
+/// When every step faults and the recovery budget runs out, the trainer
+/// must fail with the typed `Diverged` error — never a panic or a silent
+/// NaN model.
+#[test]
+fn exhausted_recovery_budget_is_a_typed_error() {
+    let items = make_items(45);
+    let mut cfg = train_cfg(Some(FaultPlan::new(
+        fault_seed(),
+        &[FaultPoint::NanGradient],
+        1.0,
+    )));
+    cfg.max_recoveries = 3;
+    let mut model = small_model(46);
+    let err = train_dpgnn(&mut model, &items, &cfg).unwrap_err();
+    match err {
+        PrivimError::Diverged { recoveries, .. } => assert_eq!(recoveries, 4),
+        other => panic!("expected Diverged, got {other}"),
+    }
+    // The model is left at its last healthy checkpoint (here: the init).
+    assert!(model.params().iter().all(|p| !p.has_non_finite()));
+}
+
+// ---------------------------------------------------------------------------
+// Graceful degradation: degenerate graphs flow through the samplers as
+// empty results or typed errors, never panics.
+// ---------------------------------------------------------------------------
+
+fn dual_cfg() -> DualStageConfig {
+    DualStageConfig {
+        stage1: freq_cfg(),
+        shrink: 2,
+        enable_bes: true,
+    }
+}
+
+#[test]
+fn empty_graph_degrades_gracefully() {
+    let g = Graph::empty(0, false);
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let sets = freq_sampling(&g, &mut [], &freq_cfg(), &mut rng).unwrap();
+    assert!(sets.is_empty());
+    let out = dual_stage_sampling(&g, &dual_cfg(), &mut rng).unwrap();
+    assert_eq!(out.container.len(), 0);
+    let sub = induced_subgraph(&g, &[]);
+    assert_eq!(sub.graph.num_nodes(), 0);
+
+    // An empty container is a typed error at the trainer boundary.
+    let err = train_dpgnn(&mut small_model(2), &[], &train_cfg(None)).unwrap_err();
+    assert!(matches!(err, PrivimError::EmptyInput(_)), "{err}");
+}
+
+#[test]
+fn zero_edge_graph_degrades_gracefully() {
+    // 50 isolated nodes: every walk is stuck at its start, so no subgraph
+    // ever reaches the minimum size and the samplers return empty results.
+    let g = Graph::empty(50, false);
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let mut freq = vec![0u32; 50];
+    let sets = freq_sampling(&g, &mut freq, &freq_cfg(), &mut rng).unwrap();
+    assert!(sets.is_empty());
+    assert!(freq.iter().all(|&f| f == 0));
+    let out = dual_stage_sampling(&g, &dual_cfg(), &mut rng).unwrap();
+    assert_eq!(out.container.len(), 0);
+    assert_eq!(out.container.max_occurrence(), 0);
+}
+
+#[test]
+fn single_node_graph_degrades_gracefully() {
+    let g = Graph::empty(1, false);
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    let mut freq = vec![0u32; 1];
+    let sets = freq_sampling(&g, &mut freq, &freq_cfg(), &mut rng).unwrap();
+    assert!(sets.is_empty());
+    let out = dual_stage_sampling(&g, &dual_cfg(), &mut rng).unwrap();
+    assert_eq!(out.container.len(), 0);
+    let sub = induced_subgraph(&g, &[0]);
+    assert_eq!(sub.graph.num_nodes(), 1);
+    assert_eq!(sub.graph.num_edges(), 0);
+}
+
+#[test]
+fn frequency_length_mismatch_is_a_typed_error() {
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let g = generators::erdos_renyi(30, 60, false, &mut rng);
+    let mut freq = vec![0u32; 7]; // wrong length
+    let err = freq_sampling(&g, &mut freq, &freq_cfg(), &mut rng).unwrap_err();
+    assert!(matches!(err, PrivimError::InvalidInput(_)), "{err}");
+    assert!(err.to_string().contains("length mismatch"), "{err}");
+}
+
+// ---------------------------------------------------------------------------
+// Crash-safe writes: an injected I/O failure must leave any existing
+// output intact (the fault fires before the tmp file is even created).
+// ---------------------------------------------------------------------------
+
+/// Child half of the I/O fault test: only meaningful when the parent
+/// spawned us with `PRIVIM_FAULT=io_write_fail`; ignored in a normal run.
+#[test]
+#[ignore = "helper for injected_io_failure_leaves_existing_output_intact"]
+fn io_fault_child() {
+    let path = std::env::var("PRIVIM_FAULT_CHILD_PATH").expect("parent sets the target path");
+    let err = privim::results::write_atomic(&path, "{\"overwritten\": true}").unwrap_err();
+    assert!(matches!(err, PrivimError::InjectedFault { .. }), "{err}");
+    assert!(err.is_transient(), "injected I/O faults model transient I/O");
+}
+
+/// `write_atomic` under an injected I/O fault: the write fails with a typed
+/// transient error and the pre-existing file is byte-identical afterwards.
+/// Runs in a child process because the fault plan is parsed from the
+/// environment once per process.
+#[test]
+fn injected_io_failure_leaves_existing_output_intact() {
+    let dir = std::env::temp_dir().join(format!("privim_io_fault_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let target = dir.join("results.json");
+    let original = "{\"precious\": 1}";
+    std::fs::write(&target, original).unwrap();
+
+    let status = std::process::Command::new(std::env::current_exe().unwrap())
+        .args(["--ignored", "--exact", "io_fault_child"])
+        .env("PRIVIM_FAULT", "io_write_fail")
+        .env("PRIVIM_FAULT_RATE", "1.0")
+        .env("PRIVIM_FAULT_SEED", fault_seed().to_string())
+        .env("PRIVIM_FAULT_CHILD_PATH", &target)
+        .status()
+        .expect("spawn child test process");
+    assert!(status.success(), "child assertions failed");
+
+    assert_eq!(
+        std::fs::read_to_string(&target).unwrap(),
+        original,
+        "a failed atomic write must leave the original untouched"
+    );
+    // No half-written temporary may survive either.
+    let leftovers: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name() != "results.json")
+        .collect();
+    assert!(leftovers.is_empty(), "leftover files: {leftovers:?}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}

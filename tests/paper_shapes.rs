@@ -21,7 +21,7 @@ fn params(n: usize) -> PipelineParams {
 
 fn avg_coverage(method: Method, setup: &EvalSetup<'_>, reps: u64) -> f64 {
     let vals: Vec<f64> = (0..reps)
-        .map(|r| run_method(method, setup, 100 + r).coverage_ratio)
+        .map(|r| run_method(method, setup, 100 + r).unwrap().coverage_ratio)
         .collect();
     mean_std(&vals).0
 }
@@ -77,9 +77,9 @@ fn effective_noise_ordering() {
     let g = Dataset::LastFm.generate_scaled(0.1, &mut rng);
     let setup = EvalSetup::with_params(&g, 10, params(g.num_nodes()), &mut rng);
     let eps = 2.0;
-    let star = run_method(Method::PrivImStar { epsilon: eps }, &setup, 1);
-    let naive = run_method(Method::PrivIm { epsilon: eps }, &setup, 1);
-    let egn = run_method(Method::Egn { epsilon: eps }, &setup, 1);
+    let star = run_method(Method::PrivImStar { epsilon: eps }, &setup, 1).unwrap();
+    let naive = run_method(Method::PrivIm { epsilon: eps }, &setup, 1).unwrap();
+    let egn = run_method(Method::Egn { epsilon: eps }, &setup, 1).unwrap();
     let noise = |o: &privim::MethodOutput| o.sigma * o.occurrence_bound as f64;
     assert!(
         noise(&naive) > 3.0 * noise(&star),

@@ -65,7 +65,7 @@ fn dual_stage_occurrence_bound() {
             shrink: 2,
             enable_bes: true,
         };
-        let out = dual_stage_sampling(&g, &cfg, &mut rng);
+        let out = dual_stage_sampling(&g, &cfg, &mut rng).unwrap();
         assert!(out.container.max_occurrence() <= m, "seed {seed} m {m}");
     }
 }
@@ -134,7 +134,7 @@ fn container_accounting_matches_frequencies() {
         shrink: 2,
         enable_bes: true,
     };
-    let out = dual_stage_sampling(&g, &cfg, &mut rng);
+    let out = dual_stage_sampling(&g, &cfg, &mut rng).unwrap();
     for v in g.nodes() {
         assert_eq!(
             out.container.occurrence(v),
