@@ -23,7 +23,7 @@
 use privim::results::write_atomic;
 use privim_rt::json::Value;
 use privim_rt::{PrivimError, PrivimResult};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 
@@ -55,7 +55,7 @@ pub struct CellFailure {
 pub struct CellRunner {
     out: Option<PathBuf>,
     rows: Vec<Value>,
-    cache: HashMap<String, Value>,
+    cache: BTreeMap<String, Value>,
     computed: usize,
     resumed: usize,
     failures: Vec<CellFailure>,
@@ -75,7 +75,7 @@ impl CellRunner {
     /// resume cache; a malformed one is ignored with a warning so a
     /// corrupted file never wedges the suite.
     pub fn new(out: Option<&Path>) -> CellRunner {
-        let mut cache = HashMap::new();
+        let mut cache = BTreeMap::new();
         if let Some(path) = out {
             match std::fs::read_to_string(path) {
                 Ok(text) => match Value::parse(&text) {

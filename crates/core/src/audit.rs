@@ -177,7 +177,7 @@ pub fn membership_inference_audit(g: &Graph, cfg: &AuditConfig) -> PrivimResult<
 /// Max over thresholds of |TPR − FPR| for a one-dimensional statistic.
 pub fn best_threshold_advantage(in_scores: &[f64], out_scores: &[f64]) -> f64 {
     let mut cuts: Vec<f64> = in_scores.iter().chain(out_scores).copied().collect();
-    cuts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    cuts.sort_by(|a, b| a.total_cmp(b));
     let mut best = 0.0f64;
     for &c in &cuts {
         let tpr = in_scores.iter().filter(|&&s| s >= c).count() as f64 / in_scores.len() as f64;

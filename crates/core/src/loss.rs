@@ -83,6 +83,7 @@ pub fn im_loss(tape: &mut Tape, gt: &GraphTensors, probs: Var, cfg: &LossConfig)
         });
         h = p_hat;
     }
+    // privim-lint: allow(panic, reason = "steps >= 1 asserted at fn entry, so the loop ran and inactive_prod is Some")
     let not_influenced = tape.sum(inactive_prod.expect("steps >= 1"));
     let seed_mass = tape.sum(probs);
     let penalty = tape.scale(seed_mass, cfg.lambda);

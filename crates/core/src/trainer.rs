@@ -396,8 +396,10 @@ pub fn train_dpgnn(
             for s in summed.iter_mut() {
                 let noise = match cfg.noise {
                     NoiseKind::Gaussian => {
+                        // privim-lint: allow(unaccounted-noise, reason = "charged by the caller: the pipeline feeds TrainReport::attempted_steps to the Theorem 3 RDP accountant")
                         gaussian_noise_vec(s.data().len(), cfg.sigma, sensitivity, &mut rng)
                     }
+                    // privim-lint: allow(unaccounted-noise, reason = "charged by the caller: the pipeline feeds TrainReport::attempted_steps to the Theorem 3 RDP accountant")
                     NoiseKind::Sml => sml_noise_vec(s.data().len(), noise_std, &mut rng),
                 };
                 for (x, n) in s.data_mut().iter_mut().zip(noise) {

@@ -42,8 +42,9 @@ impl Graph {
     ) -> Self {
         assert_eq!(out_offsets.len(), n + 1, "out_offsets length");
         assert_eq!(in_offsets.len(), n + 1, "in_offsets length");
-        assert_eq!(out_targets.len(), *out_offsets.last().unwrap());
-        assert_eq!(in_sources.len(), *in_offsets.last().unwrap());
+        // Indexing is in-bounds by the length asserts directly above.
+        assert_eq!(out_targets.len(), out_offsets[n]);
+        assert_eq!(in_sources.len(), in_offsets[n]);
         assert_eq!(out_targets.len(), out_weights.len());
         assert_eq!(in_sources.len(), in_weights.len());
         Graph {

@@ -25,7 +25,9 @@ pub fn erdos_renyi(n: usize, m: usize, directed: bool, rng: &mut impl Rng) -> Gr
     } else {
         GraphBuilder::new_undirected(n)
     };
-    let mut seen = std::collections::HashSet::with_capacity(m * 2);
+    // Ordered set: membership-only today, but hash iteration order must
+    // never be able to reach edge order (nondeterministic-collection rule).
+    let mut seen = std::collections::BTreeSet::new();
     let mut added = 0usize;
     while added < m {
         let u = rng.gen_range(0..n) as NodeId;
@@ -163,9 +165,9 @@ pub fn watts_strogatz(n: usize, k: usize, beta: f64, rng: &mut impl Rng) -> Grap
     assert!(k % 2 == 0 && k < n, "k must be even and < n");
     assert!((0.0..=1.0).contains(&beta));
     let mut b = GraphBuilder::new_undirected(n);
-    let mut exists = std::collections::HashSet::new();
+    let mut exists = std::collections::BTreeSet::new();
     let add = |b: &mut GraphBuilder,
-               exists: &mut std::collections::HashSet<(NodeId, NodeId)>,
+               exists: &mut std::collections::BTreeSet<(NodeId, NodeId)>,
                u: NodeId,
                v: NodeId|
      -> bool {

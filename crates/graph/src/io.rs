@@ -6,7 +6,7 @@
 
 use crate::builder::GraphBuilder;
 use crate::csr::{Graph, NodeId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::io::{self, BufRead, Write};
 use std::path::Path;
 
@@ -23,7 +23,10 @@ pub struct LoadedGraph {
 /// missing weights default to 1.0.
 pub fn parse_edge_list<R: BufRead>(reader: R, directed: bool) -> io::Result<LoadedGraph> {
     let mut raw_edges: Vec<(u64, u64, f64)> = Vec::new();
-    let mut ids: HashMap<u64, NodeId> = HashMap::new();
+    // Ordered map: `labels` is filled in first-seen order either way, but
+    // an ordered map keeps any future iteration over it deterministic
+    // (nondeterministic-collection rule).
+    let mut ids: BTreeMap<u64, NodeId> = BTreeMap::new();
     let mut labels: Vec<u64> = Vec::new();
     for (lineno, line) in reader.lines().enumerate() {
         let line = line?;

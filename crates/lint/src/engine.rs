@@ -1,0 +1,365 @@
+//! Walks the workspace, runs the rule registry, applies annotation
+//! suppression, and renders findings (human or `--json`).
+
+use crate::rules::{self, RuleInfo, RuleKind};
+use crate::source::SourceFile;
+use std::path::{Path, PathBuf};
+
+/// Finding severity. Only errors fail the gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Warning,
+    Error,
+}
+
+impl Severity {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// What a rule emits before suppression/severity resolution.
+#[derive(Debug)]
+pub struct RawFinding {
+    pub line: usize,
+    pub message: String,
+    /// Lines at which a matching `allow` annotation suppresses this
+    /// finding (usually just `[line]`; function-scoped rules add the
+    /// `fn` signature line).
+    pub suppress_lines: Vec<usize>,
+    /// Override of the rule's default severity.
+    pub severity: Option<Severity>,
+}
+
+/// A reportable finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub rule: &'static str,
+    pub file: String,
+    pub line: usize,
+    pub severity: Severity,
+    pub message: String,
+}
+
+/// Per-file rule applicability, derived from the workspace-relative path.
+#[derive(Debug, Clone)]
+pub struct Scope {
+    /// Crate library code: `crates/*/src/**`, excluding `src/bin/`.
+    pub lib_code: bool,
+    /// Crate whose iteration order can reach results.
+    pub det_crate: bool,
+    /// The one file allowed to read the wall clock freely.
+    pub wall_clock_exempt: bool,
+}
+
+/// Crates where iteration order / hash randomization can reach outputs.
+const DET_CRATES: [&str; 9] = [
+    "tensor", "dp", "gnn", "sampling", "im", "core", "graph", "bench", "lint",
+];
+
+pub fn scope_for(rel: &str) -> Scope {
+    let lib_code =
+        rel.starts_with("crates/") && rel.contains("/src/") && !rel.contains("/src/bin/");
+    let krate = rel
+        .strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap_or("");
+    Scope {
+        lib_code,
+        det_crate: DET_CRATES.contains(&krate),
+        wall_clock_exempt: rel == "crates/rt/src/bench.rs",
+    }
+}
+
+/// The result of a lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    pub files_scanned: usize,
+}
+
+impl Report {
+    pub fn errors(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Error)
+            .count()
+    }
+
+    pub fn warnings(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Warning)
+            .count()
+    }
+
+    /// Machine-readable findings for the bench harness (archived next to
+    /// experiment results — see EXPERIMENTS.md).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\"version\":1,\"findings\":[");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"rule\":{},\"file\":{},\"line\":{},\"severity\":{},\"message\":{}}}",
+                json_str(f.rule),
+                json_str(&f.file),
+                f.line,
+                json_str(f.severity.as_str()),
+                json_str(&f.message),
+            ));
+        }
+        s.push_str(&format!(
+            "],\"errors\":{},\"warnings\":{},\"files_scanned\":{}}}",
+            self.errors(),
+            self.warnings(),
+            self.files_scanned
+        ));
+        s
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Is a rule enabled under an optional `--rule` filter?
+fn enabled(rule: &RuleInfo, only: Option<&str>) -> bool {
+    match only {
+        Some(id) => rule.id == id,
+        None => !rule.advisory,
+    }
+}
+
+/// Run the registry over in-memory sources. `rs` and `tomls` are
+/// `(workspace-relative path, content)` pairs; `only` restricts to a
+/// single rule id (annotation hygiene always runs).
+pub fn run_sources(rs: &[(String, String)], tomls: &[(String, String)], only: Option<&str>) -> Report {
+    let mut findings: Vec<Finding> = Vec::new();
+    let registry = rules::registry();
+
+    for (path, text) in rs {
+        let mut file = SourceFile::parse(path, text);
+        let scope = scope_for(path);
+        for rule in registry {
+            let RuleKind::Rust(check) = &rule.kind else {
+                continue;
+            };
+            if !enabled(rule, only) {
+                continue;
+            }
+            for raw in check(&file, &scope) {
+                let suppressed = file.allows.iter_mut().any(|a| {
+                    let hit = a.rule == rule.allow_id && raw.suppress_lines.contains(&a.covered_line);
+                    if hit {
+                        a.used = true;
+                    }
+                    hit
+                });
+                if !suppressed {
+                    findings.push(Finding {
+                        rule: rule.id,
+                        file: path.clone(),
+                        line: raw.line,
+                        severity: raw.severity.unwrap_or(rule.severity),
+                        message: raw.message,
+                    });
+                }
+            }
+        }
+        // Annotation hygiene always runs: malformed or unknown-rule
+        // annotations are errors; dead allows are warnings (full runs
+        // only — under --rule most allows legitimately go unused).
+        for (line, msg) in &file.bad_annotations {
+            findings.push(Finding {
+                rule: "bad-annotation",
+                file: path.clone(),
+                line: *line,
+                severity: Severity::Error,
+                message: msg.clone(),
+            });
+        }
+        for a in &file.allows {
+            if !rules::is_known_allow_id(&a.rule) {
+                findings.push(Finding {
+                    rule: "bad-annotation",
+                    file: path.clone(),
+                    line: a.comment_line,
+                    severity: Severity::Error,
+                    message: format!("allow({}) names an unknown rule", a.rule),
+                });
+            } else if only.is_none() && !a.used {
+                findings.push(Finding {
+                    rule: "bad-annotation",
+                    file: path.clone(),
+                    line: a.comment_line,
+                    severity: Severity::Warning,
+                    message: format!(
+                        "allow({}) suppresses nothing — remove the dead annotation",
+                        a.rule
+                    ),
+                });
+            }
+        }
+    }
+
+    for (path, text) in tomls {
+        for rule in registry {
+            let RuleKind::Toml(check) = &rule.kind else {
+                continue;
+            };
+            if !enabled(rule, only) {
+                continue;
+            }
+            for raw in check(path, text) {
+                findings.push(Finding {
+                    rule: rule.id,
+                    file: path.clone(),
+                    line: raw.line,
+                    severity: raw.severity.unwrap_or(rule.severity),
+                    message: raw.message,
+                });
+            }
+        }
+    }
+
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule))
+    });
+    Report {
+        findings,
+        files_scanned: rs.len() + tomls.len(),
+    }
+}
+
+/// Directories never descended into.
+const SKIP_DIRS: [&str; 5] = ["target", ".git", "results", "node_modules", ".claude"];
+
+/// Collect workspace sources: every `.rs` and `Cargo.toml`, skipping
+/// build output and the lint crate's own rule fixtures (which are dirty
+/// on purpose).
+pub fn load_workspace(root: &Path) -> Result<(Vec<(String, String)>, Vec<(String, String)>), String> {
+    let mut rs = Vec::new();
+    let mut tomls = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries = std::fs::read_dir(&dir)
+            .map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("walk error under {}: {e}", dir.display()))?;
+            let path = entry.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            let rel = rel_path(root, &path);
+            if path.is_dir() {
+                if SKIP_DIRS.contains(&name) || rel.ends_with("tests/fixtures") {
+                    continue;
+                }
+                stack.push(path);
+            } else if name == "Cargo.toml" || name.ends_with(".rs") {
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+                if name == "Cargo.toml" {
+                    tomls.push((rel, text));
+                } else {
+                    rs.push((rel, text));
+                }
+            }
+        }
+    }
+    rs.sort();
+    tomls.sort();
+    Ok((rs, tomls))
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Full workspace run: walk + lint.
+pub fn run_workspace(root: &Path, only: Option<&str>) -> Result<Report, String> {
+    let (rs, tomls) = load_workspace(root)?;
+    Ok(run_sources(&rs, &tomls, only))
+}
+
+/// Locate the workspace root: the nearest ancestor (including `start`)
+/// whose `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rs(path: &str, src: &str) -> Vec<(String, String)> {
+        vec![(path.to_string(), src.to_string())]
+    }
+
+    #[test]
+    fn suppression_marks_allow_used() {
+        let src = "fn f(v: Vec<u32>) -> u32 {\n\
+                   // privim-lint: allow(panic, reason = \"nonempty by contract\")\n\
+                   v.first().copied().unwrap()\n}";
+        let r = run_sources(&rs("crates/rt/src/x.rs", src), &[], None);
+        assert_eq!(r.errors(), 0, "{:?}", r.findings);
+        assert_eq!(r.warnings(), 0, "{:?}", r.findings);
+    }
+
+    #[test]
+    fn dead_allow_warns_unknown_rule_errors() {
+        let src = "// privim-lint: allow(panic, reason = \"nothing here\")\nfn f() {}\n\
+                   // privim-lint: allow(made-up, reason = \"x\")\nfn g() {}\n";
+        let r = run_sources(&rs("crates/rt/src/x.rs", src), &[], None);
+        assert_eq!(r.errors(), 1, "{:?}", r.findings);
+        assert_eq!(r.warnings(), 1, "{:?}", r.findings);
+    }
+
+    #[test]
+    fn rule_filter_restricts() {
+        let src = "fn f(v: Vec<u32>) -> u32 { let m = HashMap::new(); v.first().copied().unwrap() }";
+        let all = run_sources(&rs("crates/core/src/x.rs", src), &[], None);
+        assert_eq!(all.errors(), 2, "{:?}", all.findings);
+        let only = run_sources(&rs("crates/core/src/x.rs", src), &[], Some("panic-surface"));
+        assert_eq!(only.errors(), 1, "{:?}", only.findings);
+        assert_eq!(only.findings[0].rule, "panic-surface");
+    }
+
+    #[test]
+    fn json_escapes() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

@@ -1,0 +1,490 @@
+//! Hand-rolled Rust lexer — zero dependencies, resilient by construction.
+//!
+//! Produces a token stream precise enough for invariant linting: line and
+//! nested block comments, string / byte-string / raw-string literals (with
+//! arbitrary `#` fences), char literals vs lifetimes, numeric literals with
+//! float detection, identifiers (including raw `r#ident`), and single-byte
+//! punctuation. It never fails: unrecognised bytes are emitted as
+//! punctuation or skipped, so a malformed file degrades to fewer findings
+//! rather than a crashed gate.
+
+/// Token kind. Literal contents are not retained — rules only need shape.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokKind {
+    /// Identifier or keyword (keywords are not distinguished).
+    Ident(String),
+    /// A lifetime such as `'a` or `'static`.
+    Lifetime,
+    /// Numeric literal; `is_float` is true for `1.0`, `1e3`, `2f64`, …
+    Num { is_float: bool },
+    /// String, byte-string, or raw-string literal.
+    Str,
+    /// Char or byte-char literal.
+    Char,
+    /// Any other single byte (`=`, `!`, `(`, `[`, `.`, …).
+    Punct(u8),
+}
+
+/// One token with its source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokKind,
+    /// 1-based line of the token's first byte.
+    pub line: usize,
+    /// Byte offset of the token's first byte (for adjacency checks such
+    /// as distinguishing `==` from two stray `=`).
+    pub offset: usize,
+}
+
+/// One comment (line or block), with its text including the delimiters.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line of the opening `//` or `/*`.
+    pub line: usize,
+    /// 1-based line of the comment's last byte (equals `line` for `//`).
+    pub end_line: usize,
+    pub text: String,
+}
+
+/// Full lexer output: code tokens plus the comment stream.
+#[derive(Debug, Default)]
+pub struct LexOutput {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphabetic() || c >= 0x80
+}
+
+fn is_ident_cont(c: u8) -> bool {
+    is_ident_start(c) || c.is_ascii_digit()
+}
+
+struct Lexer<'a> {
+    b: &'a [u8],
+    i: usize,
+    line: usize,
+    out: LexOutput,
+}
+
+/// Tokenize `src`. Infallible; see module docs for the degradation model.
+pub fn lex(src: &str) -> LexOutput {
+    Lexer {
+        b: src.as_bytes(),
+        i: 0,
+        line: 1,
+        out: LexOutput::default(),
+    }
+    .run()
+}
+
+impl<'a> Lexer<'a> {
+    fn at(&self, k: usize) -> u8 {
+        self.b.get(self.i + k).copied().unwrap_or(0)
+    }
+
+    fn push(&mut self, kind: TokKind, offset: usize, line: usize) {
+        self.out.tokens.push(Token { kind, line, offset });
+    }
+
+    fn run(mut self) -> LexOutput {
+        while self.i < self.b.len() {
+            let c = self.at(0);
+            match c {
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                _ if c.is_ascii_whitespace() => self.i += 1,
+                b'/' if self.at(1) == b'/' => self.line_comment(),
+                b'/' if self.at(1) == b'*' => self.block_comment(),
+                b'r' | b'b' if self.literal_prefix() => {}
+                b'"' => self.string(),
+                b'\'' => self.char_or_lifetime(),
+                _ if c.is_ascii_digit() => self.number(),
+                _ if is_ident_start(c) => self.ident(),
+                _ => {
+                    self.push(TokKind::Punct(c), self.i, self.line);
+                    self.i += 1;
+                }
+            }
+        }
+        self.out
+    }
+
+    /// Handle `r"…"`, `r#"…"#`, `r#ident`, `b"…"`, `b'…'`, `br#"…"#`.
+    /// Returns false when the `r` / `b` is just an ordinary identifier
+    /// head, in which case nothing was consumed.
+    fn literal_prefix(&mut self) -> bool {
+        let c = self.at(0);
+        if c == b'b' {
+            match self.at(1) {
+                b'"' => {
+                    self.i += 1;
+                    self.string();
+                    return true;
+                }
+                b'\'' => {
+                    self.i += 1;
+                    self.char_literal();
+                    return true;
+                }
+                b'r' if self.at(2) == b'"' || self.at(2) == b'#' => {
+                    let (start, line) = (self.i, self.line);
+                    self.i += 2;
+                    self.raw_string(start, line);
+                    return true;
+                }
+                _ => return self.ident_then(false),
+            }
+        }
+        // c == b'r'
+        match self.at(1) {
+            b'"' => {
+                let (start, line) = (self.i, self.line);
+                self.i += 1;
+                self.raw_string(start, line);
+                true
+            }
+            b'#' => {
+                // Either a raw string `r#"…"#` (any fence depth) or a raw
+                // identifier `r#ident`.
+                let mut h = 0;
+                while self.at(1 + h) == b'#' {
+                    h += 1;
+                }
+                if self.at(1 + h) == b'"' {
+                    let (start, line) = (self.i, self.line);
+                    self.i += 1;
+                    self.raw_string(start, line);
+                    true
+                } else if h == 1 && is_ident_start(self.at(2)) {
+                    self.ident_then(true)
+                } else {
+                    self.ident_then(false)
+                }
+            }
+            _ => self.ident_then(false),
+        }
+    }
+
+    /// Emit an identifier starting at the cursor (skipping a `r#` raw
+    /// prefix when `raw`). Always returns true so callers can tail-call.
+    fn ident_then(&mut self, raw: bool) -> bool {
+        let (start, line) = (self.i, self.line);
+        let name_start = if raw { self.i + 2 } else { self.i };
+        self.i = name_start;
+        while self.i < self.b.len() && is_ident_cont(self.at(0)) {
+            self.i += 1;
+        }
+        let name = String::from_utf8_lossy(&self.b[name_start..self.i]).into_owned();
+        self.push(TokKind::Ident(name), start, line);
+        true
+    }
+
+    fn ident(&mut self) {
+        self.ident_then(false);
+    }
+
+    fn string(&mut self) {
+        let (start, line) = (self.i, self.line);
+        self.i += 1; // opening quote
+        while self.i < self.b.len() {
+            match self.at(0) {
+                b'\\' => self.i += 2,
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                b'"' => {
+                    self.i += 1;
+                    break;
+                }
+                _ => self.i += 1,
+            }
+        }
+        self.push(TokKind::Str, start, line);
+    }
+
+    /// Cursor is on the `#`s/quote after the (already consumed) `r` / `br`
+    /// head; `start`/`line` point at the head for the emitted token.
+    fn raw_string(&mut self, start: usize, line: usize) {
+        let mut h = 0;
+        while self.at(0) == b'#' {
+            h += 1;
+            self.i += 1;
+        }
+        self.i += 1; // opening quote
+        while self.i < self.b.len() {
+            match self.at(0) {
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                b'"' => {
+                    let mut k = 0;
+                    while k < h && self.at(1 + k) == b'#' {
+                        k += 1;
+                    }
+                    self.i += 1;
+                    if k == h {
+                        self.i += h;
+                        break;
+                    }
+                }
+                _ => self.i += 1,
+            }
+        }
+        self.push(TokKind::Str, start, line);
+    }
+
+    /// Cursor is on the opening `'` of a (possibly byte-) char literal
+    /// known to be one (callers guarantee it — used for `b'…'`).
+    fn char_literal(&mut self) {
+        let (start, line) = (self.i, self.line);
+        self.i += 1; // opening quote
+        if self.at(0) == b'\\' {
+            let head = self.at(1);
+            self.i += 2;
+            if head == b'u' && self.at(0) == b'{' {
+                while self.i < self.b.len() && self.at(0) != b'}' {
+                    self.i += 1;
+                }
+                self.i += 1;
+            } else if head == b'x' {
+                self.i += 2;
+            }
+        } else {
+            self.i += 1;
+            // Multi-byte UTF-8 scalar: keep consuming continuation bytes.
+            while self.at(0) >= 0x80 {
+                self.i += 1;
+            }
+        }
+        if self.at(0) == b'\'' {
+            self.i += 1;
+        }
+        self.push(TokKind::Char, start, line);
+    }
+
+    /// Disambiguate `'a'` (char) from `'a` (lifetime) at an opening `'`.
+    fn char_or_lifetime(&mut self) {
+        let next = self.at(1);
+        if next == b'\\' {
+            self.char_literal();
+            return;
+        }
+        if is_ident_start(next) {
+            // Scan the ident-like run; a closing quote right after makes
+            // it a char literal ('a', 'é'), otherwise it is a lifetime
+            // ('a, 'static).
+            let mut k = 1;
+            while is_ident_cont(self.at(k)) {
+                k += 1;
+            }
+            if self.at(k) == b'\'' {
+                self.char_literal();
+            } else {
+                self.push(TokKind::Lifetime, self.i, self.line);
+                self.i += k;
+            }
+            return;
+        }
+        if next != 0 && self.at(2) == b'\'' {
+            // '1', '(', … — a one-byte non-ident char literal.
+            self.char_literal();
+            return;
+        }
+        self.push(TokKind::Punct(b'\''), self.i, self.line);
+        self.i += 1;
+    }
+
+    fn number(&mut self) {
+        let (start, line) = (self.i, self.line);
+        let mut is_float = false;
+        if self.at(0) == b'0' && matches!(self.at(1), b'x' | b'o' | b'b') {
+            self.i += 2;
+            while self.at(0).is_ascii_alphanumeric() || self.at(0) == b'_' {
+                self.i += 1;
+            }
+            self.push(TokKind::Num { is_float: false }, start, line);
+            return;
+        }
+        while self.at(0).is_ascii_digit() || self.at(0) == b'_' {
+            self.i += 1;
+        }
+        // Fractional part only when followed by a digit, so ranges
+        // (`0..n`) and method calls on ints stay intact.
+        if self.at(0) == b'.' && self.at(1).is_ascii_digit() {
+            is_float = true;
+            self.i += 1;
+            while self.at(0).is_ascii_digit() || self.at(0) == b'_' {
+                self.i += 1;
+            }
+        }
+        // Exponent: `1e5`, `1.2E-3`.
+        if matches!(self.at(0), b'e' | b'E')
+            && (self.at(1).is_ascii_digit()
+                || (matches!(self.at(1), b'+' | b'-') && self.at(2).is_ascii_digit()))
+        {
+            is_float = true;
+            self.i += 1;
+            if matches!(self.at(0), b'+' | b'-') {
+                self.i += 1;
+            }
+            while self.at(0).is_ascii_digit() || self.at(0) == b'_' {
+                self.i += 1;
+            }
+        }
+        // Type suffix (`u64`, `f32`, …): an `f` head means float.
+        if is_ident_start(self.at(0)) {
+            if self.at(0) == b'f' {
+                is_float = true;
+            }
+            while is_ident_cont(self.at(0)) {
+                self.i += 1;
+            }
+        }
+        self.push(TokKind::Num { is_float }, start, line);
+    }
+
+    fn line_comment(&mut self) {
+        let (start, line) = (self.i, self.line);
+        while self.i < self.b.len() && self.at(0) != b'\n' {
+            self.i += 1;
+        }
+        self.out.comments.push(Comment {
+            line,
+            end_line: line,
+            text: String::from_utf8_lossy(&self.b[start..self.i]).into_owned(),
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let (start, line) = (self.i, self.line);
+        self.i += 2;
+        let mut depth = 1usize;
+        while self.i < self.b.len() && depth > 0 {
+            if self.at(0) == b'/' && self.at(1) == b'*' {
+                depth += 1;
+                self.i += 2;
+            } else if self.at(0) == b'*' && self.at(1) == b'/' {
+                depth -= 1;
+                self.i += 2;
+            } else {
+                if self.at(0) == b'\n' {
+                    self.line += 1;
+                }
+                self.i += 1;
+            }
+        }
+        self.out.comments.push(Comment {
+            line,
+            end_line: self.line,
+            text: String::from_utf8_lossy(&self.b[start..self.i]).into_owned(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn code_in_comments_and_strings_is_not_tokenized() {
+        let src = r###"
+            // x.unwrap() in a line comment
+            /* outer /* nested panic!( */ still comment */
+            let s = "a \" quoted .unwrap() string";
+            let r = r#"raw "string" with .expect( inside"#;
+            real_ident();
+        "###;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"panic".to_string()));
+        assert!(!ids.contains(&"expect".to_string()));
+        let out = lex(src);
+        assert_eq!(out.comments.len(), 2);
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let out = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; let u = '\\u{1F600}'; }");
+        let lifetimes = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        let chars = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 3);
+    }
+
+    #[test]
+    fn float_detection() {
+        let floats: Vec<bool> = lex("1 1.0 0x1F 1e3 2f64 3u32 0..5 x.0")
+            .tokens
+            .iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Num { is_float } => Some(is_float),
+                _ => None,
+            })
+            .collect();
+        // 1, 1.0, 0x1F, 1e3, 2f64, 3u32, 0, 5, 0 (tuple index)
+        assert_eq!(
+            floats,
+            vec![false, true, false, true, true, false, false, false, false]
+        );
+    }
+
+    #[test]
+    fn raw_idents_and_byte_literals() {
+        let out = lex(r##"let r#fn = b"bytes"; let c = b'x'; let s = br#"raw"#;"##);
+        let ids = out
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.kind, TokKind::Ident(_)))
+            .count();
+        assert_eq!(ids, 6); // let, r#fn, let, c, let, s
+        let strs = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .count();
+        assert_eq!(strs, 2);
+        let chars = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .count();
+        assert_eq!(chars, 1);
+    }
+
+    #[test]
+    fn line_numbers_track_through_multiline_constructs() {
+        let src = "let a = \"x\ny\";\n/* c\nc */\nlet b = 1;\n";
+        let out = lex(src);
+        let b_tok = out
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokKind::Ident("b".into()));
+        assert_eq!(b_tok.map(|t| t.line), Some(5));
+    }
+}

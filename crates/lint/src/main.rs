@@ -1,0 +1,153 @@
+//! `privim-lint` CLI.
+//!
+//! ```text
+//! privim-lint [--workspace] [--root <dir>] [--rule <id>] [--json]
+//! privim-lint --explain <rule>
+//! ```
+//!
+//! Exit codes: 0 clean (warnings allowed), 1 error findings, 2 usage.
+
+use privim_lint::engine;
+use privim_lint::rules::{self, RuleKind};
+
+const USAGE: &str = "\
+privim-lint — static enforcement of PrivIM's DP/determinism/panic invariants
+
+USAGE:
+    privim-lint [--workspace] [--root <dir>] [--rule <id>] [--json]
+    privim-lint --explain <rule>
+
+OPTIONS:
+    --workspace      Lint the enclosing cargo workspace (default)
+    --root <dir>     Lint the workspace rooted at <dir>
+    --rule <id>      Run a single rule (annotation hygiene still applies)
+    --json           Machine-readable findings on stdout
+    --explain <id>   Print a rule's rationale and contract
+    -h, --help       This text
+
+RULES:";
+
+fn usage() -> String {
+    let mut s = String::from(USAGE);
+    for r in rules::registry() {
+        s.push_str(&format!(
+            "\n    {:28} {}{}",
+            r.id,
+            r.summary,
+            if r.advisory { " [advisory]" } else { "" }
+        ));
+    }
+    s
+}
+
+fn main() {
+    std::process::exit(real_main());
+}
+
+fn real_main() -> i32 {
+    let mut json = false;
+    let mut rule: Option<String> = None;
+    let mut explain: Option<String> = None;
+    let mut root: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--workspace" => {}
+            "--json" => json = true,
+            "--rule" => rule = args.next(),
+            "--explain" => explain = args.next(),
+            "--root" => root = args.next(),
+            "-h" | "--help" => {
+                println!("{}", usage());
+                return 0;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n\n{}", usage());
+                return 2;
+            }
+        }
+    }
+
+    if let Some(id) = explain {
+        return match rules::by_id(&id) {
+            Some(r) => {
+                println!("{} — {}\nseverity: {}{}\n\n{}", r.id, r.summary,
+                    r.severity.as_str(),
+                    if r.advisory { " (advisory: never fails the gate)" } else { "" },
+                    r.explain);
+                0
+            }
+            None => {
+                eprintln!("unknown rule `{id}`\n\n{}", usage());
+                2
+            }
+        };
+    }
+
+    if let Some(id) = &rule {
+        let known = rules::by_id(id).map(|r| !matches!(r.kind, RuleKind::Meta));
+        if known != Some(true) {
+            eprintln!("`--rule {id}` does not name a runnable rule\n\n{}", usage());
+            return 2;
+        }
+    }
+
+    let root = match root {
+        Some(r) => std::path::PathBuf::from(r),
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("cannot determine current directory: {e}");
+                    return 2;
+                }
+            };
+            match engine::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("no enclosing cargo workspace found (try --root)");
+                    return 2;
+                }
+            }
+        }
+    };
+
+    let report = match engine::run_workspace(&root, rule.as_deref()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("privim-lint: {e}");
+            return 2;
+        }
+    };
+
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        for f in &report.findings {
+            println!(
+                "{}[{}]: {}:{}: {}",
+                f.severity.as_str(),
+                f.rule,
+                f.file,
+                f.line,
+                f.message
+            );
+        }
+        let gate = match rule.as_deref() {
+            Some(id) => format!("rule `{id}`"),
+            None => "all rules".to_string(),
+        };
+        println!(
+            "privim-lint: {} error(s), {} warning(s) across {} files ({gate})",
+            report.errors(),
+            report.warnings(),
+            report.files_scanned
+        );
+    }
+    if report.errors() > 0 {
+        1
+    } else {
+        0
+    }
+}

@@ -1,0 +1,207 @@
+//! `dependency-policy`: a section-aware Cargo.toml parser enforcing the
+//! zero-external-dependency policy — every dependency must be a pure
+//! `path` dependency or `workspace = true` inheritance, with no
+//! `version` / `git` / `registry` escape hatches. Replaces the awk
+//! one-liner that used to live in `scripts/ci.sh`.
+
+use crate::engine::RawFinding;
+
+/// Strip a `#` comment, respecting basic single-line strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut prev_backslash = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' if !prev_backslash => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        prev_backslash = c == '\\' && !prev_backslash;
+    }
+    line
+}
+
+/// Does a TOML section header name a dependency table?
+/// Matches `dependencies`, `dev-dependencies`, `build-dependencies`,
+/// `workspace.dependencies`, and `target.'cfg(...)'.dependencies`.
+fn is_dep_section(name: &str) -> bool {
+    name.rsplit('.')
+        .next()
+        .map(|last| last.ends_with("dependencies"))
+        .unwrap_or(false)
+}
+
+/// A `[dependencies.<name>]` subtable (keys accumulate until the next
+/// section header).
+struct Subtable {
+    dep: String,
+    line: usize,
+    ok: bool,
+    external_key: Option<(usize, String)>,
+}
+
+/// Keys that make a dependency external regardless of anything else.
+const EXTERNAL_KEYS: [&str; 3] = ["version", "git", "registry"];
+
+pub fn check_toml(path: &str, text: &str) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    let mut in_dep_section = false;
+    let mut sub: Option<Subtable> = None;
+
+    let mut flag = |line: usize, msg: String| {
+        out.push(RawFinding {
+            line,
+            message: msg,
+            suppress_lines: vec![line],
+            severity: None,
+        })
+    };
+    let flush = |sub: &mut Option<Subtable>, flag: &mut dyn FnMut(usize, String)| {
+        if let Some(s) = sub.take() {
+            if let Some((l, k)) = s.external_key {
+                flag(
+                    l,
+                    format!(
+                        "dependency table `{}` sets `{k}` — external sources are \
+                         banned ({path}: path-only policy)",
+                        s.dep
+                    ),
+                );
+            } else if !s.ok {
+                flag(
+                    s.line,
+                    format!(
+                        "dependency table `{}` has neither `path` nor \
+                         `workspace = true` — external dependencies are banned",
+                        s.dep
+                    ),
+                );
+            }
+        }
+    };
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let t = strip_comment(raw).trim();
+        if t.is_empty() {
+            continue;
+        }
+        if t.starts_with('[') {
+            flush(&mut sub, &mut flag);
+            let name = t.trim_start_matches('[').trim_end_matches(']').trim();
+            in_dep_section = is_dep_section(name);
+            // `[dependencies.foo]` / `[workspace.dependencies.foo]` style
+            // subtable: the *parent* is the dependency section.
+            if !in_dep_section {
+                if let Some((parent, dep)) = name.rsplit_once('.') {
+                    if is_dep_section(parent) {
+                        sub = Some(Subtable {
+                            dep: dep.trim().to_string(),
+                            line: lineno,
+                            ok: false,
+                            external_key: None,
+                        });
+                    }
+                }
+            }
+            continue;
+        }
+        let Some((key, value)) = t.split_once('=') else {
+            continue;
+        };
+        let (key, value) = (key.trim().trim_matches('"'), value.trim());
+        if let Some(s) = sub.as_mut() {
+            if key == "path" || (key == "workspace" && value == "true") {
+                s.ok = true;
+            } else if EXTERNAL_KEYS.contains(&key) && s.external_key.is_none() {
+                s.external_key = Some((lineno, key.to_string()));
+            }
+            continue;
+        }
+        if !in_dep_section {
+            continue;
+        }
+        // A dependency entry in a `[*dependencies]` section.
+        let has = |k: &str| {
+            value.contains(&format!("{k} =")) || value.contains(&format!("{k}="))
+        };
+        if value.starts_with('{') {
+            if let Some(bad) = EXTERNAL_KEYS.iter().find(|k| has(k)) {
+                flag(
+                    lineno,
+                    format!("dependency `{key}` sets `{bad}` — external sources are banned"),
+                );
+            } else if !has("path") && !value.contains("workspace = true") && !value.contains("workspace=true") {
+                flag(
+                    lineno,
+                    format!(
+                        "dependency `{key}` is not a path / workspace dependency — \
+                         external dependencies are banned"
+                    ),
+                );
+            }
+        } else {
+            // Bare `name = "1.0"` version strings are the classic
+            // crates.io form.
+            flag(
+                lineno,
+                format!(
+                    "dependency `{key}` uses a bare version requirement — \
+                     external dependencies are banned (use a path dependency)"
+                ),
+            );
+        }
+    }
+    flush(&mut sub, &mut flag);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_and_workspace_deps_pass() {
+        let toml = r#"
+[package]
+name = "x"
+version = "0.1.0"          # package version is not a dependency
+
+[dependencies]
+privim-rt = { path = "../rt" }
+privim = { workspace = true }
+
+[workspace.dependencies]
+privim-graph = { path = "crates/graph" }
+
+[dependencies.local]
+path = "../local"
+"#;
+        assert!(check_toml("crates/x/Cargo.toml", toml).is_empty());
+    }
+
+    #[test]
+    fn external_forms_flagged() {
+        let toml = r#"
+[dependencies]
+serde = "1.0"
+rand = { version = "0.8" }
+hybrid = { version = "1", path = "../h" }
+
+[dev-dependencies]
+criterion = { git = "https://github.com/x/y" }
+
+[dependencies.tokio]
+version = "1"
+features = ["full"]
+"#;
+        let got = check_toml("crates/x/Cargo.toml", toml);
+        assert_eq!(got.len(), 5, "{got:?}");
+    }
+
+    #[test]
+    fn comments_do_not_confuse_the_parser() {
+        let toml = "[dependencies]\n# serde = \"1.0\"\nrt = { path = \"../rt\" } # version = \"9\"\n";
+        assert!(check_toml("crates/x/Cargo.toml", toml).is_empty());
+    }
+}

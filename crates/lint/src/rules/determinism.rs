@@ -1,0 +1,108 @@
+//! Determinism rules: `nondeterministic-collection` and `wall-clock`.
+//!
+//! PR 1's 1-vs-N-thread equivalence tests assert *bit-identical* results
+//! at any parallelism level. Both rules remove the two classic sources of
+//! silent run-to-run divergence: hash-randomized iteration order and
+//! wall-clock reads flowing into results.
+
+use crate::engine::{RawFinding, Scope};
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+
+/// `nondeterministic-collection`: no `HashMap`/`HashSet` in
+/// result-affecting crate library code.
+pub fn check_collections(f: &SourceFile, scope: &Scope) -> Vec<RawFinding> {
+    if !scope.lib_code || !scope.det_crate {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for t in &f.tokens {
+        let TokKind::Ident(name) = &t.kind else {
+            continue;
+        };
+        if (name == "HashMap" || name == "HashSet") && !f.in_test_region(t.line) {
+            out.push(RawFinding {
+                line: t.line,
+                message: format!(
+                    "`{name}` has hash-randomized iteration order; use \
+                     BTree{}/a sorted Vec (or annotate a provably \
+                     order-free scratch use)",
+                    &name[4..]
+                ),
+                suppress_lines: vec![t.line],
+                severity: None,
+            });
+        }
+    }
+    out
+}
+
+/// `wall-clock`: `Instant::now` / `SystemTime` confined to the bench
+/// harness or explicitly labelled timing telemetry.
+pub fn check_wall_clock(f: &SourceFile, scope: &Scope) -> Vec<RawFinding> {
+    if !scope.lib_code || scope.wall_clock_exempt {
+        return Vec::new();
+    }
+    let toks = &f.tokens;
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        let TokKind::Ident(name) = &toks[i].kind else {
+            continue;
+        };
+        if f.in_test_region(toks[i].line) {
+            continue;
+        }
+        let flagged = match name.as_str() {
+            // `Instant::now(...)` — the read itself, not the mere import.
+            "Instant" => {
+                matches!(toks.get(i + 1).map(|t| &t.kind), Some(TokKind::Punct(b':')))
+                    && matches!(toks.get(i + 2).map(|t| &t.kind), Some(TokKind::Punct(b':')))
+                    && matches!(toks.get(i + 3).map(|t| &t.kind), Some(TokKind::Ident(n)) if n == "now")
+            }
+            // SystemTime is nondeterministic in every position.
+            "SystemTime" => true,
+            _ => false,
+        };
+        if flagged {
+            out.push(RawFinding {
+                line: toks[i].line,
+                message: format!(
+                    "wall-clock read (`{name}`) outside crates/rt/src/bench.rs; \
+                     results must not depend on time — annotate \
+                     allow(wall-clock, ...) if this is timing-only telemetry"
+                ),
+                suppress_lines: vec![toks[i].line],
+                severity: None,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::scope_for;
+
+    #[test]
+    fn hashmap_flagged_in_det_crate_only() {
+        let src = "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32> = HashMap::new(); }";
+        let f = SourceFile::parse("crates/dp/src/x.rs", src);
+        assert_eq!(check_collections(&f, &scope_for("crates/dp/src/x.rs")).len(), 3);
+        let f = SourceFile::parse("crates/rt/src/x.rs", src);
+        assert!(check_collections(&f, &scope_for("crates/rt/src/x.rs")).is_empty());
+        let f = SourceFile::parse("crates/dp/src/bin/tool.rs", src);
+        assert!(check_collections(&f, &scope_for("crates/dp/src/bin/tool.rs")).is_empty());
+    }
+
+    #[test]
+    fn instant_now_flagged_import_alone_is_not() {
+        let src = "use std::time::Instant;\nfn f() -> f64 { let t = Instant::now(); t.elapsed().as_secs_f64() }";
+        let f = SourceFile::parse("crates/core/src/x.rs", src);
+        let got = check_wall_clock(&f, &scope_for("crates/core/src/x.rs"));
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].line, 2);
+        let f = SourceFile::parse("crates/rt/src/bench.rs", src);
+        assert!(check_wall_clock(&f, &scope_for("crates/rt/src/bench.rs")).is_empty());
+    }
+}

@@ -1,0 +1,86 @@
+//! `float-eq`: deny `==` / `!=` where either operand is a float literal.
+//!
+//! Type-blind but token-precise: the heuristic catches the overwhelmingly
+//! common shape (`x == 0.0`, `1.5 != y`, `x == -1.0`) without a type
+//! checker. Ordering comparisons (`<=`, `>=`) are fine — only exact
+//! (in)equality is fragile under reordered float summation.
+
+use crate::engine::{RawFinding, Scope};
+use crate::lexer::{TokKind, Token};
+use crate::source::SourceFile;
+
+fn is_float(t: Option<&Token>) -> bool {
+    matches!(t.map(|t| &t.kind), Some(TokKind::Num { is_float: true }))
+}
+
+pub fn check(f: &SourceFile, scope: &Scope) -> Vec<RawFinding> {
+    if !scope.lib_code {
+        return Vec::new();
+    }
+    let toks = &f.tokens;
+    let mut out = Vec::new();
+    for i in 0..toks.len().saturating_sub(1) {
+        let (a, b) = (&toks[i], &toks[i + 1]);
+        // `==` or `!=` as two adjacent punct bytes.
+        let head = match (&a.kind, &b.kind) {
+            (TokKind::Punct(h @ (b'=' | b'!')), TokKind::Punct(b'=')) if b.offset == a.offset + 1 => *h,
+            _ => continue,
+        };
+        // Exclude the tail of `<=`, `>=`, `=>`, and chained `=` noise.
+        if matches!(
+            toks.get(i.wrapping_sub(1)).filter(|_| i > 0).map(|t| &t.kind),
+            Some(TokKind::Punct(b'<' | b'>' | b'=' | b'!'))
+        ) || matches!(toks.get(i + 2).map(|t| &t.kind), Some(TokKind::Punct(b'=' | b'>')))
+        {
+            continue;
+        }
+        if f.in_test_region(a.line) {
+            continue;
+        }
+        let lhs_float = is_float(if i > 0 { toks.get(i - 1) } else { None });
+        // Allow one leading unary minus on the right-hand side.
+        let rhs_float = is_float(toks.get(i + 2))
+            || (matches!(toks.get(i + 2).map(|t| &t.kind), Some(TokKind::Punct(b'-')))
+                && is_float(toks.get(i + 3)));
+        if lhs_float || rhs_float {
+            let op = if head == b'=' { "==" } else { "!=" };
+            out.push(RawFinding {
+                line: a.line,
+                message: format!(
+                    "exact float `{op}` against a literal; use an epsilon or \
+                     bit-pattern (`to_bits`) check, or annotate an intentional \
+                     IEEE-exact sentinel with allow(float-eq, ...)"
+                ),
+                suppress_lines: vec![a.line],
+                severity: None,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::scope_for;
+
+    fn run(src: &str) -> usize {
+        let f = SourceFile::parse("crates/tensor/src/x.rs", src);
+        check(&f, &scope_for("crates/tensor/src/x.rs")).len()
+    }
+
+    #[test]
+    fn literal_equality_flagged() {
+        assert_eq!(run("fn f(x: f64) -> bool { x == 0.0 }"), 1);
+        assert_eq!(run("fn f(x: f64) -> bool { 1.5 != x }"), 1);
+        assert_eq!(run("fn f(x: f64) -> bool { x == -2.0e3 }"), 1);
+    }
+
+    #[test]
+    fn orderings_ints_and_idents_pass() {
+        assert_eq!(run("fn f(x: f64) -> bool { x >= 0.0 && x <= 1.0 }"), 0);
+        assert_eq!(run("fn f(x: usize) -> bool { x == 0 }"), 0);
+        assert_eq!(run("fn f(x: f64, y: f64) -> bool { x == y }"), 0); // type-blind
+        assert_eq!(run("fn f() -> u32 { match 1 { _ => 0 } }"), 0); // `=>`
+    }
+}

@@ -1,0 +1,203 @@
+//! The rule catalogue: ids, severities, allow ids, and `--explain` text.
+//!
+//! Every rule is a pure function from a parsed [`SourceFile`] (or a
+//! `Cargo.toml`) to raw findings; the engine applies annotation
+//! suppression and severity accounting on top. Adding a rule means adding
+//! a module here and one [`RuleInfo`] entry to [`registry`].
+
+pub mod deps;
+pub mod determinism;
+pub mod float_eq;
+pub mod noise;
+pub mod panic_surface;
+
+use crate::engine::{RawFinding, Scope, Severity};
+use crate::source::SourceFile;
+
+/// What a rule consumes.
+pub enum RuleKind {
+    /// Runs over parsed `.rs` files.
+    Rust(fn(&SourceFile, &Scope) -> Vec<RawFinding>),
+    /// Runs over `Cargo.toml` manifests: `(workspace-relative path, text)`.
+    Toml(fn(&str, &str) -> Vec<RawFinding>),
+    /// Emitted by the engine itself (annotation hygiene); listed here so
+    /// `--explain` covers it.
+    Meta,
+}
+
+/// Static description of one rule.
+pub struct RuleInfo {
+    pub id: &'static str,
+    /// Id accepted in `allow(...)` annotations (differs from `id` only
+    /// for `panic-surface`, whose allow id is the shorter `panic`).
+    pub allow_id: &'static str,
+    pub severity: Severity,
+    /// Advisory rules run only when explicitly selected via `--rule` and
+    /// never fail the gate.
+    pub advisory: bool,
+    pub summary: &'static str,
+    pub explain: &'static str,
+    pub kind: RuleKind,
+}
+
+/// All rules, in reporting order.
+pub fn registry() -> &'static [RuleInfo] {
+    &[
+        RuleInfo {
+            id: "unaccounted-noise",
+            allow_id: "unaccounted-noise",
+            severity: Severity::Error,
+            advisory: false,
+            summary: "noise primitives must be charged to the RDP accountant",
+            explain: "\
+The paper's (epsilon, delta) guarantee is a statement about *accounted*
+noise: Theorem 3 composes the per-step RDP cost of every Gaussian draw, so
+a code path that adds noise without charging the accountant silently voids
+the guarantee (the classic DP-implementation leak of Tramer et al.). Any
+function whose body calls a noise primitive (gaussian_noise_vec,
+laplace_noise_vec, sml_noise_vec, add_noise, noisy_*) must also reference
+the accountant (an identifier containing `Accountant`, or `charge` /
+`compose`), or carry an audited annotation:
+
+    // privim-lint: allow(unaccounted-noise, reason = \"...\")
+
+placed on the noise-call line or the function's `fn` line. The reason must
+say where the budget is charged instead. This is the load-bearing rule:
+every other invariant protects test fidelity, this one protects the
+privacy claim itself.",
+            kind: RuleKind::Rust(noise::check),
+        },
+        RuleInfo {
+            id: "nondeterministic-collection",
+            allow_id: "nondeterministic-collection",
+            severity: Severity::Error,
+            advisory: false,
+            summary: "HashMap/HashSet are banned in result-affecting crates",
+            explain: "\
+std's HashMap/HashSet use SipHash with process-random keys, so iteration
+order differs across runs and platforms. In result-affecting crates
+(tensor, dp, gnn, sampling, im, core, graph, bench, lint) that breaks the
+1-vs-N-thread bit-equality tests and makes experiment outputs
+irreproducible. Use BTreeMap/BTreeSet, a sorted Vec, or the seeded
+alternative. Library code only (src/bin CLIs and test modules are exempt);
+suppress a genuinely order-free scratch use with
+allow(nondeterministic-collection, reason = \"...\").",
+            kind: RuleKind::Rust(determinism::check_collections),
+        },
+        RuleInfo {
+            id: "wall-clock",
+            allow_id: "wall-clock",
+            severity: Severity::Error,
+            advisory: false,
+            summary: "Instant::now/SystemTime only in bench plumbing or labelled timing",
+            explain: "\
+Wall-clock reads are nondeterministic inputs: a result that depends on
+Instant::now() cannot be bit-reproduced. Instant::now and SystemTime are
+confined to crates/rt/src/bench.rs (the bench harness); every other site
+must be explicitly labelled as timing-only telemetry with
+allow(wall-clock, reason = \"...\") so an auditor can verify the value
+never feeds a result.",
+            kind: RuleKind::Rust(determinism::check_wall_clock),
+        },
+        RuleInfo {
+            id: "float-eq",
+            allow_id: "float-eq",
+            severity: Severity::Error,
+            advisory: false,
+            summary: "no == / != against float literals",
+            explain: "\
+Exact float equality is almost always a latent bug: values that are
+mathematically equal differ in the last ulp after reordered summation,
+which is exactly what the deterministic-parallelism contract forbids
+relying on. Comparisons `x == 1.0` / `x != 0.0` (either operand a float
+literal) are denied in library code. Convert result-affecting ones to an
+explicit epsilon or bit-pattern (`to_bits`) check; annotate intentional
+IEEE-exact sentinels with allow(float-eq, reason = \"...\").",
+            kind: RuleKind::Rust(float_eq::check),
+        },
+        RuleInfo {
+            id: "panic-surface",
+            allow_id: "panic",
+            severity: Severity::Error,
+            advisory: false,
+            summary: "library code must stay Result-based",
+            explain: "\
+The fault-tolerance contract (DESIGN.md section 8) requires library code
+to surface failures as PrivimError, not aborts: the crash-safe harness can
+only checkpoint around errors it observes. Token-aware counting of
+.unwrap() / .expect( / panic!( / unreachable!( / todo!( / unimplemented!(
+in crate library code (src/bin entry points and #[cfg(test)] modules are
+exempt; assert! invariant checks are allowed). Unlike the retired
+grep-based scripts/panic_gate.sh, comments, doc examples, and string
+literals do not count, and methods merely *named* `expect` do not trip it.
+Every remaining site must be provably infallible and annotated in place:
+
+    // privim-lint: allow(panic, reason = \"...\")
+
+The annotation replaces the old external allowlist file, so the audit
+travels with the code it audits.",
+            kind: RuleKind::Rust(panic_surface::check),
+        },
+        RuleInfo {
+            id: "panic-indexing",
+            allow_id: "panic-indexing",
+            severity: Severity::Warning,
+            advisory: true,
+            summary: "advisory: slice/array indexing in library code",
+            explain: "\
+Indexing (`xs[i]`) panics on out-of-bounds and is invisible to the
+panic-surface rule. This advisory heuristic lists indexing expressions in
+library code so a reviewer can sweep for unchecked indices. It is noisy by
+design (CSR adjacency walks index heavily and provably in-bounds), so it
+only runs when explicitly requested via `--rule panic-indexing` and never
+fails the gate.",
+            kind: RuleKind::Rust(panic_surface::check_indexing),
+        },
+        RuleInfo {
+            id: "dependency-policy",
+            allow_id: "dependency-policy",
+            severity: Severity::Error,
+            advisory: false,
+            summary: "only path / workspace dependencies are allowed",
+            explain: "\
+The workspace builds with crates.io unreachable (DESIGN.md
+zero-external-dependency policy): every dependency in every Cargo.toml
+must be a pure path dependency or `workspace = true` inheritance. This
+rule is a real section-aware manifest parser (it understands
+[dependencies], [dev-dependencies], [build-dependencies],
+[workspace.dependencies], target-specific tables, and
+[dependencies.<name>] subtables) and replaces the line-oriented awk check
+that previously lived in scripts/ci.sh. Any `version`, `git`, or
+`registry` key on a dependency is a finding even when a `path` is also
+present.",
+            kind: RuleKind::Toml(deps::check_toml),
+        },
+        RuleInfo {
+            id: "bad-annotation",
+            allow_id: "bad-annotation",
+            severity: Severity::Error,
+            advisory: false,
+            summary: "annotation hygiene: parseable, known rule, mandatory reason, no dead allows",
+            explain: "\
+Suppressions are part of the audited surface, so they are linted too: a
+`privim-lint:` comment that does not parse as
+allow(<rule>, reason = \"...\"), names an unknown rule, or omits the
+reason is an error. An allow that suppresses nothing is reported as a
+warning (dead allows rot into false confidence). This rule always runs,
+even under `--rule <other>`.",
+            kind: RuleKind::Meta,
+        },
+    ]
+}
+
+/// Look up a rule by id.
+pub fn by_id(id: &str) -> Option<&'static RuleInfo> {
+    registry().iter().find(|r| r.id == id)
+}
+
+/// True when `id` is accepted inside `allow(...)`.
+pub fn is_known_allow_id(id: &str) -> bool {
+    registry()
+        .iter()
+        .any(|r| r.allow_id == id && !matches!(r.kind, RuleKind::Meta))
+}

@@ -1,0 +1,126 @@
+//! `unaccounted-noise`: every function that draws DP noise must reference
+//! the RDP accountant or carry an audited annotation saying who charges
+//! the budget instead. See the registry entry for the full rationale.
+
+use crate::engine::{RawFinding, Scope};
+use crate::lexer::TokKind;
+use crate::source::{find_fns, innermost_fn, SourceFile};
+
+/// Exact names of noise primitives (plus the `noisy_` prefix family).
+const NOISE_FNS: [&str; 4] = [
+    "gaussian_noise_vec",
+    "laplace_noise_vec",
+    "sml_noise_vec",
+    "add_noise",
+];
+
+fn is_noise_fn(name: &str) -> bool {
+    NOISE_FNS.contains(&name) || name.starts_with("noisy_")
+}
+
+/// An identifier that counts as "touching the accountant".
+fn is_accountant_ref(name: &str) -> bool {
+    name == "charge" || name == "compose" || name.to_ascii_lowercase().contains("accountant")
+}
+
+pub fn check(f: &SourceFile, scope: &Scope) -> Vec<RawFinding> {
+    if !scope.lib_code {
+        return Vec::new();
+    }
+    let toks = &f.tokens;
+    let fns = find_fns(toks);
+    // Precompute, per fn, whether its signature or body references the
+    // accountant (a `&mut Accountant` parameter counts).
+    let has_acct: Vec<bool> = fns
+        .iter()
+        .map(|s| {
+            toks[s.sig_start..s.body.1]
+                .iter()
+                .any(|t| matches!(&t.kind, TokKind::Ident(n) if is_accountant_ref(n)))
+        })
+        .collect();
+
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        let TokKind::Ident(name) = &toks[i].kind else {
+            continue;
+        };
+        if !is_noise_fn(name) {
+            continue;
+        }
+        // Call position: followed by `(`, and not a `fn` definition head.
+        let is_call = matches!(toks.get(i + 1).map(|t| &t.kind), Some(TokKind::Punct(b'(')));
+        let is_def = matches!(
+            toks.get(i.wrapping_sub(1)).map(|t| &t.kind),
+            Some(TokKind::Ident(k)) if k == "fn"
+        ) && i > 0;
+        if !is_call || is_def || f.in_test_region(toks[i].line) {
+            continue;
+        }
+        let line = toks[i].line;
+        let (fn_name, sig_line, accounted) = match innermost_fn(&fns, i) {
+            Some(span) => {
+                let idx = fns
+                    .iter()
+                    .position(|s| s.body == span.body)
+                    .unwrap_or(usize::MAX);
+                (
+                    span.name.as_str(),
+                    span.sig_line,
+                    idx < has_acct.len() && has_acct[idx],
+                )
+            }
+            None => ("<file scope>", line, false),
+        };
+        if accounted {
+            continue;
+        }
+        out.push(RawFinding {
+            line,
+            message: format!(
+                "`{name}` draws noise but fn `{fn_name}` never references the RDP \
+                 accountant (Accountant / charge / compose); charge the budget or \
+                 annotate allow(unaccounted-noise, reason = \"where it is charged\")"
+            ),
+            // An allow on either the call line or the `fn` line suppresses.
+            suppress_lines: vec![line, sig_line],
+            severity: None,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::scope_for;
+
+    fn run(src: &str) -> Vec<RawFinding> {
+        let f = SourceFile::parse("crates/core/src/x.rs", src);
+        check(&f, &scope_for("crates/core/src/x.rs"))
+    }
+
+    #[test]
+    fn unaccounted_call_is_flagged_accounted_is_not() {
+        let bad = run("fn f(rng: &mut R) { let n = gaussian_noise_vec(3, 1.0, 1.0, rng); }");
+        assert_eq!(bad.len(), 1);
+        let good = run(
+            "fn f(a: &mut Accountant, rng: &mut R) { a.charge(1); \
+             let n = gaussian_noise_vec(3, 1.0, 1.0, rng); }",
+        );
+        assert!(good.is_empty());
+    }
+
+    #[test]
+    fn noisy_prefix_counts_definition_does_not() {
+        assert_eq!(run("fn f() { noisy_topk(5); }").len(), 1);
+        assert!(run("fn noisy_topk(k: usize) -> usize { k }").is_empty());
+    }
+
+    #[test]
+    fn innermost_fn_is_charged_not_outer() {
+        // Outer references the accountant, inner draws noise: still a leak.
+        let src = "fn outer(a: &Accountant) { fn inner(r: &mut R) { sml_noise_vec(1, 1.0, r); } }";
+        assert_eq!(run(src).len(), 1);
+    }
+}

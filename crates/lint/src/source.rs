@@ -1,0 +1,321 @@
+//! A parsed source file: token stream, comments, audited `allow`
+//! annotations, and the embedded-test-module boundary.
+//!
+//! ## Annotation grammar
+//!
+//! A suppression is a comment of the form
+//!
+//! ```text
+//! // privim-lint: allow(<rule-id>, reason = "<non-empty justification>")
+//! ```
+//!
+//! The `reason` is mandatory — an allow without a why is itself a finding
+//! (`bad-annotation`). A trailing annotation covers its own line; an
+//! annotation on a line of its own covers the next line that carries code.
+//! Rule ids are the *allow ids* from the rule registry (`panic` for the
+//! `panic-surface` rule, otherwise identical to the rule id). Only plain
+//! `//` / `/* */` comments carry annotations — doc comments (`///`,
+//! `//!`) are exempt so rustdoc can quote the grammar.
+
+use crate::lexer::{lex, Comment, TokKind, Token};
+
+/// The comment marker that introduces an annotation.
+pub const MARKER: &str = "privim-lint:";
+
+/// One parsed `allow` annotation.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// The allow id being suppressed (e.g. `panic`, `wall-clock`).
+    pub rule: String,
+    /// The mandatory justification.
+    pub reason: String,
+    /// Line of the annotation comment itself.
+    pub comment_line: usize,
+    /// Line of code this annotation covers (`usize::MAX` if it dangles at
+    /// end of file and covers nothing).
+    pub covered_line: usize,
+    /// Set by the engine when a finding was suppressed by this allow.
+    pub used: bool,
+}
+
+/// A source file, parsed once and shared by every rule.
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+    pub allows: Vec<Allow>,
+    /// Malformed annotations: `(line, what is wrong)`.
+    pub bad_annotations: Vec<(usize, String)>,
+    /// Line of the first `#[cfg(test)]` — everything from here on is the
+    /// embedded test module and exempt from library-code rules.
+    pub test_start: Option<usize>,
+}
+
+impl SourceFile {
+    pub fn parse(path: &str, src: &str) -> SourceFile {
+        let out = lex(src);
+        let test_start = find_test_start(&out.tokens);
+        let mut allows = Vec::new();
+        let mut bad = Vec::new();
+        for c in &out.comments {
+            // Doc comments *describe* the annotation grammar; only plain
+            // `//` / `/* */` comments can carry a live annotation.
+            if c.text.starts_with("///")
+                || c.text.starts_with("//!")
+                || c.text.starts_with("/**")
+                || c.text.starts_with("/*!")
+            {
+                continue;
+            }
+            let Some(pos) = c.text.find(MARKER) else {
+                continue;
+            };
+            let body = &c.text[pos + MARKER.len()..];
+            match parse_allow(body) {
+                Ok((rule, reason)) => allows.push(Allow {
+                    rule,
+                    reason,
+                    comment_line: c.line,
+                    covered_line: covered_line(&out.tokens, c),
+                    used: false,
+                }),
+                Err(msg) => bad.push((c.line, msg)),
+            }
+        }
+        SourceFile {
+            path: path.to_string(),
+            tokens: out.tokens,
+            comments: out.comments,
+            allows,
+            bad_annotations: bad,
+            test_start,
+        }
+    }
+
+    /// True when `line` lies inside the embedded `#[cfg(test)]` module.
+    pub fn in_test_region(&self, line: usize) -> bool {
+        matches!(self.test_start, Some(t) if line >= t)
+    }
+}
+
+/// Line of first `#[cfg(test)]` attribute in the token stream.
+fn find_test_start(toks: &[Token]) -> Option<usize> {
+    let want: [&dyn Fn(&TokKind) -> bool; 7] = [
+        &|k| *k == TokKind::Punct(b'#'),
+        &|k| *k == TokKind::Punct(b'['),
+        &|k| matches!(k, TokKind::Ident(s) if s == "cfg"),
+        &|k| *k == TokKind::Punct(b'('),
+        &|k| matches!(k, TokKind::Ident(s) if s == "test"),
+        &|k| *k == TokKind::Punct(b')'),
+        &|k| *k == TokKind::Punct(b']'),
+    ];
+    toks.windows(want.len())
+        .find(|w| w.iter().zip(&want).all(|(t, m)| m(&t.kind)))
+        .map(|w| w[0].line)
+}
+
+/// Which code line an annotation comment covers (see module docs).
+fn covered_line(toks: &[Token], c: &Comment) -> usize {
+    if toks.iter().any(|t| t.line == c.line) {
+        return c.line; // trailing comment on a code line
+    }
+    toks.iter()
+        .map(|t| t.line)
+        .filter(|&l| l > c.end_line)
+        .min()
+        .unwrap_or(usize::MAX)
+}
+
+/// Parse the text after the `privim-lint:` marker.
+fn parse_allow(body: &str) -> Result<(String, String), String> {
+    let t = body.trim().trim_end_matches("*/").trim_end();
+    let Some(rest) = t.strip_prefix("allow") else {
+        return Err(format!("expected `allow(...)` after `{MARKER}`"));
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return Err("expected `(` after `allow`".to_string());
+    };
+    let Some(inner) = rest.trim_end().strip_suffix(')') else {
+        return Err("unclosed `allow(`".to_string());
+    };
+    let (rule, tail) = match inner.split_once(',') {
+        Some((r, tail)) => (r.trim(), Some(tail.trim())),
+        None => (inner.trim(), None),
+    };
+    if rule.is_empty() || !rule.bytes().all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-')
+    {
+        return Err(format!("bad rule id `{rule}` (lowercase kebab-case required)"));
+    }
+    let Some(tail) = tail else {
+        return Err(format!(
+            "allow({rule}) is missing its mandatory `reason = \"...\"`"
+        ));
+    };
+    let Some(tail) = tail.strip_prefix("reason") else {
+        return Err("expected `reason = \"...\"` after the rule id".to_string());
+    };
+    let tail = tail.trim_start();
+    let Some(tail) = tail.strip_prefix('=') else {
+        return Err("expected `=` after `reason`".to_string());
+    };
+    let tail = tail.trim();
+    let Some(q) = tail.strip_prefix('"') else {
+        return Err("reason must be a double-quoted string".to_string());
+    };
+    let Some(reason) = q.strip_suffix('"') else {
+        return Err("unterminated reason string".to_string());
+    };
+    if reason.trim().is_empty() {
+        return Err(format!("allow({rule}) has an empty reason — justify the suppression"));
+    }
+    Ok((rule.to_string(), reason.trim().to_string()))
+}
+
+/// A `fn` item with its body's token range (used by function-scoped rules).
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    pub name: String,
+    /// Line of the `fn` keyword.
+    pub sig_line: usize,
+    /// Token index of the `fn` keyword (signature start).
+    pub sig_start: usize,
+    /// Half-open token-index range of the body including both braces.
+    pub body: (usize, usize),
+}
+
+/// Locate every `fn` item (including nested ones) and its body span.
+/// Function-pointer types (`fn(i32)`) and bodyless trait methods are
+/// skipped. Unbalanced braces degrade to a span ending at EOF.
+pub fn find_fns(toks: &[Token]) -> Vec<FnSpan> {
+    let mut fns = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let is_fn_kw = matches!(&toks[i].kind, TokKind::Ident(s) if s == "fn");
+        if !is_fn_kw {
+            i += 1;
+            continue;
+        }
+        let Some(name_tok) = toks.get(i + 1) else {
+            break;
+        };
+        let TokKind::Ident(name) = &name_tok.kind else {
+            i += 1; // `fn(` pointer type or malformed
+            continue;
+        };
+        // Scan to the body's `{`, giving up at a `;` (trait declaration).
+        let mut j = i + 2;
+        let mut body = None;
+        while let Some(t) = toks.get(j) {
+            match t.kind {
+                TokKind::Punct(b'{') => {
+                    body = Some(j);
+                    break;
+                }
+                TokKind::Punct(b';') => break,
+                _ => j += 1,
+            }
+        }
+        if let Some(open) = body {
+            let mut depth = 0usize;
+            let mut k = open;
+            let mut close = toks.len();
+            while let Some(t) = toks.get(k) {
+                match t.kind {
+                    TokKind::Punct(b'{') => depth += 1,
+                    TokKind::Punct(b'}') => {
+                        depth = depth.saturating_sub(1);
+                        if depth == 0 {
+                            close = k + 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            fns.push(FnSpan {
+                name: name.clone(),
+                sig_line: toks[i].line,
+                sig_start: i,
+                body: (open, close),
+            });
+        }
+        i += 2;
+    }
+    fns
+}
+
+/// The innermost function span containing token index `idx`, if any.
+pub fn innermost_fn<'a>(fns: &'a [FnSpan], idx: usize) -> Option<&'a FnSpan> {
+    fns.iter()
+        .filter(|f| f.body.0 <= idx && idx < f.body.1)
+        .min_by_key(|f| f.body.1 - f.body.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn annotations_parse_and_cover() {
+        let src = "\
+fn a() {
+    // privim-lint: allow(panic, reason = \"fixed-size slice\")
+    x.unwrap();
+}
+let y = 1; // privim-lint: allow(wall-clock, reason = \"bench label\")
+";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        assert_eq!(f.allows.len(), 2);
+        assert_eq!(f.allows[0].rule, "panic");
+        assert_eq!(f.allows[0].covered_line, 3);
+        assert_eq!(f.allows[1].rule, "wall-clock");
+        assert_eq!(f.allows[1].covered_line, 5);
+        assert!(f.bad_annotations.is_empty());
+    }
+
+    #[test]
+    fn malformed_annotations_are_findings() {
+        for bad in [
+            "// privim-lint: allow(panic)",
+            "// privim-lint: allow(panic, reason = \"\")",
+            "// privim-lint: allow(Panic, reason = \"x\")",
+            "// privim-lint: deny(panic)",
+        ] {
+            let f = SourceFile::parse("crates/x/src/lib.rs", bad);
+            assert_eq!(f.bad_annotations.len(), 1, "{bad}");
+        }
+    }
+
+    #[test]
+    fn test_region_detection() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests { fn t() {} }\n";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        assert!(!f.in_test_region(1));
+        assert!(f.in_test_region(2));
+        assert!(f.in_test_region(3));
+    }
+
+    #[test]
+    fn fn_spans_nest() {
+        let src = "fn outer() { fn inner() { body(); } tail(); }";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        let fns = find_fns(&f.tokens);
+        assert_eq!(fns.len(), 2);
+        let body_idx = f
+            .tokens
+            .iter()
+            .position(|t| matches!(&t.kind, TokKind::Ident(s) if s == "body"))
+            .expect("body token");
+        let inner = innermost_fn(&fns, body_idx).expect("span");
+        assert_eq!(inner.name, "inner");
+        let tail_idx = f
+            .tokens
+            .iter()
+            .position(|t| matches!(&t.kind, TokKind::Ident(s) if s == "tail"))
+            .expect("tail token");
+        assert_eq!(innermost_fn(&fns, tail_idx).map(|s| s.name.as_str()), Some("outer"));
+    }
+}

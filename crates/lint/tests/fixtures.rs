@@ -1,0 +1,138 @@
+//! Per-rule fixture tests: every rule must flag its dirty fixture and
+//! accept its clean counterpart. Fixtures live in `tests/fixtures/` and
+//! are excluded from workspace walks (the dirty ones violate the rules
+//! on purpose).
+
+use privim_lint::engine::run_sources;
+
+fn fixture(kind: &str, name: &str) -> String {
+    let path = format!(
+        "{}/tests/fixtures/{kind}/{name}",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+/// Lint one fixture as if it lived at `crates/core/src/fixture.rs` — a
+/// result-affecting library path where every Rust rule applies.
+fn lint_rs(kind: &str, name: &str) -> privim_lint::engine::Report {
+    let rs = vec![("crates/core/src/fixture.rs".to_string(), fixture(kind, name))];
+    run_sources(&rs, &[], None)
+}
+
+fn errors_of(report: &privim_lint::engine::Report, rule: &str) -> usize {
+    report
+        .findings
+        .iter()
+        .filter(|f| f.rule == rule && f.severity == privim_lint::engine::Severity::Error)
+        .count()
+}
+
+fn assert_pair(name: &str, rule: &str) {
+    let dirty = lint_rs("dirty", name);
+    assert!(
+        errors_of(&dirty, rule) >= 1,
+        "dirty/{name} should trip {rule}: {:?}",
+        dirty.findings
+    );
+    let clean = lint_rs("clean", name);
+    assert_eq!(
+        clean.errors(),
+        0,
+        "clean/{name} should pass every rule: {:?}",
+        clean.findings
+    );
+    assert_eq!(
+        clean.warnings(),
+        0,
+        "clean/{name} should carry no dead annotations: {:?}",
+        clean.findings
+    );
+}
+
+#[test]
+fn unaccounted_noise_pair() {
+    assert_pair("unaccounted_noise.rs", "unaccounted-noise");
+}
+
+#[test]
+fn nondeterministic_collection_pair() {
+    assert_pair("nondeterministic_collection.rs", "nondeterministic-collection");
+}
+
+#[test]
+fn wall_clock_pair() {
+    assert_pair("wall_clock.rs", "wall-clock");
+}
+
+#[test]
+fn float_eq_pair() {
+    assert_pair("float_eq.rs", "float-eq");
+}
+
+#[test]
+fn panic_surface_pair() {
+    assert_pair("panic_surface.rs", "panic-surface");
+}
+
+#[test]
+fn bad_annotation_pair() {
+    assert_pair("bad_annotation.rs", "bad-annotation");
+}
+
+#[test]
+fn dirty_panic_fixture_counts_every_site() {
+    // unwrap + expect + unreachable! — the token-aware scan must see all
+    // three shapes, not just the grep-able ones.
+    let dirty = lint_rs("dirty", "panic_surface.rs");
+    assert_eq!(errors_of(&dirty, "panic-surface"), 3, "{:?}", dirty.findings);
+}
+
+#[test]
+fn dependency_policy_pair() {
+    let dirty = vec![(
+        "crates/fixture/Cargo.toml".to_string(),
+        fixture("dirty", "Cargo.toml"),
+    )];
+    let report = run_sources(&[], &dirty, None);
+    assert_eq!(
+        errors_of(&report, "dependency-policy"),
+        5,
+        "dirty Cargo.toml: bare version, inline version, git, subtable \
+         version, dev-dep version: {:?}",
+        report.findings
+    );
+
+    let clean = vec![(
+        "crates/fixture/Cargo.toml".to_string(),
+        fixture("clean", "Cargo.toml"),
+    )];
+    let report = run_sources(&[], &clean, None);
+    assert_eq!(report.errors(), 0, "{:?}", report.findings);
+}
+
+#[test]
+fn rule_filter_isolates_one_rule() {
+    // The dirty collection fixture also has no other violations, so a
+    // --rule filter on a different rule must report nothing.
+    let rs = vec![(
+        "crates/core/src/fixture.rs".to_string(),
+        fixture("dirty", "nondeterministic_collection.rs"),
+    )];
+    let filtered = run_sources(&rs, &[], Some("wall-clock"));
+    assert_eq!(filtered.errors(), 0, "{:?}", filtered.findings);
+    let matching = run_sources(&rs, &[], Some("nondeterministic-collection"));
+    assert!(matching.errors() >= 1);
+}
+
+#[test]
+fn fixtures_outside_lib_scope_are_exempt() {
+    // The same dirty source under src/bin/ is out of scope for the
+    // library-code rules (experiment binaries may hash and time freely).
+    let rs = vec![(
+        "crates/bench/src/bin/fixture.rs".to_string(),
+        fixture("dirty", "wall_clock.rs"),
+    )];
+    let report = run_sources(&rs, &[], None);
+    assert_eq!(report.errors(), 0, "{:?}", report.findings);
+}

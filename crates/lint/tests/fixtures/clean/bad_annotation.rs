@@ -1,0 +1,8 @@
+//! Clean fixture: a well-formed annotation that actually suppresses a
+//! finding (so it is neither malformed nor dead).
+
+pub fn head(v: &[u32]) -> u32 {
+    assert!(!v.is_empty());
+    // privim-lint: allow(panic, reason = "nonemptiness asserted above; unwrap cannot fire")
+    v.first().copied().unwrap()
+}

@@ -1,0 +1,15 @@
+//! Clean fixture: epsilon / bit-pattern comparisons, plus one audited
+//! IEEE-exact sentinel.
+
+pub fn converged(prev: f64, cur: f64) -> bool {
+    (prev - cur).abs() < 1e-12
+}
+
+pub fn same_bits(a: f64, b: f64) -> bool {
+    a.to_bits() == b.to_bits()
+}
+
+pub fn skip_structural_zero(x: f64) -> bool {
+    // privim-lint: allow(float-eq, reason = "exact-zero sparsity sentinel; only IEEE zeros are skippable losslessly")
+    x == 0.0
+}

@@ -1,0 +1,14 @@
+//! Clean fixture: ordered containers keep iteration deterministic.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+pub fn count_degrees(edges: &[(u32, u32)]) -> BTreeMap<u32, usize> {
+    let mut seen: BTreeSet<u32> = BTreeSet::new();
+    let mut deg = BTreeMap::new();
+    for &(u, v) in edges {
+        seen.insert(u);
+        seen.insert(v);
+        *deg.entry(u).or_insert(0) += 1;
+    }
+    deg
+}

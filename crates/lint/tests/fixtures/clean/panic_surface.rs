@@ -1,0 +1,16 @@
+//! Clean fixture: errors propagate as Results; the one residual panic
+//! site is audited with an annotation.
+
+pub fn head(v: &[u32]) -> Result<u32, String> {
+    v.first().copied().ok_or_else(|| "empty input".to_string())
+}
+
+pub fn head_nonempty(v: &[u32]) -> u32 {
+    assert!(!v.is_empty(), "head_nonempty requires a nonempty slice");
+    // privim-lint: allow(panic, reason = "nonemptiness asserted on the line above, so first() is always Some")
+    v.first().copied().unwrap()
+}
+
+pub fn unwrap_or_default_is_fine(v: &[u32]) -> u32 {
+    v.first().copied().unwrap_or_default()
+}

@@ -1,0 +1,23 @@
+//! Clean fixture: every noise draw is visibly charged to the accountant,
+//! or carries an audited allow annotation naming where the charge happens.
+
+pub fn perturb_gradient(
+    grad: &mut [f64],
+    sigma: f64,
+    rng: &mut Rng,
+    accountant: &mut Accountant,
+) {
+    accountant.charge(sigma, 1);
+    let noise = gaussian_noise_vec(grad.len(), sigma, 1.0, rng);
+    for (g, n) in grad.iter_mut().zip(noise) {
+        *g += n;
+    }
+}
+
+pub fn perturb_elsewhere_charged(grad: &mut [f64], sigma: f64, rng: &mut Rng) {
+    // privim-lint: allow(unaccounted-noise, reason = "caller charges one step per invocation before dispatch")
+    let noise = laplace_noise_vec(grad.len(), sigma, rng);
+    for (g, n) in grad.iter_mut().zip(noise) {
+        *g += n;
+    }
+}

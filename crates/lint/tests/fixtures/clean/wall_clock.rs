@@ -1,0 +1,10 @@
+//! Clean fixture: timing is telemetry-only and annotated as such.
+
+use std::time::Instant;
+
+pub fn run_and_report(work: impl FnOnce()) -> f64 {
+    // privim-lint: allow(wall-clock, reason = "telemetry only; the duration is reported, never used in computation")
+    let t0 = Instant::now();
+    work();
+    t0.elapsed().as_secs_f64()
+}

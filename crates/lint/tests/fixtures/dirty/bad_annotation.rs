@@ -1,0 +1,12 @@
+//! Dirty fixture: annotation hygiene violations — a missing reason, an
+//! unknown rule id, and a dead allow that suppresses nothing.
+
+// privim-lint: allow(panic)
+pub fn missing_reason(v: &[u32]) -> u32 {
+    v[0]
+}
+
+// privim-lint: allow(definitely-not-a-rule, reason = "typo in the rule id")
+pub fn unknown_rule() -> u32 {
+    7
+}

@@ -1,0 +1,13 @@
+//! Dirty fixture: exact float equality against literals.
+
+pub fn converged(prev: f64, cur: f64) -> bool {
+    prev - cur == 0.0
+}
+
+pub fn is_not_unit(x: f64) -> bool {
+    x != 1.0
+}
+
+pub fn negative_sentinel(x: f64) -> bool {
+    x == -1.0
+}

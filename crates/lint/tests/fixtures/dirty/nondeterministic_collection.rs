@@ -1,0 +1,14 @@
+//! Dirty fixture: hash-randomised containers in a result-affecting crate.
+
+use std::collections::{HashMap, HashSet};
+
+pub fn count_degrees(edges: &[(u32, u32)]) -> HashMap<u32, usize> {
+    let mut seen: HashSet<u32> = HashSet::new();
+    let mut deg = HashMap::new();
+    for &(u, v) in edges {
+        seen.insert(u);
+        seen.insert(v);
+        *deg.entry(u).or_insert(0) += 1;
+    }
+    deg
+}

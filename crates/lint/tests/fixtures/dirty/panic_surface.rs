@@ -1,0 +1,17 @@
+//! Dirty fixture: unaudited panic paths in library code.
+
+pub fn head(v: &[u32]) -> u32 {
+    v.first().copied().unwrap()
+}
+
+pub fn pick(v: &[u32], i: usize) -> u32 {
+    *v.get(i).expect("index in bounds")
+}
+
+pub fn dispatch(kind: u8) -> u32 {
+    match kind {
+        0 => 10,
+        1 => 20,
+        _ => unreachable!("callers only pass 0 or 1"),
+    }
+}

@@ -1,0 +1,8 @@
+//! Dirty fixture: reads the wall clock outside the sanctioned bench file.
+
+use std::time::Instant;
+
+pub fn time_seeded_choice(candidates: &[u32]) -> u32 {
+    let t = Instant::now();
+    candidates[t.elapsed().subsec_nanos() as usize % candidates.len()]
+}

@@ -59,10 +59,12 @@ pub fn chacha20_block_ietf(key: &[u8; 32], counter: u32, nonce: &[u8; 12]) -> [u
     let mut state = [0u32; 16];
     state[..4].copy_from_slice(&CONSTANTS);
     for i in 0..8 {
+        // privim-lint: allow(panic, reason = "fixed 4-byte chunk of a [u8; 32] key; try_into is infallible")
         state[4 + i] = u32::from_le_bytes(key[4 * i..4 * i + 4].try_into().unwrap());
     }
     state[12] = counter;
     for i in 0..3 {
+        // privim-lint: allow(panic, reason = "fixed 4-byte chunk of a [u8; 12] nonce; try_into is infallible")
         state[13 + i] = u32::from_le_bytes(nonce[4 * i..4 * i + 4].try_into().unwrap());
     }
     let out = chacha_block(&state, 20);
@@ -133,6 +135,7 @@ impl<const R: usize> SeedableRng for ChaChaRng<R> {
     fn from_seed(seed: [u8; 32]) -> Self {
         let mut key = [0u32; 8];
         for (i, k) in key.iter_mut().enumerate() {
+            // privim-lint: allow(panic, reason = "fixed 4-byte chunk of a [u8; 32] seed; try_into is infallible")
             *k = u32::from_le_bytes(seed[4 * i..4 * i + 4].try_into().unwrap());
         }
         ChaChaRng {

@@ -58,6 +58,7 @@ impl Value {
     /// The value as `u64`, if it is a non-negative integral number.
     pub fn as_u64(&self) -> Option<u64> {
         match self {
+            // privim-lint: allow(float-eq, reason = "fract() == 0.0 is the exact integrality test; any epsilon would accept non-integers")
             Value::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= u64::MAX as f64 => {
                 Some(*x as u64)
             }
@@ -183,6 +184,7 @@ fn write_number(out: &mut String, x: f64) {
         // Rust's Display for f64 is the shortest representation that
         // parses back to the same bits — exact round-trip.
         use fmt::Write;
+        // privim-lint: allow(panic, reason = "write! into a String cannot fail; fmt::Write for String is infallible")
         write!(out, "{x}").unwrap();
     } else {
         // JSON has no NaN/Inf; match serde_json's lossy `null` fallback.
@@ -201,6 +203,7 @@ fn write_string(out: &mut String, s: &str) {
             '\t' => out.push_str("\\t"),
             c if (c as u32) < 0x20 => {
                 use fmt::Write;
+                // privim-lint: allow(panic, reason = "write! into a String cannot fail; fmt::Write for String is infallible")
                 write!(out, "\\u{:04x}", c as u32).unwrap();
             }
             c => out.push(c),
@@ -249,7 +252,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), ParseError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -281,7 +284,7 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Result<Value, ParseError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -304,7 +307,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<Value, ParseError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -315,7 +318,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             let val = self.value()?;
             fields.push((key, val));
@@ -332,7 +335,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, ParseError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut s = String::new();
         loop {
             let start = self.pos;
@@ -425,6 +428,7 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
+        // privim-lint: allow(panic, reason = "the scanned range contains only ASCII digit/sign/dot/exponent bytes, which are valid UTF-8")
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
         text.parse::<f64>()
             .map(Value::Num)

@@ -64,6 +64,7 @@ where
             })
             .collect();
         for h in handles {
+            // privim-lint: allow(panic, reason = "join fails only if the worker panicked; re-raising the panic on the caller thread is the contract")
             out.extend(h.join().expect("privim-rt worker panicked"));
         }
     });
@@ -103,6 +104,7 @@ where
             })
             .collect();
         for h in handles {
+            // privim-lint: allow(panic, reason = "join fails only if the worker panicked; re-raising the panic on the caller thread is the contract")
             partials.push(h.join().expect("privim-rt worker panicked"));
         }
     });

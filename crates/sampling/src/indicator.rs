@@ -140,7 +140,8 @@ impl Indicator {
         let (max_i, &max_v) = raw
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            // privim-lint: allow(panic, reason = "candidates asserted non-empty above, so max_by on it is always Some")
             .unwrap();
         let vals = raw
             .iter()

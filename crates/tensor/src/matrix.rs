@@ -177,6 +177,7 @@ impl Matrix {
             let arow = self.row(i);
             let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
             for (k, &aik) in arow.iter().enumerate() {
+                // privim-lint: allow(float-eq, reason = "exact-zero sparsity skip: 0.0 * bkj contributes exactly nothing, so skipping only IEEE zeros is lossless")
                 if aik == 0.0 {
                     continue;
                 }

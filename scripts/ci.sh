@@ -1,44 +1,21 @@
 #!/usr/bin/env bash
-# Offline CI gate: the workspace must build and test with crates.io
-# unreachable, and no Cargo.toml may reintroduce an external (non-path)
-# dependency. See DESIGN.md ("zero-external-dependency policy").
+# Offline CI gate: the workspace must lint clean (DP accounting,
+# determinism, panic-surface, and dependency-policy invariants — see
+# DESIGN.md §"Static invariant enforcement"), then build and test with
+# crates.io unreachable.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== dependency policy check"
-fail=0
-for toml in Cargo.toml crates/*/Cargo.toml; do
-    # Inside any dependency section, every entry must be a pure path
-    # dependency (`name = { path = "..." }`) or a workspace inheritance
-    # (`name = { workspace = true }` — the root maps those to paths).
-    # Anything with `version`, `git`, or a bare version string is external.
-    bad=$(awk '
-        /^\[/ { in_deps = ($0 ~ /dependencies/) }
-        in_deps && /^[a-zA-Z0-9_-]+[ \t]*=/ {
-            if ($0 !~ /path[ \t]*=/ && $0 !~ /workspace[ \t]*=[ \t]*true/)
-                print FILENAME ": " $0
-        }
-    ' "$toml")
-    if [ -n "$bad" ]; then
-        echo "external dependency found:" >&2
-        echo "$bad" >&2
-        fail=1
-    fi
-done
-if [ "$fail" -ne 0 ]; then
-    echo "FAIL: only path dependencies are allowed (privim-rt replaces crates.io)" >&2
-    exit 1
-fi
-echo "ok: all dependencies are path-only"
+echo "== static analysis (privim-lint)"
+# Covers the dependency policy (every Cargo.toml must be path-only) and
+# the panic-surface gate that used to be separate script steps.
+cargo run -q --offline -p privim-lint -- --workspace
 
 echo "== offline release build (all targets)"
 cargo build --release --offline --all-targets
 
 echo "== offline tests (workspace)"
 cargo test -q --offline --workspace
-
-echo "== panic-surface gate (library code must stay Result-based)"
-scripts/panic_gate.sh
 
 echo "== fault-injection matrix (divergence recovery under seeded faults)"
 for seed in 1 2; do

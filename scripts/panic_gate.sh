@@ -1,60 +1,19 @@
 #!/usr/bin/env bash
-# Panic-surface gate: library code (crate `src/` trees, excluding `src/bin/`
-# CLI entry points, tests, benches and examples) must not grow new
-# `unwrap()` / `expect(` / `panic!(` sites. Everything above the first
-# `#[cfg(test)]` line of each file is counted and compared against the
-# audited baseline in scripts/panic_allowlist.txt.
+# DEPRECATED shim. The grep-based panic gate and its side-car allowlist
+# (scripts/panic_allowlist.txt) were replaced by the token-aware
+# `panic-surface` rule in privim-lint: audited sites now carry inline
+# `// privim-lint: allow(panic, reason = "...")` annotations next to the
+# code they excuse. Kept so existing invocations keep gating.
 #
-#   scripts/panic_gate.sh          # gate: fail if any file exceeds baseline
-#   scripts/panic_gate.sh --print  # emit the current counts (baseline format)
+#   cargo run -q --offline -p privim-lint -- --rule panic-surface
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-ALLOWLIST=scripts/panic_allowlist.txt
-MODE="${1:-gate}"
-
-count_file() {
-    # Strip the embedded test module (everything from the first #[cfg(test)]
-    # on), then count panic-capable call sites.
-    awk '/^[ \t]*#\[cfg\(test\)\]/ { exit } { print }' "$1" \
-        | grep -o -E '\.unwrap\(\)|\.expect\(|panic!\(' | wc -l || true
-}
-
-current_counts() {
-    for f in $(find crates/*/src -name '*.rs' -not -path '*/src/bin/*' | sort); do
-        local n
-        n=$(count_file "$f")
-        if [ "$n" -gt 0 ]; then
-            echo "$f $n"
-        fi
-    done
-}
-
-if [ "$MODE" = "--print" ]; then
-    current_counts
-    exit 0
+if [ "${1:-}" = "--print" ]; then
+    echo "panic_gate.sh --print is gone: counts live in privim-lint findings now." >&2
+    echo "Run: cargo run -q --offline -p privim-lint -- --rule panic-surface --json" >&2
+    exit 2
 fi
 
-if [ ! -f "$ALLOWLIST" ]; then
-    echo "missing $ALLOWLIST — generate it with: scripts/panic_gate.sh --print > $ALLOWLIST" >&2
-    exit 1
-fi
-
-fail=0
-while read -r f n; do
-    [ -z "$f" ] && continue
-    allowed=$(awk -v f="$f" '$1 == f { print $2 }' "$ALLOWLIST")
-    allowed="${allowed:-0}"
-    if [ "$n" -gt "$allowed" ]; then
-        echo "FAIL: $f has $n panic-capable sites (allowlisted: $allowed)" >&2
-        echo "      new unwrap()/expect()/panic!() in library code — return" >&2
-        echo "      privim_rt::PrivimResult instead, or (for a provably" >&2
-        echo "      infallible site) audit it and update $ALLOWLIST" >&2
-        fail=1
-    fi
-done < <(current_counts)
-
-if [ "$fail" -ne 0 ]; then
-    exit 1
-fi
-echo "ok: no new panic-capable sites in library code"
+echo "panic_gate.sh is deprecated; running: privim-lint --rule panic-surface" >&2
+exec cargo run -q --offline -p privim-lint -- --rule panic-surface
