@@ -1,0 +1,281 @@
+//! Kernel micro-benchmarks: the first point of the perf trajectory.
+//!
+//! Times the tensor primitives the DP-SGD hot path bottoms out in —
+//! `Matrix::matmul`, `Matrix::transpose`, `Csr::spmm`, `Csr::spmm_transpose`
+//! — in three configurations per kernel:
+//!
+//! * **naive** — the pre-tiling seed kernel (re-implemented here verbatim),
+//! * **serial** — the current blocked kernel pinned to `set_threads(1)`,
+//! * **par4** — the same kernel on the persistent pool at `set_threads(4)`.
+//!
+//! Before any timing, every kernel's output is asserted *bit-identical*
+//! across thread counts (and against its naive reference) — a benchmark of
+//! a wrong kernel is worse than no benchmark.
+//!
+//! All wall-clock reads go through `privim_rt::bench::time_iters` (the
+//! workspace's single timing point, per the `wall-clock` lint rule).
+//!
+//! ```text
+//! cargo run --release -p privim-bench --bin bench_kernels              # full, writes BENCH_kernels.json
+//! cargo run --release -p privim-bench --bin bench_kernels -- --smoke  # tiny sizes, no file output
+//! ```
+
+use privim_graph::generators;
+use privim_rt::bench::time_iters;
+use privim_rt::json::Value;
+use privim_rt::{ChaCha8Rng, Rng, SeedableRng};
+use privim_tensor::{Matrix, SparseMatrix};
+
+/// Seed-era dense kernel: plain `i → k → j` scalar loop with the zero-skip.
+/// Term order per output element is k-ascending, exactly like the blocked
+/// kernel — so the two must agree bitwise, not just approximately.
+fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
+        for kx in 0..k {
+            let aik = a.get(i, kx);
+            // exact zero-skip mirrors the production kernel so the
+            // bit-identity assertion is meaningful
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = b.row(kx);
+            let orow = out.row_mut(i);
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += aik * bv;
+            }
+        }
+    }
+    out
+}
+
+/// Seed-era `Aᵀ·D` kernel: scatter rows of `dense` into the output, source
+/// rows ascending — the accumulation order the cached-transpose spmm
+/// reproduces.
+fn naive_spmm_transpose(s: &SparseMatrix, dense: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(s.cols(), dense.cols());
+    for r in 0..s.rows() {
+        let (cols, vals) = s.row(r);
+        let drow: Vec<f64> = dense.row(r).to_vec();
+        for (&c, &v) in cols.iter().zip(vals) {
+            let orow = out.row_mut(c as usize);
+            for (o, &dv) in orow.iter_mut().zip(&drow) {
+                *o += v * dv;
+            }
+        }
+    }
+    out
+}
+
+fn random_matrix(rows: usize, cols: usize, rng: &mut impl Rng) -> Matrix {
+    Matrix::from_vec(
+        rows,
+        cols,
+        (0..rows * cols).map(|_| rng.gen::<f64>() - 0.5).collect(),
+    )
+}
+
+fn assert_bit_identical(name: &str, a: &Matrix, b: &Matrix) {
+    assert_eq!(a.shape(), b.shape(), "{name}: shape mismatch");
+    for (i, (x, y)) in a.data().iter().zip(b.data()).collect::<Vec<_>>().into_iter().enumerate() {
+        assert!(
+            x.to_bits() == y.to_bits(),
+            "{name}: bit mismatch at flat index {i}: {x:?} vs {y:?}"
+        );
+    }
+}
+
+struct CaseResult {
+    name: String,
+    shape: String,
+    naive_secs: Option<f64>,
+    serial_secs: f64,
+    par4_secs: f64,
+}
+
+impl CaseResult {
+    fn to_json(&self) -> Value {
+        let speedup_tiling = self.naive_secs.map(|n| n / self.serial_secs);
+        Value::obj(vec![
+            ("kernel", Value::Str(self.name.clone())),
+            ("shape", Value::Str(self.shape.clone())),
+            (
+                "naive_secs_per_iter",
+                self.naive_secs.map_or(Value::Null, Value::Num),
+            ),
+            ("serial_secs_per_iter", Value::Num(self.serial_secs)),
+            ("par4_secs_per_iter", Value::Num(self.par4_secs)),
+            (
+                "speedup_serial_vs_naive",
+                speedup_tiling.map_or(Value::Null, Value::Num),
+            ),
+            (
+                "speedup_par4_vs_serial",
+                Value::Num(self.serial_secs / self.par4_secs),
+            ),
+        ])
+    }
+}
+
+/// Time `f` serial (1 thread), at 4 threads, and optionally a naive
+/// reference — asserting all three produce bit-identical output first.
+fn run_case(
+    name: &str,
+    shape: String,
+    iters: u64,
+    naive: Option<&dyn Fn() -> Matrix>,
+    f: &dyn Fn() -> Matrix,
+) -> CaseResult {
+    privim_rt::par::set_threads(1);
+    let serial_out = f();
+    if let Some(naive) = naive {
+        assert_bit_identical(name, &naive(), &serial_out);
+    }
+    privim_rt::par::set_threads(4);
+    assert_bit_identical(name, &f(), &serial_out);
+
+    let naive_secs = naive.map(|naive| {
+        privim_rt::par::set_threads(1);
+        time_iters(iters, naive)
+    });
+    privim_rt::par::set_threads(1);
+    let serial_secs = time_iters(iters, f);
+    privim_rt::par::set_threads(4);
+    let par4_secs = time_iters(iters, f);
+    privim_rt::par::set_threads(0); // back to auto
+
+    println!(
+        "{:<28} {:>12} {:>12} {:>12}   x{:.2} vs serial",
+        format!("{name} {shape}"),
+        naive_secs.map_or_else(|| "-".into(), fmt_secs),
+        fmt_secs(serial_secs),
+        fmt_secs(par4_secs),
+        serial_secs / par4_secs,
+    );
+    CaseResult {
+        name: name.to_string(),
+        shape,
+        naive_secs,
+        serial_secs,
+        par4_secs,
+    }
+}
+
+fn fmt_secs(secs: f64) -> String {
+    if secs < 1e-3 {
+        format!("{:.1} µs", secs * 1e6)
+    } else {
+        format!("{:.2} ms", secs * 1e3)
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out: Option<String> = None;
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = it.next().cloned(),
+            other => {
+                eprintln!("error: unknown flag {other} (flags: --smoke, --out <path>)");
+                std::process::exit(2);
+            }
+        }
+    }
+    // Smoke mode exists for CI: prove the harness and the bit-identity
+    // assertions hold, in well under a second, without touching the
+    // checked-in trajectory file.
+    let (iters, mm, tr, gn, gm, dc) = if smoke {
+        (2u64, 48usize, 64usize, 300usize, 4usize, 8usize)
+    } else {
+        (20, 256, 512, 20_000, 8, 32)
+    };
+    if !smoke && out.is_none() {
+        out = Some("BENCH_kernels.json".to_string());
+    }
+
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let a = random_matrix(mm, mm, &mut rng);
+    let b = random_matrix(mm, mm, &mut rng);
+    let t = random_matrix(tr, tr, &mut rng);
+    let g = generators::barabasi_albert(gn, gm, &mut rng);
+    let adj = SparseMatrix::from_triplets(
+        gn,
+        gn,
+        (0..gn as u32).flat_map(|u| {
+            g.out_neighbors(u)
+                .iter()
+                .map(move |&v| (u as usize, v as usize, 1.0))
+        }),
+    );
+    let h = random_matrix(gn, dc, &mut rng);
+    // spmm_transpose caches its transpose on first use; build it before
+    // timing so every configuration measures the product, not the setup.
+    let _ = adj.spmm_transpose(&h);
+
+    println!(
+        "{:<28} {:>12} {:>12} {:>12}",
+        "kernel", "naive", "serial", "par4"
+    );
+    let results = vec![
+        run_case(
+            "matmul",
+            format!("{mm}x{mm}x{mm}"),
+            iters,
+            Some(&|| naive_matmul(&a, &b)),
+            &|| a.matmul(&b),
+        ),
+        run_case(
+            "transpose",
+            format!("{tr}x{tr}"),
+            iters,
+            None,
+            &|| t.transpose(),
+        ),
+        run_case(
+            "spmm",
+            format!("nnz={} x{dc}", adj.nnz()),
+            iters,
+            None,
+            &|| adj.spmm(&h),
+        ),
+        run_case(
+            "spmm_transpose",
+            format!("nnz={} x{dc}", adj.nnz()),
+            iters,
+            Some(&|| naive_spmm_transpose(&adj, &h)),
+            &|| adj.spmm_transpose(&h),
+        ),
+    ];
+
+    if let Some(path) = out {
+        let cpus = std::thread::available_parallelism().map_or(0, |n| n.get());
+        let doc = Value::obj(vec![
+            ("bench", Value::Str("kernels".to_string())),
+            ("iters", Value::Num(iters as f64)),
+            ("available_parallelism", Value::Num(cpus as f64)),
+            (
+                "note",
+                Value::Str(
+                    "secs/iter means over fixed iterations; par4 = persistent pool at set_threads(4); \
+                     speedups are hardware-dependent (see EXPERIMENTS.md)"
+                        .to_string(),
+                ),
+            ),
+            (
+                "cases",
+                Value::Arr(results.iter().map(CaseResult::to_json).collect()),
+            ),
+        ]);
+        privim::results::write_atomic(&path, &doc.to_json_string_pretty())
+            .unwrap_or_else(|e| {
+                eprintln!("error: cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+        eprintln!("wrote {path}");
+    }
+}

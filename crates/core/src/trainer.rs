@@ -222,18 +222,21 @@ fn sample_gradient(
     item: &TrainItem,
     cfg: &DpSgdConfig,
 ) -> (Vec<Matrix>, f64, bool) {
-    let mut tape = Tape::new();
-    let (probs, pvars) = model.forward(&mut tape, &item.gt, &item.x);
-    let loss = im_loss(&mut tape, &item.gt, probs, &cfg.loss);
-    let loss_val = tape.value(loss).get(0, 0);
-    let mut grads = tape.backward(loss);
-    let mut gvec: Vec<Matrix> = pvars.iter().map(|&v| grads.take(v)).collect();
-    let mut clipped = false;
-    if cfg.sigma > 0.0 {
-        let pre = GradClip::clip(&mut gvec, cfg.clip);
-        clipped = pre > cfg.clip;
-    }
-    (gvec, loss_val, clipped)
+    // Scratch tape + pooled matrix buffers: after the first sample on each
+    // pool worker the whole forward/backward runs allocation-free.
+    Tape::with_scratch(|tape| {
+        let (probs, pvars) = model.forward(tape, &item.gt, &item.x);
+        let loss = im_loss(tape, &item.gt, probs, &cfg.loss);
+        let loss_val = tape.value(loss).get(0, 0);
+        let mut grads = tape.backward(loss);
+        let mut gvec: Vec<Matrix> = pvars.iter().map(|&v| grads.take(v)).collect();
+        let mut clipped = false;
+        if cfg.sigma > 0.0 {
+            let pre = GradClip::clip(&mut gvec, cfg.clip);
+            clipped = pre > cfg.clip;
+        }
+        (gvec, loss_val, clipped)
+    })
 }
 
 fn l2_norm(mats: &[Matrix]) -> f64 {
@@ -298,6 +301,13 @@ pub fn train_dpgnn(
 
     let fires = |point: FaultPoint, idx: u64| plan.is_some_and(|p| p.fires(point, idx));
 
+    // Gradient accumulator, allocated once and zero-filled per step.
+    let mut summed: Vec<Matrix> = model
+        .params()
+        .iter()
+        .map(|p| Matrix::zeros(p.rows(), p.cols()))
+        .collect();
+
     for iter in 0..cfg.iters {
         // A recovery intervention for step `iter`; returns Err once the
         // budget is exhausted. Closure-free so the borrow checker stays
@@ -343,11 +353,9 @@ pub fn train_dpgnn(
         let results: Vec<(Vec<Matrix>, f64, bool)> =
             privim_rt::par::map(&batch_idx, |&i| sample_gradient(model, &items[i], cfg));
 
-        let mut summed: Vec<Matrix> = model
-            .params()
-            .iter()
-            .map(|p| Matrix::zeros(p.rows(), p.cols()))
-            .collect();
+        for s in summed.iter_mut() {
+            s.data_mut().fill(0.0);
+        }
         let mut batch_loss = 0.0;
         for (gvec, lv, was_clipped) in results {
             for (s, g) in summed.iter_mut().zip(&gvec) {

@@ -6,24 +6,34 @@ use privim_rt::ChaCha8Rng;
 use privim_rt::{Rng, SeedableRng};
 use std::collections::VecDeque;
 
-/// One IC realisation from `seeds`, run until quiescence or for at most
-/// `max_steps` rounds (`None` = unbounded). Returns the number of activated
-/// nodes. Each newly activated `u` gets a single chance to activate each
-/// inactive out-neighbour `v` with probability `w_uv`.
-pub fn ic_simulate_once(
+/// Reusable buffers for repeated IC realisations on the same graph. The
+/// Monte-Carlo estimators allocate one per worker chunk instead of one per
+/// run — the dominant cost of a short cascade on a large graph is otherwise
+/// the `vec![false; n]` zeroing round-trip.
+#[derive(Default)]
+struct IcScratch {
+    active: Vec<bool>,
+    frontier: VecDeque<(NodeId, usize)>,
+}
+
+fn ic_simulate_scratch(
     g: &Graph,
     seeds: &[NodeId],
     max_steps: Option<usize>,
     rng: &mut impl Rng,
+    s: &mut IcScratch,
 ) -> usize {
-    let mut active = vec![false; g.num_nodes()];
-    let mut frontier: VecDeque<(NodeId, usize)> = VecDeque::new();
+    s.active.clear();
+    s.active.resize(g.num_nodes(), false);
+    s.frontier.clear();
+    let active = &mut s.active;
+    let frontier = &mut s.frontier;
     let mut count = 0usize;
-    for &s in seeds {
-        if !active[s as usize] {
-            active[s as usize] = true;
+    for &sd in seeds {
+        if !active[sd as usize] {
+            active[sd as usize] = true;
             count += 1;
-            frontier.push_back((s, 0));
+            frontier.push_back((sd, 0));
         }
     }
     while let Some((u, step)) = frontier.pop_front() {
@@ -44,9 +54,26 @@ pub fn ic_simulate_once(
     count
 }
 
+/// One IC realisation from `seeds`, run until quiescence or for at most
+/// `max_steps` rounds (`None` = unbounded). Returns the number of activated
+/// nodes. Each newly activated `u` gets a single chance to activate each
+/// inactive out-neighbour `v` with probability `w_uv`.
+pub fn ic_simulate_once(
+    g: &Graph,
+    seeds: &[NodeId],
+    max_steps: Option<usize>,
+    rng: &mut impl Rng,
+) -> usize {
+    ic_simulate_scratch(g, seeds, max_steps, rng, &mut IcScratch::default())
+}
+
 /// Monte-Carlo estimate of IC influence spread: mean activated count over
 /// `runs` independent realisations (thread-parallel, deterministic given
 /// `seed` at any thread count).
+///
+/// Runs are summed chunk-wise with per-chunk scratch buffers; each run is
+/// seeded by its global index and the counts are integers, so the total is
+/// independent of how runs are split across workers.
 pub fn ic_spread_estimate(
     g: &Graph,
     seeds: &[NodeId],
@@ -55,9 +82,14 @@ pub fn ic_spread_estimate(
     seed: u64,
 ) -> f64 {
     assert!(runs >= 1);
-    let total: usize = privim_rt::par::sum_range(runs, |i| {
-        let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(i as u64));
-        ic_simulate_once(g, seeds, max_steps, &mut rng)
+    let total: usize = privim_rt::par::sum_chunks(runs, |range| {
+        let mut scratch = IcScratch::default();
+        range
+            .map(|i| {
+                let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(i as u64));
+                ic_simulate_scratch(g, seeds, max_steps, &mut rng, &mut scratch)
+            })
+            .sum::<usize>()
     });
     total as f64 / runs as f64
 }
@@ -67,17 +99,39 @@ pub fn ic_spread_estimate(
 /// should sum to ≤ 1 per node (use
 /// [`privim_graph::Graph::with_weighted_cascade`]).
 pub fn lt_simulate_once(g: &Graph, seeds: &[NodeId], rng: &mut impl Rng) -> usize {
+    lt_simulate_scratch(g, seeds, rng, &mut LtScratch::default())
+}
+
+/// Reusable buffers for repeated LT realisations (see [`IcScratch`]).
+#[derive(Default)]
+struct LtScratch {
+    thresholds: Vec<f64>,
+    active: Vec<bool>,
+    pressure: Vec<f64>,
+    queue: VecDeque<NodeId>,
+}
+
+fn lt_simulate_scratch(g: &Graph, seeds: &[NodeId], rng: &mut impl Rng, s: &mut LtScratch) -> usize {
     let n = g.num_nodes();
-    let thresholds: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
-    let mut active = vec![false; n];
-    let mut pressure = vec![0.0f64; n];
-    let mut queue: VecDeque<NodeId> = VecDeque::new();
+    s.thresholds.clear();
+    s.thresholds.extend((0..n).map(|_| rng.gen::<f64>()));
+    s.active.clear();
+    s.active.resize(n, false);
+    s.pressure.clear();
+    s.pressure.resize(n, 0.0);
+    s.queue.clear();
+    let LtScratch {
+        thresholds,
+        active,
+        pressure,
+        queue,
+    } = s;
     let mut count = 0usize;
-    for &s in seeds {
-        if !active[s as usize] {
-            active[s as usize] = true;
+    for &sd in seeds {
+        if !active[sd as usize] {
+            active[sd as usize] = true;
             count += 1;
-            queue.push_back(s);
+            queue.push_back(sd);
         }
     }
     while let Some(u) = queue.pop_front() {
@@ -97,12 +151,18 @@ pub fn lt_simulate_once(g: &Graph, seeds: &[NodeId], rng: &mut impl Rng) -> usiz
     count
 }
 
-/// Monte-Carlo LT spread estimate.
+/// Monte-Carlo LT spread estimate (chunk-wise scratch reuse, thread-count
+/// independent — see [`ic_spread_estimate`]).
 pub fn lt_spread_estimate(g: &Graph, seeds: &[NodeId], runs: usize, seed: u64) -> f64 {
     assert!(runs >= 1);
-    let total: usize = privim_rt::par::sum_range(runs, |i| {
-        let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(i as u64));
-        lt_simulate_once(g, seeds, &mut rng)
+    let total: usize = privim_rt::par::sum_chunks(runs, |range| {
+        let mut scratch = LtScratch::default();
+        range
+            .map(|i| {
+                let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(i as u64));
+                lt_simulate_scratch(g, seeds, &mut rng, &mut scratch)
+            })
+            .sum::<usize>()
     });
     total as f64 / runs as f64
 }
@@ -119,26 +179,55 @@ pub fn sis_simulate_once(
     steps: usize,
     rng: &mut impl Rng,
 ) -> usize {
+    sis_simulate_scratch(g, seeds, recovery, steps, rng, &mut SisScratch::default())
+}
+
+/// Reusable buffers for repeated SIS realisations (see [`IcScratch`]).
+#[derive(Default)]
+struct SisScratch {
+    infected: Vec<bool>,
+    ever: Vec<bool>,
+    current: Vec<NodeId>,
+    newly: Vec<NodeId>,
+}
+
+fn sis_simulate_scratch(
+    g: &Graph,
+    seeds: &[NodeId],
+    recovery: f64,
+    steps: usize,
+    rng: &mut impl Rng,
+    s: &mut SisScratch,
+) -> usize {
     assert!((0.0..=1.0).contains(&recovery));
     let n = g.num_nodes();
-    let mut infected = vec![false; n];
-    let mut ever = vec![false; n];
-    let mut current: Vec<NodeId> = Vec::new();
+    s.infected.clear();
+    s.infected.resize(n, false);
+    s.ever.clear();
+    s.ever.resize(n, false);
+    s.current.clear();
+    s.newly.clear();
+    let SisScratch {
+        infected,
+        ever,
+        current,
+        newly,
+    } = s;
     let mut ever_count = 0usize;
-    for &s in seeds {
-        if !infected[s as usize] {
-            infected[s as usize] = true;
-            ever[s as usize] = true;
+    for &sd in seeds {
+        if !infected[sd as usize] {
+            infected[sd as usize] = true;
+            ever[sd as usize] = true;
             ever_count += 1;
-            current.push(s);
+            current.push(sd);
         }
     }
     for _ in 0..steps {
         if current.is_empty() {
             break;
         }
-        let mut newly: Vec<NodeId> = Vec::new();
-        for &u in &current {
+        newly.clear();
+        for &u in current.iter() {
             let ws = g.out_weights(u);
             for (i, &v) in g.out_neighbors(u).iter().enumerate() {
                 if !infected[v as usize] && rng.gen::<f64>() < ws[i] {
@@ -160,12 +249,13 @@ pub fn sis_simulate_once(
                 true
             }
         });
-        current.extend(newly);
+        current.append(newly);
     }
     ever_count
 }
 
-/// Monte-Carlo SIS spread estimate.
+/// Monte-Carlo SIS spread estimate (chunk-wise scratch reuse, thread-count
+/// independent — see [`ic_spread_estimate`]).
 pub fn sis_spread_estimate(
     g: &Graph,
     seeds: &[NodeId],
@@ -175,9 +265,14 @@ pub fn sis_spread_estimate(
     seed: u64,
 ) -> f64 {
     assert!(runs >= 1);
-    let total: usize = privim_rt::par::sum_range(runs, |i| {
-        let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(i as u64));
-        sis_simulate_once(g, seeds, recovery, steps, &mut rng)
+    let total: usize = privim_rt::par::sum_chunks(runs, |range| {
+        let mut scratch = SisScratch::default();
+        range
+            .map(|i| {
+                let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(i as u64));
+                sis_simulate_scratch(g, seeds, recovery, steps, &mut rng, &mut scratch)
+            })
+            .sum::<usize>()
     });
     total as f64 / runs as f64
 }

@@ -41,15 +41,8 @@ impl Bench {
 
     /// Run one case: warm-up (10% of the budget, at least one run), then
     /// `iters` measured runs; prints mean time per iteration.
-    pub fn case<T>(&mut self, name: &str, mut f: impl FnMut() -> T) -> &mut Self {
-        for _ in 0..(self.iters / 10).max(1) {
-            black_box(f());
-        }
-        let t0 = Instant::now();
-        for _ in 0..self.iters {
-            black_box(f());
-        }
-        let per_iter = t0.elapsed().as_secs_f64() / self.iters as f64;
+    pub fn case<T>(&mut self, name: &str, f: impl FnMut() -> T) -> &mut Self {
+        let per_iter = time_iters(self.iters, f);
         println!(
             "{:<48} {:>14}  ({} iters)",
             format!("{}/{}", self.group, name),
@@ -58,6 +51,28 @@ impl Bench {
         );
         self
     }
+
+    /// The group's measured iteration count.
+    pub fn iters(&self) -> u64 {
+        self.iters
+    }
+}
+
+/// Time `f`: warm-up (10% of `iters`, at least one run) followed by `iters`
+/// measured runs; returns the mean seconds per iteration. This is the
+/// building block behind [`Bench::case`] and the only wall-clock read the
+/// workspace's library code performs — bench binaries that need raw numbers
+/// (e.g. to emit machine-readable JSON) call it instead of `Instant`.
+pub fn time_iters<T>(iters: u64, mut f: impl FnMut() -> T) -> f64 {
+    assert!(iters >= 1);
+    for _ in 0..(iters / 10).max(1) {
+        black_box(f());
+    }
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    t0.elapsed().as_secs_f64() / iters as f64
 }
 
 fn fmt_duration(secs: f64) -> String {

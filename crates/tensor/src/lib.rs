@@ -33,6 +33,7 @@ pub mod gradcheck;
 pub mod init;
 pub mod matrix;
 pub mod optim;
+pub mod pool;
 pub mod sparse;
 pub mod tape;
 

@@ -1,17 +1,62 @@
 //! Dense row-major `f64` matrix with the arithmetic the autograd tape needs.
 
+use crate::pool;
 use std::fmt;
+
+/// Fused multiply-adds (or element writes) below which a kernel stays on
+/// the calling thread: pool dispatch costs microseconds, and the tiny
+/// per-sample matrices of DP-SGD must not pay it. The batch loop above
+/// them is already parallel.
+const MIN_PAR_WORK: usize = 1 << 16;
+
+/// `k`-dimension tile for [`Matrix::matmul`]: one rhs panel of `KB` rows is
+/// swept repeatedly while it is cache-hot.
+const KB: usize = 64;
+
+/// `j`-dimension (output width) tile for [`Matrix::matmul`].
+const JB: usize = 256;
+
+/// Square tile edge for the blocked [`Matrix::transpose`].
+const TB: usize = 32;
 
 /// Dense row-major matrix.
 ///
-/// Sized for PrivIM's workload (≤ a few hundred thousand rows × 32 columns);
-/// all operations are straightforward loops — at these shapes cache-friendly
-/// row-major traversal beats anything fancier.
-#[derive(Clone, PartialEq)]
+/// Sized for PrivIM's workload (≤ a few hundred thousand rows × 32
+/// columns). Backing buffers come from the thread-local [`pool`], and the
+/// heavy kernels (`matmul`, `transpose`) are cache-blocked and
+/// row-parallel on `privim_rt::par` — each output row is produced by
+/// exactly one worker with a chunk-independent accumulation order, so
+/// results are bit-identical at any thread count.
+#[derive(PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
     data: Vec<f64>,
+}
+
+impl Clone for Matrix {
+    fn clone(&self) -> Matrix {
+        let mut data = pool::acquire(self.data.len());
+        data.extend_from_slice(&self.data);
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    fn clone_from(&mut self, src: &Matrix) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+}
+
+impl Drop for Matrix {
+    fn drop(&mut self) {
+        pool::release(std::mem::take(&mut self.data));
+    }
 }
 
 impl fmt::Debug for Matrix {
@@ -25,22 +70,17 @@ impl fmt::Debug for Matrix {
 }
 
 impl Matrix {
-    /// All-zero matrix.
+    /// All-zero matrix (buffer drawn from the thread-local pool).
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix {
-            rows,
-            cols,
-            data: vec![0.0; rows * cols],
-        }
+        Matrix::full(rows, cols, 0.0)
     }
 
     /// Matrix filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f64) -> Self {
-        Matrix {
-            rows,
-            cols,
-            data: vec![value; rows * cols],
-        }
+        let n = rows * cols;
+        let mut data = pool::acquire(n);
+        data.resize(n, value);
+        Matrix { rows, cols, data }
     }
 
     /// Build from a row-major data vector. Panics on shape mismatch.
@@ -165,40 +205,97 @@ impl Matrix {
     }
 
     /// Matrix product `self × rhs`. Panics on inner-dimension mismatch.
+    ///
+    /// Cache-blocked (`KB × JB` tiles over the rhs) and row-parallel: big
+    /// products split their output rows into one contiguous chunk per pool
+    /// worker. Every output element accumulates its `k`-terms in the same
+    /// fixed order (tile-major, ascending) no matter how rows are
+    /// partitioned, so the result is bit-identical at any thread count.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul {}x{} × {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        // ikj order: stream over rhs rows, accumulate into the output row.
-        for i in 0..self.rows {
-            let arow = self.row(i);
-            let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-            for (k, &aik) in arow.iter().enumerate() {
-                // privim-lint: allow(float-eq, reason = "exact-zero sparsity skip: 0.0 * bkj contributes exactly nothing, so skipping only IEEE zeros is lossless")
-                if aik == 0.0 {
-                    continue;
-                }
-                let brow = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                for (j, &bkj) in brow.iter().enumerate() {
-                    orow[j] += aik * bkj;
-                }
-            }
+        let (m, k, n) = (self.rows, self.cols, rhs.cols);
+        let mut out = Matrix::zeros(m, n);
+        if m == 0 || k == 0 || n == 0 {
+            return out;
+        }
+        if m * k * n < MIN_PAR_WORK || privim_rt::par::num_threads() <= 1 {
+            self.matmul_rows(rhs, 0, &mut out.data);
+        } else {
+            privim_rt::par::for_each_row_chunk(&mut out.data, n, |r0, chunk| {
+                self.matmul_rows(rhs, r0, chunk);
+            });
         }
         out
     }
 
-    /// Transpose.
-    pub fn transpose(&self) -> Matrix {
-        let mut out = Matrix::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+    /// Tiled ikj kernel for output rows `r0 .. r0 + out_chunk.len()/n`.
+    fn matmul_rows(&self, rhs: &Matrix, r0: usize, out_chunk: &mut [f64]) {
+        let k = self.cols;
+        let n = rhs.cols;
+        let rows = out_chunk.len() / n;
+        for kk in (0..k).step_by(KB) {
+            let kend = (kk + KB).min(k);
+            for jj in (0..n).step_by(JB) {
+                let jend = (jj + JB).min(n);
+                for i in 0..rows {
+                    let arow = &self.data[(r0 + i) * k..(r0 + i + 1) * k];
+                    let orow = &mut out_chunk[i * n + jj..i * n + jend];
+                    for (kx, &aik) in arow[kk..kend].iter().enumerate() {
+                        // privim-lint: allow(float-eq, reason = "exact-zero sparsity skip: 0.0 * bkj contributes exactly nothing, so skipping only IEEE zeros is lossless")
+                        if aik == 0.0 {
+                            continue;
+                        }
+                        let bbase = (kk + kx) * n;
+                        let brow = &rhs.data[bbase + jj..bbase + jend];
+                        for (o, &bv) in orow.iter_mut().zip(brow) {
+                            *o += aik * bv;
+                        }
+                    }
+                }
             }
         }
+    }
+
+    /// Transpose (blocked `TB × TB` tiles; large matrices are parallel over
+    /// output-row chunks — pure disjoint writes, so trivially
+    /// deterministic).
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        if self.rows == 0 || self.cols == 0 {
+            return out;
+        }
+        if self.rows * self.cols < MIN_PAR_WORK || privim_rt::par::num_threads() <= 1 {
+            self.transpose_rows(0, &mut out.data);
+        } else {
+            privim_rt::par::for_each_row_chunk(&mut out.data, self.rows, |c0, chunk| {
+                self.transpose_rows(c0, chunk);
+            });
+        }
         out
+    }
+
+    /// Blocked transpose into output rows (= source columns)
+    /// `c0 .. c0 + out_chunk.len()/rows`.
+    fn transpose_rows(&self, c0: usize, out_chunk: &mut [f64]) {
+        let (r, c) = (self.rows, self.cols);
+        let width = out_chunk.len() / r;
+        for rr in (0..r).step_by(TB) {
+            let rend = (rr + TB).min(r);
+            for cc in (0..width).step_by(TB) {
+                let cend = (cc + TB).min(width);
+                for cj in cc..cend {
+                    let col = c0 + cj;
+                    let orow = &mut out_chunk[cj * r..(cj + 1) * r];
+                    for ri in rr..rend {
+                        orow[ri] = self.data[ri * c + col];
+                    }
+                }
+            }
+        }
     }
 
     /// Elementwise sum with `rhs` (same shape).
@@ -219,12 +316,8 @@ impl Matrix {
     /// Elementwise combine (same shape).
     pub fn zip(&self, rhs: &Matrix, f: impl Fn(f64, f64) -> f64) -> Matrix {
         assert_eq!(self.shape(), rhs.shape(), "shape mismatch");
-        let data = self
-            .data
-            .iter()
-            .zip(&rhs.data)
-            .map(|(&a, &b)| f(a, b))
-            .collect();
+        let mut data = pool::acquire(self.data.len());
+        data.extend(self.data.iter().zip(&rhs.data).map(|(&a, &b)| f(a, b)));
         Matrix {
             rows: self.rows,
             cols: self.cols,
@@ -234,10 +327,12 @@ impl Matrix {
 
     /// Elementwise map.
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
+        let mut data = pool::acquire(self.data.len());
+        data.extend(self.data.iter().map(|&x| f(x)));
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().map(|&x| f(x)).collect(),
+            data,
         }
     }
 
@@ -383,6 +478,73 @@ mod tests {
         assert_eq!(v.top_k_rows(3), vec![1, 3, 2]);
         assert_eq!(v.top_k_rows(0), Vec::<usize>::new());
         assert_eq!(v.top_k_rows(10).len(), 4);
+    }
+
+    /// Deterministic pseudo-random fill without touching the RNG crate.
+    fn test_matrix(rows: usize, cols: usize, salt: usize) -> Matrix {
+        Matrix::from_vec(
+            rows,
+            cols,
+            (0..rows * cols)
+                .map(|i| ((i * 37 + salt * 11) % 23) as f64 - 11.0)
+                .collect(),
+        )
+    }
+
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut s = 0.0;
+                for k in 0..a.cols() {
+                    // mirror the kernel's exact-zero skip so the
+                    // accumulation sequences are term-for-term identical
+                    if a.get(i, k) != 0.0 {
+                        s += a.get(i, k) * b.get(k, j);
+                    }
+                }
+                out.set(i, j, s);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn tiled_matmul_bitwise_matches_naive_across_tile_edges() {
+        // shapes straddling the KB/JB/TB tile boundaries, including the
+        // large case that takes the parallel path when threads > 1
+        for (m, k, n) in [(1, 1, 1), (3, 5, 2), (65, 64, 33), (41, 130, 259)] {
+            let a = test_matrix(m, k, 1);
+            let b = test_matrix(k, n, 2);
+            assert_eq!(a.matmul(&b), naive_matmul(&a, &b), "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn blocked_transpose_matches_elementwise() {
+        let a = test_matrix(67, 41, 3);
+        let t = a.transpose();
+        assert_eq!(t.shape(), (41, 67));
+        for r in 0..67 {
+            for c in 0..41 {
+                assert_eq!(t.get(c, r), a.get(r, c));
+            }
+        }
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn pooled_buffers_never_leak_stale_values() {
+        // churn the pool with junk, then verify fresh constructors are clean
+        for salt in 0..8 {
+            let junk = test_matrix(50, 50, salt);
+            drop(junk);
+        }
+        assert!(Matrix::zeros(40, 40).data().iter().all(|&x| x == 0.0));
+        assert!(Matrix::full(30, 30, 2.5).data().iter().all(|&x| x == 2.5));
+        let m = test_matrix(20, 20, 9);
+        assert_eq!(m.clone(), m);
+        assert_eq!(m.map(|x| x + 1.0).get(0, 0), m.get(0, 0) + 1.0);
     }
 
     #[test]

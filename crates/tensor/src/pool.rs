@@ -1,0 +1,138 @@
+//! Thread-local `f64` buffer pool — the workspace behind every [`Matrix`]
+//! allocation.
+//!
+//! DP-SGD's per-sample loop builds a fresh autograd tape for every subgraph
+//! in every batch, and each tape op used to call `vec![0.0; n]` for its
+//! value (and again for its gradient on the way back). At paper shapes
+//! (≤ ~80 rows × 32 cols) the allocator round-trip dominates the arithmetic.
+//! This pool recycles the backing `Vec<f64>`s instead: [`Matrix`]'s `Drop`
+//! returns buffers here, and the constructors in `matrix.rs` draw from it.
+//!
+//! The pool is **thread-local**, which makes it free of locks and — because
+//! `privim_rt::par` keeps its workers alive for the whole process — lets
+//! each worker's pool stay warm across batches.
+//!
+//! Determinism: a recycled buffer is either fully overwritten (`map`/`zip`/
+//! clone paths extend into a cleared vec) or explicitly zero-filled
+//! (`zeros`), so buffer identity can never reach results.
+//!
+//! [`Matrix`]: crate::Matrix
+
+use std::cell::RefCell;
+
+/// Buffers larger than this are returned to the allocator, not pooled —
+/// keeps a one-off giant experiment matrix from pinning memory per thread.
+const MAX_POOLED_LEN: usize = 1 << 20;
+
+/// At most this many buffers are retained per thread.
+const MAX_POOLED_BUFFERS: usize = 64;
+
+/// Retained capacity cap per thread (in `f64`s; 4 M ≈ 32 MB).
+const MAX_POOLED_TOTAL: usize = 4 << 20;
+
+#[derive(Default)]
+struct BufferPool {
+    /// Most recently released last (LIFO reuse keeps buffers cache-warm).
+    buffers: Vec<Vec<f64>>,
+    /// Total capacity currently retained, in elements.
+    retained: usize,
+}
+
+thread_local! {
+    static POOL: RefCell<BufferPool> = RefCell::new(BufferPool::default());
+}
+
+/// Take a cleared buffer with `capacity >= len` (freshly allocated if the
+/// pool holds nothing suitable). The returned vec always has `len() == 0`.
+///
+/// Uses `try_with`: during thread teardown the pool TLS may already be
+/// destroyed while other thread-locals (e.g. the scratch tape) still drop
+/// matrices — those calls silently fall back to the allocator.
+pub(crate) fn acquire(len: usize) -> Vec<f64> {
+    POOL.try_with(|cell| {
+        let mut pool = cell.borrow_mut();
+        // LIFO scan for the first buffer big enough.
+        for i in (0..pool.buffers.len()).rev() {
+            if pool.buffers[i].capacity() >= len {
+                let buf = pool.buffers.swap_remove(i);
+                pool.retained -= buf.capacity();
+                return buf;
+            }
+        }
+        Vec::with_capacity(len)
+    })
+    .unwrap_or_else(|_destroyed| Vec::with_capacity(len))
+}
+
+/// Return a buffer to this thread's pool (or drop it if it is oversized,
+/// the pool is at capacity, or the thread is tearing down its TLS).
+pub(crate) fn release(mut buf: Vec<f64>) {
+    let cap = buf.capacity();
+    if cap == 0 || cap > MAX_POOLED_LEN {
+        return;
+    }
+    let _ = POOL.try_with(|cell| {
+        let mut pool = cell.borrow_mut();
+        if pool.buffers.len() >= MAX_POOLED_BUFFERS || pool.retained + cap > MAX_POOLED_TOTAL {
+            return;
+        }
+        buf.clear();
+        pool.retained += cap;
+        pool.buffers.push(buf);
+    });
+}
+
+/// Number of buffers currently pooled on this thread (tests/diagnostics).
+pub fn pooled_buffers() -> usize {
+    POOL.try_with(|cell| cell.borrow().buffers.len())
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn release_then_acquire_reuses_the_allocation() {
+        let mut buf = acquire(100);
+        buf.resize(100, 1.0);
+        let ptr = buf.as_ptr();
+        let cap = buf.capacity();
+        release(buf);
+        let again = acquire(50);
+        assert_eq!(again.as_ptr(), ptr, "expected the pooled buffer back");
+        assert_eq!(again.capacity(), cap);
+        assert!(again.is_empty(), "acquired buffers must be cleared");
+    }
+
+    #[test]
+    fn undersized_buffers_are_skipped() {
+        // drain whatever other tests left behind so the assertion is local
+        while pooled_buffers() > 0 {
+            drop(acquire(0));
+        }
+        let mut small = acquire(8);
+        small.resize(8, 0.0);
+        release(small);
+        let big = acquire(MAX_POOLED_LEN / 2);
+        assert!(big.capacity() >= MAX_POOLED_LEN / 2);
+        assert_eq!(pooled_buffers(), 1, "small buffer should still be pooled");
+    }
+
+    #[test]
+    fn oversized_buffers_are_not_retained() {
+        let before = pooled_buffers();
+        release(Vec::with_capacity(MAX_POOLED_LEN + 1));
+        assert_eq!(pooled_buffers(), before);
+        release(Vec::new());
+        assert_eq!(pooled_buffers(), before);
+    }
+
+    #[test]
+    fn pool_size_is_bounded() {
+        for _ in 0..(MAX_POOLED_BUFFERS * 2) {
+            release(Vec::with_capacity(16));
+        }
+        assert!(pooled_buffers() <= MAX_POOLED_BUFFERS);
+    }
+}

@@ -6,8 +6,18 @@
 //! and the autograd tape's `spmm` op.
 
 use crate::matrix::Matrix;
+use std::sync::OnceLock;
+
+/// Work (nnz × dense width) below which an spmm stays on the calling
+/// thread — mirrors the dense kernels' threshold.
+const MIN_PAR_WORK: usize = 1 << 16;
 
 /// Immutable CSR sparse matrix (no gradient support — used as constants).
+///
+/// [`Self::spmm_transpose`] routes through a lazily-built, cached CSC view
+/// (the transpose in CSR form), so the backward pass of message passing is
+/// a plain row-parallel [`Self::spmm`] — no scattered writes, no per-row
+/// dense copies.
 #[derive(Clone, Debug)]
 pub struct SparseMatrix {
     rows: usize,
@@ -15,6 +25,10 @@ pub struct SparseMatrix {
     offsets: Vec<usize>,
     col_idx: Vec<u32>,
     values: Vec<f64>,
+    /// Cached transpose; built on first `spmm_transpose`. Within each
+    /// transposed row the source-row indices ascend, which reproduces the
+    /// exact accumulation order of the historical scatter loop.
+    transposed: OnceLock<Box<SparseMatrix>>,
 }
 
 impl SparseMatrix {
@@ -54,6 +68,7 @@ impl SparseMatrix {
             offsets,
             col_idx: merged.iter().map(|&(_, c, _)| c as u32).collect(),
             values: merged.iter().map(|&(_, _, v)| v).collect(),
+            transposed: OnceLock::new(),
         }
     }
 
@@ -65,6 +80,7 @@ impl SparseMatrix {
             offsets: vec![0; rows + 1],
             col_idx: Vec::new(),
             values: Vec::new(),
+            transposed: OnceLock::new(),
         }
     }
 
@@ -91,41 +107,89 @@ impl SparseMatrix {
     }
 
     /// Dense product `self × dense` → `rows × dense.cols()`.
+    ///
+    /// Row-parallel: output rows are split into contiguous chunks, one per
+    /// pool worker; row `r` depends only on sparse row `r`, so every output
+    /// row is written by exactly one worker with the serial loop's
+    /// accumulation order — bit-identical at any thread count.
     pub fn spmm(&self, dense: &Matrix) -> Matrix {
         assert_eq!(self.cols, dense.rows(), "spmm inner dimension mismatch");
         let dc = dense.cols();
         let mut out = Matrix::zeros(self.rows, dc);
-        for r in 0..self.rows {
-            let (cols, vals) = self.row(r);
-            let orow = out.row_mut(r);
-            for (&c, &v) in cols.iter().zip(vals) {
-                let drow = dense.row(c as usize);
-                for j in 0..dc {
-                    orow[j] += v * drow[j];
-                }
-            }
+        if self.rows == 0 || dc == 0 {
+            return out;
+        }
+        if self.nnz() * dc < MIN_PAR_WORK || privim_rt::par::num_threads() <= 1 {
+            self.spmm_rows(dense, 0, out.data_mut());
+        } else {
+            privim_rt::par::for_each_row_chunk(out.data_mut(), dc, |r0, chunk| {
+                self.spmm_rows(dense, r0, chunk);
+            });
         }
         out
     }
 
-    /// Transposed product `selfᵀ × dense` → `cols × dense.cols()`. This is
-    /// the backward pass of [`Self::spmm`] with respect to the dense input,
-    /// computed without materialising the transpose.
-    pub fn spmm_transpose(&self, dense: &Matrix) -> Matrix {
-        assert_eq!(self.rows, dense.rows(), "spmm_t dimension mismatch");
+    /// Serial spmm kernel for output rows `r0 .. r0 + out_chunk.len()/dc`.
+    fn spmm_rows(&self, dense: &Matrix, r0: usize, out_chunk: &mut [f64]) {
         let dc = dense.cols();
-        let mut out = Matrix::zeros(self.cols, dc);
-        for r in 0..self.rows {
-            let (cols, vals) = self.row(r);
-            let drow = dense.row(r).to_vec();
+        for (local, orow) in out_chunk.chunks_mut(dc).enumerate() {
+            let (cols, vals) = self.row(r0 + local);
             for (&c, &v) in cols.iter().zip(vals) {
-                let orow = out.row_mut(c as usize);
-                for j in 0..dc {
-                    orow[j] += v * drow[j];
+                let drow = dense.row(c as usize);
+                for (o, &dv) in orow.iter_mut().zip(drow) {
+                    *o += v * dv;
                 }
             }
         }
-        out
+    }
+
+    /// Transposed product `selfᵀ × dense` → `cols × dense.cols()`. This is
+    /// the backward pass of [`Self::spmm`] with respect to the dense input.
+    ///
+    /// Runs as a row-parallel [`Self::spmm`] over the cached transpose
+    /// ([`Self::transposed`]): each output row is owned by one worker, and
+    /// the ascending source-row order inside every transposed row
+    /// reproduces the scatter loop's accumulation order exactly, so the
+    /// result is bit-identical to the historical serial kernel.
+    pub fn spmm_transpose(&self, dense: &Matrix) -> Matrix {
+        assert_eq!(self.rows, dense.rows(), "spmm_t dimension mismatch");
+        self.transposed().spmm(dense)
+    }
+
+    /// The cached CSR transpose, built on first use (counting sort over the
+    /// column indices — deterministic, `O(nnz + cols)`).
+    fn transposed(&self) -> &SparseMatrix {
+        self.transposed.get_or_init(|| {
+            let nnz = self.values.len();
+            let mut offsets = vec![0usize; self.cols + 1];
+            for &c in &self.col_idx {
+                offsets[c as usize + 1] += 1;
+            }
+            for i in 0..self.cols {
+                offsets[i + 1] += offsets[i];
+            }
+            let mut cursor = offsets[..self.cols].to_vec();
+            let mut col_idx = vec![0u32; nnz];
+            let mut values = vec![0.0f64; nnz];
+            // ascending r per transposed row: the determinism anchor
+            for r in 0..self.rows {
+                let (cols, vals) = self.row(r);
+                for (&c, &v) in cols.iter().zip(vals) {
+                    let p = cursor[c as usize];
+                    col_idx[p] = r as u32;
+                    values[p] = v;
+                    cursor[c as usize] += 1;
+                }
+            }
+            Box::new(SparseMatrix {
+                rows: self.cols,
+                cols: self.rows,
+                offsets,
+                col_idx,
+                values,
+                transposed: OnceLock::new(),
+            })
+        })
     }
 
     /// Densify (tests only — O(rows × cols) memory).
@@ -180,5 +244,53 @@ mod tests {
     #[should_panic(expected = "out of bounds")]
     fn triplet_out_of_bounds_panics() {
         let _ = SparseMatrix::from_triplets(2, 2, [(2, 0, 1.0)]);
+    }
+
+    #[test]
+    fn cached_transpose_is_exact_and_reused() {
+        let s = SparseMatrix::from_triplets(
+            40,
+            30,
+            (0..40).flat_map(|r| {
+                (0..30)
+                    .filter(move |c| (r * 7 + c * 3) % 5 == 0)
+                    .map(move |c| (r, c, (r * 31 + c) as f64 / 7.0 - 2.0))
+            }),
+        );
+        let t = s.transposed();
+        assert_eq!(t.rows(), 30);
+        assert_eq!(t.cols(), 40);
+        assert_eq!(t.nnz(), s.nnz());
+        assert_eq!(t.to_dense(), s.to_dense().transpose());
+        // second call hits the cache (same allocation)
+        let p1 = s.transposed() as *const SparseMatrix;
+        let p2 = s.transposed() as *const SparseMatrix;
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn spmm_transpose_matches_dense_on_wide_input() {
+        let s = SparseMatrix::from_triplets(
+            25,
+            18,
+            (0..25).flat_map(|r| [(r, r % 18, 1.5 + r as f64), (r, (r * 5 + 2) % 18, -0.25)]),
+        );
+        let d = Matrix::from_vec(25, 7, (0..25 * 7).map(|i| (i % 13) as f64 - 6.0).collect());
+        let expect = s.to_dense().transpose().matmul(&d);
+        let got = s.spmm_transpose(&d);
+        assert_eq!(got.shape(), expect.shape());
+        for i in 0..got.rows() {
+            for j in 0..got.cols() {
+                assert!((got.get(i, j) - expect.get(i, j)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_width_dense_is_fine() {
+        let s = SparseMatrix::from_triplets(3, 3, [(0, 1, 2.0)]);
+        let d = Matrix::zeros(3, 0);
+        assert_eq!(s.spmm(&d).shape(), (3, 0));
+        assert_eq!(s.spmm_transpose(&d).shape(), (3, 0));
     }
 }

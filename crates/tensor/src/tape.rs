@@ -8,9 +8,20 @@
 //!
 //! The op set is exactly what the five GNNs (Appendix G) and the IM loss
 //! (Eq. 5) require; see each constructor's docs for the backward rule.
+//!
+//! ## Allocation reuse
+//!
+//! Per-sample training builds one tape per subgraph per batch. Two layers
+//! keep that from hammering the allocator: every op's value matrix draws
+//! its buffer from the thread-local pool in [`crate::pool`] (and returns it
+//! on drop), and [`Tape::with_scratch`] hands out a per-thread recycled
+//! tape whose node storage keeps its capacity across samples. Because
+//! `privim_rt::par` workers are persistent, both warm up once per thread
+//! and stay warm for the whole run.
 
 use crate::matrix::Matrix;
 use crate::sparse::SparseMatrix;
+use std::cell::RefCell;
 use std::sync::Arc;
 
 /// Handle to a tape node.
@@ -86,10 +97,37 @@ pub struct Tape {
     sparse: Vec<Arc<SparseMatrix>>,
 }
 
+thread_local! {
+    static SCRATCH: RefCell<Tape> = RefCell::new(Tape::new());
+}
+
 impl Tape {
     /// Fresh empty tape.
     pub fn new() -> Self {
         Tape::default()
+    }
+
+    /// Clear all recorded nodes and sparse constants, retaining the node
+    /// vector's capacity. Dropped node values return their buffers to the
+    /// thread-local matrix pool, so the next forward pass on this thread
+    /// re-uses them instead of allocating.
+    pub fn reset(&mut self) {
+        self.nodes.clear();
+        self.sparse.clear();
+    }
+
+    /// Run `f` on this thread's recycled scratch tape (reset first). The
+    /// DP-SGD per-sample loop uses this so repeated forward/backward passes
+    /// on a pool worker stop paying a tape allocation per sample. Re-entrant
+    /// calls fall back to a fresh tape rather than aliasing the scratch.
+    pub fn with_scratch<R>(f: impl FnOnce(&mut Tape) -> R) -> R {
+        SCRATCH.with(|cell| match cell.try_borrow_mut() {
+            Ok(mut tape) => {
+                tape.reset();
+                f(&mut tape)
+            }
+            Err(_) => f(&mut Tape::new()),
+        })
     }
 
     /// Number of recorded nodes (diagnostics).
@@ -633,6 +671,38 @@ mod tests {
         let mut t = Tape::new();
         let x = t.leaf(Matrix::zeros(2, 2));
         t.backward(x);
+    }
+
+    #[test]
+    fn scratch_tape_is_reset_between_uses() {
+        let n1 = Tape::with_scratch(|t| {
+            let x = t.leaf(Matrix::from_rows(&[&[1.0, 2.0]]));
+            let y = t.relu(x);
+            let l = t.sum(y);
+            let g = t.backward(l);
+            assert_eq!(g.wrt(x).data(), &[1.0, 1.0]);
+            t.len()
+        });
+        let n2 = Tape::with_scratch(|t| {
+            assert!(t.is_empty(), "scratch must be reset");
+            let x = t.leaf(Matrix::from_rows(&[&[3.0]]));
+            let l = t.sum(x);
+            let g = t.backward(l);
+            assert_eq!(g.wrt(x).get(0, 0), 1.0);
+            t.len()
+        });
+        assert_eq!(n1, 3);
+        assert_eq!(n2, 2);
+        // re-entrant use falls back to a fresh tape instead of panicking
+        Tape::with_scratch(|outer| {
+            let x = outer.leaf(Matrix::from_rows(&[&[1.0]]));
+            Tape::with_scratch(|inner| {
+                assert!(inner.is_empty());
+                let y = inner.leaf(Matrix::from_rows(&[&[2.0]]));
+                assert_eq!(inner.value(y).get(0, 0), 2.0);
+            });
+            assert_eq!(outer.value(x).get(0, 0), 1.0);
+        });
     }
 
     #[test]

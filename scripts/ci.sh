@@ -17,6 +17,12 @@ cargo build --release --offline --all-targets
 echo "== offline tests (workspace)"
 cargo test -q --offline --workspace
 
+echo "== bench smoke (kernel harness + bit-identity assertions, tiny sizes)"
+# bench_kernels asserts tiled/parallel kernels match their naive references
+# bitwise before timing anything; --smoke proves that in well under a
+# second without touching the checked-in BENCH_kernels.json trajectory.
+cargo run -q --release --offline -p privim-bench --bin bench_kernels -- --smoke
+
 echo "== fault-injection matrix (divergence recovery under seeded faults)"
 for seed in 1 2; do
     echo "-- PRIVIM_FAULT_SEED=$seed"

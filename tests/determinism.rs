@@ -8,8 +8,9 @@ use privim::trainer::{train_dpgnn, DpSgdConfig, TrainItem};
 use privim_gnn::{GnnConfig, GnnKind, GnnModel};
 use privim_graph::{generators, induced_subgraph};
 use privim_im::ic_spread_estimate;
-use privim_rt::{ChaCha8Rng, SeedableRng};
+use privim_rt::{ChaCha8Rng, Rng, SeedableRng};
 use privim_sampling::{freq_sampling, FreqConfig};
+use privim_tensor::{Matrix, SparseMatrix};
 use std::sync::Mutex;
 
 /// Tests in this file flip the process-global thread override and must not
@@ -119,6 +120,124 @@ fn monte_carlo_estimates_identical_across_thread_counts() {
             est.to_bits(),
             "MC estimate diverged at {threads} threads"
         );
+    }
+}
+
+fn random_matrix(rows: usize, cols: usize, rng: &mut impl Rng) -> Matrix {
+    Matrix::from_vec(
+        rows,
+        cols,
+        (0..rows * cols).map(|_| rng.gen::<f64>() - 0.5).collect(),
+    )
+}
+
+fn assert_bits_eq(name: &str, threads: usize, a: &Matrix, b: &Matrix) {
+    assert_eq!(a.shape(), b.shape());
+    for (x, y) in a.data().iter().zip(b.data()) {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{name} diverged at {threads} threads: {x:?} vs {y:?}"
+        );
+    }
+}
+
+#[test]
+fn tensor_kernels_bit_identical_across_thread_counts() {
+    let _guard = THREADS_LOCK.lock().unwrap();
+    let mut rng = ChaCha8Rng::seed_from_u64(99);
+    // Big enough that every kernel crosses its parallel-dispatch threshold.
+    let a = random_matrix(70, 64, &mut rng);
+    let b = random_matrix(64, 55, &mut rng);
+    let g = generators::barabasi_albert(2000, 4, &mut rng).with_uniform_weights(0.5);
+    let adj = SparseMatrix::from_triplets(
+        2000,
+        2000,
+        (0..2000u32).flat_map(|u| {
+            g.out_neighbors(u)
+                .iter()
+                .map(move |&v| (u as usize, v as usize, 0.5))
+        }),
+    );
+    let h = random_matrix(2000, 40, &mut rng);
+
+    let base = with_threads(1, || {
+        (
+            a.matmul(&b),
+            a.transpose(),
+            adj.spmm(&h),
+            adj.spmm_transpose(&h),
+        )
+    });
+    for threads in [2, 7] {
+        let (mm, tr, sp, spt) = with_threads(threads, || {
+            (
+                a.matmul(&b),
+                a.transpose(),
+                adj.spmm(&h),
+                adj.spmm_transpose(&h),
+            )
+        });
+        assert_bits_eq("matmul", threads, &base.0, &mm);
+        assert_bits_eq("transpose", threads, &base.1, &tr);
+        assert_bits_eq("spmm", threads, &base.2, &sp);
+        assert_bits_eq("spmm_transpose", threads, &base.3, &spt);
+    }
+}
+
+#[test]
+fn single_trainer_step_bit_identical_across_thread_counts() {
+    let _guard = THREADS_LOCK.lock().unwrap();
+    let mut rng = ChaCha8Rng::seed_from_u64(57);
+    let g = generators::barabasi_albert(200, 4, &mut rng).with_uniform_weights(1.0);
+    let mut freq = vec![0u32; g.num_nodes()];
+    let cfg = FreqConfig {
+        subgraph_size: 12,
+        return_prob: 0.3,
+        decay: 1.0,
+        sampling_rate: 1.0,
+        walk_len: 120,
+        threshold: 6,
+    };
+    let sets = freq_sampling(&g, &mut freq, &cfg, &mut rng).unwrap();
+    let subs: Vec<_> = sets.iter().map(|s| induced_subgraph(&g, s)).collect();
+    let train_cfg = DpSgdConfig {
+        iters: 1,
+        ..DpSgdConfig::paper_default(0.8, 6)
+    };
+    let step = |threads: usize| {
+        with_threads(threads, || {
+            let items = TrainItem::from_container(&subs);
+            let mut model = GnnModel::new(
+                GnnConfig {
+                    kind: GnnKind::Gcn,
+                    layers: 2,
+                    hidden: 8,
+                    in_dim: privim_gnn::FEATURE_DIM,
+                },
+                &mut ChaCha8Rng::seed_from_u64(3),
+            );
+            train_dpgnn(&mut model, &items, &train_cfg).unwrap();
+            model.params().to_vec()
+        })
+    };
+    let base = step(1);
+    for threads in [2, 7] {
+        let params = step(threads);
+        assert_eq!(base, params, "trainer step diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn pool_survives_thread_count_changes_mid_process() {
+    let _guard = THREADS_LOCK.lock().unwrap();
+    // Ratchet the override up and down repeatedly; the persistent pool must
+    // keep serving correct (and identical) results through every change.
+    let items: Vec<u64> = (0..500).collect();
+    let expect: Vec<u64> = items.iter().map(|&x| x * 3 + 1).collect();
+    for &threads in &[1, 5, 2, 9, 1, 3, 7, 2] {
+        let out = with_threads(threads, || privim_rt::par::map(&items, |&x| x * 3 + 1));
+        assert_eq!(out, expect, "pool broke after switching to {threads} threads");
     }
 }
 
