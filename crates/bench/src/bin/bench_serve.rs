@@ -1,0 +1,353 @@
+//! `bench_serve` — open-loop load generator for the privim-serve server.
+//!
+//! Self-hosts a server in-process (from `--bundle`, or from a fabricated
+//! untrained bundle when none is given), then drives it over raw TCP the
+//! same way an external client would:
+//!
+//! * **load mode** (default): an open-loop arrival schedule at `--rps`
+//!   for `--secs`. Send times are fixed up front — a slow server does not
+//!   slow the arrival process down, so queueing delay shows up in the
+//!   measured latencies instead of being hidden (closed-loop coordinated
+//!   omission). Reports per-endpoint p50/p95/p99 and achieved throughput,
+//!   and writes `BENCH_serve.json`.
+//! * **`--smoke`**: one request per endpoint with response assertions and
+//!   a clean-drain check — the CI gate. No file output.
+//!
+//! ```text
+//! cargo run --release -p privim-bench --bin bench_serve                 # load, writes BENCH_serve.json
+//! cargo run --release -p privim-bench --bin bench_serve -- --smoke --bundle ci.json
+//! ```
+
+use privim::ServeArtifact;
+use privim_gnn::{GnnConfig, GnnModel};
+use privim_rt::json::Value;
+use privim_rt::{ChaCha8Rng, SeedableRng};
+use privim_serve::metrics::parse_counter;
+use privim_serve::{bundle, start, ServeConfig, ServerHandle};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Workload mix by request index: mostly embeds (the batched hot path),
+/// a band of influence queries (cache-heavy), a trickle of seed queries.
+fn endpoint_for(i: usize) -> &'static str {
+    match i % 10 {
+        0..=5 => "embed",
+        6..=8 => "influence",
+        _ => "seeds",
+    }
+}
+
+fn body_for(i: usize, n_nodes: usize) -> String {
+    match endpoint_for(i) {
+        "embed" => format!("{{\"nodes\": [{}]}}", i % n_nodes),
+        // 8 distinct seed pairs cycle, so the spread cache sees a
+        // realistic hit/miss blend rather than all-hits or all-misses.
+        "influence" => format!(
+            "{{\"seeds\": [{}, {}], \"runs\": 32, \"seed\": 9}}",
+            (i * 7) % 8 % n_nodes,
+            (8 + (i * 13) % 8) % n_nodes
+        ),
+        _ => "{\"k\": 5}".to_string(),
+    }
+}
+
+fn path_for(ep: &str) -> &'static str {
+    match ep {
+        "embed" => "/v1/embed",
+        "influence" => "/v1/influence",
+        _ => "/v1/seeds",
+    }
+}
+
+/// One-shot HTTP exchange; returns (status, body).
+fn request(port: u16, method: &str, path: &str, body: &str) -> (u16, String) {
+    let Ok(mut stream) = TcpStream::connect(("127.0.0.1", port)) else {
+        return (0, String::new());
+    };
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let raw = format!(
+        "{method} {path} HTTP/1.1\r\nHost: b\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    if stream.write_all(raw.as_bytes()).is_err() {
+        return (0, String::new());
+    }
+    let mut text = String::new();
+    if stream.read_to_string(&mut text).is_err() {
+        return (0, String::new());
+    }
+    let status = text
+        .split_ascii_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let body = text
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn load_bundle(path: Option<&str>) -> bundle::Bundle {
+    match path {
+        Some(p) => {
+            let f = std::fs::File::open(p).unwrap_or_else(|e| {
+                eprintln!("error: open {p}: {e}");
+                std::process::exit(1);
+            });
+            bundle::load(std::io::BufReader::new(f)).unwrap_or_else(|e| {
+                eprintln!("error: load {p}: {e}");
+                std::process::exit(1);
+            })
+        }
+        None => {
+            // Fabricated bundle: serving performance does not depend on
+            // trained weights, so skip DP-SGD and bench the server alone.
+            let mut rng = ChaCha8Rng::seed_from_u64(17);
+            let g = privim_graph::generators::barabasi_albert(400, 3, &mut rng)
+                .with_uniform_weights(1.0);
+            let artifact = ServeArtifact {
+                model: GnnModel::new(GnnConfig::paper_default(), &mut rng),
+                epsilon: Some(2.0),
+                delta: 1e-4,
+                sigma: 1.5,
+                steps: 80,
+            };
+            let mut buf = Vec::new();
+            bundle::save(&artifact, &g, &mut buf).expect("in-memory bundle save");
+            bundle::load(buf.as_slice()).expect("in-memory bundle load")
+        }
+    }
+}
+
+fn smoke(handle: ServerHandle, n_nodes: usize) {
+    let port = handle.port();
+    let checks: [(&str, &str, &str); 3] = [
+        ("embed", "/v1/embed", "{\"nodes\": [0, 1]}"),
+        ("influence", "/v1/influence", "{\"seeds\": [0, 1], \"runs\": 16, \"seed\": 3}"),
+        ("seeds", "/v1/seeds", "{\"k\": 3}"),
+    ];
+    for (name, path, body) in checks {
+        let (status, text) = request(port, "POST", path, body);
+        assert_eq!(status, 200, "{name}: status {status}, body {text}");
+        let v = Value::parse(&text).unwrap_or_else(|e| {
+            panic!("{name}: unparseable body {text}: {e}");
+        });
+        match name {
+            "embed" => assert_eq!(
+                v.get("scores").and_then(|s| s.as_array()).map(|a| a.len()),
+                Some(2),
+                "{name}: {text}"
+            ),
+            "influence" => assert!(
+                v.get("spread").and_then(|s| s.as_f64()).unwrap_or(-1.0) >= 2.0,
+                "{name}: {text}"
+            ),
+            _ => assert_eq!(
+                v.get("seeds").and_then(|s| s.as_array()).map(|a| a.len()),
+                Some(3),
+                "{name}: {text}"
+            ),
+        }
+        println!("ok  POST {path}");
+    }
+    let (status, text) = request(port, "GET", "/healthz", "");
+    assert_eq!(status, 200, "healthz: {text}");
+    assert!(text.contains("\"ok\""), "healthz: {text}");
+    println!("ok  GET /healthz");
+    let (status, text) = request(port, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    for (ep, want) in [("embed", 1), ("influence", 1), ("seeds", 1), ("healthz", 1)] {
+        let name = format!("privim_requests_total{{endpoint=\"{ep}\"}}");
+        assert_eq!(parse_counter(&text, &name), Some(want), "{name}");
+    }
+    println!("ok  GET /metrics (all four requests accounted)");
+    let _ = n_nodes;
+    let drained = handle.shutdown();
+    println!("ok  shutdown drained cleanly ({drained} in-flight at signal)");
+    println!("smoke passed");
+}
+
+struct Sample {
+    endpoint: &'static str,
+    latency_us: u64,
+    ok: bool,
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let idx = ((p / 100.0) * (sorted_us.len() - 1) as f64).round() as usize;
+    sorted_us[idx.min(sorted_us.len() - 1)]
+}
+
+fn load(handle: ServerHandle, n_nodes: usize, rps: usize, secs: u64, out: &str) {
+    let port = handle.port();
+    let total = rps * secs as usize;
+    let gap = Duration::from_secs_f64(1.0 / rps as f64);
+    let senders = 16usize.min(total.max(1));
+    println!("open-loop: {rps} req/s for {secs} s = {total} requests, {senders} sender threads");
+
+    let t0 = Instant::now();
+    let threads: Vec<_> = (0..senders)
+        .map(|w| {
+            std::thread::spawn(move || {
+                let mut samples = Vec::new();
+                let mut i = w;
+                while i < total {
+                    // Open loop: send times are fixed multiples of the gap
+                    // from t0, independent of how fast responses come back.
+                    let due = gap * i as u32;
+                    let now = t0.elapsed();
+                    if due > now {
+                        std::thread::sleep(due - now);
+                    }
+                    let ep = endpoint_for(i);
+                    let body = body_for(i, n_nodes);
+                    let sent = Instant::now();
+                    let (status, _) = request(port, "POST", path_for(ep), &body);
+                    samples.push(Sample {
+                        endpoint: ep,
+                        latency_us: sent.elapsed().as_micros() as u64,
+                        ok: status == 200,
+                    });
+                    i += senders;
+                }
+                samples
+            })
+        })
+        .collect();
+    let samples: Vec<Sample> = threads
+        .into_iter()
+        .flat_map(|t| t.join().expect("sender thread"))
+        .collect();
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    let (_, exposition) = request(port, "GET", "/metrics", "");
+    let batch_passes = parse_counter(&exposition, "privim_batch_forward_passes_total").unwrap_or(0);
+    let batch_served =
+        parse_counter(&exposition, "privim_batch_batched_requests_total").unwrap_or(0);
+    let cache_hits = parse_counter(&exposition, "privim_cache_hits_total").unwrap_or(0);
+    let cache_misses = parse_counter(&exposition, "privim_cache_misses_total").unwrap_or(0);
+    let shed = parse_counter(&exposition, "privim_shed_total").unwrap_or(0);
+    handle.shutdown();
+
+    let ok = samples.iter().filter(|s| s.ok).count();
+    println!(
+        "{:<10} {:>6} {:>10} {:>10} {:>10}",
+        "endpoint", "n", "p50", "p95", "p99"
+    );
+    let mut per_endpoint = Vec::new();
+    for ep in ["embed", "influence", "seeds"] {
+        let mut lat: Vec<u64> = samples
+            .iter()
+            .filter(|s| s.endpoint == ep && s.ok)
+            .map(|s| s.latency_us)
+            .collect();
+        lat.sort_unstable();
+        let (p50, p95, p99) = (
+            percentile(&lat, 50.0),
+            percentile(&lat, 95.0),
+            percentile(&lat, 99.0),
+        );
+        println!(
+            "{ep:<10} {:>6} {:>8}µs {:>8}µs {:>8}µs",
+            lat.len(),
+            p50,
+            p95,
+            p99
+        );
+        per_endpoint.push(Value::obj(vec![
+            ("endpoint", Value::Str(ep.to_string())),
+            ("completed", Value::Num(lat.len() as f64)),
+            ("p50_us", Value::Num(p50 as f64)),
+            ("p95_us", Value::Num(p95 as f64)),
+            ("p99_us", Value::Num(p99 as f64)),
+        ]));
+    }
+    let throughput = ok as f64 / elapsed;
+    println!(
+        "{ok}/{total} ok in {elapsed:.2} s = {throughput:.0} req/s; \
+         batch: {batch_served} reqs over {batch_passes} passes; \
+         cache: {cache_hits} hits / {cache_misses} misses; shed: {shed}"
+    );
+
+    let cpus = std::thread::available_parallelism().map_or(0, |n| n.get());
+    let doc = Value::obj(vec![
+        ("bench", Value::Str("serve".to_string())),
+        ("offered_rps", Value::Num(rps as f64)),
+        ("duration_secs", Value::Num(secs as f64)),
+        ("requests", Value::Num(total as f64)),
+        ("completed_ok", Value::Num(ok as f64)),
+        ("achieved_rps", Value::Num(throughput)),
+        ("available_parallelism", Value::Num(cpus as f64)),
+        ("batch_forward_passes", Value::Num(batch_passes as f64)),
+        ("batch_served_requests", Value::Num(batch_served as f64)),
+        ("cache_hits", Value::Num(cache_hits as f64)),
+        ("cache_misses", Value::Num(cache_misses as f64)),
+        ("shed", Value::Num(shed as f64)),
+        (
+            "note",
+            Value::Str(
+                "open-loop arrivals (coordinated-omission safe); latencies include connect + \
+                 queue wait; absolute numbers are hardware-dependent (see EXPERIMENTS.md)"
+                    .to_string(),
+            ),
+        ),
+        ("endpoints", Value::Arr(per_endpoint)),
+    ]);
+    privim::results::write_atomic(out, &doc.to_json_string_pretty()).unwrap_or_else(|e| {
+        eprintln!("error: cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("wrote {out}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke_mode = false;
+    let mut bundle_path: Option<String> = None;
+    let mut rps = 400usize;
+    let mut secs = 5u64;
+    let mut out = "BENCH_serve.json".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => smoke_mode = true,
+            "--bundle" => bundle_path = it.next().cloned(),
+            "--rps" => rps = it.next().and_then(|s| s.parse().ok()).unwrap_or(rps),
+            "--secs" => secs = it.next().and_then(|s| s.parse().ok()).unwrap_or(secs),
+            "--out" => out = it.next().cloned().unwrap_or(out),
+            other => {
+                eprintln!(
+                    "error: unknown flag {other} (flags: --smoke, --bundle <path>, --rps <n>, --secs <n>, --out <path>)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let b = load_bundle(bundle_path.as_deref());
+    let n_nodes = b.graph.num_nodes();
+    // Workers spend most of their time blocked (socket reads, batcher
+    // waits), so the count is deliberately NOT tied to core count: on a
+    // small machine extra workers are what turn queue depth into batch
+    // depth for /v1/embed.
+    let cfg = ServeConfig {
+        workers: 8,
+        ..ServeConfig::default()
+    };
+    let handle = start(b, cfg).unwrap_or_else(|e| {
+        eprintln!("error: start server: {e}");
+        std::process::exit(1);
+    });
+    println!("serving fabricated-or-loaded bundle on port {} (|V|={n_nodes})", handle.port());
+    if smoke_mode {
+        smoke(handle, n_nodes);
+    } else {
+        load(handle, n_nodes, rps.max(1), secs.max(1), &out);
+    }
+}

@@ -44,6 +44,6 @@ pub mod trainer;
 
 pub use audit::{dp_advantage_bound, membership_inference_audit, AuditConfig, AuditResult};
 pub use loss::{im_loss, LossConfig, PhiKind};
-pub use pipeline::{run_method, EvalSetup, Method};
+pub use pipeline::{export_serve_artifact, run_method, EvalSetup, Method, ServeArtifact};
 pub use results::MethodOutput;
 pub use trainer::{train_dpgnn, DpSgdConfig, TrainItem, TrainReport};

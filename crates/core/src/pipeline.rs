@@ -418,11 +418,73 @@ fn prepare(
     })
 }
 
-fn run_learning_method(
+/// Everything the training stage produces, before any seed scoring: the
+/// trained model plus the accounting and telemetry that both the
+/// evaluation path ([`run_method`]) and the serving export path
+/// ([`export_serve_artifact`]) need.
+struct TrainedStage {
+    model: GnnModel,
+    sigma: f64,
+    epsilon: Option<f64>,
+    batch: usize,
+    container_size: usize,
+    max_occurrence: u32,
+    occurrence_bound: u64,
+    preprocess_secs: f64,
+    train_secs: f64,
+    final_loss: f64,
+}
+
+/// A trained model packaged for serving, together with the privacy
+/// statement it was trained under. This is what `privim-serve pack`
+/// wraps into a checkpoint bundle: under DP, (model, ε, δ, σ, steps) is
+/// exactly the releasable artifact — the bundle never includes training
+/// subgraphs.
+#[derive(Clone, Debug)]
+pub struct ServeArtifact {
+    /// The trained (privatised) model.
+    pub model: GnnModel,
+    /// Privacy budget ε the noise was calibrated to (`None` = non-private).
+    pub epsilon: Option<f64>,
+    /// The δ of the (ε, δ)-DP statement.
+    pub delta: f64,
+    /// Calibrated Gaussian noise multiplier σ.
+    pub sigma: f64,
+    /// DP-SGD steps taken (accountant state: σ and steps pin the spend).
+    pub steps: usize,
+}
+
+/// Train a model with `method` and export it for serving, without running
+/// the evaluation-side seed scoring. Same training path as [`run_method`]
+/// (a unit test pins the equivalence), so the ε/δ/σ accounting in the
+/// returned artifact is exactly what the experiments report.
+pub fn export_serve_artifact(
+    method: Method,
+    setup: &EvalSetup<'_>,
+    rep: u64,
+) -> PrivimResult<ServeArtifact> {
+    if method.epsilon().is_none() && !matches!(method, Method::NonPrivate) {
+        return Err(privim_rt::PrivimError::invalid(format!(
+            "method {} does not train a model; nothing to serve",
+            method.name()
+        )));
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(0x9e3779b9u64.wrapping_mul(rep + 1));
+    let stage = train_stage(method, setup, &mut rng)?;
+    Ok(ServeArtifact {
+        model: stage.model,
+        epsilon: stage.epsilon,
+        delta: setup.params.delta,
+        sigma: stage.sigma,
+        steps: setup.params.iters,
+    })
+}
+
+fn train_stage(
     method: Method,
     setup: &EvalSetup<'_>,
     rng: &mut ChaCha8Rng,
-) -> PrivimResult<MethodOutput> {
+) -> PrivimResult<TrainedStage> {
     let p = &setup.params;
     let mut prep = prepare(method, setup, rng)?;
     if prep.container.is_empty() {
@@ -501,28 +563,50 @@ fn run_learning_method(
     let report = train_dpgnn(&mut model, &items, &train_cfg)?;
     let train_secs = t_train.elapsed().as_secs_f64();
 
-    // Seed selection on the full graph + evaluation.
-    let scores = model.score_graph(setup.graph);
-    let seeds = heuristics::score_top_k(&scores, setup.k);
-    let spread = one_step_spread(setup.graph, &seeds) as f64;
-    let cr = coverage_ratio(spread, setup.celf_spread);
-
-    let iters_per_epoch = (prep.container.len() as f64 / batch as f64).max(1.0);
-    Ok(MethodOutput {
-        method: method.name(),
-        spread,
-        coverage_ratio: cr,
-        epsilon,
+    Ok(TrainedStage {
+        model,
         sigma,
+        epsilon,
+        batch,
         container_size: prep.container.len(),
         max_occurrence: prep.container.max_occurrence(),
         occurrence_bound: prep.occurrence_bound,
         preprocess_secs,
         train_secs,
-        per_epoch_secs: train_secs / p.iters as f64 * iters_per_epoch,
+        final_loss: report.loss_trace.last().copied().unwrap_or(f64::NAN),
+    })
+}
+
+fn run_learning_method(
+    method: Method,
+    setup: &EvalSetup<'_>,
+    rng: &mut ChaCha8Rng,
+) -> PrivimResult<MethodOutput> {
+    let p = &setup.params;
+    let stage = train_stage(method, setup, rng)?;
+
+    // Seed selection on the full graph + evaluation.
+    let scores = stage.model.score_graph(setup.graph);
+    let seeds = heuristics::score_top_k(&scores, setup.k);
+    let spread = one_step_spread(setup.graph, &seeds) as f64;
+    let cr = coverage_ratio(spread, setup.celf_spread);
+
+    let iters_per_epoch = (stage.container_size as f64 / stage.batch as f64).max(1.0);
+    Ok(MethodOutput {
+        method: method.name(),
+        spread,
+        coverage_ratio: cr,
+        epsilon: stage.epsilon,
+        sigma: stage.sigma,
+        container_size: stage.container_size,
+        max_occurrence: stage.max_occurrence,
+        occurrence_bound: stage.occurrence_bound,
+        preprocess_secs: stage.preprocess_secs,
+        train_secs: stage.train_secs,
+        per_epoch_secs: stage.train_secs / p.iters as f64 * iters_per_epoch,
         train_iters: p.iters,
         seeds,
-        final_loss: report.loss_trace.last().copied().unwrap_or(f64::NAN),
+        final_loss: stage.final_loss,
     })
 }
 
@@ -639,6 +723,39 @@ mod tests {
         let b = run_method(Method::PrivImStar { epsilon: 2.0 }, &setup, 2).unwrap();
         // different noise draws -> (almost surely) different seed sets
         assert!(a.seeds != b.seeds || a.spread == b.spread);
+    }
+
+    #[test]
+    fn serve_artifact_matches_run_method_exactly() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let (g, p) = small_setup(&mut rng);
+        let setup = EvalSetup::with_params(&g, 10, p, &mut rng);
+        let m = Method::PrivImStar { epsilon: 4.0 };
+        let out = run_method(m, &setup, 1).unwrap();
+        let art = export_serve_artifact(m, &setup, 1).unwrap();
+        // Identical rep ⇒ identical RNG stream ⇒ bit-identical model: the
+        // served model must score the graph to the same seed set.
+        let scores = art.model.score_graph(&g);
+        let seeds = heuristics::score_top_k(&scores, setup.k);
+        assert_eq!(seeds, out.seeds);
+        assert_eq!(art.sigma, out.sigma);
+        assert_eq!(art.epsilon, Some(4.0));
+        assert_eq!(art.delta, setup.params.delta);
+        assert_eq!(art.steps, setup.params.iters);
+    }
+
+    #[test]
+    fn serve_artifact_rejects_non_learning_methods() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let (g, p) = small_setup(&mut rng);
+        let setup = EvalSetup::with_params(&g, 10, p, &mut rng);
+        for m in [Method::Celf, Method::Degree, Method::Random] {
+            let err = export_serve_artifact(m, &setup, 0).unwrap_err();
+            assert!(
+                matches!(err, privim_rt::PrivimError::InvalidInput(_)),
+                "{m:?}: {err:?}"
+            );
+        }
     }
 
     #[test]

@@ -8,9 +8,25 @@
 
 use crate::features::FEATURE_DIM;
 use crate::structures::GraphTensors;
-use privim_rt::Rng;
+use privim_rt::{PrivimError, PrivimResult, Rng};
 use privim_tensor::{init, Matrix, SparseMatrix, Tape, Var};
 use std::sync::Arc;
+
+/// Format tag written into every model checkpoint file.
+pub const CHECKPOINT_FORMAT: &str = "privim-gnn-checkpoint";
+
+/// Current checkpoint format version. Bump on incompatible layout changes;
+/// [`GnnModel::load_json`] rejects any other version with a typed error.
+pub const CHECKPOINT_VERSION: u64 = 1;
+
+/// Parse a `0x`-prefixed (or bare) hex string into a `u32`.
+fn parse_hex_u32(s: &str) -> Option<u32> {
+    let digits = s.strip_prefix("0x").unwrap_or(s);
+    if digits.is_empty() || digits.len() > 8 {
+        return None;
+    }
+    u32::from_str_radix(digits, 16).ok()
+}
 
 /// Which architecture (Appendix G).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -96,7 +112,7 @@ impl GnnConfig {
 /// Serialisable: a trained (privatised) model can be persisted as JSON
 /// and shipped — under DP, releasing the trained parameters is exactly the
 /// threat model the training pipeline protects.
-#[derive(Clone)]
+#[derive(Clone, Debug)]
 pub struct GnnModel {
     config: GnnConfig,
     params: Vec<Matrix>,
@@ -170,10 +186,12 @@ impl GnnModel {
         self.params.iter().map(|p| p.rows() * p.cols()).sum()
     }
 
-    /// Persist the model as JSON.
-    pub fn save_json<W: std::io::Write>(&self, mut w: W) -> std::io::Result<()> {
+    /// The checkpoint payload (config + parameters) as a JSON value. This
+    /// is what [`CHECKPOINT_VERSION`] versions and the CRC-32 covers; the
+    /// serve bundle embeds it verbatim.
+    pub fn checkpoint_payload(&self) -> privim_rt::json::Value {
         use privim_rt::json::Value;
-        let json = Value::obj(vec![
+        Value::obj(vec![
             (
                 "config",
                 Value::obj(vec![
@@ -187,19 +205,80 @@ impl GnnModel {
                 "params",
                 Value::Arr(self.params.iter().map(Matrix::to_json).collect()),
             ),
-        ]);
-        w.write_all(json.to_json_string().as_bytes())
+        ])
     }
 
-    /// Load a model persisted with [`Self::save_json`]. Validates the
-    /// parameter layout against the stored config.
-    pub fn load_json<R: std::io::Read>(mut r: R) -> std::io::Result<Self> {
+    /// Persist the model as a versioned, checksummed JSON checkpoint:
+    ///
+    /// ```json
+    /// {"format": "privim-gnn-checkpoint", "version": 1,
+    ///  "crc32": "0x…", "payload": {…}}
+    /// ```
+    ///
+    /// The CRC-32 is computed over the compact serialisation of `payload`,
+    /// so truncation or bit flips anywhere in the parameters are detected
+    /// at load time instead of silently producing a wrong model.
+    pub fn save_json<W: std::io::Write>(&self, mut w: W) -> PrivimResult<()> {
         use privim_rt::json::Value;
-        let bad = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+        let payload = self.checkpoint_payload();
+        let payload_text = payload.to_json_string();
+        let crc = privim_rt::crc::crc32(payload_text.as_bytes());
+        let doc = Value::obj(vec![
+            ("format", Value::Str(CHECKPOINT_FORMAT.to_string())),
+            ("version", Value::Num(CHECKPOINT_VERSION as f64)),
+            ("crc32", Value::Str(format!("{crc:#010x}"))),
+            ("payload", payload),
+        ]);
+        w.write_all(doc.to_json_string().as_bytes())
+            .map_err(|e| PrivimError::io("writing model checkpoint", e))
+    }
+
+    /// Load a model persisted with [`Self::save_json`]. Verifies the
+    /// format name, format version, and payload CRC-32, then validates the
+    /// parameter layout against the stored config. Every failure mode —
+    /// truncated file, flipped bit, wrong version, wrong shape — surfaces
+    /// as a typed [`PrivimError`], never a panic.
+    pub fn load_json<R: std::io::Read>(mut r: R) -> PrivimResult<Self> {
+        use privim_rt::json::Value;
         let mut text = String::new();
-        r.read_to_string(&mut text)?;
-        let json = Value::parse(&text).map_err(|e| bad(e.to_string()))?;
-        let cfg = json
+        r.read_to_string(&mut text)
+            .map_err(|e| PrivimError::io("reading model checkpoint", e))?;
+        let json = Value::parse(&text)
+            .map_err(|e| PrivimError::Parse(format!("model checkpoint: {e}")))?;
+        let format = json.get("format").and_then(|v| v.as_str()).unwrap_or("");
+        if format != CHECKPOINT_FORMAT {
+            return Err(PrivimError::Parse(format!(
+                "not a {CHECKPOINT_FORMAT} file (format = {format:?})"
+            )));
+        }
+        let version = json.get("version").and_then(|v| v.as_u64());
+        if version != Some(CHECKPOINT_VERSION) {
+            return Err(PrivimError::invalid(format!(
+                "checkpoint version {version:?} not supported (expected {CHECKPOINT_VERSION})"
+            )));
+        }
+        let payload = json
+            .get("payload")
+            .ok_or_else(|| PrivimError::Parse("checkpoint missing payload".into()))?;
+        let stored_crc = json
+            .get("crc32")
+            .and_then(|v| v.as_str())
+            .and_then(parse_hex_u32)
+            .ok_or_else(|| PrivimError::Parse("checkpoint missing/bad crc32".into()))?;
+        let actual_crc = privim_rt::crc::crc32(payload.to_json_string().as_bytes());
+        if stored_crc != actual_crc {
+            return Err(PrivimError::Parse(format!(
+                "checkpoint checksum mismatch (stored {stored_crc:#010x}, computed \
+                 {actual_crc:#010x}) — file is corrupted or truncated"
+            )));
+        }
+        Self::from_checkpoint_payload(payload)
+    }
+
+    /// Decode the (already checksum-verified) checkpoint payload.
+    pub fn from_checkpoint_payload(payload: &privim_rt::json::Value) -> PrivimResult<Self> {
+        let bad = |msg: String| PrivimError::Parse(format!("model checkpoint: {msg}"));
+        let cfg = payload
             .get("config")
             .ok_or_else(|| bad("missing config".into()))?;
         let kind = cfg
@@ -218,7 +297,10 @@ impl GnnModel {
             hidden: field("hidden")?,
             in_dim: field("in_dim")?,
         };
-        let params: Vec<Matrix> = json
+        if config.layers < 1 || config.hidden < 1 || config.in_dim < 1 {
+            return Err(bad("config dimensions must be >= 1".into()));
+        }
+        let params: Vec<Matrix> = payload
             .get("params")
             .and_then(|v| v.as_array())
             .ok_or_else(|| bad("missing params".into()))?
@@ -237,9 +319,8 @@ impl GnnModel {
                 .zip(&model.params)
                 .any(|(a, b)| a.shape() != b.shape())
         {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                "parameter layout does not match config",
+            return Err(PrivimError::Parse(
+                "model checkpoint: parameter layout does not match config".into(),
             ));
         }
         Ok(model)
@@ -659,6 +740,80 @@ mod json_tests {
 
     #[test]
     fn garbage_json_is_rejected() {
-        assert!(GnnModel::load_json(&b"not json"[..]).is_err());
+        let err = GnnModel::load_json(&b"not json"[..]).unwrap_err();
+        assert!(matches!(err, PrivimError::Parse(_)), "got {err:?}");
+    }
+
+    fn saved_checkpoint(seed: u64) -> Vec<u8> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let model = GnnModel::new(GnnConfig::paper_default(), &mut rng);
+        let mut buf = Vec::new();
+        model.save_json(&mut buf).unwrap();
+        buf
+    }
+
+    #[test]
+    fn checkpoint_declares_format_and_version() {
+        let buf = saved_checkpoint(23);
+        let doc = privim_rt::json::Value::parse(std::str::from_utf8(&buf).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("format").and_then(|v| v.as_str()),
+            Some(CHECKPOINT_FORMAT)
+        );
+        assert_eq!(
+            doc.get("version").and_then(|v| v.as_u64()),
+            Some(CHECKPOINT_VERSION)
+        );
+        assert!(doc.get("crc32").and_then(|v| v.as_str()).is_some());
+    }
+
+    #[test]
+    fn bit_flip_in_payload_is_detected_by_checksum() {
+        let buf = saved_checkpoint(24);
+        let text = String::from_utf8(buf).unwrap();
+        // Flip one digit inside the parameter data (well past the header).
+        let pos = text.rfind(|c: char| c.is_ascii_digit()).unwrap();
+        let mut corrupted = text.into_bytes();
+        corrupted[pos] = if corrupted[pos] == b'5' { b'6' } else { b'5' };
+        let err = GnnModel::load_json(corrupted.as_slice()).unwrap_err();
+        match err {
+            PrivimError::Parse(msg) => assert!(msg.contains("checksum"), "msg: {msg}"),
+            other => panic!("expected Parse(checksum) error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_checkpoint_is_rejected_not_panicked() {
+        let buf = saved_checkpoint(25);
+        // Every truncation point must fail cleanly with a typed error.
+        for cut in [0, 1, 10, buf.len() / 4, buf.len() / 2, buf.len() - 1] {
+            let err = GnnModel::load_json(&buf[..cut]).unwrap_err();
+            assert!(
+                matches!(err, PrivimError::Parse(_)),
+                "cut={cut} got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_a_typed_error() {
+        let buf = saved_checkpoint(26);
+        let text = String::from_utf8(buf).unwrap();
+        let bumped = text.replacen("\"version\":1", "\"version\":2", 1);
+        assert_ne!(text, bumped, "version field not found to rewrite");
+        let err = GnnModel::load_json(bumped.as_bytes()).unwrap_err();
+        match err {
+            PrivimError::InvalidInput(msg) => assert!(msg.contains("version"), "msg: {msg}"),
+            other => panic!("expected InvalidInput(version) error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_format_tag_is_rejected() {
+        let buf = saved_checkpoint(27);
+        let text = String::from_utf8(buf).unwrap();
+        let renamed = text.replacen(CHECKPOINT_FORMAT, "some-other-format", 1);
+        let err = GnnModel::load_json(renamed.as_bytes()).unwrap_err();
+        assert!(matches!(err, PrivimError::Parse(_)), "got {err:?}");
     }
 }

@@ -94,6 +94,106 @@ pub fn celf_exact(g: &Graph, k: usize) -> CelfResult {
     }
 }
 
+/// Resumable CELF under the exact one-step coverage oracle.
+///
+/// Greedy is *prefix-stable*: with an identical tie-break rule, the first
+/// `k` seeds of a `k'`-seed run (`k' > k`) are exactly the `k`-seed run.
+/// [`LazyGreedy`] exploits that to serve top-`k` queries from a cache —
+/// compute once, answer any `k ≤ computed` for free, and
+/// [`extend_to`](Self::extend_to) lazily when a larger `k` arrives, reusing
+/// the heap and coverage state instead of starting over.
+///
+/// Holds the graph by [`Arc`] so a server can share one graph across
+/// worker threads and cache entries without cloning CSR arrays.
+///
+/// Pick order is bit-identical to [`celf_exact`] (same oracle, same
+/// tie-breaking); a unit test pins this.
+pub struct LazyGreedy {
+    g: std::sync::Arc<Graph>,
+    covered: Vec<bool>,
+    heap: BinaryHeap<HeapEntry>,
+    seeds: Vec<NodeId>,
+    /// Marginal coverage of each pick, so the spread of *any* prefix is a
+    /// prefix sum — no re-simulation per query.
+    gains: Vec<usize>,
+    evaluations: usize,
+    round: usize,
+}
+
+impl LazyGreedy {
+    /// Initialise the lazy-greedy state (one oracle call per node, exactly
+    /// like the first round of [`celf_exact`]). No seeds are picked yet.
+    pub fn new(g: std::sync::Arc<Graph>) -> LazyGreedy {
+        let n = g.num_nodes();
+        let covered = vec![false; n];
+        let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(n);
+        let mut evaluations = 0usize;
+        for v in g.nodes() {
+            evaluations += 1;
+            heap.push(HeapEntry {
+                gain: one_step_marginal_gain(&g, &covered, v) as f64,
+                node: v,
+                round: 0,
+            });
+        }
+        LazyGreedy {
+            g,
+            covered,
+            heap,
+            seeds: Vec::new(),
+            gains: Vec::new(),
+            evaluations,
+            round: 1,
+        }
+    }
+
+    /// Ensure at least `k` seeds are selected (clamped to `|V|`) and return
+    /// the first `k` in pick order. Already-selected prefixes are returned
+    /// without any oracle calls.
+    pub fn extend_to(&mut self, k: usize) -> &[NodeId] {
+        let k = k.min(self.g.num_nodes());
+        while self.seeds.len() < k {
+            let Some(top) = self.heap.pop() else { break };
+            if top.round == self.round {
+                let gained = one_step_cover(&self.g, &mut self.covered, top.node);
+                self.seeds.push(top.node);
+                self.gains.push(gained);
+                self.round += 1;
+            } else {
+                self.evaluations += 1;
+                self.heap.push(HeapEntry {
+                    gain: one_step_marginal_gain(&self.g, &self.covered, top.node) as f64,
+                    node: top.node,
+                    round: self.round,
+                });
+            }
+        }
+        &self.seeds[..k.min(self.seeds.len())]
+    }
+
+    /// Influence spread of the first `k` selected seeds. `k` must not
+    /// exceed [`computed`](Self::computed); call
+    /// [`extend_to`](Self::extend_to) first.
+    pub fn prefix_spread(&self, k: usize) -> f64 {
+        self.gains[..k.min(self.gains.len())].iter().sum::<usize>() as f64
+    }
+
+    /// How many seeds have been selected so far.
+    pub fn computed(&self) -> usize {
+        self.seeds.len()
+    }
+
+    /// Total oracle (gain) evaluations across all extensions.
+    pub fn evaluations(&self) -> usize {
+        self.evaluations
+    }
+
+    /// The shared graph this selector runs on.
+    pub fn graph(&self) -> &std::sync::Arc<Graph> {
+        &self.g
+    }
+}
+
 /// CELF with a Monte-Carlo IC oracle: `runs` simulations per gain estimate,
 /// diffusion truncated at `max_steps`. Practical only on small graphs or
 /// with modest `runs`; the paper's evaluation setting never needs it, but
@@ -247,6 +347,48 @@ mod tests {
         let r = celf_exact(&g, 5);
         assert!(r.seeds.is_empty());
         assert_eq!(r.spread, 0.0);
+    }
+
+    #[test]
+    fn lazy_greedy_prefixes_match_celf_exact() {
+        use std::sync::Arc;
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let g = generators::barabasi_albert(200, 3, &mut rng).with_uniform_weights(1.0);
+        let mut lazy = LazyGreedy::new(Arc::new(g.clone()));
+        for k in [1usize, 2, 5, 13, 40] {
+            let reference = celf_exact(&g, k);
+            assert_eq!(lazy.extend_to(k), &reference.seeds[..], "k={k}");
+            assert_eq!(lazy.prefix_spread(k), reference.spread, "k={k}");
+        }
+    }
+
+    #[test]
+    fn resuming_is_cheaper_than_restarting() {
+        use std::sync::Arc;
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let g = generators::barabasi_albert(300, 3, &mut rng).with_uniform_weights(1.0);
+        let mut lazy = LazyGreedy::new(Arc::new(g.clone()));
+        lazy.extend_to(5);
+        let evals_at_5 = lazy.evaluations();
+        // Answering k<=5 again touches no oracle.
+        lazy.extend_to(3);
+        assert_eq!(lazy.evaluations(), evals_at_5);
+        // Extending to 20 reuses state: total work equals one straight run.
+        lazy.extend_to(20);
+        let straight = celf_exact(&g, 20);
+        assert_eq!(lazy.evaluations(), straight.evaluations);
+        assert_eq!(lazy.extend_to(20), &straight.seeds[..]);
+    }
+
+    #[test]
+    fn lazy_greedy_clamps_and_handles_empty() {
+        use std::sync::Arc;
+        let mut lazy = LazyGreedy::new(Arc::new(two_stars()));
+        assert_eq!(lazy.extend_to(100).len(), 9);
+        assert_eq!(lazy.prefix_spread(100), 9.0);
+        let mut empty = LazyGreedy::new(Arc::new(Graph::empty(0, true)));
+        assert!(empty.extend_to(5).is_empty());
+        assert_eq!(empty.computed(), 0);
     }
 
     #[test]

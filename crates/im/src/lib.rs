@@ -24,7 +24,7 @@ pub mod metrics;
 pub mod ris;
 pub mod spread;
 
-pub use celf::{celf_exact, celf_monte_carlo, CelfResult};
+pub use celf::{celf_exact, celf_monte_carlo, CelfResult, LazyGreedy};
 pub use diffusion::{
     ic_simulate_once, ic_spread_estimate, lt_spread_estimate, sis_spread_estimate,
 };

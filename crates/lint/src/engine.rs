@@ -53,11 +53,17 @@ pub struct Scope {
     pub det_crate: bool,
     /// The one file allowed to read the wall clock freely.
     pub wall_clock_exempt: bool,
+    /// `crates/serve` library code: wall-clock reads are expected for
+    /// latency instrumentation, so one fn-level `allow(wall-clock, ...)`
+    /// annotation covers every read in that function.
+    pub serve_latency: bool,
 }
 
 /// Crates where iteration order / hash randomization can reach outputs.
-const DET_CRATES: [&str; 9] = [
-    "tensor", "dp", "gnn", "sampling", "im", "core", "graph", "bench", "lint",
+/// `serve` is included: response payloads (metrics, seed sets, cache
+/// eviction order) must be deterministic for the bit-equivalence e2e test.
+const DET_CRATES: [&str; 10] = [
+    "tensor", "dp", "gnn", "sampling", "im", "core", "graph", "bench", "lint", "serve",
 ];
 
 pub fn scope_for(rel: &str) -> Scope {
@@ -71,6 +77,7 @@ pub fn scope_for(rel: &str) -> Scope {
         lib_code,
         det_crate: DET_CRATES.contains(&krate),
         wall_clock_exempt: rel == "crates/rt/src/bench.rs",
+        serve_latency: lib_code && krate == "serve",
     }
 }
 

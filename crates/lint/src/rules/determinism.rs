@@ -64,6 +64,16 @@ pub fn check_wall_clock(f: &SourceFile, scope: &Scope) -> Vec<RawFinding> {
             _ => false,
         };
         if flagged {
+            // In crates/serve, latency instrumentation legitimately reads
+            // the clock throughout a function: let one annotation on the
+            // `fn` signature line cover every read inside it, instead of
+            // demanding a per-line allow.
+            let mut suppress_lines = vec![toks[i].line];
+            if scope.serve_latency {
+                if let Some(fn_line) = enclosing_fn_line(toks, i) {
+                    suppress_lines.push(fn_line);
+                }
+            }
             out.push(RawFinding {
                 line: toks[i].line,
                 message: format!(
@@ -71,12 +81,25 @@ pub fn check_wall_clock(f: &SourceFile, scope: &Scope) -> Vec<RawFinding> {
                      results must not depend on time — annotate \
                      allow(wall-clock, ...) if this is timing-only telemetry"
                 ),
-                suppress_lines: vec![toks[i].line],
+                suppress_lines,
                 severity: None,
             });
         }
     }
     out
+}
+
+/// Line of the nearest `fn` keyword at or before token `i` — the
+/// enclosing function's signature line for annotation purposes. (A
+/// token-level approximation: nested closures/items resolve to the
+/// closest preceding `fn`, which is where a scoping annotation would sit
+/// anyway.)
+fn enclosing_fn_line(toks: &[crate::lexer::Token], i: usize) -> Option<usize> {
+    toks[..i]
+        .iter()
+        .rev()
+        .find(|t| matches!(&t.kind, TokKind::Ident(n) if n == "fn"))
+        .map(|t| t.line)
 }
 
 #[cfg(test)]
@@ -104,5 +127,46 @@ mod tests {
         assert_eq!(got[0].line, 2);
         let f = SourceFile::parse("crates/rt/src/bench.rs", src);
         assert!(check_wall_clock(&f, &scope_for("crates/rt/src/bench.rs")).is_empty());
+    }
+
+    #[test]
+    fn serve_reads_suppressible_at_fn_line() {
+        // Two clock reads inside one function: in crates/serve both
+        // findings list the `fn` line (3) as a suppression point, so one
+        // fn-level annotation covers the whole function.
+        let src = "use std::time::Instant;\n\
+                   \n\
+                   fn observe() -> f64 {\n\
+                   let a = Instant::now();\n\
+                   let b = Instant::now();\n\
+                   b.duration_since(a).as_secs_f64()\n\
+                   }";
+        let f = SourceFile::parse("crates/serve/src/metrics.rs", src);
+        let got = check_wall_clock(&f, &scope_for("crates/serve/src/metrics.rs"));
+        assert_eq!(got.len(), 2);
+        assert!(got.iter().all(|r| r.suppress_lines.contains(&3)), "{got:?}");
+        // Outside crates/serve the fn line is NOT a suppression point.
+        let f = SourceFile::parse("crates/core/src/x.rs", src);
+        let got = check_wall_clock(&f, &scope_for("crates/core/src/x.rs"));
+        assert_eq!(got.len(), 2);
+        assert!(got.iter().all(|r| !r.suppress_lines.contains(&3)), "{got:?}");
+    }
+
+    #[test]
+    fn serve_fn_annotation_suppresses_all_reads_in_fn() {
+        use crate::engine::run_sources;
+        let src = "// privim-lint: allow(wall-clock, reason = \"latency telemetry: request timer, never feeds response bodies\")\n\
+                   fn observe() -> f64 {\n\
+                   let a = std::time::Instant::now();\n\
+                   let b = std::time::Instant::now();\n\
+                   b.duration_since(a).as_secs_f64()\n\
+                   }";
+        let r = run_sources(
+            &[("crates/serve/src/metrics.rs".to_string(), src.to_string())],
+            &[],
+            None,
+        );
+        assert_eq!(r.errors(), 0, "{:?}", r.findings);
+        assert_eq!(r.warnings(), 0, "{:?}", r.findings);
     }
 }

@@ -96,7 +96,9 @@ Instant::now() cannot be bit-reproduced. Instant::now and SystemTime are
 confined to crates/rt/src/bench.rs (the bench harness); every other site
 must be explicitly labelled as timing-only telemetry with
 allow(wall-clock, reason = \"...\") so an auditor can verify the value
-never feeds a result.",
+never feeds a result. In crates/serve (latency instrumentation is the
+point) an annotation on the enclosing fn signature covers every read in
+that function.",
             kind: RuleKind::Rust(determinism::check_wall_clock),
         },
         RuleInfo {

@@ -1,0 +1,81 @@
+//! CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`).
+//!
+//! Checkpoint and bundle files carry a checksum over their payload so a
+//! truncated or bit-flipped file is rejected with a typed error instead of
+//! being half-parsed into a wrong model. The classic byte-at-a-time table
+//! algorithm is plenty: checkpoints are kilobytes-to-megabytes and written
+//! once per training run.
+//!
+//! The table is built at compile time (`const fn`), so there is no runtime
+//! initialisation and no locking.
+
+/// The reflected IEEE polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+const fn make_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = make_table();
+
+/// CRC-32 of `bytes` (same value as zlib's `crc32` / POSIX `cksum -o 3`).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        let idx = ((crc ^ b as u32) & 0xFF) as usize;
+        crc = (crc >> 8) ^ TABLE[idx];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical check value for the IEEE CRC-32.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn sensitive_to_single_bit_flips() {
+        let base = b"privim checkpoint payload".to_vec();
+        let reference = crc32(&base);
+        for byte in 0..base.len() {
+            for bit in 0..8 {
+                let mut corrupted = base.clone();
+                corrupted[byte] ^= 1 << bit;
+                assert_ne!(crc32(&corrupted), reference, "flip at {byte}:{bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn sensitive_to_truncation() {
+        let base = b"0123456789abcdef".to_vec();
+        let reference = crc32(&base);
+        for cut in 0..base.len() {
+            assert_ne!(crc32(&base[..cut]), reference, "truncated to {cut}");
+        }
+    }
+}

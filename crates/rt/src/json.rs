@@ -589,6 +589,67 @@ mod tests {
     }
 
     #[test]
+    fn non_finite_round_trip_is_null_not_error() {
+        // Pinned behavior: NaN/±inf serialise as `null` (JSON has no such
+        // numbers; this matches serde_json's lossy default) and therefore
+        // come back as `Value::Null`, NOT as a number and NOT as a parse
+        // error. Metrics/results writers that may hold NaN sentinels rely
+        // on the round trip staying total.
+        for x in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let doc = Value::obj(vec![("v", Value::Num(x))]);
+            let s = doc.to_json_string();
+            let back = Value::parse(&s).unwrap();
+            assert_eq!(back.get("v"), Some(&Value::Null), "{x} -> {s}");
+            // ...and the null reads as an absent number, never a panic.
+            assert_eq!(back.get("v").unwrap().as_f64(), None);
+            assert_eq!(back.get("v").unwrap().as_u64(), None);
+        }
+    }
+
+    #[test]
+    fn integer_counters_round_trip_exactly_up_to_2_pow_53() {
+        // Metrics counters are u64 but JSON numbers are f64: every integer
+        // with magnitude <= 2^53 is exactly representable and must survive
+        // a write/parse cycle bit-exactly.
+        const MAX_EXACT: u64 = 1 << 53;
+        for v in [0u64, 1, 42, (1 << 32) + 3, MAX_EXACT - 1, MAX_EXACT] {
+            let s = Value::Num(v as f64).to_json_string();
+            assert_eq!(Value::parse(&s).unwrap().as_u64(), Some(v), "{v} -> {s}");
+        }
+    }
+
+    #[test]
+    fn integer_counters_above_2_pow_53_are_lossy_but_total() {
+        // Pinned behavior: counters above 2^53 round to the nearest
+        // representable f64 (here 2^53 + 1 -> 2^53). The encoding is lossy
+        // but never fails, never goes negative, and stays monotone — a
+        // serve process would need ~28 years at 10M requests/sec to get
+        // there, so we document the cliff instead of inventing a string
+        // encoding for counters. Identifiers that must be exact (e.g.
+        // 64-bit graph fingerprints) are serialised as hex strings instead.
+        const MAX_EXACT: u64 = 1 << 53;
+        let above = MAX_EXACT + 1;
+        let s = Value::Num(above as f64).to_json_string();
+        let back = Value::parse(&s).unwrap().as_u64().unwrap();
+        assert_eq!(back, MAX_EXACT, "2^53 + 1 rounds down to 2^53");
+        // u64::MAX rounds up to 2^64; the saturating float->int cast clamps
+        // the readback to u64::MAX rather than wrapping.
+        let s = Value::Num(u64::MAX as f64).to_json_string();
+        assert_eq!(Value::parse(&s).unwrap().as_u64(), Some(u64::MAX));
+        // monotonicity across the cliff: readbacks never decrease
+        let reads: Vec<u64> = [MAX_EXACT - 1, MAX_EXACT, above, u64::MAX]
+            .iter()
+            .map(|&v| {
+                Value::parse(&Value::Num(v as f64).to_json_string())
+                    .unwrap()
+                    .as_u64()
+                    .unwrap()
+            })
+            .collect();
+        assert!(reads.windows(2).all(|w| w[0] <= w[1]), "{reads:?}");
+    }
+
+    #[test]
     fn string_escapes_round_trip() {
         let s = "quote\" back\\ nl\n tab\t unicode→ ctrl\u{1}";
         let json = Value::Str(s.to_string()).to_json_string();

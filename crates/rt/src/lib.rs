@@ -25,6 +25,9 @@
 //! * [`bench`] — a tiny fixed-iteration micro-benchmark harness replacing
 //!   `criterion` for the `crates/bench` benches.
 //!
+//! Plus [`crc`] — a compile-time-tabled CRC-32 used by checkpoint and
+//! serve-bundle formats to reject truncated or corrupted files.
+//!
 //! Two fault-tolerance subsystems sit alongside them:
 //!
 //! * [`error`] — [`PrivimError`], the typed error every library-path
@@ -35,6 +38,7 @@
 
 pub mod bench;
 pub mod chacha;
+pub mod crc;
 pub mod error;
 pub mod fault;
 pub mod json;

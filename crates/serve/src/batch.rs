@@ -1,0 +1,217 @@
+//! Micro-batching for `/v1/embed`.
+//!
+//! Every embed request needs the model's scores, and scores come from a
+//! *full-graph* forward pass — the per-request cost is identical whether
+//! one or fifty requests are waiting. So concurrent requests coalesce:
+//! the first arrival becomes the batch leader, sleeps for the batching
+//! window, then runs ONE forward pass (whose matmul and SpMM kernels
+//! already fan out over the persistent `privim_rt::par` worker pool) and
+//! publishes the scores to every member of the batch. The round stays
+//! open until the pass publishes — requests arriving mid-pass join it
+//! and are served by it, so under saturation the pass duration itself
+//! becomes the batching window.
+//!
+//! Batching changes *when* the forward pass runs, never its result: the
+//! pass is deterministic in `(model, graph)`, so a batched response is
+//! bit-identical to an unbatched one (the e2e suite pins this).
+//!
+//! No dedicated thread: leadership is carried by request threads, so an
+//! idle server burns nothing and shutdown has nothing extra to join.
+
+use privim_gnn::{node_features, GnnModel, GraphTensors};
+use privim_graph::Graph;
+use privim_tensor::Matrix;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+struct State {
+    /// Id of the batch currently accepting joiners.
+    round: u64,
+    /// Requests joined to the current round.
+    joiners: u64,
+    /// Whether a leader is already collecting the current round.
+    has_leader: bool,
+    /// Published results: round → (scores, readers still to collect).
+    results: BTreeMap<u64, (Arc<Vec<f64>>, u64)>,
+    /// Forward passes run and requests served through them (telemetry).
+    passes: u64,
+    served: u64,
+}
+
+/// Coalesces concurrent score requests into single forward passes.
+pub struct Batcher {
+    model: Arc<GnnModel>,
+    tensors: GraphTensors,
+    features: Matrix,
+    window: Duration,
+    state: Mutex<State>,
+    published: Condvar,
+}
+
+fn lock(m: &Mutex<State>) -> MutexGuard<'_, State> {
+    // privim-lint: allow(panic, reason = "a poisoned batch lock means a forward pass panicked; propagating is the only sound recovery")
+    m.lock().unwrap()
+}
+
+impl Batcher {
+    /// Precompute graph tensors and node features once; every batch
+    /// reuses them (the graph is immutable for the server's lifetime).
+    pub fn new(model: Arc<GnnModel>, graph: &Graph, window: Duration) -> Batcher {
+        Batcher {
+            model,
+            tensors: GraphTensors::new(graph),
+            features: node_features(graph),
+            window,
+            state: Mutex::new(State {
+                round: 0,
+                joiners: 0,
+                has_leader: false,
+                results: BTreeMap::new(),
+                passes: 0,
+                served: 0,
+            }),
+            published: Condvar::new(),
+        }
+    }
+
+    /// Block until a forward pass covering this call completes and return
+    /// the full per-node score vector. Calls overlapping in time share
+    /// one pass.
+    pub fn scores(&self) -> Arc<Vec<f64>> {
+        let my_round;
+        let lead;
+        {
+            let mut st = lock(&self.state);
+            my_round = st.round;
+            st.joiners += 1;
+            lead = !st.has_leader;
+            if lead {
+                st.has_leader = true;
+            }
+        }
+        if lead {
+            // Collect followers for one window first, but keep the round
+            // open through the forward pass itself: the pass depends only
+            // on the immutable (model, graph), so its result is
+            // bit-identical for a request that arrives mid-compute, and
+            // under saturation the pass duration IS the batching window —
+            // closing the round early would serialize one pass per
+            // request exactly when coalescing matters most.
+            std::thread::sleep(self.window);
+            let scores = Arc::new(self.model.infer(&self.tensors, &self.features));
+            let mut st = lock(&self.state);
+            let members = st.joiners;
+            st.joiners = 0;
+            st.round += 1;
+            st.has_leader = false;
+            st.passes += 1;
+            st.served += members;
+            st.results.insert(my_round, (scores, members));
+            self.published.notify_all();
+            take_result(&mut st, my_round)
+        } else {
+            let mut st = lock(&self.state);
+            while !st.results.contains_key(&my_round) {
+                let guard = self
+                    .published
+                    .wait(st)
+                    // privim-lint: allow(panic, reason = "a poisoned batch lock means a forward pass panicked; propagating is the only sound recovery")
+                    .unwrap();
+                st = guard;
+            }
+            take_result(&mut st, my_round)
+        }
+    }
+
+    /// `(forward passes run, requests served through them)`.
+    pub fn stats(&self) -> (u64, u64) {
+        let st = lock(&self.state);
+        (st.passes, st.served)
+    }
+}
+
+/// Hand one reader its copy of the round's scores, dropping the entry
+/// once every member has collected it.
+fn take_result(st: &mut State, round: u64) -> Arc<Vec<f64>> {
+    let Some((scores, remaining)) = st.results.get_mut(&round) else {
+        // Unreachable by protocol (an entry is only removed after its
+        // last member takes it), but stay total instead of panicking.
+        return Arc::new(Vec::new());
+    };
+    let out = Arc::clone(scores);
+    *remaining -= 1;
+    if *remaining == 0 {
+        st.results.remove(&round);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privim_gnn::GnnConfig;
+    use privim_rt::{ChaCha8Rng, SeedableRng};
+    use std::sync::Barrier;
+
+    fn setup() -> (Arc<GnnModel>, Graph) {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let g = privim_graph::generators::barabasi_albert(60, 3, &mut rng)
+            .with_uniform_weights(1.0);
+        let model = Arc::new(GnnModel::new(GnnConfig::paper_default(), &mut rng));
+        (model, g)
+    }
+
+    #[test]
+    fn batched_scores_equal_direct_inference() {
+        let (model, g) = setup();
+        let b = Batcher::new(Arc::clone(&model), &g, Duration::from_millis(1));
+        let direct = model.score_graph(&g);
+        assert_eq!(*b.scores(), direct);
+    }
+
+    #[test]
+    fn concurrent_requests_share_forward_passes() {
+        let (model, g) = setup();
+        let b = Arc::new(Batcher::new(
+            Arc::clone(&model),
+            &g,
+            Duration::from_millis(50),
+        ));
+        let n = 6;
+        let barrier = Arc::new(Barrier::new(n));
+        let handles: Vec<_> = (0..n)
+            .map(|_| {
+                let b = Arc::clone(&b);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    b.scores()
+                })
+            })
+            .collect();
+        let direct = model.score_graph(&g);
+        for h in handles {
+            assert_eq!(*h.join().unwrap(), direct);
+        }
+        let (passes, served) = b.stats();
+        assert_eq!(served, n as u64, "every request must be accounted");
+        assert!(
+            passes < n as u64,
+            "6 overlapping requests took {passes} passes — no batching happened"
+        );
+        assert!(passes >= 1);
+    }
+
+    #[test]
+    fn sequential_requests_each_get_a_pass() {
+        let (model, g) = setup();
+        let b = Batcher::new(model, &g, Duration::from_millis(1));
+        let a = b.scores();
+        let c = b.scores();
+        assert_eq!(*a, *c);
+        let (passes, served) = b.stats();
+        assert_eq!(passes, 2);
+        assert_eq!(served, 2);
+    }
+}

@@ -1,0 +1,238 @@
+//! `privim-serve` — pack a serving bundle and run the inference server.
+//!
+//! ```text
+//! privim-serve pack --out bundle.json [--graph edges.txt [--directed]]
+//!              [--nodes 300] [--k 20] [--eps 2] [--seed 7]
+//!              [--method privim*|privim|privim+scs|non-private] [--fast]
+//! privim-serve run --bundle bundle.json [--addr 127.0.0.1:7878]
+//!              [--workers 4] [--queue-cap 128] [--deadline-ms 5000]
+//!              [--batch-window-ms 2] [--runs 64]
+//! ```
+//!
+//! `pack` trains a model with the library pipeline (or on a synthetic
+//! Barabási–Albert graph when no edge list is given) and writes the
+//! versioned, checksummed bundle; `run` loads a bundle, serves it, and
+//! drains in-flight requests on SIGINT/SIGTERM before exiting.
+
+use privim::{export_serve_artifact, EvalSetup, Method};
+use privim_graph::{io::read_edge_list, Graph};
+use privim_rt::{ChaCha8Rng, SeedableRng};
+use privim_serve::{bundle, start, ServeConfig};
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::PathBuf;
+use std::process::exit;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:
+  privim-serve pack --out <bundle.json>
+               [--graph <edge-list> [--directed]] [--nodes 300]
+               [--k 20] [--eps 2] [--seed 7] [--fast]
+               [--method privim*|privim|privim+scs|non-private]
+  privim-serve run --bundle <bundle.json> [--addr 127.0.0.1:7878]
+               [--workers 4] [--queue-cap 128] [--deadline-ms 5000]
+               [--batch-window-ms 2] [--runs 64]"
+    );
+    exit(2)
+}
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("privim-serve: {msg}");
+    exit(1)
+}
+
+struct Flags {
+    out: Option<PathBuf>,
+    graph: Option<PathBuf>,
+    directed: bool,
+    nodes: usize,
+    k: usize,
+    eps: f64,
+    seed: u64,
+    fast: bool,
+    method: String,
+    bundle: Option<PathBuf>,
+    addr: String,
+    workers: usize,
+    queue_cap: usize,
+    deadline_ms: u64,
+    batch_window_ms: u64,
+    runs: usize,
+}
+
+fn parse_flags(args: &[String]) -> Flags {
+    let mut f = Flags {
+        out: None,
+        graph: None,
+        directed: false,
+        nodes: 300,
+        k: 20,
+        eps: 2.0,
+        seed: 7,
+        fast: false,
+        method: "privim*".into(),
+        bundle: None,
+        addr: "127.0.0.1:7878".into(),
+        workers: 4,
+        queue_cap: 128,
+        deadline_ms: 5_000,
+        batch_window_ms: 2,
+        runs: 64,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("{name} needs a value");
+                    usage()
+                })
+                .clone()
+        };
+        match a.as_str() {
+            "--out" => f.out = Some(PathBuf::from(val("--out"))),
+            "--graph" => f.graph = Some(PathBuf::from(val("--graph"))),
+            "--directed" => f.directed = true,
+            "--nodes" => f.nodes = val("--nodes").parse().unwrap_or_else(|_| usage()),
+            "--k" => f.k = val("--k").parse().unwrap_or_else(|_| usage()),
+            "--eps" => f.eps = val("--eps").parse().unwrap_or_else(|_| usage()),
+            "--seed" => f.seed = val("--seed").parse().unwrap_or_else(|_| usage()),
+            "--fast" => f.fast = true,
+            "--method" => f.method = val("--method"),
+            "--bundle" => f.bundle = Some(PathBuf::from(val("--bundle"))),
+            "--addr" => f.addr = val("--addr"),
+            "--workers" => f.workers = val("--workers").parse().unwrap_or_else(|_| usage()),
+            "--queue-cap" => f.queue_cap = val("--queue-cap").parse().unwrap_or_else(|_| usage()),
+            "--deadline-ms" => {
+                f.deadline_ms = val("--deadline-ms").parse().unwrap_or_else(|_| usage())
+            }
+            "--batch-window-ms" => {
+                f.batch_window_ms = val("--batch-window-ms").parse().unwrap_or_else(|_| usage())
+            }
+            "--runs" => f.runs = val("--runs").parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+    }
+    f
+}
+
+fn method_for(name: &str, epsilon: f64) -> Method {
+    match name {
+        "privim*" => Method::PrivImStar { epsilon },
+        "privim" => Method::PrivIm { epsilon },
+        "privim+scs" => Method::PrivImScs { epsilon },
+        "non-private" => Method::NonPrivate,
+        other => {
+            eprintln!("unknown method {other:?}");
+            usage()
+        }
+    }
+}
+
+fn load_or_generate_graph(f: &Flags) -> Graph {
+    match &f.graph {
+        Some(path) => read_edge_list(path, f.directed)
+            .unwrap_or_else(|e| fail(format!("read {}: {e}", path.display())))
+            .graph,
+        None => {
+            let mut rng = ChaCha8Rng::seed_from_u64(f.seed);
+            privim_graph::generators::barabasi_albert(f.nodes.max(10), 3, &mut rng)
+                .with_uniform_weights(1.0)
+        }
+    }
+}
+
+fn cmd_pack(f: &Flags) {
+    let out = f.out.clone().unwrap_or_else(|| usage());
+    let graph = load_or_generate_graph(f);
+    let mut rng = ChaCha8Rng::seed_from_u64(f.seed);
+    let mut setup = EvalSetup::paper_defaults(&graph, f.k.min(graph.num_nodes()), &mut rng);
+    if f.fast {
+        // CI-sized training: same pipeline, fewer steps and shorter walks.
+        setup.params.iters = 20;
+        setup.params.walk_len = 50;
+        setup.params.expected_starts = 64;
+    }
+    let artifact = export_serve_artifact(method_for(&f.method, f.eps), &setup, f.seed)
+        .unwrap_or_else(|e| fail(e));
+    let file =
+        File::create(&out).unwrap_or_else(|e| fail(format!("create {}: {e}", out.display())));
+    bundle::save(&artifact, &graph, BufWriter::new(file)).unwrap_or_else(|e| fail(e));
+    println!(
+        "packed {}: |V|={} |E|={} method={} eps={} fingerprint={:#018x}",
+        out.display(),
+        graph.num_nodes(),
+        graph.num_edges(),
+        f.method,
+        artifact.epsilon.map(|e| e.to_string()).unwrap_or_else(|| "inf".into()),
+        bundle::graph_fingerprint(&graph),
+    );
+}
+
+static STOP: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    extern "C" fn on_signal(_: i32) {
+        STOP.store(true, Ordering::SeqCst);
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+fn cmd_run(f: &Flags) {
+    let path = f.bundle.clone().unwrap_or_else(|| usage());
+    let file =
+        File::open(&path).unwrap_or_else(|e| fail(format!("open {}: {e}", path.display())));
+    let b = bundle::load(BufReader::new(file)).unwrap_or_else(|e| fail(e));
+    println!(
+        "loaded {}: |V|={} fingerprint={:#018x} eps={} delta={} sigma={} steps={}",
+        path.display(),
+        b.graph.num_nodes(),
+        b.fingerprint,
+        b.privacy.epsilon.map(|e| e.to_string()).unwrap_or_else(|| "inf".into()),
+        b.privacy.delta,
+        b.privacy.sigma,
+        b.privacy.steps,
+    );
+    let cfg = ServeConfig {
+        addr: f.addr.clone(),
+        workers: f.workers.max(1),
+        queue_cap: f.queue_cap.max(1),
+        deadline: Duration::from_millis(f.deadline_ms.max(1)),
+        batch_window: Duration::from_millis(f.batch_window_ms),
+        default_runs: f.runs.max(1),
+        ..ServeConfig::default()
+    };
+    install_signal_handlers();
+    let handle = start(b, cfg).unwrap_or_else(|e| fail(e));
+    println!("serving on port {} ({} workers); ctrl-c to drain and exit", handle.port(), f.workers);
+    while !STOP.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    println!("signal received; draining in-flight requests");
+    let drained = handle.shutdown();
+    println!("shutdown complete; {drained} request(s) drained after the signal");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("pack") => cmd_pack(&parse_flags(&args[1..])),
+        Some("run") => cmd_run(&parse_flags(&args[1..])),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,391 @@
+//! The versioned serving bundle: model + privacy statement + graph.
+//!
+//! `privim-serve pack` writes one JSON document that a serving process
+//! can trust end-to-end:
+//!
+//! ```json
+//! {"format": "privim-serve-bundle", "version": 1, "crc32": "0x…",
+//!  "payload": {
+//!     "model": { …GnnModel checkpoint payload… },
+//!     "privacy": {"epsilon": 4.0, "delta": 1e-4, "sigma": 1.7, "steps": 80},
+//!     "graph": {"num_nodes": n, "directed": false, "edges": [[u,v,w]…]},
+//!     "graph_fingerprint": "0x…"
+//!  }}
+//! ```
+//!
+//! Three integrity layers, each with a typed failure:
+//!
+//! 1. **format + version** — a bundle from a future incompatible writer
+//!    is rejected up front, not half-parsed;
+//! 2. **CRC-32 over the payload** — truncation/bit-rot detection (same
+//!    checksum the GNN checkpoint format uses);
+//! 3. **graph fingerprint** — a 64-bit FNV-1a over the canonical CSR arc
+//!    list, recomputed after rebuild and compared to the stored value, so
+//!    the serving graph is byte-for-byte the one the seeds/cache were
+//!    computed against. Serialised as a hex *string*: JSON numbers are
+//!    `f64` and would silently round 64-bit identifiers above 2^53.
+//!
+//! The privacy statement rides along because under DP the released
+//! artifact *is* `(model, ε, δ, σ, steps)` — a server should be able to
+//! state the budget of the model it is serving (`/metrics` could expose
+//! it; the CLI prints it on startup).
+
+use crate::cache::fnv1a64;
+use privim::ServeArtifact;
+use privim_gnn::GnnModel;
+use privim_graph::{Graph, GraphBuilder, NodeId};
+use privim_rt::json::Value;
+use privim_rt::{crc, PrivimError, PrivimResult};
+use std::sync::Arc;
+
+/// Format tag of a serve bundle.
+pub const BUNDLE_FORMAT: &str = "privim-serve-bundle";
+/// Current bundle format version.
+pub const BUNDLE_VERSION: u64 = 1;
+
+/// The (ε, δ)-DP statement a bundle carries alongside the model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PrivacyStatement {
+    /// Privacy budget ε (`None` = trained without DP).
+    pub epsilon: Option<f64>,
+    /// The δ of the statement.
+    pub delta: f64,
+    /// Calibrated noise multiplier σ.
+    pub sigma: f64,
+    /// DP-SGD steps taken.
+    pub steps: u64,
+}
+
+/// A loaded, integrity-checked bundle, ready to serve.
+#[derive(Debug)]
+pub struct Bundle {
+    /// The trained model.
+    pub model: GnnModel,
+    /// Privacy statement the model was trained under.
+    pub privacy: PrivacyStatement,
+    /// The serving graph (shared: server workers, batcher and CELF state
+    /// all hold clones of this `Arc`).
+    pub graph: Arc<Graph>,
+    /// FNV-1a fingerprint of the graph's canonical arc list.
+    pub fingerprint: u64,
+}
+
+/// 64-bit fingerprint of a graph: FNV-1a over `(n, directed, arcs)` in
+/// canonical CSR order. Weights contribute their exact bit patterns.
+pub fn graph_fingerprint(g: &Graph) -> u64 {
+    let mut bytes = Vec::with_capacity(16 + g.num_arcs() * 16);
+    bytes.extend_from_slice(&(g.num_nodes() as u64).to_le_bytes());
+    bytes.push(g.is_directed() as u8);
+    for (u, v, w) in g.arcs() {
+        bytes.extend_from_slice(&u.to_le_bytes());
+        bytes.extend_from_slice(&v.to_le_bytes());
+        bytes.extend_from_slice(&w.to_bits().to_le_bytes());
+    }
+    fnv1a64(&bytes)
+}
+
+fn graph_to_json(g: &Graph) -> Value {
+    // Undirected CSR stores each edge as two arcs; keep one per pair so
+    // the builder round-trips it (it re-materialises the reverse arcs).
+    let edges: Vec<Value> = g
+        .arcs()
+        .filter(|&(u, v, _)| g.is_directed() || u <= v)
+        .map(|(u, v, w)| {
+            Value::Arr(vec![
+                Value::Num(u as f64),
+                Value::Num(v as f64),
+                Value::Num(w),
+            ])
+        })
+        .collect();
+    Value::obj(vec![
+        ("num_nodes", Value::Num(g.num_nodes() as f64)),
+        ("directed", Value::Bool(g.is_directed())),
+        ("edges", Value::Arr(edges)),
+    ])
+}
+
+fn graph_from_json(v: &Value) -> PrivimResult<Graph> {
+    let bad = |msg: &str| PrivimError::Parse(format!("bundle graph: {msg}"));
+    let n = v
+        .get("num_nodes")
+        .and_then(|x| x.as_usize())
+        .ok_or_else(|| bad("missing num_nodes"))?;
+    let directed = v
+        .get("directed")
+        .and_then(|x| x.as_bool())
+        .ok_or_else(|| bad("missing directed"))?;
+    let edges = v
+        .get("edges")
+        .and_then(|x| x.as_array())
+        .ok_or_else(|| bad("missing edges"))?;
+    let mut b = if directed {
+        GraphBuilder::new_directed(n)
+    } else {
+        GraphBuilder::new_undirected(n)
+    };
+    for e in edges {
+        let arr = e.as_array().ok_or_else(|| bad("edge is not an array"))?;
+        let [u, v_, w] = arr else {
+            return Err(bad("edge is not a [u, v, w] triple"));
+        };
+        let (u, v_, w) = match (u.as_usize(), v_.as_usize(), w.as_f64()) {
+            (Some(u), Some(v_), Some(w)) if u < n && v_ < n && (0.0..=1.0).contains(&w) => {
+                (u, v_, w)
+            }
+            _ => return Err(bad("edge endpoint/weight out of range")),
+        };
+        b.add_edge(u as NodeId, v_ as NodeId, w);
+    }
+    Ok(b.build())
+}
+
+/// Build the full bundle document (header + checksummed payload) for an
+/// exported artifact and its serving graph.
+pub fn pack(artifact: &ServeArtifact, graph: &Graph) -> Value {
+    let fingerprint = graph_fingerprint(graph);
+    let payload = Value::obj(vec![
+        ("model", artifact.model.checkpoint_payload()),
+        (
+            "privacy",
+            Value::obj(vec![
+                (
+                    "epsilon",
+                    artifact.epsilon.map(Value::Num).unwrap_or(Value::Null),
+                ),
+                ("delta", Value::Num(artifact.delta)),
+                ("sigma", Value::Num(artifact.sigma)),
+                ("steps", Value::Num(artifact.steps as f64)),
+            ]),
+        ),
+        ("graph", graph_to_json(graph)),
+        ("graph_fingerprint", Value::Str(format!("{fingerprint:#018x}"))),
+    ]);
+    let crc = crc::crc32(payload.to_json_string().as_bytes());
+    Value::obj(vec![
+        ("format", Value::Str(BUNDLE_FORMAT.to_string())),
+        ("version", Value::Num(BUNDLE_VERSION as f64)),
+        ("crc32", Value::Str(format!("{crc:#010x}"))),
+        ("payload", payload),
+    ])
+}
+
+/// Serialise a packed bundle to a writer.
+pub fn save<W: std::io::Write>(artifact: &ServeArtifact, graph: &Graph, mut w: W) -> PrivimResult<()> {
+    w.write_all(pack(artifact, graph).to_json_string().as_bytes())
+        .map_err(|e| PrivimError::io("writing serve bundle", e))
+}
+
+fn parse_hex_u64(s: &str) -> Option<u64> {
+    let digits = s.strip_prefix("0x").unwrap_or(s);
+    if digits.is_empty() || digits.len() > 16 {
+        return None;
+    }
+    u64::from_str_radix(digits, 16).ok()
+}
+
+fn parse_hex_u32(s: &str) -> Option<u32> {
+    let digits = s.strip_prefix("0x").unwrap_or(s);
+    if digits.is_empty() || digits.len() > 8 {
+        return None;
+    }
+    u32::from_str_radix(digits, 16).ok()
+}
+
+/// Load and fully verify a bundle: format, version, CRC-32, model layout
+/// and graph fingerprint. Every failure is a typed [`PrivimError`].
+pub fn load<R: std::io::Read>(mut r: R) -> PrivimResult<Bundle> {
+    let mut text = String::new();
+    r.read_to_string(&mut text)
+        .map_err(|e| PrivimError::io("reading serve bundle", e))?;
+    let doc = Value::parse(&text).map_err(|e| PrivimError::Parse(format!("serve bundle: {e}")))?;
+    let format = doc.get("format").and_then(|v| v.as_str()).unwrap_or("");
+    if format != BUNDLE_FORMAT {
+        return Err(PrivimError::Parse(format!(
+            "not a {BUNDLE_FORMAT} file (format = {format:?})"
+        )));
+    }
+    let version = doc.get("version").and_then(|v| v.as_u64());
+    if version != Some(BUNDLE_VERSION) {
+        return Err(PrivimError::invalid(format!(
+            "bundle version {version:?} not supported (expected {BUNDLE_VERSION})"
+        )));
+    }
+    let payload = doc
+        .get("payload")
+        .ok_or_else(|| PrivimError::Parse("bundle missing payload".into()))?;
+    let stored_crc = doc
+        .get("crc32")
+        .and_then(|v| v.as_str())
+        .and_then(parse_hex_u32)
+        .ok_or_else(|| PrivimError::Parse("bundle missing/bad crc32".into()))?;
+    let actual_crc = crc::crc32(payload.to_json_string().as_bytes());
+    if stored_crc != actual_crc {
+        return Err(PrivimError::Parse(format!(
+            "bundle checksum mismatch (stored {stored_crc:#010x}, computed {actual_crc:#010x}) \
+             — file is corrupted or truncated"
+        )));
+    }
+
+    let model_payload = payload
+        .get("model")
+        .ok_or_else(|| PrivimError::Parse("bundle missing model".into()))?;
+    let model = GnnModel::from_checkpoint_payload(model_payload)?;
+
+    let priv_v = payload
+        .get("privacy")
+        .ok_or_else(|| PrivimError::Parse("bundle missing privacy statement".into()))?;
+    let privacy = PrivacyStatement {
+        epsilon: priv_v.get("epsilon").and_then(|v| v.as_f64()),
+        delta: priv_v
+            .get("delta")
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| PrivimError::Parse("privacy statement missing delta".into()))?,
+        sigma: priv_v
+            .get("sigma")
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| PrivimError::Parse("privacy statement missing sigma".into()))?,
+        steps: priv_v
+            .get("steps")
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| PrivimError::Parse("privacy statement missing steps".into()))?,
+    };
+
+    let graph = graph_from_json(
+        payload
+            .get("graph")
+            .ok_or_else(|| PrivimError::Parse("bundle missing graph".into()))?,
+    )?;
+    let stored_fp = payload
+        .get("graph_fingerprint")
+        .and_then(|v| v.as_str())
+        .and_then(parse_hex_u64)
+        .ok_or_else(|| PrivimError::Parse("bundle missing/bad graph_fingerprint".into()))?;
+    let actual_fp = graph_fingerprint(&graph);
+    if stored_fp != actual_fp {
+        return Err(PrivimError::Parse(format!(
+            "graph fingerprint mismatch (stored {stored_fp:#018x}, rebuilt {actual_fp:#018x})"
+        )));
+    }
+    Ok(Bundle {
+        model,
+        privacy,
+        graph: Arc::new(graph),
+        fingerprint: actual_fp,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privim_gnn::GnnConfig;
+    use privim_rt::{ChaCha8Rng, SeedableRng};
+
+    fn tiny_artifact(seed: u64) -> ServeArtifact {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        ServeArtifact {
+            model: GnnModel::new(GnnConfig::paper_default(), &mut rng),
+            epsilon: Some(4.0),
+            delta: 1e-4,
+            sigma: 1.25,
+            steps: 80,
+        }
+    }
+
+    fn tiny_graph(seed: u64) -> Graph {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        privim_graph::generators::barabasi_albert(30, 2, &mut rng).with_uniform_weights(1.0)
+    }
+
+    #[test]
+    fn bundle_round_trips_model_graph_and_privacy() {
+        let art = tiny_artifact(1);
+        let g = tiny_graph(2);
+        let mut buf = Vec::new();
+        save(&art, &g, &mut buf).unwrap();
+        let loaded = load(buf.as_slice()).unwrap();
+        assert_eq!(loaded.privacy.epsilon, Some(4.0));
+        assert_eq!(loaded.privacy.steps, 80);
+        assert_eq!(loaded.fingerprint, graph_fingerprint(&g));
+        assert_eq!(loaded.graph.num_nodes(), g.num_nodes());
+        assert_eq!(loaded.graph.num_arcs(), g.num_arcs());
+        // the round-tripped model scores identically
+        assert_eq!(loaded.model.score_graph(&g), art.model.score_graph(&g));
+    }
+
+    #[test]
+    fn directed_graph_round_trips_every_arc() {
+        let art = tiny_artifact(3);
+        let mut b = GraphBuilder::new_directed(4);
+        b.add_edge(0, 1, 0.5);
+        b.add_edge(1, 0, 0.25);
+        b.add_edge(2, 3, 1.0);
+        let g = b.build();
+        let mut buf = Vec::new();
+        save(&art, &g, &mut buf).unwrap();
+        let loaded = load(buf.as_slice()).unwrap();
+        let arcs: Vec<_> = loaded.graph.arcs().collect();
+        assert_eq!(arcs, g.arcs().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn corrupted_bundle_is_rejected_by_checksum() {
+        let art = tiny_artifact(4);
+        let g = tiny_graph(5);
+        let mut buf = Vec::new();
+        save(&art, &g, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let pos = text.rfind(|c: char| c.is_ascii_digit()).unwrap();
+        let mut corrupted = text.into_bytes();
+        corrupted[pos] = if corrupted[pos] == b'5' { b'6' } else { b'5' };
+        let err = load(corrupted.as_slice()).unwrap_err();
+        match err {
+            PrivimError::Parse(msg) => assert!(msg.contains("checksum"), "{msg}"),
+            other => panic!("expected checksum Parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_and_garbage_bundles_are_typed_errors() {
+        let art = tiny_artifact(6);
+        let g = tiny_graph(7);
+        let mut buf = Vec::new();
+        save(&art, &g, &mut buf).unwrap();
+        for cut in [0, 5, buf.len() / 2, buf.len() - 1] {
+            assert!(load(&buf[..cut]).is_err(), "cut={cut}");
+        }
+        assert!(load(&b"not a bundle"[..]).is_err());
+    }
+
+    #[test]
+    fn version_and_format_mismatches_are_rejected() {
+        let art = tiny_artifact(8);
+        let g = tiny_graph(9);
+        let mut buf = Vec::new();
+        save(&art, &g, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let bumped = text.replacen("\"version\":1", "\"version\":9", 1);
+        assert!(matches!(
+            load(bumped.as_bytes()).unwrap_err(),
+            PrivimError::InvalidInput(_)
+        ));
+        let renamed = text.replacen(BUNDLE_FORMAT, "mystery-format", 1);
+        assert!(matches!(
+            load(renamed.as_bytes()).unwrap_err(),
+            PrivimError::Parse(_)
+        ));
+    }
+
+    #[test]
+    fn fingerprint_is_sensitive_to_graph_identity() {
+        let g1 = tiny_graph(10);
+        let g2 = tiny_graph(11);
+        assert_ne!(graph_fingerprint(&g1), graph_fingerprint(&g2));
+        // weight bits matter too
+        let mut b1 = GraphBuilder::new_directed(2);
+        b1.add_edge(0, 1, 1.0);
+        let mut b2 = GraphBuilder::new_directed(2);
+        b2.add_edge(0, 1, 0.5);
+        assert_ne!(graph_fingerprint(&b1.build()), graph_fingerprint(&b2.build()));
+    }
+}

@@ -1,0 +1,221 @@
+//! Sharded LRU cache for spread estimates.
+//!
+//! Keys are the *exact* canonical request bytes; the FNV-1a hash is used
+//! only to pick a shard, never to identify an entry — so a hash collision
+//! costs a little contention, not a wrong answer. Each shard is an
+//! independent mutex, keeping `/v1/influence` lookups from serialising
+//! behind one lock under concurrent load.
+//!
+//! Internally a shard keeps two `BTreeMap` indexes (key → entry and
+//! recency stamp → key) so both lookup and LRU eviction are `O(log n)`
+//! with fully deterministic iteration order (no `HashMap` — the
+//! workspace determinism lint applies to this crate too).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+/// 64-bit FNV-1a — the shard selector. Stable across runs and platforms.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+struct Shard<V> {
+    cap: usize,
+    /// Monotone recency counter; the entry with the smallest stamp is
+    /// the least recently used.
+    tick: u64,
+    by_key: BTreeMap<Vec<u8>, (u64, V)>,
+    by_stamp: BTreeMap<u64, Vec<u8>>,
+}
+
+impl<V: Clone> Shard<V> {
+    fn touch(&mut self, key: &[u8]) -> Option<V> {
+        let (old_stamp, value) = match self.by_key.get(key) {
+            Some((s, v)) => (*s, v.clone()),
+            None => return None,
+        };
+        self.by_stamp.remove(&old_stamp);
+        self.tick += 1;
+        let stamp = self.tick;
+        self.by_stamp.insert(stamp, key.to_vec());
+        if let Some(entry) = self.by_key.get_mut(key) {
+            entry.0 = stamp;
+        }
+        Some(value)
+    }
+
+    fn insert(&mut self, key: Vec<u8>, value: V) {
+        if self.cap == 0 {
+            return;
+        }
+        if let Some((old_stamp, _)) = self.by_key.get(&key) {
+            let old_stamp = *old_stamp;
+            self.by_stamp.remove(&old_stamp);
+        }
+        self.tick += 1;
+        let stamp = self.tick;
+        self.by_stamp.insert(stamp, key.clone());
+        self.by_key.insert(key, (stamp, value));
+        while self.by_key.len() > self.cap {
+            let Some((&oldest, _)) = self.by_stamp.iter().next() else {
+                break;
+            };
+            if let Some(victim) = self.by_stamp.remove(&oldest) {
+                self.by_key.remove(&victim);
+            }
+        }
+    }
+}
+
+/// A sharded LRU cache with atomic hit/miss counters (exposed on
+/// `/metrics`). Thread-safe; values are returned by clone.
+pub struct ShardedLru<V> {
+    shards: Vec<Mutex<Shard<V>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // privim-lint: allow(panic, reason = "a poisoned shard lock means another worker panicked mid-insert; propagating the panic is the only sound recovery")
+    m.lock().unwrap()
+}
+
+impl<V: Clone> ShardedLru<V> {
+    /// `shards` independent LRUs of `cap_per_shard` entries each. Shard
+    /// count is clamped to ≥ 1; a zero capacity disables caching (every
+    /// lookup misses) without disabling the counters.
+    pub fn new(shards: usize, cap_per_shard: usize) -> Self {
+        let shards = shards.max(1);
+        ShardedLru {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        cap: cap_per_shard,
+                        tick: 0,
+                        by_key: BTreeMap::new(),
+                        by_stamp: BTreeMap::new(),
+                    })
+                })
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &[u8]) -> &Mutex<Shard<V>> {
+        let idx = (fnv1a64(key) % self.shards.len() as u64) as usize;
+        &self.shards[idx]
+    }
+
+    /// Look up `key`, bumping its recency. Counts a hit or a miss.
+    pub fn get(&self, key: &[u8]) -> Option<V> {
+        let found = lock(self.shard(key)).touch(key);
+        match found {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert (or refresh) `key`, evicting the shard's LRU entries if the
+    /// shard is over capacity.
+    pub fn put(&self, key: Vec<u8>, value: V) {
+        lock(self.shard(&key)).insert(key, value);
+    }
+
+    /// Total hits since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Total misses since construction.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Total entries across shards (O(shards)).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| lock(s).by_key.len()).sum()
+    }
+
+    /// True if no shard holds an entry.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_put_roundtrip_and_counters() {
+        let c: ShardedLru<f64> = ShardedLru::new(4, 8);
+        assert_eq!(c.get(b"a"), None);
+        c.put(b"a".to_vec(), 1.5);
+        assert_eq!(c.get(b"a"), Some(1.5));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used_per_shard() {
+        // One shard makes the eviction order fully observable.
+        let c: ShardedLru<u32> = ShardedLru::new(1, 2);
+        c.put(b"a".to_vec(), 1);
+        c.put(b"b".to_vec(), 2);
+        // touch "a" so "b" becomes LRU
+        assert_eq!(c.get(b"a"), Some(1));
+        c.put(b"c".to_vec(), 3);
+        assert_eq!(c.get(b"b"), None, "LRU entry must be evicted");
+        assert_eq!(c.get(b"a"), Some(1));
+        assert_eq!(c.get(b"c"), Some(3));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_refreshes_not_duplicates() {
+        let c: ShardedLru<u32> = ShardedLru::new(1, 2);
+        c.put(b"a".to_vec(), 1);
+        c.put(b"a".to_vec(), 9);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(b"a"), Some(9));
+    }
+
+    #[test]
+    fn exact_key_bytes_identify_entries() {
+        // Two distinct keys must never alias, whatever their hashes.
+        let c: ShardedLru<u32> = ShardedLru::new(2, 8);
+        c.put(b"k1".to_vec(), 1);
+        c.put(b"k2".to_vec(), 2);
+        assert_eq!(c.get(b"k1"), Some(1));
+        assert_eq!(c.get(b"k2"), Some(2));
+    }
+
+    #[test]
+    fn zero_capacity_disables_storage() {
+        let c: ShardedLru<u32> = ShardedLru::new(2, 0);
+        c.put(b"a".to_vec(), 1);
+        assert_eq!(c.get(b"a"), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Pinned so cache shard assignment (and thus /metrics counters
+        // under a fixed workload) never drifts across platforms.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

@@ -1,0 +1,176 @@
+//! Minimal HTTP/1.1 framing over blocking streams.
+//!
+//! Just enough of RFC 9112 for the serve endpoints: request-line +
+//! headers + `Content-Length` body on the way in, status + fixed headers
+//! + body on the way out. One request per connection (`Connection:
+//! close`), which keeps worker accounting and graceful drain trivial —
+//! an in-flight request *is* an in-flight connection.
+//!
+//! Hard limits guard the parser: 16 KiB of headers, 4 MiB of body. A
+//! malformed or over-limit request yields a typed [`PrivimError`], which
+//! the server maps to `400`.
+
+use privim_rt::{PrivimError, PrivimResult};
+use std::io::{Read, Write};
+
+/// Header section cap (bytes).
+pub const MAX_HEADER_BYTES: usize = 16 * 1024;
+/// Body cap (bytes).
+pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// A parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercase method token as sent (`GET`, `POST`, ...).
+    pub method: String,
+    /// Origin-form target, query string stripped.
+    pub path: String,
+    /// Raw body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+fn bad(msg: &str) -> PrivimError {
+    PrivimError::Parse(format!("http: {msg}"))
+}
+
+/// Read and parse one request from `r`.
+pub fn read_request(r: &mut impl Read) -> PrivimResult<Request> {
+    // Accumulate until the header terminator; single-byte reads are fine
+    // here (requests are tiny and the OS buffers the socket).
+    let mut head = Vec::with_capacity(512);
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        if head.len() >= MAX_HEADER_BYTES {
+            return Err(bad("header section exceeds limit"));
+        }
+        let n = r
+            .read(&mut byte)
+            .map_err(|e| PrivimError::io("reading request head", e))?;
+        if n == 0 {
+            return Err(bad("connection closed before headers completed"));
+        }
+        head.push(byte[0]);
+    }
+    let head_text =
+        std::str::from_utf8(&head).map_err(|_| bad("headers are not valid UTF-8"))?;
+    let mut lines = head_text.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_ascii_whitespace();
+    let method = parts.next().ok_or_else(|| bad("empty request line"))?;
+    let target = parts.next().ok_or_else(|| bad("request line has no target"))?;
+    let version = parts.next().ok_or_else(|| bad("request line has no version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad("only HTTP/1.x is supported"));
+    }
+    let path = target.split('?').next().unwrap_or(target);
+
+    let mut content_length = 0usize;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(bad("malformed header line"));
+        };
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| bad("unparsable Content-Length"))?;
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(bad("body exceeds limit"));
+    }
+    let mut body = vec![0u8; content_length];
+    r.read_exact(&mut body)
+        .map_err(|e| PrivimError::io("reading request body", e))?;
+    Ok(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        body,
+    })
+}
+
+/// Canonical reason phrase for the status codes the server emits.
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Write a complete response: status line, `Content-Type`,
+/// `Content-Length`, `Connection: close`, body.
+pub fn write_response(
+    w: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> PrivimResult<()> {
+    // One buffer, one write: a head-then-body write pair interacts with
+    // Nagle + delayed ACK to stall small responses for ~40 ms.
+    let mut frame = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status,
+        status_reason(status),
+        content_type,
+        body.len()
+    )
+    .into_bytes();
+    frame.extend_from_slice(body);
+    w.write_all(&frame)
+        .and_then(|_| w.flush())
+        .map_err(|e| PrivimError::io("writing response", e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_post_with_body() {
+        let raw = b"POST /v1/embed?x=1 HTTP/1.1\r\nHost: h\r\nContent-Length: 4\r\n\r\nabcd";
+        let req = read_request(&mut &raw[..]).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/embed");
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let raw = b"GET /healthz HTTP/1.1\r\n\r\n";
+        let req = read_request(&mut &raw[..]).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_truncation_garbage_and_limits() {
+        assert!(read_request(&mut &b"GET /x HTTP/1.1\r\n"[..]).is_err());
+        assert!(read_request(&mut &b"nonsense\r\n\r\n"[..]).is_err());
+        assert!(read_request(&mut &b"GET /x SPDY/3\r\n\r\n"[..]).is_err());
+        let huge = format!("POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
+        assert!(read_request(&mut huge.as_bytes()).is_err());
+        // body shorter than declared
+        let short = b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc";
+        assert!(read_request(&mut &short[..]).is_err());
+    }
+
+    #[test]
+    fn response_framing_is_complete() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "application/json", b"{\"ok\":true}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+}

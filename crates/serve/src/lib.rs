@@ -1,0 +1,55 @@
+#![warn(missing_docs)]
+//! # privim-serve
+//!
+//! An online inference and seed-set query server over a trained PrivIM
+//! model — the deployment half of the pipeline: once DP-SGD has produced
+//! a releasable `(model, ε, δ, σ, steps)` artifact, this crate packs it
+//! into a checksummed bundle together with the serving graph and answers
+//! queries over plain HTTP/1.1 on `std::net` (the workspace's
+//! zero-external-dependency policy extends to the server: no tokio, no
+//! hyper, no serde).
+//!
+//! ## Endpoints
+//!
+//! | route | what it does |
+//! |---|---|
+//! | `POST /v1/influence` | spread of a seed set (Monte-Carlo IC), LRU-cached |
+//! | `POST /v1/seeds` | top-`k` seeds via resumable CELF (cached pick order) |
+//! | `POST /v1/embed` | GNN scores for requested nodes, micro-batched |
+//! | `GET /metrics` | plain-text exposition: counters, latency histograms |
+//! | `GET /healthz` | liveness |
+//!
+//! ## Production behaviours
+//!
+//! * **Micro-batching** ([`batch::Batcher`]): concurrent `/v1/embed`
+//!   requests coalesce into one full-graph forward pass through the
+//!   worker-pool-backed tensor kernels; each request then reads its rows.
+//! * **Caching** ([`cache::ShardedLru`]): spread estimates are cached in
+//!   a sharded LRU keyed by the *exact* canonical request bytes (the hash
+//!   only picks the shard, so a collision can never serve a wrong value),
+//!   and `/v1/seeds` reuses one [`privim_im::LazyGreedy`] across requests
+//!   — greedy prefix stability makes any `k ≤ computed` free.
+//! * **Load shedding** ([`server`]): a bounded accept queue; overflow and
+//!   requests whose queue wait exceeds the deadline get `503` instead of
+//!   growing latency without bound.
+//! * **Graceful drain**: shutdown stops accepting, then completes every
+//!   in-flight and queued request before workers exit.
+//! * **Versioned bundles** ([`bundle`]): format tag + version + CRC-32 +
+//!   graph fingerprint, so a serving process can never silently run a
+//!   truncated model or mismatched graph.
+//!
+//! Determinism note: response payloads are bit-identical to direct
+//! library calls (the e2e test pins this) — batching and caching change
+//! *when* work happens, never *what* is computed.
+
+pub mod batch;
+pub mod bundle;
+pub mod cache;
+pub mod http;
+pub mod metrics;
+pub mod server;
+
+pub use bundle::{graph_fingerprint, Bundle, PrivacyStatement, BUNDLE_FORMAT, BUNDLE_VERSION};
+pub use cache::ShardedLru;
+pub use metrics::Metrics;
+pub use server::{start, ServeConfig, ServerHandle};

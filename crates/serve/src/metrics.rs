@@ -1,0 +1,259 @@
+//! Request counters and latency histograms with a plain-text exposition.
+//!
+//! Everything here is clock-free: the server measures durations (that's
+//! the one place `Instant` is read, under an explicit wall-clock lint
+//! annotation) and reports *microseconds* into [`Metrics::observe`].
+//! Rendering is deterministic given the counter values, so the e2e test
+//! can assert exact counts from the exposition text.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The instrumented endpoints, in exposition order.
+pub const ENDPOINTS: [&str; 5] = ["influence", "seeds", "embed", "metrics", "healthz"];
+
+/// Upper bounds (µs) of the latency histogram buckets; the last bucket is
+/// +inf. Log-spaced from 50 µs to 1 s.
+pub const BUCKETS_US: [u64; 12] = [
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 100_000, 250_000, 1_000_000,
+];
+
+#[derive(Default)]
+struct EndpointStats {
+    requests: AtomicU64,
+    /// `BUCKETS_US.len() + 1` cumulative-style raw counts (last = +inf).
+    buckets: [AtomicU64; 13],
+    latency_sum_us: AtomicU64,
+}
+
+/// Server-wide counters. All methods are lock-free and callable from any
+/// worker thread.
+#[derive(Default)]
+pub struct Metrics {
+    endpoints: [EndpointStats; 5],
+    responses_2xx: AtomicU64,
+    responses_4xx: AtomicU64,
+    responses_5xx: AtomicU64,
+    shed_total: AtomicU64,
+    queue_depth: AtomicU64,
+    queue_depth_peak: AtomicU64,
+    drained_during_shutdown: AtomicU64,
+}
+
+/// Index into [`ENDPOINTS`] for a request path, if instrumented.
+pub fn endpoint_index(path: &str) -> Option<usize> {
+    match path {
+        "/v1/influence" => Some(0),
+        "/v1/seeds" => Some(1),
+        "/v1/embed" => Some(2),
+        "/metrics" => Some(3),
+        "/healthz" => Some(4),
+        _ => None,
+    }
+}
+
+impl Metrics {
+    /// Fresh, all-zero counters.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Record one completed request against endpoint `ep` (an
+    /// [`endpoint_index`]) with the given latency and response status.
+    pub fn observe(&self, ep: usize, latency_us: u64, status: u16) {
+        let s = &self.endpoints[ep];
+        s.requests.fetch_add(1, Ordering::Relaxed);
+        s.latency_sum_us.fetch_add(latency_us, Ordering::Relaxed);
+        let bucket = BUCKETS_US
+            .iter()
+            .position(|&ub| latency_us <= ub)
+            .unwrap_or(BUCKETS_US.len());
+        s.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.observe_status(status);
+    }
+
+    /// Record a response status class without an endpoint attribution
+    /// (unroutable paths, shed requests).
+    pub fn observe_status(&self, status: u16) {
+        let class = match status {
+            200..=299 => &self.responses_2xx,
+            400..=499 => &self.responses_4xx,
+            _ => &self.responses_5xx,
+        };
+        class.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request was rejected to protect latency (queue full or deadline
+    /// exceeded while queued).
+    pub fn shed(&self) {
+        self.shed_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Accept queue grew by one.
+    pub fn queue_push(&self) {
+        let d = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.queue_depth_peak.fetch_max(d, Ordering::Relaxed);
+    }
+
+    /// Accept queue shrank by one.
+    pub fn queue_pop(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// A queued request was completed after shutdown began.
+    pub fn drained(&self) {
+        self.drained_during_shutdown.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total requests observed across endpoints.
+    pub fn total_requests(&self) -> u64 {
+        self.endpoints
+            .iter()
+            .map(|e| e.requests.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Requests completed after shutdown began (drain telemetry).
+    pub fn drained_count(&self) -> u64 {
+        self.drained_during_shutdown.load(Ordering::Relaxed)
+    }
+
+    /// Plain-text exposition (Prometheus-style: `name{labels} value`).
+    /// The spread cache's hit/miss counters and the batcher's
+    /// `(forward passes, requests served through them)` totals live in
+    /// those components; the caller passes their current values so the
+    /// exposition is one consistent snapshot.
+    pub fn render(
+        &self,
+        cache_hits: u64,
+        cache_misses: u64,
+        cache_len: usize,
+        batch_passes: u64,
+        batch_served: u64,
+    ) -> String {
+        let mut out = String::with_capacity(2048);
+        out.push_str("# privim-serve metrics exposition v1\n");
+        for (i, name) in ENDPOINTS.iter().enumerate() {
+            let s = &self.endpoints[i];
+            push_line(
+                &mut out,
+                &format!("privim_requests_total{{endpoint=\"{name}\"}}"),
+                s.requests.load(Ordering::Relaxed),
+            );
+        }
+        for (i, name) in ENDPOINTS.iter().enumerate() {
+            let s = &self.endpoints[i];
+            let mut cumulative = 0u64;
+            for (b, ub) in BUCKETS_US.iter().enumerate() {
+                cumulative += s.buckets[b].load(Ordering::Relaxed);
+                push_line(
+                    &mut out,
+                    &format!("privim_latency_us_bucket{{endpoint=\"{name}\",le=\"{ub}\"}}"),
+                    cumulative,
+                );
+            }
+            cumulative += s.buckets[BUCKETS_US.len()].load(Ordering::Relaxed);
+            push_line(
+                &mut out,
+                &format!("privim_latency_us_bucket{{endpoint=\"{name}\",le=\"+Inf\"}}"),
+                cumulative,
+            );
+            push_line(
+                &mut out,
+                &format!("privim_latency_us_sum{{endpoint=\"{name}\"}}"),
+                s.latency_sum_us.load(Ordering::Relaxed),
+            );
+        }
+        push_line(&mut out, "privim_responses_total{class=\"2xx\"}", self.responses_2xx.load(Ordering::Relaxed));
+        push_line(&mut out, "privim_responses_total{class=\"4xx\"}", self.responses_4xx.load(Ordering::Relaxed));
+        push_line(&mut out, "privim_responses_total{class=\"5xx\"}", self.responses_5xx.load(Ordering::Relaxed));
+        push_line(&mut out, "privim_shed_total", self.shed_total.load(Ordering::Relaxed));
+        push_line(&mut out, "privim_queue_depth", self.queue_depth.load(Ordering::Relaxed));
+        push_line(&mut out, "privim_queue_depth_peak", self.queue_depth_peak.load(Ordering::Relaxed));
+        push_line(&mut out, "privim_batch_forward_passes_total", batch_passes);
+        push_line(&mut out, "privim_batch_batched_requests_total", batch_served);
+        push_line(&mut out, "privim_cache_hits_total", cache_hits);
+        push_line(&mut out, "privim_cache_misses_total", cache_misses);
+        push_line(&mut out, "privim_cache_entries", cache_len as u64);
+        push_line(&mut out, "privim_drained_during_shutdown_total", self.drained_during_shutdown.load(Ordering::Relaxed));
+        out
+    }
+}
+
+fn push_line(out: &mut String, name: &str, value: u64) {
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(&value.to_string());
+    out.push('\n');
+}
+
+/// Pull a counter value back out of exposition text (test + bench helper).
+pub fn parse_counter(exposition: &str, name: &str) -> Option<u64> {
+    exposition.lines().find_map(|l| {
+        let rest = l.strip_prefix(name)?;
+        let rest = rest.strip_prefix(' ')?;
+        rest.trim().parse().ok()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observe_counts_and_buckets() {
+        let m = Metrics::new();
+        m.observe(0, 75, 200); // influence, 75 µs -> le=100
+        m.observe(0, 75, 200);
+        m.observe(2, 2_000_000, 200); // embed, 2 s -> +Inf
+        let text = m.render(3, 1, 2, 0, 0);
+        assert_eq!(
+            parse_counter(&text, "privim_requests_total{endpoint=\"influence\"}"),
+            Some(2)
+        );
+        assert_eq!(
+            parse_counter(&text, "privim_latency_us_bucket{endpoint=\"influence\",le=\"100\"}"),
+            Some(2)
+        );
+        assert_eq!(
+            parse_counter(&text, "privim_latency_us_bucket{endpoint=\"influence\",le=\"50\"}"),
+            Some(0)
+        );
+        assert_eq!(
+            parse_counter(&text, "privim_latency_us_bucket{endpoint=\"embed\",le=\"+Inf\"}"),
+            Some(1)
+        );
+        assert_eq!(
+            parse_counter(&text, "privim_latency_us_bucket{endpoint=\"embed\",le=\"1000000\"}"),
+            Some(0)
+        );
+        assert_eq!(parse_counter(&text, "privim_responses_total{class=\"2xx\"}"), Some(3));
+        assert_eq!(parse_counter(&text, "privim_cache_hits_total"), Some(3));
+        assert_eq!(parse_counter(&text, "privim_cache_misses_total"), Some(1));
+        assert_eq!(parse_counter(&text, "privim_cache_entries"), Some(2));
+    }
+
+    #[test]
+    fn queue_and_batch_gauges() {
+        let m = Metrics::new();
+        m.queue_push();
+        m.queue_push();
+        m.queue_pop();
+        m.shed();
+        let text = m.render(0, 0, 0, 1, 4);
+        assert_eq!(parse_counter(&text, "privim_queue_depth"), Some(1));
+        assert_eq!(parse_counter(&text, "privim_queue_depth_peak"), Some(2));
+        assert_eq!(parse_counter(&text, "privim_batch_forward_passes_total"), Some(1));
+        assert_eq!(parse_counter(&text, "privim_batch_batched_requests_total"), Some(4));
+        assert_eq!(parse_counter(&text, "privim_shed_total"), Some(1));
+    }
+
+    #[test]
+    fn endpoint_routing_table() {
+        assert_eq!(endpoint_index("/v1/influence"), Some(0));
+        assert_eq!(endpoint_index("/v1/seeds"), Some(1));
+        assert_eq!(endpoint_index("/v1/embed"), Some(2));
+        assert_eq!(endpoint_index("/metrics"), Some(3));
+        assert_eq!(endpoint_index("/healthz"), Some(4));
+        assert_eq!(endpoint_index("/nope"), None);
+    }
+}

@@ -1,0 +1,457 @@
+//! The accept loop, worker pool, router and request handlers.
+//!
+//! Thread layout: one acceptor + `workers` request threads sharing a
+//! bounded queue. The acceptor never parses: it stamps arrival time and
+//! enqueues, or — when the queue is at capacity — writes an immediate
+//! `503` and closes (load shedding at the cheapest possible point).
+//! Workers additionally shed any request whose *queue wait* already
+//! exceeded the deadline: a reply that can no longer arrive in time is
+//! better dropped than served late while newer requests rot.
+//!
+//! Graceful shutdown: set the flag, wake the acceptor with a self-
+//! connection, let workers finish everything queued and in flight, then
+//! join. No request that was accepted is ever abandoned.
+
+use crate::batch::Batcher;
+use crate::bundle::Bundle;
+use crate::cache::ShardedLru;
+use crate::http::{read_request, write_response, Request};
+use crate::metrics::{endpoint_index, Metrics};
+use privim_graph::NodeId;
+use privim_im::{ic_spread_estimate, LazyGreedy};
+use privim_rt::json::Value;
+use privim_rt::{PrivimError, PrivimResult};
+use std::collections::VecDeque;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Server tunables. The defaults suit a laptop-scale smoke deployment;
+/// the bench harness stresses them explicitly.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port (see
+    /// [`ServerHandle::port`]).
+    pub addr: String,
+    /// Request worker threads.
+    pub workers: usize,
+    /// Bounded accept-queue capacity; overflow is shed with `503`.
+    pub queue_cap: usize,
+    /// Per-request deadline measured from *arrival* (queue wait counts).
+    pub deadline: Duration,
+    /// Micro-batch collection window for `/v1/embed`.
+    pub batch_window: Duration,
+    /// Spread-cache shards.
+    pub cache_shards: usize,
+    /// Spread-cache entries per shard.
+    pub cache_cap_per_shard: usize,
+    /// Default Monte-Carlo runs for `/v1/influence` when the request
+    /// does not specify `runs`.
+    pub default_runs: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_cap: 128,
+            deadline: Duration::from_secs(5),
+            batch_window: Duration::from_millis(2),
+            cache_shards: 8,
+            cache_cap_per_shard: 256,
+            default_runs: 64,
+        }
+    }
+}
+
+struct Shared {
+    graph: Arc<privim_graph::Graph>,
+    fingerprint: u64,
+    metrics: Metrics,
+    cache: ShardedLru<f64>,
+    batcher: Batcher,
+    /// Resumable CELF state: one instance serves every `/v1/seeds`
+    /// request (greedy prefix stability makes cached answers exact).
+    seeds: Mutex<LazyGreedy>,
+    queue: Mutex<VecDeque<(TcpStream, Instant)>>,
+    queue_ready: Condvar,
+    shutting_down: AtomicBool,
+    deadline: Duration,
+    default_runs: usize,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // privim-lint: allow(panic, reason = "a poisoned server lock means a worker already panicked; propagating is the only sound recovery")
+    m.lock().unwrap()
+}
+
+/// A running server: join handles plus the shared state.
+pub struct ServerHandle {
+    port: u16,
+    shared: Arc<Shared>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The port actually bound (useful with `addr = "127.0.0.1:0"`).
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// Requests completed after shutdown began.
+    pub fn drained_count(&self) -> u64 {
+        self.shared.metrics.drained_count()
+    }
+
+    /// Stop accepting, finish every queued and in-flight request, join
+    /// all threads. Returns the number of requests drained after the
+    /// shutdown signal.
+    pub fn shutdown(mut self) -> u64 {
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        // Wake the acceptor out of its blocking accept() with a
+        // self-connection; it checks the flag before enqueuing.
+        let _ = TcpStream::connect(("127.0.0.1", self.port));
+        self.shared.queue_ready.notify_all();
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            // Keep waking workers: one notify can be consumed by a thread
+            // that goes back to processing.
+            self.shared.queue_ready.notify_all();
+            let _ = w.join();
+        }
+        self.shared.metrics.drained_count()
+    }
+}
+
+/// Bind, spawn the acceptor and workers, and return a handle. The CELF
+/// state, batcher tensors and cache are initialised here, so the first
+/// request pays no setup cost.
+pub fn start(bundle: Bundle, cfg: ServeConfig) -> PrivimResult<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)
+        .map_err(|e| PrivimError::io("binding serve listener", e))?;
+    let port = listener
+        .local_addr()
+        .map_err(|e| PrivimError::io("reading bound address", e))?
+        .port();
+
+    let model = Arc::new(bundle.model);
+    let shared = Arc::new(Shared {
+        batcher: Batcher::new(Arc::clone(&model), &bundle.graph, cfg.batch_window),
+        seeds: Mutex::new(LazyGreedy::new(Arc::clone(&bundle.graph))),
+        graph: bundle.graph,
+        fingerprint: bundle.fingerprint,
+        metrics: Metrics::new(),
+        cache: ShardedLru::new(cfg.cache_shards, cfg.cache_cap_per_shard),
+        queue: Mutex::new(VecDeque::with_capacity(cfg.queue_cap)),
+        queue_ready: Condvar::new(),
+        shutting_down: AtomicBool::new(false),
+        deadline: cfg.deadline,
+        default_runs: cfg.default_runs,
+    });
+
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        let cap = cfg.queue_cap.max(1);
+        std::thread::spawn(move || acceptor_loop(&listener, &shared, cap))
+    };
+    let workers = (0..cfg.workers.max(1))
+        .map(|_| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || worker_loop(&shared))
+        })
+        .collect();
+
+    Ok(ServerHandle {
+        port,
+        shared,
+        acceptor: Some(acceptor),
+        workers,
+    })
+}
+
+// privim-lint: allow(wall-clock, reason = "latency telemetry: arrival timestamps feed the latency histogram and deadline shedding, never response payloads")
+fn acceptor_loop(listener: &TcpListener, shared: &Shared, cap: usize) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            if shared.shutting_down.load(Ordering::SeqCst) {
+                return;
+            }
+            continue;
+        };
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            return; // the wake-up self-connection lands here too
+        }
+        // Small request/response exchanges; never trade latency for
+        // segment coalescing.
+        let _ = stream.set_nodelay(true);
+        let arrival = Instant::now();
+        let mut q = lock(&shared.queue);
+        if q.len() >= cap {
+            drop(q);
+            shed(stream, shared, "queue full");
+            continue;
+        }
+        q.push_back((stream, arrival));
+        shared.metrics.queue_push();
+        drop(q);
+        shared.queue_ready.notify_one();
+    }
+}
+
+/// Reject a connection with an immediate `503` (best-effort write).
+fn shed(mut stream: TcpStream, shared: &Shared, why: &str) {
+    shared.metrics.shed();
+    shared.metrics.observe_status(503);
+    let body = Value::obj(vec![("error", Value::Str(format!("shed: {why}"))) ])
+        .to_json_string();
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
+    let _ = write_response(&mut stream, 503, "application/json", body.as_bytes());
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let popped = {
+            let mut q = lock(&shared.queue);
+            loop {
+                if let Some(item) = q.pop_front() {
+                    shared.metrics.queue_pop();
+                    break Some(item);
+                }
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    break None;
+                }
+                // privim-lint: allow(panic, reason = "a poisoned server lock means a worker already panicked; propagating is the only sound recovery")
+                q = shared.queue_ready.wait(q).unwrap();
+            }
+        };
+        let Some((stream, arrival)) = popped else {
+            return; // shutdown with an empty queue: fully drained
+        };
+        handle_connection(stream, arrival, shared);
+        // A request that *completes* after the shutdown signal was in
+        // flight (or queued) when it arrived — that is the drain.
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            shared.metrics.drained();
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, arrival: Instant, shared: &Shared) {
+    let waited = arrival.elapsed();
+    if waited >= shared.deadline {
+        shed(stream, shared, "deadline exceeded while queued");
+        return;
+    }
+    // A stalled or dead client may hold this worker no longer than the
+    // request's remaining deadline budget.
+    let remaining = shared.deadline - waited;
+    let _ = stream.set_read_timeout(Some(remaining));
+    let _ = stream.set_write_timeout(Some(remaining));
+
+    let (status, content_type, body, ep) = match read_request(&mut stream) {
+        Ok(req) => {
+            let ep = endpoint_index(&req.path);
+            let (status, body) = route(&req, shared);
+            let ct = if req.path == "/metrics" && status == 200 {
+                "text/plain; version=0.0.4"
+            } else {
+                "application/json"
+            };
+            (status, ct, body, ep)
+        }
+        Err(e) => {
+            let body = Value::obj(vec![("error", Value::Str(e.to_string()))]).to_json_string();
+            (400, "application/json", body, None)
+        }
+    };
+    let _ = write_response(&mut stream, status, content_type, body.as_bytes());
+    let latency_us = arrival.elapsed().as_micros().min(u64::MAX as u128) as u64;
+    match ep {
+        Some(ep) => shared.metrics.observe(ep, latency_us, status),
+        None => shared.metrics.observe_status(status),
+    }
+}
+
+fn route(req: &Request, shared: &Shared) -> (u16, String) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => (
+            200,
+            Value::obj(vec![
+                ("status", Value::Str("ok".to_string())),
+                (
+                    "graph_fingerprint",
+                    Value::Str(format!("{:#018x}", shared.fingerprint)),
+                ),
+            ])
+            .to_json_string(),
+        ),
+        ("GET", "/metrics") => {
+            let (passes, served) = shared.batcher.stats();
+            (
+                200,
+                shared.metrics.render(
+                    shared.cache.hits(),
+                    shared.cache.misses(),
+                    shared.cache.len(),
+                    passes,
+                    served,
+                ),
+            )
+        }
+        ("POST", "/v1/influence") => reply(handle_influence(req, shared)),
+        ("POST", "/v1/seeds") => reply(handle_seeds(req, shared)),
+        ("POST", "/v1/embed") => reply(handle_embed(req, shared)),
+        (_, "/healthz" | "/metrics" | "/v1/influence" | "/v1/seeds" | "/v1/embed") => (
+            405,
+            "{\"error\":\"method not allowed\"}".to_string(),
+        ),
+        _ => (404, "{\"error\":\"no such route\"}".to_string()),
+    }
+}
+
+fn reply(result: PrivimResult<Value>) -> (u16, String) {
+    match result {
+        Ok(v) => (200, v.to_json_string()),
+        Err(e) => (
+            400,
+            Value::obj(vec![("error", Value::Str(e.to_string()))]).to_json_string(),
+        ),
+    }
+}
+
+fn parse_body(req: &Request) -> PrivimResult<Value> {
+    let text = std::str::from_utf8(&req.body)
+        .map_err(|_| PrivimError::Parse("body is not UTF-8".into()))?;
+    Ok(Value::parse(text)?)
+}
+
+/// Extract, validate and canonicalise (sort + dedup) a seed list.
+fn seed_list(v: &Value, key: &str, n: usize) -> PrivimResult<Vec<NodeId>> {
+    let arr = v
+        .get(key)
+        .and_then(|s| s.as_array())
+        .ok_or_else(|| PrivimError::invalid(format!("missing array field {key:?}")))?;
+    if arr.is_empty() {
+        return Err(PrivimError::empty(format!("{key} must be non-empty")));
+    }
+    let mut out = Vec::with_capacity(arr.len());
+    for s in arr {
+        let id = s
+            .as_usize()
+            .filter(|&id| id < n)
+            .ok_or_else(|| PrivimError::invalid(format!("{key} contains an invalid node id")))?;
+        out.push(id as NodeId);
+    }
+    out.sort_unstable();
+    out.dedup();
+    Ok(out)
+}
+
+/// `POST /v1/influence` — `{"seeds":[…], "runs"?, "max_steps"?, "seed"?}`.
+///
+/// The seed list is canonicalised (sorted, deduplicated) before both the
+/// cache lookup and the estimator call, so `[3,1]` and `[1,3]` are the
+/// same query and the cached value is exactly what the estimator would
+/// return.
+fn handle_influence(req: &Request, shared: &Shared) -> PrivimResult<Value> {
+    let body = parse_body(req)?;
+    let seeds = seed_list(&body, "seeds", shared.graph.num_nodes())?;
+    let runs = match body.get("runs") {
+        Some(v) => v
+            .as_usize()
+            .filter(|&r| (1..=100_000).contains(&r))
+            .ok_or_else(|| PrivimError::invalid("runs must be in 1..=100000"))?,
+        None => shared.default_runs,
+    };
+    let max_steps = match body.get("max_steps") {
+        None | Some(Value::Null) => None,
+        Some(v) => Some(
+            v.as_usize()
+                .ok_or_else(|| PrivimError::invalid("max_steps must be a non-negative integer"))?,
+        ),
+    };
+    let mc_seed = match body.get("seed") {
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| PrivimError::invalid("seed must be a non-negative integer"))?,
+        None => 0,
+    };
+
+    // Exact canonical request bytes as the cache key; the hash only
+    // picks the shard (see cache module docs).
+    let mut key = Vec::with_capacity(seeds.len() * 4 + 24);
+    for &s in &seeds {
+        key.extend_from_slice(&s.to_le_bytes());
+    }
+    key.extend_from_slice(&(runs as u64).to_le_bytes());
+    key.extend_from_slice(&max_steps.map(|m| m as u64 + 1).unwrap_or(0).to_le_bytes());
+    key.extend_from_slice(&mc_seed.to_le_bytes());
+
+    let (spread, cached) = match shared.cache.get(&key) {
+        Some(v) => (v, true),
+        None => {
+            let v = ic_spread_estimate(&shared.graph, &seeds, max_steps, runs, mc_seed);
+            shared.cache.put(key, v);
+            (v, false)
+        }
+    };
+    Ok(Value::obj(vec![
+        ("spread", Value::Num(spread)),
+        ("runs", Value::Num(runs as f64)),
+        ("cached", Value::Bool(cached)),
+    ]))
+}
+
+/// `POST /v1/seeds` — `{"k": n}`: top-`k` seeds via the shared resumable
+/// CELF state. Any `k` not exceeding what a previous request already
+/// computed is answered from memory with zero oracle calls.
+fn handle_seeds(req: &Request, shared: &Shared) -> PrivimResult<Value> {
+    let body = parse_body(req)?;
+    let k = body
+        .get("k")
+        .and_then(|v| v.as_usize())
+        .filter(|&k| k >= 1)
+        .ok_or_else(|| PrivimError::invalid("k must be a positive integer"))?;
+    if k > shared.graph.num_nodes() {
+        return Err(PrivimError::invalid(format!(
+            "k = {k} exceeds |V| = {}",
+            shared.graph.num_nodes()
+        )));
+    }
+    let mut greedy = lock(&shared.seeds);
+    let already = greedy.computed();
+    let seeds: Vec<Value> = greedy
+        .extend_to(k)
+        .iter()
+        .map(|&s| Value::Num(s as f64))
+        .collect();
+    let spread = greedy.prefix_spread(k);
+    Ok(Value::obj(vec![
+        ("seeds", Value::Arr(seeds)),
+        ("spread", Value::Num(spread)),
+        ("served_from_cache", Value::Bool(already >= k)),
+    ]))
+}
+
+/// `POST /v1/embed` — `{"nodes":[…]}`: model scores for the requested
+/// nodes, computed through the micro-batcher.
+fn handle_embed(req: &Request, shared: &Shared) -> PrivimResult<Value> {
+    let body = parse_body(req)?;
+    let nodes = seed_list(&body, "nodes", shared.graph.num_nodes())?;
+    let scores = shared.batcher.scores();
+    let out: Vec<Value> = nodes
+        .iter()
+        .map(|&v| {
+            Value::Arr(vec![
+                Value::Num(v as f64),
+                Value::Num(scores[v as usize]),
+            ])
+        })
+        .collect();
+    Ok(Value::obj(vec![("scores", Value::Arr(out))]))
+}

@@ -29,4 +29,17 @@ for seed in 1 2; do
     PRIVIM_FAULT_SEED=$seed cargo test -q --offline -p privim-repro --test fault_tolerance
 done
 
+echo "== serve smoke (pack a tiny checkpoint bundle, hit every endpoint, drain)"
+# `pack --fast` trains a CI-sized model through the real pipeline and
+# writes the versioned+checksummed bundle; bench_serve --smoke self-hosts
+# the server on an ephemeral port, sends one request per endpoint with
+# response assertions, checks /metrics accounting, and asserts the
+# shutdown drain completes cleanly.
+SERVE_BUNDLE="$(mktemp /tmp/privim-serve-ci-XXXXXX.json)"
+trap 'rm -f "$SERVE_BUNDLE"' EXIT
+cargo run -q --release --offline -p privim-serve -- pack \
+    --out "$SERVE_BUNDLE" --nodes 120 --k 10 --fast
+cargo run -q --release --offline -p privim-bench --bin bench_serve -- \
+    --smoke --bundle "$SERVE_BUNDLE"
+
 echo "CI green"
