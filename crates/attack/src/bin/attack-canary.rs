@@ -1,0 +1,75 @@
+//! CI attack canary: run the canary-scale privacy attack harness on a
+//! tiny synthetic graph and fail the build if the *empirical* ε lower
+//! bound ever exceeds the accountant's *analytical* upper bound — the one
+//! ordering a correct DP implementation can never violate.
+//!
+//! ```text
+//! attack-canary [--nodes 60] [--sigma 1.5] [--seed 2024]
+//! ```
+//!
+//! Exit status: 0 when the evidence is consistent, 1 when the empirical
+//! bound exceeds the accounted one (a privacy regression), 2 on usage or
+//! harness errors.
+
+use privim_attack::canary_evidence;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!("usage: attack-canary [--nodes 60] [--sigma 1.5] [--seed 2024]");
+    exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut nodes = 60usize;
+    let mut sigma = 1.5f64;
+    let mut seed = 2024u64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = || it.next().cloned().unwrap_or_else(|| usage());
+        match a.as_str() {
+            "--nodes" => nodes = val().parse().unwrap_or_else(|_| usage()),
+            "--sigma" => sigma = val().parse().unwrap_or_else(|_| usage()),
+            "--seed" => seed = val().parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+    }
+
+    let evidence = match canary_evidence(nodes, sigma, seed) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("attack-canary: harness error: {e}");
+            exit(2)
+        }
+    };
+
+    println!("| run | ε (accounted) | ε̂ (empirical LB) | slack | mem AUC | topo AUC |");
+    println!("|---|---|---|---|---|---|");
+    println!(
+        "{}",
+        evidence.markdown_row(&format!("canary(n={nodes}, σ={sigma}, seed={seed})"))
+    );
+    println!(
+        "targets={} shadows={} δ={} membership_advantage={:.3} topology_advantage={:.3}",
+        evidence.attack_targets,
+        evidence.shadow_models,
+        evidence.delta,
+        evidence.membership_advantage,
+        evidence.topology_advantage,
+    );
+
+    if !evidence.consistent() {
+        eprintln!(
+            "attack-canary: FAIL — empirical ε lower bound {:.4} exceeds accounted ε {:.4} \
+             (the attack extracts more than the accountant admits; this is a privacy regression)",
+            evidence.empirical_epsilon_lb, evidence.accounted_epsilon
+        );
+        exit(1)
+    }
+    println!(
+        "attack-canary: OK — empirical {:.4} ≤ accounted {:.4} (slack {:.4})",
+        evidence.empirical_epsilon_lb,
+        evidence.accounted_epsilon,
+        evidence.slack()
+    );
+}

@@ -1,0 +1,80 @@
+//! Adapters from attack surfaces to score vectors.
+//!
+//! The harness attacks two surfaces: a [`privim_gnn::GnnModel`] held in
+//! memory, and the JSON bodies privim-serve's `/v1/embed` endpoint
+//! returns. This module parses the latter so the same topology attack runs
+//! against live server output without the attack crate depending on the
+//! server crate.
+
+use privim_rt::json::Value;
+use privim_rt::{PrivimError, PrivimResult};
+
+/// Parse a `/v1/embed` response body (`{"scores": [[node, score], ...]}`)
+/// into `(node, score)` pairs, in response order.
+pub fn scores_from_embed_json(body: &str) -> PrivimResult<Vec<(u32, f64)>> {
+    let v = Value::parse(body).map_err(|e| PrivimError::Parse(format!("embed body: {e}")))?;
+    let rows = v
+        .get("scores")
+        .and_then(|s| s.as_array())
+        .ok_or_else(|| PrivimError::Parse("embed body missing scores array".into()))?;
+    rows.iter()
+        .map(|row| {
+            let pair = row
+                .as_array()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| PrivimError::Parse("embed row is not a [node, score] pair".into()))?;
+            let node = pair[0]
+                .as_u64()
+                .ok_or_else(|| PrivimError::Parse("embed row node is not an integer".into()))?;
+            let score = pair[1]
+                .as_f64()
+                .ok_or_else(|| PrivimError::Parse("embed row score is not a number".into()))?;
+            Ok((node as u32, score))
+        })
+        .collect()
+}
+
+/// Assemble a dense per-node score vector from `/v1/embed` pairs. Nodes
+/// the server was not asked about get `fill` (attacks that need full
+/// coverage should query every node). Errors when a node id is out of
+/// range.
+pub fn dense_scores(pairs: &[(u32, f64)], num_nodes: usize, fill: f64) -> PrivimResult<Vec<f64>> {
+    let mut out = vec![fill; num_nodes];
+    for &(node, score) in pairs {
+        let slot = out.get_mut(node as usize).ok_or_else(|| {
+            PrivimError::invalid(format!("embed node {node} out of range (n = {num_nodes})"))
+        })?;
+        *slot = score;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_server_shape() {
+        let body = "{\"scores\": [[0, 0.25], [7, 0.5], [2, 0.125]]}";
+        let pairs = scores_from_embed_json(body).unwrap();
+        assert_eq!(pairs, vec![(0, 0.25), (7, 0.5), (2, 0.125)]);
+        let dense = dense_scores(&pairs, 8, 0.0).unwrap();
+        assert_eq!(dense[7], 0.5);
+        assert_eq!(dense[1], 0.0);
+    }
+
+    #[test]
+    fn malformed_bodies_are_typed_errors() {
+        for bad in [
+            "not json",
+            "{}",
+            "{\"scores\": 3}",
+            "{\"scores\": [[1]]}",
+            "{\"scores\": [[1, 2, 3]]}",
+            "{\"scores\": [[\"x\", 1.0]]}",
+        ] {
+            assert!(scores_from_embed_json(bad).is_err(), "{bad}");
+        }
+        assert!(dense_scores(&[(9, 1.0)], 4, 0.0).is_err());
+    }
+}

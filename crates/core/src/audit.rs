@@ -74,12 +74,20 @@ pub fn dp_advantage_bound(epsilon: f64, delta: f64) -> f64 {
     ((epsilon.exp() - 1.0 + 2.0 * delta) / (epsilon.exp() + 1.0)).clamp(0.0, 1.0)
 }
 
-fn train_once(
+/// Train one audit-scale model on `g` with the config's DP-SGD settings:
+/// dual-stage sampling into a container, then `cfg.iters` noisy steps.
+/// Fully seeded — identical `(model_seed, train_seed)` give bit-identical
+/// models. Returns the model together with the subgraph-container size the
+/// run actually trained on (the `m` the accountant's subsampling ratio
+/// divides by). Public because the attack harness (`privim-attack`) trains
+/// its shadow and target models through exactly this path, so the audited
+/// mechanism is the same one the accountant's ε covers.
+pub fn train_probe_model(
     g: &Graph,
     cfg: &AuditConfig,
     model_seed: u64,
     train_seed: u64,
-) -> PrivimResult<GnnModel> {
+) -> PrivimResult<(GnnModel, usize)> {
     let mut rng = ChaCha8Rng::seed_from_u64(train_seed);
     let scfg = DualStageConfig {
         stage1: FreqConfig {
@@ -125,7 +133,8 @@ fn train_once(
         fault: None,
     };
     train_dpgnn(&mut model, &items, &tcfg)?;
-    Ok(model)
+    let container_size = container.subgraphs.len();
+    Ok((model, container_size))
 }
 
 /// Run the audit on `g`. For each target node `v`, trains an IN model (on
@@ -152,13 +161,14 @@ pub fn membership_inference_audit(g: &Graph, cfg: &AuditConfig) -> PrivimResult<
             scores[target as usize]
         };
 
-        let in_model = train_once(g, cfg, cfg.seed + 1_000 + t as u64, cfg.seed + t as u64)?;
+        let (in_model, _) =
+            train_probe_model(g, cfg, cfg.seed + 1_000 + t as u64, cfg.seed + t as u64)?;
         in_scores.push(probe(&in_model));
 
         // OUT world: remove the node and all its edges (unbounded node DP)
         let keep: Vec<NodeId> = g.nodes().filter(|&v| v != target).collect();
         let without = induced_subgraph(g, &keep);
-        let out_model = train_once(
+        let (out_model, _) = train_probe_model(
             &without.graph,
             cfg,
             cfg.seed + 1_000 + t as u64,

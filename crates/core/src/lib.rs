@@ -42,8 +42,11 @@ pub mod pipeline;
 pub mod results;
 pub mod trainer;
 
-pub use audit::{dp_advantage_bound, membership_inference_audit, AuditConfig, AuditResult};
+pub use audit::{
+    best_threshold_advantage, dp_advantage_bound, membership_inference_audit, train_probe_model,
+    AuditConfig, AuditResult,
+};
 pub use loss::{im_loss, LossConfig, PhiKind};
 pub use pipeline::{export_serve_artifact, run_method, EvalSetup, Method, ServeArtifact};
-pub use results::MethodOutput;
+pub use results::{MethodOutput, PrivacyEvidence};
 pub use trainer::{train_dpgnn, DpSgdConfig, TrainItem, TrainReport};

@@ -171,6 +171,103 @@ impl MethodOutput {
     }
 }
 
+/// The two sides of a privacy claim for one trained model: the RDP
+/// accountant's analytical upper bound and the attack harness's empirical
+/// lower bound. A sound DP implementation must keep
+/// `empirical_epsilon_lb ≤ accounted_epsilon` — the CI attack canary fails
+/// the build when this table reports otherwise.
+#[derive(Clone, Debug)]
+pub struct PrivacyEvidence {
+    /// Accountant's `ε` upper bound (Theorem 3 + Theorem 1 composition).
+    pub accounted_epsilon: f64,
+    /// The `δ` both bounds are stated at.
+    pub delta: f64,
+    /// Empirical `ε` lower bound from the membership-inference attack
+    /// (max over thresholds of the TPR/FPR likelihood-ratio bound).
+    pub empirical_epsilon_lb: f64,
+    /// Best membership-attack advantage `TPR − FPR` over all thresholds.
+    pub membership_advantage: f64,
+    /// Membership-attack AUC (0.5 = blind guessing).
+    pub membership_auc: f64,
+    /// Topology-inference (edge reconstruction) AUC.
+    pub topology_auc: f64,
+    /// Topology-attack advantage at the evaluation FPR.
+    pub topology_advantage: f64,
+    /// Shadow models trained for calibration.
+    pub shadow_models: usize,
+    /// Target models attacked (IN/OUT pairs).
+    pub attack_targets: usize,
+    /// Seed of the deterministic attack loop.
+    pub attack_seed: u64,
+}
+
+impl PrivacyEvidence {
+    /// Does the empirical evidence stay below the analytical bound?
+    /// This is the invariant the CI canary enforces.
+    pub fn consistent(&self) -> bool {
+        self.empirical_epsilon_lb.is_finite()
+            && self.empirical_epsilon_lb <= self.accounted_epsilon
+    }
+
+    /// Slack between the bounds (`accounted − empirical`); negative means
+    /// the implementation leaks more than it accounts for.
+    pub fn slack(&self) -> f64 {
+        self.accounted_epsilon - self.empirical_epsilon_lb
+    }
+
+    /// Parse the [`privim_rt::json::ToJson`] form back.
+    pub fn from_json(v: &privim_rt::json::Value) -> Result<PrivacyEvidence, String> {
+        let f = |name: &str| {
+            v.get(name)
+                .and_then(|x| x.as_f64())
+                .ok_or_else(|| format!("PrivacyEvidence: missing {name}"))
+        };
+        Ok(PrivacyEvidence {
+            accounted_epsilon: f("accounted_epsilon")?,
+            delta: f("delta")?,
+            empirical_epsilon_lb: f("empirical_epsilon_lb")?,
+            membership_advantage: f("membership_advantage")?,
+            membership_auc: f("membership_auc")?,
+            topology_auc: f("topology_auc")?,
+            topology_advantage: f("topology_advantage")?,
+            shadow_models: f("shadow_models")? as usize,
+            attack_targets: f("attack_targets")? as usize,
+            attack_seed: f("attack_seed")? as u64,
+        })
+    }
+
+    /// One row of the EXPERIMENTS.md evidence table:
+    /// `| ε (accounted) | ε̂ (empirical LB) | slack | mem AUC | topo AUC |`.
+    pub fn markdown_row(&self, label: &str) -> String {
+        format!(
+            "| {label} | {:.4} | {:.4} | {:.4} | {:.3} | {:.3} |",
+            self.accounted_epsilon,
+            self.empirical_epsilon_lb,
+            self.slack(),
+            self.membership_auc,
+            self.topology_auc,
+        )
+    }
+}
+
+impl privim_rt::json::ToJson for PrivacyEvidence {
+    fn to_json(&self) -> privim_rt::json::Value {
+        use privim_rt::json::Value;
+        Value::obj(vec![
+            ("accounted_epsilon", self.accounted_epsilon.to_json()),
+            ("delta", self.delta.to_json()),
+            ("empirical_epsilon_lb", self.empirical_epsilon_lb.to_json()),
+            ("membership_advantage", self.membership_advantage.to_json()),
+            ("membership_auc", self.membership_auc.to_json()),
+            ("topology_auc", self.topology_auc.to_json()),
+            ("topology_advantage", self.topology_advantage.to_json()),
+            ("shadow_models", self.shadow_models.to_json()),
+            ("attack_targets", self.attack_targets.to_json()),
+            ("attack_seed", self.attack_seed.to_json()),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -203,6 +300,39 @@ mod tests {
     fn atomic_write_to_bad_path_is_typed_io_error() {
         let err = write_atomic("/nonexistent-dir-privim/out.json", "x").unwrap_err();
         assert!(matches!(err, privim_rt::PrivimError::Io { .. }), "{err}");
+    }
+
+    #[test]
+    fn privacy_evidence_roundtrip_and_consistency() {
+        use privim_rt::json::{ToJson, Value};
+        let ev = PrivacyEvidence {
+            accounted_epsilon: 2.0,
+            delta: 1e-5,
+            empirical_epsilon_lb: 0.4,
+            membership_advantage: 0.1,
+            membership_auc: 0.55,
+            topology_auc: 0.6,
+            topology_advantage: 0.15,
+            shadow_models: 4,
+            attack_targets: 8,
+            attack_seed: 77,
+        };
+        assert!(ev.consistent());
+        assert!((ev.slack() - 1.6).abs() < 1e-12);
+        let back =
+            PrivacyEvidence::from_json(&Value::parse(&ev.to_json().to_json_string()).unwrap())
+                .unwrap();
+        assert_eq!(back.accounted_epsilon, 2.0);
+        assert_eq!(back.empirical_epsilon_lb, 0.4);
+        assert_eq!(back.shadow_models, 4);
+        assert_eq!(back.attack_seed, 77);
+        let leaky = PrivacyEvidence {
+            empirical_epsilon_lb: 2.5,
+            ..ev.clone()
+        };
+        assert!(!leaky.consistent(), "leak must flip the invariant");
+        let row = ev.markdown_row("grat");
+        assert!(row.starts_with("| grat |") && row.contains("2.0000"), "{row}");
     }
 
     #[test]

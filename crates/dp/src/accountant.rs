@@ -94,6 +94,24 @@ pub fn rdp_to_dp(alpha: f64, gamma_total: f64, delta: f64) -> f64 {
     gamma_total + ((alpha - 1.0) / alpha).ln() - (delta.ln() + alpha.ln()) / (alpha - 1.0)
 }
 
+/// Inverse of [`rdp_to_dp`] in γ: the per-order Rényi budget that converts
+/// to exactly `epsilon` at `(alpha, delta)`. `rdp_to_dp(α, dp_to_rdp(α, ε, δ), δ) == ε`
+/// up to floating-point rounding — the round-trip property tests pin it.
+pub fn dp_to_rdp(alpha: f64, epsilon: f64, delta: f64) -> f64 {
+    assert!(alpha > 1.0 && delta > 0.0 && delta < 1.0);
+    epsilon - ((alpha - 1.0) / alpha).ln() + (delta.ln() + alpha.ln()) / (alpha - 1.0)
+}
+
+/// Per-release RDP of the *plain* (unsubsampled) Gaussian mechanism with
+/// sensitivity-normalised noise multiplier `sigma`: `γ(α) = α / (2σ²)`.
+/// This is the unit cost the serving-side tenant ledger composes per
+/// admitted query.
+pub fn gaussian_rdp(alpha: f64, sigma: f64) -> f64 {
+    assert!(alpha > 1.0, "RDP order must exceed 1");
+    assert!(sigma > 0.0, "noise multiplier must be positive");
+    alpha / (2.0 * sigma * sigma)
+}
+
 /// Best `ε(δ)` over the default α grid for `T` composed steps at noise
 /// multiplier `sigma`.
 pub fn best_epsilon(sigma: f64, delta: f64, params: &PrivacyParams) -> f64 {
@@ -176,18 +194,47 @@ impl RdpAccountant {
         }
     }
 
+    /// Record `count` plain Gaussian-mechanism releases at noise
+    /// multiplier `sigma` ([`gaussian_rdp`]). The per-query charge the
+    /// serving ledger uses.
+    pub fn record_gaussian_releases(&mut self, sigma: f64, count: u64) {
+        self.record_rdp_curve(|alpha| gaussian_rdp(alpha, sigma) * count as f64);
+    }
+
     /// Current `ε` spent at the accountant's `δ`.
     pub fn epsilon(&self) -> f64 {
+        self.epsilon_at(self.delta)
+    }
+
+    /// `ε` spent converted at an arbitrary `δ` (read-out for callers that
+    /// report at a different failure probability than the accountant's).
+    pub fn epsilon_at(&self, delta: f64) -> f64 {
         self.alphas
             .iter()
             .zip(&self.gammas)
-            .map(|(&a, &g)| rdp_to_dp(a, g, self.delta))
+            .map(|(&a, &g)| rdp_to_dp(a, g, delta))
             .fold(f64::INFINITY, f64::min)
     }
 
     /// The δ this accountant reports ε at.
     pub fn delta(&self) -> f64 {
         self.delta
+    }
+
+    /// The α grid the accountant composes on.
+    pub fn alphas(&self) -> &[f64] {
+        &self.alphas
+    }
+
+    /// Accumulated per-order Rényi budgets, aligned with [`Self::alphas`].
+    pub fn gammas(&self) -> &[f64] {
+        &self.gammas
+    }
+
+    /// The full accumulated `(α, γ)` curve — the accountant's complete
+    /// state, consumed by budget ledgers and the attack-evidence tables.
+    pub fn rdp_curve(&self) -> Vec<(f64, f64)> {
+        self.alphas.iter().copied().zip(self.gammas.iter().copied()).collect()
     }
 }
 
@@ -329,5 +376,155 @@ mod tests {
     #[should_panic(expected = "order must exceed")]
     fn alpha_one_rejected() {
         rdp_gamma_per_step(1.0, 1.0, &params());
+    }
+
+    #[test]
+    fn accountant_read_out_exposes_full_state() {
+        let mut acc = RdpAccountant::new(1e-5);
+        assert_eq!(acc.alphas().len(), acc.gammas().len());
+        assert!(acc.gammas().iter().all(|&g| g == 0.0));
+        acc.record_gaussian_releases(2.0, 3);
+        let curve = acc.rdp_curve();
+        assert_eq!(curve.len(), default_alpha_grid().len());
+        for &(alpha, gamma) in &curve {
+            let want = 3.0 * gaussian_rdp(alpha, 2.0);
+            assert!((gamma - want).abs() < 1e-12, "alpha {alpha}");
+        }
+        // epsilon_at at the accountant's own delta equals epsilon()
+        assert_eq!(acc.epsilon().to_bits(), acc.epsilon_at(1e-5).to_bits());
+        // a looser delta never increases epsilon
+        assert!(acc.epsilon_at(1e-3) <= acc.epsilon());
+    }
+}
+
+/// Seeded property-style sweeps: the proptest-free equivalent the
+/// workspace uses everywhere (PR 1 rewrote proptests as seeded loops).
+/// Each test draws many random parameterisations from a fixed ChaCha
+/// stream and asserts an accountant invariant on every draw.
+#[cfg(test)]
+mod property_tests {
+    use super::*;
+    use privim_rt::{ChaCha8Rng, Rng, SeedableRng};
+
+    fn random_params(rng: &mut ChaCha8Rng) -> PrivacyParams {
+        let n_g = rng.gen_range(1..64u64);
+        let batch = rng.gen_range(1..128u64);
+        // container at least n_g so q <= 1 is the interesting subsampled
+        // regime on most draws (q = 1 draws still occur when equal).
+        let container = n_g + rng.gen_range(0..4096u64);
+        let steps = rng.gen_range(1..200u64);
+        PrivacyParams {
+            n_g,
+            batch,
+            container,
+            steps,
+        }
+    }
+
+    fn random_sigma(rng: &mut ChaCha8Rng) -> f64 {
+        0.3 + 4.0 * rng.gen::<f64>()
+    }
+
+    #[test]
+    fn composition_is_monotone_in_recorded_steps() {
+        // Recording more steps can only spend more budget: ε after k+j
+        // steps >= ε after k steps, for every draw and at every α.
+        let mut rng = ChaCha8Rng::seed_from_u64(0xACC0);
+        for trial in 0..40u64 {
+            let p = PrivacyParams {
+                steps: 1,
+                ..random_params(&mut rng)
+            };
+            let sigma = random_sigma(&mut rng);
+            let mut acc = RdpAccountant::new(1e-5);
+            let mut prev = acc.epsilon();
+            for round in 0..4 {
+                acc.record_steps(sigma, 1 + (trial % 3), &p);
+                let eps = acc.epsilon();
+                assert!(
+                    eps >= prev - 1e-12,
+                    "trial {trial} round {round}: ε regressed {prev} -> {eps}"
+                );
+                prev = eps;
+            }
+        }
+    }
+
+    #[test]
+    fn subsampled_gamma_never_exceeds_base_mechanism() {
+        // Amplification-by-subsampling soundness: the Theorem 3 bound with
+        // q = N_g/m < 1 must never exceed the same mechanism at full
+        // participation (q = 1, i.e. container = n_g) — subsampling can
+        // only help. Also: γ is always non-negative.
+        let mut rng = ChaCha8Rng::seed_from_u64(0xACC1);
+        for trial in 0..60usize {
+            let p = random_params(&mut rng);
+            let full = PrivacyParams {
+                container: p.n_g, // q = 1: the base mechanism
+                ..p
+            };
+            let sigma = random_sigma(&mut rng);
+            let alpha = [1.25, 2.0, 8.0, 64.0, 512.0][trial % 5];
+            let g_sub = rdp_gamma_per_step(alpha, sigma, &p);
+            let g_full = rdp_gamma_per_step(alpha, sigma, &full);
+            assert!(g_sub >= 0.0, "trial {trial}: negative γ {g_sub}");
+            assert!(
+                g_sub <= g_full + 1e-9,
+                "trial {trial} α={alpha}: subsampled γ {g_sub} above base {g_full}"
+            );
+        }
+    }
+
+    #[test]
+    fn epsilon_conversion_round_trips_at_extreme_orders() {
+        // dp_to_rdp must invert rdp_to_dp exactly (to rounding) at both
+        // ends of the α grid, including the extreme orders 1.0625 and 8192
+        // beyond the default grid's edges.
+        let mut rng = ChaCha8Rng::seed_from_u64(0xACC2);
+        let extreme_alphas = [1.0625, 1.25, 2.0, 512.0, 8192.0];
+        for trial in 0..50usize {
+            let alpha = extreme_alphas[trial % extreme_alphas.len()];
+            let gamma = rng.gen::<f64>() * 40.0;
+            let delta = 10f64.powi(-(1 + (trial % 9) as i32));
+            let eps = rdp_to_dp(alpha, gamma, delta);
+            let back = dp_to_rdp(alpha, eps, delta);
+            let scale = gamma.abs().max(eps.abs()).max(1.0);
+            assert!(
+                (back - gamma).abs() <= 1e-9 * scale,
+                "trial {trial} α={alpha} δ={delta}: γ {gamma} -> ε {eps} -> {back}"
+            );
+        }
+    }
+
+    #[test]
+    fn grid_optimum_never_beats_any_single_order() {
+        // best_epsilon is a min over the grid: it can never be larger than
+        // the conversion at any individual order.
+        let mut rng = ChaCha8Rng::seed_from_u64(0xACC3);
+        for trial in 0..20 {
+            let p = random_params(&mut rng);
+            let sigma = random_sigma(&mut rng);
+            let best = best_epsilon(sigma, 1e-5, &p);
+            for alpha in [1.5, 4.0, 32.0, 256.0] {
+                let gamma = rdp_gamma_per_step(alpha, sigma, &p);
+                let single = rdp_to_dp(alpha, gamma * p.steps as f64, 1e-5);
+                assert!(
+                    best <= single + 1e-12,
+                    "trial {trial} α={alpha}: best {best} above single-order {single}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gaussian_rdp_is_linear_in_alpha_and_quadratic_in_sigma() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0xACC4);
+        for _ in 0..30 {
+            let alpha = 1.0 + rng.gen::<f64>() * 100.0;
+            let sigma = random_sigma(&mut rng);
+            let g = gaussian_rdp(alpha, sigma);
+            assert!((gaussian_rdp(2.0 * alpha, sigma) - 2.0 * g).abs() < 1e-9 * g.max(1.0));
+            assert!((gaussian_rdp(alpha, 2.0 * sigma) - g / 4.0).abs() < 1e-9 * g.max(1.0));
+        }
     }
 }

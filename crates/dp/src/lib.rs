@@ -24,7 +24,10 @@ pub mod math;
 pub mod mechanisms;
 pub mod sensitivity;
 
-pub use accountant::{best_epsilon, calibrate_sigma, PrivacyParams, RdpAccountant};
+pub use accountant::{
+    best_epsilon, calibrate_sigma, dp_to_rdp, gaussian_rdp, rdp_to_dp, PrivacyParams,
+    RdpAccountant,
+};
 pub use mechanisms::{gaussian_noise_vec, laplace_noise_vec, sml_noise_vec};
 pub use sensitivity::{
     naive_occurrence_bound, node_sensitivity, occurrence_bound_for_unit, sampled_occurrence_bound,

@@ -428,6 +428,37 @@ impl GnnModel {
     /// per-node seed probabilities. Must stay numerically identical to
     /// [`Self::forward`]; `forward_and_infer_agree` pins this.
     pub fn infer(&self, gt: &GraphTensors, x: &Matrix) -> Vec<f64> {
+        let h = self.hidden_features(gt, x);
+        let pi = self.params.len() - 2;
+        let (w_out, b_out) = (&self.params[pi], &self.params[pi + 1]);
+        let logits = add_bias(&h.matmul(w_out), b_out);
+        logits
+            .data()
+            .iter()
+            .map(|&v| 1.0 / (1.0 + (-v).exp()))
+            .collect()
+    }
+
+    /// Penultimate-layer node embeddings: the `n × hidden` activation
+    /// matrix after the last message-passing layer, *before* the readout.
+    /// This is what the attack harness's topology-inference adversary sees
+    /// (embedding-similarity edge reconstruction), and exactly the hidden
+    /// state [`Self::infer`] feeds the sigmoid readout.
+    pub fn embed(&self, gt: &GraphTensors, x: &Matrix) -> Matrix {
+        self.hidden_features(gt, x)
+    }
+
+    /// Convenience: embeddings for a raw graph (builds tensors + features).
+    pub fn embed_graph(&self, g: &privim_graph::Graph) -> Matrix {
+        let gt = GraphTensors::new(g);
+        let x = crate::features::node_features(g);
+        self.embed(&gt, &x)
+    }
+
+    /// The shared layer loop of [`Self::infer`] and [`Self::embed`]:
+    /// runs all message-passing layers tape-free and returns the final
+    /// hidden activations.
+    fn hidden_features(&self, gt: &GraphTensors, x: &Matrix) -> Matrix {
         assert_eq!(x.rows(), gt.n);
         assert_eq!(x.cols(), self.config.in_dim);
         let mut h = x.clone();
@@ -494,13 +525,8 @@ impl GnnModel {
                 }
             };
         }
-        let (w_out, b_out) = (&self.params[pi], &self.params[pi + 1]);
-        let logits = add_bias(&h.matmul(w_out), b_out);
-        logits
-            .data()
-            .iter()
-            .map(|&v| 1.0 / (1.0 + (-v).exp()))
-            .collect()
+        debug_assert_eq!(pi + 2, self.params.len(), "layer loop must consume all but the readout params");
+        h
     }
 
     /// Convenience: score a raw graph (builds tensors + features).
@@ -687,6 +713,39 @@ mod tests {
             pa.iter().zip(&pb).any(|(a, b)| (a - b).abs() > 1e-9),
             "GAT and GRAT should produce different outputs"
         );
+    }
+
+    #[test]
+    fn embed_is_the_penultimate_state_of_infer() {
+        // embed() must return exactly the hidden state infer() feeds the
+        // readout: sigmoid(embed · w_out + b_out) == infer, bit-for-bit.
+        for kind in GnnKind::ALL {
+            let (model, gt, x) = setup(kind, 9);
+            let emb = model.embed(&gt, &x);
+            assert_eq!(emb.rows(), gt.n);
+            assert_eq!(emb.cols(), model.config().hidden);
+            let pi = model.params().len() - 2;
+            let (w_out, b_out) = (&model.params()[pi], &model.params()[pi + 1]);
+            let logits = emb.matmul(w_out);
+            let probs = model.infer(&gt, &x);
+            for (r, &p) in probs.iter().enumerate() {
+                let z = logits.get(r, 0) + b_out.get(0, 0);
+                let want = 1.0 / (1.0 + (-z).exp());
+                assert_eq!(p.to_bits(), want.to_bits(), "{kind:?} node {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn embed_graph_matches_embed_on_built_tensors() {
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let g = generators::barabasi_albert(25, 3, &mut rng);
+        let model = GnnModel::new(GnnConfig::paper_default(), &mut rng);
+        let via_graph = model.embed_graph(&g);
+        let gt = GraphTensors::new(&g);
+        let x = node_features(&g);
+        let direct = model.embed(&gt, &x);
+        assert_eq!(via_graph.data(), direct.data());
     }
 
     #[test]

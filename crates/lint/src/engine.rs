@@ -62,8 +62,9 @@ pub struct Scope {
 /// Crates where iteration order / hash randomization can reach outputs.
 /// `serve` is included: response payloads (metrics, seed sets, cache
 /// eviction order) must be deterministic for the bit-equivalence e2e test.
-const DET_CRATES: [&str; 10] = [
+const DET_CRATES: [&str; 11] = [
     "tensor", "dp", "gnn", "sampling", "im", "core", "graph", "bench", "lint", "serve",
+    "attack",
 ];
 
 pub fn scope_for(rel: &str) -> Scope {

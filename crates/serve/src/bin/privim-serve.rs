@@ -17,7 +17,7 @@
 use privim::{export_serve_artifact, EvalSetup, Method};
 use privim_graph::{io::read_edge_list, Graph};
 use privim_rt::{ChaCha8Rng, SeedableRng};
-use privim_serve::{bundle, start, ServeConfig};
+use privim_serve::{bundle, start, LedgerConfig, LedgerState, ServeConfig};
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::path::PathBuf;
@@ -32,6 +32,8 @@ fn usage() -> ! {
                [--graph <edge-list> [--directed]] [--nodes 300]
                [--k 20] [--eps 2] [--seed 7] [--fast]
                [--method privim*|privim|privim+scs|non-private]
+               [--tenant-budget <eps> [--query-sigma 8] [--ledger-delta 1e-5]
+                [--retry-after 60]]
   privim-serve run --bundle <bundle.json> [--addr 127.0.0.1:7878]
                [--workers 4] [--queue-cap 128] [--deadline-ms 5000]
                [--batch-window-ms 2] [--runs 64]"
@@ -54,6 +56,10 @@ struct Flags {
     seed: u64,
     fast: bool,
     method: String,
+    tenant_budget: Option<f64>,
+    query_sigma: f64,
+    ledger_delta: f64,
+    retry_after: u64,
     bundle: Option<PathBuf>,
     addr: String,
     workers: usize,
@@ -74,6 +80,10 @@ fn parse_flags(args: &[String]) -> Flags {
         seed: 7,
         fast: false,
         method: "privim*".into(),
+        tenant_budget: None,
+        query_sigma: 8.0,
+        ledger_delta: 1e-5,
+        retry_after: 60,
         bundle: None,
         addr: "127.0.0.1:7878".into(),
         workers: 4,
@@ -102,6 +112,19 @@ fn parse_flags(args: &[String]) -> Flags {
             "--seed" => f.seed = val("--seed").parse().unwrap_or_else(|_| usage()),
             "--fast" => f.fast = true,
             "--method" => f.method = val("--method"),
+            "--tenant-budget" => {
+                f.tenant_budget =
+                    Some(val("--tenant-budget").parse().unwrap_or_else(|_| usage()))
+            }
+            "--query-sigma" => {
+                f.query_sigma = val("--query-sigma").parse().unwrap_or_else(|_| usage())
+            }
+            "--ledger-delta" => {
+                f.ledger_delta = val("--ledger-delta").parse().unwrap_or_else(|_| usage())
+            }
+            "--retry-after" => {
+                f.retry_after = val("--retry-after").parse().unwrap_or_else(|_| usage())
+            }
             "--bundle" => f.bundle = Some(PathBuf::from(val("--bundle"))),
             "--addr" => f.addr = val("--addr"),
             "--workers" => f.workers = val("--workers").parse().unwrap_or_else(|_| usage()),
@@ -160,9 +183,25 @@ fn cmd_pack(f: &Flags) {
         .unwrap_or_else(|e| fail(e));
     let file =
         File::create(&out).unwrap_or_else(|e| fail(format!("create {}: {e}", out.display())));
-    bundle::save(&artifact, &graph, BufWriter::new(file)).unwrap_or_else(|e| fail(e));
+    let w = BufWriter::new(file);
+    let metered = match f.tenant_budget {
+        Some(epsilon_budget) => {
+            let state = LedgerState::new(LedgerConfig {
+                epsilon_budget,
+                delta: f.ledger_delta,
+                query_sigma: f.query_sigma,
+                retry_after_secs: f.retry_after,
+            });
+            bundle::save_with_ledger(&artifact, &graph, &state, w).unwrap_or_else(|e| fail(e));
+            format!("metered(eps_budget={epsilon_budget}, query_sigma={})", f.query_sigma)
+        }
+        None => {
+            bundle::save(&artifact, &graph, w).unwrap_or_else(|e| fail(e));
+            "unmetered".to_string()
+        }
+    };
     println!(
-        "packed {}: |V|={} |E|={} method={} eps={} fingerprint={:#018x}",
+        "packed {}: |V|={} |E|={} method={} eps={} {metered} fingerprint={:#018x}",
         out.display(),
         graph.num_nodes(),
         graph.num_edges(),
@@ -208,6 +247,15 @@ fn cmd_run(f: &Flags) {
         b.privacy.sigma,
         b.privacy.steps,
     );
+    match &b.ledger {
+        Some(l) => println!(
+            "budget ledger: eps_budget={} query_sigma={} tenants_on_record={}",
+            l.config.epsilon_budget,
+            l.config.query_sigma,
+            l.tenants.len()
+        ),
+        None => println!("budget ledger: none (unmetered deployment)"),
+    }
     let cfg = ServeConfig {
         addr: f.addr.clone(),
         workers: f.workers.max(1),

@@ -4,14 +4,22 @@
 //! can trust end-to-end:
 //!
 //! ```json
-//! {"format": "privim-serve-bundle", "version": 1, "crc32": "0x…",
+//! {"format": "privim-serve-bundle", "version": 2, "crc32": "0x…",
 //!  "payload": {
 //!     "model": { …GnnModel checkpoint payload… },
 //!     "privacy": {"epsilon": 4.0, "delta": 1e-4, "sigma": 1.7, "steps": 80},
 //!     "graph": {"num_nodes": n, "directed": false, "edges": [[u,v,w]…]},
-//!     "graph_fingerprint": "0x…"
+//!     "graph_fingerprint": "0x…",
+//!     "ledger": {"epsilon_budget": 1.0, "delta": 1e-5, "query_sigma": 4.0,
+//!                "retry_after_secs": 60, "tenants": {"acme": 12}}
 //!  }}
 //! ```
+//!
+//! Version history: v1 had no `ledger` section; v2 added it as an
+//! *optional* field (a metered deployment persists per-tenant budget
+//! state, an unmetered one omits it). v1 bundles still load — absent
+//! ledger means every tenant is unmetered — so nothing packed before the
+//! version bump needs re-packing.
 //!
 //! Three integrity layers, each with a typed failure:
 //!
@@ -31,6 +39,7 @@
 //! it; the CLI prints it on startup).
 
 use crate::cache::fnv1a64;
+use crate::ledger::LedgerState;
 use privim::ServeArtifact;
 use privim_gnn::GnnModel;
 use privim_graph::{Graph, GraphBuilder, NodeId};
@@ -40,8 +49,10 @@ use std::sync::Arc;
 
 /// Format tag of a serve bundle.
 pub const BUNDLE_FORMAT: &str = "privim-serve-bundle";
-/// Current bundle format version.
-pub const BUNDLE_VERSION: u64 = 1;
+/// Current bundle format version (v2 added the optional ledger section).
+pub const BUNDLE_VERSION: u64 = 2;
+/// Oldest version [`load`] still accepts (v1 = no ledger).
+pub const MIN_BUNDLE_VERSION: u64 = 1;
 
 /// The (ε, δ)-DP statement a bundle carries alongside the model.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -68,6 +79,9 @@ pub struct Bundle {
     pub graph: Arc<Graph>,
     /// FNV-1a fingerprint of the graph's canonical arc list.
     pub fingerprint: u64,
+    /// Per-tenant serving budget ledger (`None` = unmetered deployment,
+    /// including every v1 bundle).
+    pub ledger: Option<LedgerState>,
 }
 
 /// 64-bit fingerprint of a graph: FNV-1a over `(n, directed, arcs)` in
@@ -141,10 +155,20 @@ fn graph_from_json(v: &Value) -> PrivimResult<Graph> {
 }
 
 /// Build the full bundle document (header + checksummed payload) for an
-/// exported artifact and its serving graph.
+/// exported artifact and its serving graph. Unmetered: no ledger section.
 pub fn pack(artifact: &ServeArtifact, graph: &Graph) -> Value {
+    pack_with_ledger(artifact, graph, None)
+}
+
+/// [`pack`] with an optional per-tenant budget ledger (a metered
+/// deployment persists its admission state in the bundle itself).
+pub fn pack_with_ledger(
+    artifact: &ServeArtifact,
+    graph: &Graph,
+    ledger: Option<&LedgerState>,
+) -> Value {
     let fingerprint = graph_fingerprint(graph);
-    let payload = Value::obj(vec![
+    let mut fields = vec![
         ("model", artifact.model.checkpoint_payload()),
         (
             "privacy",
@@ -160,7 +184,11 @@ pub fn pack(artifact: &ServeArtifact, graph: &Graph) -> Value {
         ),
         ("graph", graph_to_json(graph)),
         ("graph_fingerprint", Value::Str(format!("{fingerprint:#018x}"))),
-    ]);
+    ];
+    if let Some(state) = ledger {
+        fields.push(("ledger", state.to_json()));
+    }
+    let payload = Value::obj(fields);
     let crc = crc::crc32(payload.to_json_string().as_bytes());
     Value::obj(vec![
         ("format", Value::Str(BUNDLE_FORMAT.to_string())),
@@ -170,10 +198,26 @@ pub fn pack(artifact: &ServeArtifact, graph: &Graph) -> Value {
     ])
 }
 
-/// Serialise a packed bundle to a writer.
+/// Serialise a packed bundle to a writer. Unmetered: no ledger section.
 pub fn save<W: std::io::Write>(artifact: &ServeArtifact, graph: &Graph, mut w: W) -> PrivimResult<()> {
     w.write_all(pack(artifact, graph).to_json_string().as_bytes())
         .map_err(|e| PrivimError::io("writing serve bundle", e))
+}
+
+/// [`save`] with a per-tenant budget ledger.
+pub fn save_with_ledger<W: std::io::Write>(
+    artifact: &ServeArtifact,
+    graph: &Graph,
+    ledger: &LedgerState,
+    mut w: W,
+) -> PrivimResult<()> {
+    ledger.config.validate()?;
+    w.write_all(
+        pack_with_ledger(artifact, graph, Some(ledger))
+            .to_json_string()
+            .as_bytes(),
+    )
+    .map_err(|e| PrivimError::io("writing serve bundle", e))
 }
 
 fn parse_hex_u64(s: &str) -> Option<u64> {
@@ -205,10 +249,13 @@ pub fn load<R: std::io::Read>(mut r: R) -> PrivimResult<Bundle> {
             "not a {BUNDLE_FORMAT} file (format = {format:?})"
         )));
     }
-    let version = doc.get("version").and_then(|v| v.as_u64());
-    if version != Some(BUNDLE_VERSION) {
+    let version = doc
+        .get("version")
+        .and_then(|v| v.as_u64())
+        .ok_or_else(|| PrivimError::Parse("bundle missing version".into()))?;
+    if !(MIN_BUNDLE_VERSION..=BUNDLE_VERSION).contains(&version) {
         return Err(PrivimError::invalid(format!(
-            "bundle version {version:?} not supported (expected {BUNDLE_VERSION})"
+            "bundle version {version} not supported (accepted: {MIN_BUNDLE_VERSION}..={BUNDLE_VERSION})"
         )));
     }
     let payload = doc
@@ -267,11 +314,18 @@ pub fn load<R: std::io::Read>(mut r: R) -> PrivimResult<Bundle> {
             "graph fingerprint mismatch (stored {stored_fp:#018x}, rebuilt {actual_fp:#018x})"
         )));
     }
+    // Optional in v2, structurally absent in v1: either way `None` means
+    // an unmetered deployment.
+    let ledger = match payload.get("ledger") {
+        Some(v) => Some(LedgerState::from_json(v)?),
+        None => None,
+    };
     Ok(Bundle {
         model,
         privacy,
         graph: Arc::new(graph),
         fingerprint: actual_fp,
+        ledger,
     })
 }
 
@@ -364,9 +418,14 @@ mod tests {
         let mut buf = Vec::new();
         save(&art, &g, &mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();
-        let bumped = text.replacen("\"version\":1", "\"version\":9", 1);
+        let bumped = text.replacen("\"version\":2", "\"version\":9", 1);
         assert!(matches!(
             load(bumped.as_bytes()).unwrap_err(),
+            PrivimError::InvalidInput(_)
+        ));
+        let ancient = text.replacen("\"version\":2", "\"version\":0", 1);
+        assert!(matches!(
+            load(ancient.as_bytes()).unwrap_err(),
             PrivimError::InvalidInput(_)
         ));
         let renamed = text.replacen(BUNDLE_FORMAT, "mystery-format", 1);
@@ -374,6 +433,52 @@ mod tests {
             load(renamed.as_bytes()).unwrap_err(),
             PrivimError::Parse(_)
         ));
+    }
+
+    #[test]
+    fn version_1_bundles_still_load_as_unmetered() {
+        // The version lives in the header, outside the CRC'd payload, so
+        // rewriting it reproduces a v1 writer's output exactly: same
+        // payload, no ledger section.
+        let art = tiny_artifact(12);
+        let g = tiny_graph(13);
+        let mut buf = Vec::new();
+        save(&art, &g, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let v1 = text.replacen("\"version\":2", "\"version\":1", 1);
+        let loaded = load(v1.as_bytes()).unwrap();
+        assert!(loaded.ledger.is_none(), "v1 bundles are unmetered");
+        assert_eq!(loaded.fingerprint, graph_fingerprint(&g));
+    }
+
+    #[test]
+    fn ledger_state_round_trips_through_the_bundle() {
+        use crate::ledger::{LedgerConfig, LedgerState};
+        let art = tiny_artifact(14);
+        let g = tiny_graph(15);
+        let mut state = LedgerState::new(LedgerConfig {
+            epsilon_budget: 2.5,
+            delta: 1e-5,
+            query_sigma: 3.0,
+            retry_after_secs: 30,
+        });
+        state.tenants.insert("acme".into(), 7);
+        state.tenants.insert("zephyr".into(), 1);
+        let mut buf = Vec::new();
+        save_with_ledger(&art, &g, &state, &mut buf).unwrap();
+        let loaded = load(buf.as_slice()).unwrap();
+        assert_eq!(loaded.ledger, Some(state));
+        // An unmetered save stays ledger-free.
+        let mut buf2 = Vec::new();
+        save(&art, &g, &mut buf2).unwrap();
+        assert!(load(buf2.as_slice()).unwrap().ledger.is_none());
+        // A corrupt ledger section is a typed error, not a silent
+        // unmetered fallback.
+        let text = String::from_utf8(buf).unwrap();
+        let broken = text.replacen("\"epsilon_budget\":", "\"epsilon_fudget\":", 1);
+        // (CRC catches the edit first — which is the right failure: a
+        // tampered budget must not load at all.)
+        assert!(load(broken.as_bytes()).is_err());
     }
 
     #[test]

@@ -25,8 +25,21 @@ pub struct Request {
     pub method: String,
     /// Origin-form target, query string stripped.
     pub path: String,
+    /// Header fields in arrival order, names as sent, values trimmed.
+    pub headers: Vec<(String, String)>,
     /// Raw body bytes (empty when no `Content-Length`).
     pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header value whose name matches `name` case-insensitively
+    /// (header names are case-insensitive per RFC 9110).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
 }
 
 fn bad(msg: &str) -> PrivimError {
@@ -65,6 +78,7 @@ pub fn read_request(r: &mut impl Read) -> PrivimResult<Request> {
     let path = target.split('?').next().unwrap_or(target);
 
     let mut content_length = 0usize;
+    let mut headers = Vec::new();
     for line in lines {
         if line.is_empty() {
             continue;
@@ -72,12 +86,13 @@ pub fn read_request(r: &mut impl Read) -> PrivimResult<Request> {
         let Some((name, value)) = line.split_once(':') else {
             return Err(bad("malformed header line"));
         };
+        let value = value.trim();
         if name.eq_ignore_ascii_case("content-length") {
             content_length = value
-                .trim()
                 .parse()
                 .map_err(|_| bad("unparsable Content-Length"))?;
         }
+        headers.push((name.to_string(), value.to_string()));
     }
     if content_length > MAX_BODY_BYTES {
         return Err(bad("body exceeds limit"));
@@ -88,6 +103,7 @@ pub fn read_request(r: &mut impl Read) -> PrivimResult<Request> {
     Ok(Request {
         method: method.to_string(),
         path: path.to_string(),
+        headers,
         body,
     })
 }
@@ -100,6 +116,7 @@ pub fn status_reason(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         408 => "Request Timeout",
+        429 => "Too Many Requests",
         503 => "Service Unavailable",
         _ => "Internal Server Error",
     }
@@ -113,16 +130,35 @@ pub fn write_response(
     content_type: &str,
     body: &[u8],
 ) -> PrivimResult<()> {
+    write_response_with_headers(w, status, content_type, &[], body)
+}
+
+/// [`write_response`] with additional response headers (e.g. the
+/// `Retry-After` a budget-exhausted `429` carries).
+pub fn write_response_with_headers(
+    w: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+) -> PrivimResult<()> {
     // One buffer, one write: a head-then-body write pair interacts with
     // Nagle + delayed ACK to stall small responses for ~40 ms.
     let mut frame = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
         status,
         status_reason(status),
         content_type,
         body.len()
-    )
-    .into_bytes();
+    );
+    for (name, value) in extra_headers {
+        frame.push_str(name);
+        frame.push_str(": ");
+        frame.push_str(value);
+        frame.push_str("\r\n");
+    }
+    frame.push_str("\r\n");
+    let mut frame = frame.into_bytes();
     frame.extend_from_slice(body);
     w.write_all(&frame)
         .and_then(|_| w.flush())
@@ -140,6 +176,18 @@ mod tests {
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/v1/embed");
         assert_eq!(req.body, b"abcd");
+        assert_eq!(req.header("host"), Some("h"));
+    }
+
+    #[test]
+    fn headers_are_captured_case_insensitively() {
+        let raw =
+            b"POST /v1/embed HTTP/1.1\r\nX-Privim-Tenant:  acme \r\nContent-Length: 0\r\n\r\n";
+        let req = read_request(&mut &raw[..]).unwrap();
+        assert_eq!(req.header("x-privim-tenant"), Some("acme"));
+        assert_eq!(req.header("X-PRIVIM-TENANT"), Some("acme"));
+        assert_eq!(req.header("content-length"), Some("0"));
+        assert_eq!(req.header("missing"), None);
     }
 
     #[test]
@@ -172,5 +220,23 @@ mod tests {
         assert!(text.contains("Content-Length: 11\r\n"));
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+
+    #[test]
+    fn extra_headers_ride_in_the_head_section() {
+        let mut out = Vec::new();
+        write_response_with_headers(
+            &mut out,
+            429,
+            "application/json",
+            &[("Retry-After", "60".to_string())],
+            b"{}",
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Retry-After: 60\r\n"));
+        let head = text.split_once("\r\n\r\n").unwrap().0;
+        assert!(head.contains("Retry-After"), "header must precede the body");
     }
 }

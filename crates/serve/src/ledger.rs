@@ -1,0 +1,409 @@
+//! Per-tenant RDP budget ledger: budget-aware admission for serving.
+//!
+//! Training spends one privacy budget; *serving* can spend another. A
+//! deployment that adds per-query Gaussian noise to released scores (the
+//! output-perturbation regime) must meter each tenant's cumulative
+//! spend, or an adversarial tenant simply averages the noise away with
+//! repeated queries. This module is that meter:
+//!
+//! * each admitted query is charged as one plain Gaussian-mechanism
+//!   release at the configured `query_sigma`
+//!   ([`privim_dp::gaussian_rdp`]), composed on the accountant's α grid;
+//! * [`TenantLedger::admit`] converts the *post-query* Rényi curve to
+//!   `(ε, δ)` and refuses — before any work happens — when the tenant's
+//!   ε would exceed the budget. The server maps a refusal to `429 Too
+//!   Many Requests` plus a `Retry-After` header;
+//! * the per-tenant query counts are the whole mutable state, so the
+//!   ledger persists exactly in the bundle format (version 2) and the ε
+//!   spend is recomputed — bit-identically — on load: the RDP charge is
+//!   linear in the count.
+//!
+//! Because Gaussian RDP is linear in the release count and the
+//! RDP→(ε, δ) conversion is monotone in γ, ε(count) is non-decreasing:
+//! once a tenant is exhausted it stays exhausted. Requests with no
+//! tenant header are *unmetered* — the ledger governs tenants that
+//! asked to be metered (multi-tenant deployments inject the header at
+//! the gateway); a bundle without a ledger section serves everyone
+//! unmetered, which keeps version-1 bundles working.
+
+use privim_dp::RdpAccountant;
+use privim_rt::json::Value;
+use privim_rt::{PrivimError, PrivimResult};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+/// Budget policy shared by every tenant of one serving process.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LedgerConfig {
+    /// Per-tenant ε budget; admission stops when a tenant's spend would
+    /// exceed it.
+    pub epsilon_budget: f64,
+    /// The δ the ε spend is converted at.
+    pub delta: f64,
+    /// Noise multiplier of the per-query Gaussian release being metered.
+    pub query_sigma: f64,
+    /// Advisory `Retry-After` (seconds) attached to `429` responses.
+    /// Budgets do not regenerate; this tells clients when to re-check
+    /// (e.g. after an operator re-packs the bundle with a larger budget).
+    pub retry_after_secs: u64,
+}
+
+impl LedgerConfig {
+    /// Validate the policy; every field that could make the accountant
+    /// panic or the arithmetic meaningless is a typed error here.
+    pub fn validate(&self) -> PrivimResult<()> {
+        if !(self.epsilon_budget.is_finite() && self.epsilon_budget > 0.0) {
+            return Err(PrivimError::invalid("ledger epsilon_budget must be finite and > 0"));
+        }
+        if !(self.delta > 0.0 && self.delta < 1.0) {
+            return Err(PrivimError::invalid("ledger delta must be in (0, 1)"));
+        }
+        if !(self.query_sigma.is_finite() && self.query_sigma > 0.0) {
+            return Err(PrivimError::invalid("ledger query_sigma must be finite and > 0"));
+        }
+        Ok(())
+    }
+}
+
+/// The persistable ledger state: policy + per-tenant admitted-query
+/// counts. This is what rides in a version-2 bundle.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LedgerState {
+    /// Budget policy.
+    pub config: LedgerConfig,
+    /// Admitted queries per tenant id.
+    pub tenants: BTreeMap<String, u64>,
+}
+
+impl LedgerState {
+    /// A fresh state with no tenants recorded.
+    pub fn new(config: LedgerConfig) -> LedgerState {
+        LedgerState {
+            config,
+            tenants: BTreeMap::new(),
+        }
+    }
+
+    /// JSON payload section (`BTreeMap` keeps tenant order canonical, so
+    /// packing is deterministic).
+    pub fn to_json(&self) -> Value {
+        let tenants: Vec<(String, Value)> = self
+            .tenants
+            .iter()
+            .map(|(t, &q)| (t.clone(), Value::Num(q as f64)))
+            .collect();
+        Value::obj(vec![
+            ("epsilon_budget", Value::Num(self.config.epsilon_budget)),
+            ("delta", Value::Num(self.config.delta)),
+            ("query_sigma", Value::Num(self.config.query_sigma)),
+            (
+                "retry_after_secs",
+                Value::Num(self.config.retry_after_secs as f64),
+            ),
+            ("tenants", Value::Obj(tenants)),
+        ])
+    }
+
+    /// Parse and validate a ledger section.
+    pub fn from_json(v: &Value) -> PrivimResult<LedgerState> {
+        let bad = |msg: &str| PrivimError::Parse(format!("bundle ledger: {msg}"));
+        let num = |key: &str| v.get(key).and_then(|x| x.as_f64());
+        let config = LedgerConfig {
+            epsilon_budget: num("epsilon_budget").ok_or_else(|| bad("missing epsilon_budget"))?,
+            delta: num("delta").ok_or_else(|| bad("missing delta"))?,
+            query_sigma: num("query_sigma").ok_or_else(|| bad("missing query_sigma"))?,
+            retry_after_secs: v
+                .get("retry_after_secs")
+                .and_then(|x| x.as_u64())
+                .ok_or_else(|| bad("missing retry_after_secs"))?,
+        };
+        config.validate()?;
+        let mut tenants = BTreeMap::new();
+        let Some(Value::Obj(fields)) = v.get("tenants") else {
+            return Err(bad("missing tenants object"));
+        };
+        for (tenant, count) in fields {
+            let q = count
+                .as_u64()
+                .ok_or_else(|| bad("tenant query count is not a non-negative integer"))?;
+            if tenant.is_empty() {
+                return Err(bad("empty tenant id"));
+            }
+            tenants.insert(tenant.clone(), q);
+        }
+        Ok(LedgerState { config, tenants })
+    }
+}
+
+/// Outcome of one admission decision.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Admission {
+    /// The query was admitted and charged.
+    Granted {
+        /// Admitted queries for this tenant, this one included.
+        queries: u64,
+        /// ε spent after this query.
+        epsilon_spent: f64,
+        /// Budget left (`epsilon_budget − epsilon_spent`).
+        epsilon_remaining: f64,
+    },
+    /// Admitting the query would exceed the budget; nothing was charged.
+    Exhausted {
+        /// Admitted queries so far (unchanged by this decision).
+        queries: u64,
+        /// ε spent so far.
+        epsilon_spent: f64,
+        /// Advisory retry delay for the `Retry-After` header.
+        retry_after_secs: u64,
+    },
+}
+
+/// The live, thread-safe ledger a running server consults on every
+/// metered request.
+pub struct TenantLedger {
+    config: LedgerConfig,
+    tenants: Mutex<BTreeMap<String, u64>>,
+    admitted_total: AtomicU64,
+    denied_total: AtomicU64,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // privim-lint: allow(panic, reason = "a poisoned ledger lock means a worker already panicked; serving past a possibly-torn budget record would be a privacy bug")
+    m.lock().unwrap()
+}
+
+impl TenantLedger {
+    /// Build a live ledger from persisted (or fresh) state.
+    pub fn new(state: LedgerState) -> PrivimResult<TenantLedger> {
+        state.config.validate()?;
+        Ok(TenantLedger {
+            config: state.config,
+            tenants: Mutex::new(state.tenants),
+            admitted_total: AtomicU64::new(0),
+            denied_total: AtomicU64::new(0),
+        })
+    }
+
+    /// The budget policy.
+    pub fn config(&self) -> &LedgerConfig {
+        &self.config
+    }
+
+    /// ε spent by `queries` admitted queries: `queries` Gaussian releases
+    /// at `query_sigma` composed in RDP, converted at the ledger's δ.
+    /// Deterministic in `queries` alone, which is why persisting counts
+    /// (not floats) round-trips the spend bit-exactly.
+    pub fn epsilon_spent(&self, queries: u64) -> f64 {
+        if queries == 0 {
+            return 0.0;
+        }
+        let mut acc = RdpAccountant::new(self.config.delta);
+        acc.record_gaussian_releases(self.config.query_sigma, queries);
+        acc.epsilon()
+    }
+
+    /// Decide (and, when granted, charge) one query for `tenant`. The
+    /// check-then-charge is atomic under the tenant map lock, so
+    /// concurrent requests can never jointly overspend.
+    pub fn admit(&self, tenant: &str) -> Admission {
+        let mut tenants = lock(&self.tenants);
+        let queries = tenants.get(tenant).copied().unwrap_or(0);
+        let spent_next = self.epsilon_spent(queries + 1);
+        if spent_next > self.config.epsilon_budget {
+            self.denied_total.fetch_add(1, Ordering::Relaxed);
+            return Admission::Exhausted {
+                queries,
+                epsilon_spent: self.epsilon_spent(queries),
+                retry_after_secs: self.config.retry_after_secs,
+            };
+        }
+        tenants.insert(tenant.to_string(), queries + 1);
+        drop(tenants);
+        self.admitted_total.fetch_add(1, Ordering::Relaxed);
+        Admission::Granted {
+            queries: queries + 1,
+            epsilon_spent: spent_next,
+            epsilon_remaining: self.config.epsilon_budget - spent_next,
+        }
+    }
+
+    /// Point-in-time view for `/metrics`:
+    /// `(tenant, queries, ε spent, ε remaining)` per tenant, in canonical
+    /// (sorted) tenant order.
+    pub fn snapshot(&self) -> Vec<(String, u64, f64, f64)> {
+        let tenants = lock(&self.tenants);
+        tenants
+            .iter()
+            .map(|(t, &q)| {
+                let spent = self.epsilon_spent(q);
+                (
+                    t.clone(),
+                    q,
+                    spent,
+                    (self.config.epsilon_budget - spent).max(0.0),
+                )
+            })
+            .collect()
+    }
+
+    /// The persistable state (for re-packing a bundle after serving).
+    pub fn state(&self) -> LedgerState {
+        LedgerState {
+            config: self.config,
+            tenants: lock(&self.tenants).clone(),
+        }
+    }
+
+    /// Queries admitted since this process loaded the ledger.
+    pub fn admitted_total(&self) -> u64 {
+        self.admitted_total.load(Ordering::Relaxed)
+    }
+
+    /// Queries denied since this process loaded the ledger.
+    pub fn denied_total(&self) -> u64 {
+        self.denied_total.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tight_config() -> LedgerConfig {
+        // σ=8 admits a handful of queries under ε=1 before exhausting
+        // (ε(1) ≈ 0.48, and spend grows with every query).
+        LedgerConfig {
+            epsilon_budget: 1.0,
+            delta: 1e-5,
+            query_sigma: 8.0,
+            retry_after_secs: 60,
+        }
+    }
+
+    #[test]
+    fn spend_is_zero_at_zero_and_strictly_monotone() {
+        let ledger = TenantLedger::new(LedgerState::new(tight_config())).unwrap();
+        assert_eq!(ledger.epsilon_spent(0), 0.0);
+        let mut prev = 0.0;
+        for q in 1..40u64 {
+            let spent = ledger.epsilon_spent(q);
+            assert!(spent > prev, "ε must grow with the query count: q={q}");
+            prev = spent;
+        }
+    }
+
+    #[test]
+    fn admission_charges_until_exhaustion_then_refuses_forever() {
+        let ledger = TenantLedger::new(LedgerState::new(tight_config())).unwrap();
+        let mut granted = 0u64;
+        loop {
+            match ledger.admit("acme") {
+                Admission::Granted {
+                    queries,
+                    epsilon_spent,
+                    epsilon_remaining,
+                } => {
+                    granted += 1;
+                    assert_eq!(queries, granted);
+                    assert!(epsilon_spent <= 1.0);
+                    assert!(epsilon_remaining >= 0.0);
+                    assert!(granted < 10_000, "tight budget must exhaust");
+                }
+                Admission::Exhausted {
+                    queries,
+                    epsilon_spent,
+                    retry_after_secs,
+                } => {
+                    assert!(granted >= 1, "σ=8 must admit at least one query under ε=1");
+                    assert_eq!(queries, granted);
+                    assert!(epsilon_spent <= 1.0);
+                    assert_eq!(retry_after_secs, 60);
+                    break;
+                }
+            }
+        }
+        // Exhaustion is permanent and uncharged: counts do not move.
+        for _ in 0..3 {
+            match ledger.admit("acme") {
+                Admission::Exhausted { queries, .. } => assert_eq!(queries, granted),
+                other => panic!("expected Exhausted, got {other:?}"),
+            }
+        }
+        assert_eq!(ledger.admitted_total(), granted);
+        assert_eq!(ledger.denied_total(), 4);
+        // Other tenants have their own budget.
+        assert!(matches!(ledger.admit("other"), Admission::Granted { queries: 1, .. }));
+    }
+
+    #[test]
+    fn concurrent_admissions_never_overspend() {
+        let ledger =
+            std::sync::Arc::new(TenantLedger::new(LedgerState::new(tight_config())).unwrap());
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let ledger = std::sync::Arc::clone(&ledger);
+                std::thread::spawn(move || {
+                    let mut granted = 0u64;
+                    for _ in 0..200 {
+                        if matches!(ledger.admit("shared"), Admission::Granted { .. }) {
+                            granted += 1;
+                        }
+                    }
+                    granted
+                })
+            })
+            .collect();
+        let total: u64 = threads.into_iter().map(|t| t.join().unwrap()).sum();
+        let state = ledger.state();
+        assert_eq!(state.tenants.get("shared").copied(), Some(total));
+        assert!(ledger.epsilon_spent(total) <= ledger.config().epsilon_budget);
+        assert!(ledger.epsilon_spent(total + 1) > ledger.config().epsilon_budget);
+    }
+
+    #[test]
+    fn state_round_trips_through_json_bit_exactly() {
+        let ledger = TenantLedger::new(LedgerState::new(tight_config())).unwrap();
+        for _ in 0..3 {
+            ledger.admit("a");
+        }
+        ledger.admit("b");
+        let state = ledger.state();
+        let json = state.to_json().to_json_string();
+        let back = LedgerState::from_json(&Value::parse(&json).unwrap()).unwrap();
+        assert_eq!(back, state);
+        // The recomputed spend is bit-identical because only counts persist.
+        let reloaded = TenantLedger::new(back).unwrap();
+        for q in [1u64, 3, 4] {
+            assert_eq!(
+                reloaded.epsilon_spent(q).to_bits(),
+                ledger.epsilon_spent(q).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_configs_and_sections_are_typed_errors() {
+        for cfg in [
+            LedgerConfig { epsilon_budget: 0.0, ..tight_config() },
+            LedgerConfig { epsilon_budget: f64::INFINITY, ..tight_config() },
+            LedgerConfig { delta: 0.0, ..tight_config() },
+            LedgerConfig { delta: 1.0, ..tight_config() },
+            LedgerConfig { query_sigma: 0.0, ..tight_config() },
+            LedgerConfig { query_sigma: f64::NAN, ..tight_config() },
+        ] {
+            assert!(cfg.validate().is_err(), "{cfg:?}");
+            assert!(TenantLedger::new(LedgerState::new(cfg)).is_err());
+        }
+        for bad in [
+            "{}",
+            "{\"epsilon_budget\":1,\"delta\":1e-5,\"query_sigma\":1,\"retry_after_secs\":9}",
+            "{\"epsilon_budget\":1,\"delta\":1e-5,\"query_sigma\":1,\"retry_after_secs\":9,\"tenants\":3}",
+            "{\"epsilon_budget\":1,\"delta\":1e-5,\"query_sigma\":1,\"retry_after_secs\":9,\"tenants\":{\"a\":-2}}",
+            "{\"epsilon_budget\":1,\"delta\":1e-5,\"query_sigma\":1,\"retry_after_secs\":9,\"tenants\":{\"\":1}}",
+        ] {
+            let v = Value::parse(bad).unwrap();
+            assert!(LedgerState::from_json(&v).is_err(), "{bad}");
+        }
+    }
+}

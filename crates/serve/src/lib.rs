@@ -16,8 +16,14 @@
 //! | `POST /v1/influence` | spread of a seed set (Monte-Carlo IC), LRU-cached |
 //! | `POST /v1/seeds` | top-`k` seeds via resumable CELF (cached pick order) |
 //! | `POST /v1/embed` | GNN scores for requested nodes, micro-batched |
-//! | `GET /metrics` | plain-text exposition: counters, latency histograms |
+//! | `GET /metrics` | plain-text exposition: counters, latency histograms, per-tenant budgets |
 //! | `GET /healthz` | liveness |
+//!
+//! Query endpoints are *budget-aware* when the bundle carries a ledger
+//! ([`ledger::TenantLedger`]): requests with an `X-Privim-Tenant` header
+//! are charged one Gaussian release per query against that tenant's RDP
+//! budget, and an exhausted tenant gets `429 Too Many Requests` with a
+//! `Retry-After` header — before any inference work happens.
 //!
 //! ## Production behaviours
 //!
@@ -46,10 +52,15 @@ pub mod batch;
 pub mod bundle;
 pub mod cache;
 pub mod http;
+pub mod ledger;
 pub mod metrics;
 pub mod server;
 
-pub use bundle::{graph_fingerprint, Bundle, PrivacyStatement, BUNDLE_FORMAT, BUNDLE_VERSION};
+pub use bundle::{
+    graph_fingerprint, Bundle, PrivacyStatement, BUNDLE_FORMAT, BUNDLE_VERSION,
+    MIN_BUNDLE_VERSION,
+};
 pub use cache::ShardedLru;
+pub use ledger::{Admission, LedgerConfig, LedgerState, TenantLedger};
 pub use metrics::Metrics;
-pub use server::{start, ServeConfig, ServerHandle};
+pub use server::{influence_cache_key, start, ServeConfig, ServerHandle};

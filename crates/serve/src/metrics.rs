@@ -186,8 +186,59 @@ fn push_line(out: &mut String, name: &str, value: u64) {
     out.push('\n');
 }
 
+fn push_gauge(out: &mut String, name: &str, value: f64) {
+    // f64 Display is shortest-roundtrip, so gauge lines are deterministic
+    // given the value's bits.
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(&value.to_string());
+    out.push('\n');
+}
+
+/// Append the per-tenant budget-ledger section to an exposition. Entries
+/// are `(tenant, queries, ε spent, ε remaining)` in canonical tenant
+/// order ([`crate::ledger::TenantLedger::snapshot`]); the caller passes a
+/// single snapshot so the section is internally consistent.
+pub fn render_ledger_section(
+    out: &mut String,
+    epsilon_budget: f64,
+    entries: &[(String, u64, f64, f64)],
+    admitted_total: u64,
+    denied_total: u64,
+) {
+    push_gauge(out, "privim_budget_epsilon_limit", epsilon_budget);
+    push_line(out, "privim_budget_admitted_total", admitted_total);
+    push_line(out, "privim_budget_denied_total", denied_total);
+    for (tenant, queries, spent, remaining) in entries {
+        push_line(
+            out,
+            &format!("privim_tenant_queries_total{{tenant=\"{tenant}\"}}"),
+            *queries,
+        );
+        push_gauge(
+            out,
+            &format!("privim_tenant_epsilon_spent{{tenant=\"{tenant}\"}}"),
+            *spent,
+        );
+        push_gauge(
+            out,
+            &format!("privim_tenant_epsilon_remaining{{tenant=\"{tenant}\"}}"),
+            *remaining,
+        );
+    }
+}
+
 /// Pull a counter value back out of exposition text (test + bench helper).
 pub fn parse_counter(exposition: &str, name: &str) -> Option<u64> {
+    exposition.lines().find_map(|l| {
+        let rest = l.strip_prefix(name)?;
+        let rest = rest.strip_prefix(' ')?;
+        rest.trim().parse().ok()
+    })
+}
+
+/// Pull a float gauge back out of exposition text.
+pub fn parse_gauge(exposition: &str, name: &str) -> Option<f64> {
     exposition.lines().find_map(|l| {
         let rest = l.strip_prefix(name)?;
         let rest = rest.strip_prefix(' ')?;
@@ -245,6 +296,38 @@ mod tests {
         assert_eq!(parse_counter(&text, "privim_batch_forward_passes_total"), Some(1));
         assert_eq!(parse_counter(&text, "privim_batch_batched_requests_total"), Some(4));
         assert_eq!(parse_counter(&text, "privim_shed_total"), Some(1));
+    }
+
+    #[test]
+    fn ledger_section_renders_and_parses_back() {
+        let mut out = String::new();
+        let entries = vec![
+            ("acme".to_string(), 12u64, 0.75, 0.25),
+            ("zephyr".to_string(), 1u64, 0.0625, 0.9375),
+        ];
+        render_ledger_section(&mut out, 1.0, &entries, 13, 4);
+        assert_eq!(parse_gauge(&out, "privim_budget_epsilon_limit"), Some(1.0));
+        assert_eq!(parse_counter(&out, "privim_budget_admitted_total"), Some(13));
+        assert_eq!(parse_counter(&out, "privim_budget_denied_total"), Some(4));
+        assert_eq!(
+            parse_counter(&out, "privim_tenant_queries_total{tenant=\"acme\"}"),
+            Some(12)
+        );
+        assert_eq!(
+            parse_gauge(&out, "privim_tenant_epsilon_spent{tenant=\"acme\"}"),
+            Some(0.75)
+        );
+        assert_eq!(
+            parse_gauge(&out, "privim_tenant_epsilon_remaining{tenant=\"zephyr\"}"),
+            Some(0.9375)
+        );
+        // exact round-trip of a non-terminating decimal
+        let mut out2 = String::new();
+        render_ledger_section(&mut out2, 0.1 + 0.2, &[], 0, 0);
+        assert_eq!(
+            parse_gauge(&out2, "privim_budget_epsilon_limit").map(f64::to_bits),
+            Some((0.1f64 + 0.2).to_bits())
+        );
     }
 
     #[test]

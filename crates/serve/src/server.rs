@@ -15,8 +15,9 @@
 use crate::batch::Batcher;
 use crate::bundle::Bundle;
 use crate::cache::ShardedLru;
-use crate::http::{read_request, write_response, Request};
-use crate::metrics::{endpoint_index, Metrics};
+use crate::http::{read_request, write_response, write_response_with_headers, Request};
+use crate::ledger::{Admission, TenantLedger};
+use crate::metrics::{endpoint_index, render_ledger_section, Metrics};
 use privim_graph::NodeId;
 use privim_im::{ic_spread_estimate, LazyGreedy};
 use privim_rt::json::Value;
@@ -75,6 +76,10 @@ struct Shared {
     /// Resumable CELF state: one instance serves every `/v1/seeds`
     /// request (greedy prefix stability makes cached answers exact).
     seeds: Mutex<LazyGreedy>,
+    /// Per-tenant budget ledger (`None` = unmetered deployment). Metered
+    /// requests carry an `X-Privim-Tenant` header and are admitted — or
+    /// refused with `429` — before any work happens.
+    ledger: Option<TenantLedger>,
     queue: Mutex<VecDeque<(TcpStream, Instant)>>,
     queue_ready: Condvar,
     shutting_down: AtomicBool,
@@ -104,6 +109,23 @@ impl ServerHandle {
     /// Requests completed after shutdown began.
     pub fn drained_count(&self) -> u64 {
         self.shared.metrics.drained_count()
+    }
+
+    /// Current `/metrics` exposition, rendered from the live counters —
+    /// identical to what `GET /metrics` would return right now.
+    pub fn metrics_text(&self) -> String {
+        render_metrics(&self.shared)
+    }
+
+    /// [`Self::shutdown`], then render the final `/metrics` exposition
+    /// from the fully drained counters. The returned text is the server's
+    /// last word: every accepted request is in it, which lets tests (and
+    /// operators' final scrapes) assert counter monotonicity across the
+    /// graceful drain.
+    pub fn drain(self) -> (u64, String) {
+        let shared = Arc::clone(&self.shared);
+        let drained = self.shutdown();
+        (drained, render_metrics(&shared))
     }
 
     /// Stop accepting, finish every queued and in-flight request, join
@@ -140,9 +162,14 @@ pub fn start(bundle: Bundle, cfg: ServeConfig) -> PrivimResult<ServerHandle> {
         .port();
 
     let model = Arc::new(bundle.model);
+    let ledger = match bundle.ledger {
+        Some(state) => Some(TenantLedger::new(state)?),
+        None => None,
+    };
     let shared = Arc::new(Shared {
         batcher: Batcher::new(Arc::clone(&model), &bundle.graph, cfg.batch_window),
         seeds: Mutex::new(LazyGreedy::new(Arc::clone(&bundle.graph))),
+        ledger,
         graph: bundle.graph,
         fingerprint: bundle.fingerprint,
         metrics: Metrics::new(),
@@ -253,23 +280,34 @@ fn handle_connection(mut stream: TcpStream, arrival: Instant, shared: &Shared) {
     let _ = stream.set_read_timeout(Some(remaining));
     let _ = stream.set_write_timeout(Some(remaining));
 
-    let (status, content_type, body, ep) = match read_request(&mut stream) {
+    let (routed, content_type, ep) = match read_request(&mut stream) {
         Ok(req) => {
             let ep = endpoint_index(&req.path);
-            let (status, body) = route(&req, shared);
-            let ct = if req.path == "/metrics" && status == 200 {
+            let routed = route(&req, shared);
+            let ct = if req.path == "/metrics" && routed.status == 200 {
                 "text/plain; version=0.0.4"
             } else {
                 "application/json"
             };
-            (status, ct, body, ep)
+            (routed, ct, ep)
         }
         Err(e) => {
             let body = Value::obj(vec![("error", Value::Str(e.to_string()))]).to_json_string();
-            (400, "application/json", body, None)
+            (Routed::new(400, body), "application/json", None)
         }
     };
-    let _ = write_response(&mut stream, status, content_type, body.as_bytes());
+    let status = routed.status;
+    let extra: Vec<(&str, String)> = routed
+        .retry_after_secs
+        .map(|s| vec![("Retry-After", s.to_string())])
+        .unwrap_or_default();
+    let _ = write_response_with_headers(
+        &mut stream,
+        status,
+        content_type,
+        &extra,
+        routed.body.as_bytes(),
+    );
     let latency_us = arrival.elapsed().as_micros().min(u64::MAX as u128) as u64;
     match ep {
         Some(ep) => shared.metrics.observe(ep, latency_us, status),
@@ -277,9 +315,107 @@ fn handle_connection(mut stream: TcpStream, arrival: Instant, shared: &Shared) {
     }
 }
 
-fn route(req: &Request, shared: &Shared) -> (u16, String) {
+/// A routed response: status + body, plus the `Retry-After` a budget
+/// refusal carries.
+struct Routed {
+    status: u16,
+    body: String,
+    retry_after_secs: Option<u64>,
+}
+
+impl Routed {
+    fn new(status: u16, body: String) -> Routed {
+        Routed {
+            status,
+            body,
+            retry_after_secs: None,
+        }
+    }
+}
+
+/// The full `/metrics` exposition: request counters + one consistent
+/// snapshot of the cache/batcher totals, then the budget-ledger section
+/// when the deployment is metered.
+fn render_metrics(shared: &Shared) -> String {
+    let (passes, served) = shared.batcher.stats();
+    let mut text = shared.metrics.render(
+        shared.cache.hits(),
+        shared.cache.misses(),
+        shared.cache.len(),
+        passes,
+        served,
+    );
+    if let Some(ledger) = &shared.ledger {
+        render_ledger_section(
+            &mut text,
+            ledger.config().epsilon_budget,
+            &ledger.snapshot(),
+            ledger.admitted_total(),
+            ledger.denied_total(),
+        );
+    }
+    text
+}
+
+/// Budget admission for the query endpoints. No tenant header or no
+/// ledger → unmetered, proceed. A metered tenant whose next query would
+/// overspend gets the `429` refusal (and was charged nothing).
+fn admit_tenant(req: &Request, shared: &Shared) -> Result<(), Routed> {
+    let (Some(tenant), Some(ledger)) = (req.header("x-privim-tenant"), &shared.ledger) else {
+        return Ok(());
+    };
+    let tenant = tenant.trim();
+    if tenant.is_empty() {
+        return Err(Routed::new(
+            400,
+            "{\"error\":\"X-Privim-Tenant header must be non-empty\"}".to_string(),
+        ));
+    }
+    match ledger.admit(tenant) {
+        Admission::Granted { .. } => Ok(()),
+        Admission::Exhausted {
+            epsilon_spent,
+            retry_after_secs,
+            ..
+        } => {
+            let body = Value::obj(vec![
+                (
+                    "error",
+                    Value::Str("privacy budget exhausted for tenant".to_string()),
+                ),
+                ("tenant", Value::Str(tenant.to_string())),
+                ("epsilon_spent", Value::Num(epsilon_spent)),
+                (
+                    "epsilon_budget",
+                    Value::Num(ledger.config().epsilon_budget),
+                ),
+            ])
+            .to_json_string();
+            Err(Routed {
+                status: 429,
+                body,
+                retry_after_secs: Some(retry_after_secs),
+            })
+        }
+    }
+}
+
+/// Route a metered query endpoint: admission first, handler only if the
+/// budget allows the query.
+fn metered(
+    req: &Request,
+    shared: &Shared,
+    handler: fn(&Request, &Shared) -> PrivimResult<Value>,
+) -> Routed {
+    match admit_tenant(req, shared) {
+        Ok(()) => reply(handler(req, shared)),
+        Err(refused) => refused,
+    }
+}
+
+fn route(req: &Request, shared: &Shared) -> Routed {
     match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/healthz") => (
+        ("GET", "/healthz") => Routed::new(
             200,
             Value::obj(vec![
                 ("status", Value::Str("ok".to_string())),
@@ -290,34 +426,22 @@ fn route(req: &Request, shared: &Shared) -> (u16, String) {
             ])
             .to_json_string(),
         ),
-        ("GET", "/metrics") => {
-            let (passes, served) = shared.batcher.stats();
-            (
-                200,
-                shared.metrics.render(
-                    shared.cache.hits(),
-                    shared.cache.misses(),
-                    shared.cache.len(),
-                    passes,
-                    served,
-                ),
-            )
-        }
-        ("POST", "/v1/influence") => reply(handle_influence(req, shared)),
-        ("POST", "/v1/seeds") => reply(handle_seeds(req, shared)),
-        ("POST", "/v1/embed") => reply(handle_embed(req, shared)),
-        (_, "/healthz" | "/metrics" | "/v1/influence" | "/v1/seeds" | "/v1/embed") => (
+        ("GET", "/metrics") => Routed::new(200, render_metrics(shared)),
+        ("POST", "/v1/influence") => metered(req, shared, handle_influence),
+        ("POST", "/v1/seeds") => metered(req, shared, handle_seeds),
+        ("POST", "/v1/embed") => metered(req, shared, handle_embed),
+        (_, "/healthz" | "/metrics" | "/v1/influence" | "/v1/seeds" | "/v1/embed") => Routed::new(
             405,
             "{\"error\":\"method not allowed\"}".to_string(),
         ),
-        _ => (404, "{\"error\":\"no such route\"}".to_string()),
+        _ => Routed::new(404, "{\"error\":\"no such route\"}".to_string()),
     }
 }
 
-fn reply(result: PrivimResult<Value>) -> (u16, String) {
+fn reply(result: PrivimResult<Value>) -> Routed {
     match result {
-        Ok(v) => (200, v.to_json_string()),
-        Err(e) => (
+        Ok(v) => Routed::new(200, v.to_json_string()),
+        Err(e) => Routed::new(
             400,
             Value::obj(vec![("error", Value::Str(e.to_string()))]).to_json_string(),
         ),
@@ -352,6 +476,29 @@ fn seed_list(v: &Value, key: &str, n: usize) -> PrivimResult<Vec<NodeId>> {
     Ok(out)
 }
 
+/// The exact canonical cache key for one spread query; the hash only
+/// picks the shard (see cache module docs). The graph fingerprint leads
+/// the key: a cache can then never serve an entry computed against a
+/// different graph, even if it outlives a graph swap (regression test in
+/// `tests/e2e.rs` pins this).
+pub fn influence_cache_key(
+    fingerprint: u64,
+    seeds: &[NodeId],
+    runs: usize,
+    max_steps: Option<usize>,
+    mc_seed: u64,
+) -> Vec<u8> {
+    let mut key = Vec::with_capacity(seeds.len() * 4 + 32);
+    key.extend_from_slice(&fingerprint.to_le_bytes());
+    for &s in seeds {
+        key.extend_from_slice(&s.to_le_bytes());
+    }
+    key.extend_from_slice(&(runs as u64).to_le_bytes());
+    key.extend_from_slice(&max_steps.map(|m| m as u64 + 1).unwrap_or(0).to_le_bytes());
+    key.extend_from_slice(&mc_seed.to_le_bytes());
+    key
+}
+
 /// `POST /v1/influence` — `{"seeds":[…], "runs"?, "max_steps"?, "seed"?}`.
 ///
 /// The seed list is canonicalised (sorted, deduplicated) before both the
@@ -382,15 +529,7 @@ fn handle_influence(req: &Request, shared: &Shared) -> PrivimResult<Value> {
         None => 0,
     };
 
-    // Exact canonical request bytes as the cache key; the hash only
-    // picks the shard (see cache module docs).
-    let mut key = Vec::with_capacity(seeds.len() * 4 + 24);
-    for &s in &seeds {
-        key.extend_from_slice(&s.to_le_bytes());
-    }
-    key.extend_from_slice(&(runs as u64).to_le_bytes());
-    key.extend_from_slice(&max_steps.map(|m| m as u64 + 1).unwrap_or(0).to_le_bytes());
-    key.extend_from_slice(&mc_seed.to_le_bytes());
+    let key = influence_cache_key(shared.fingerprint, &seeds, runs, max_steps, mc_seed);
 
     let (spread, cached) = match shared.cache.get(&key) {
         Some(v) => (v, true),

@@ -2,7 +2,9 @@
 //! criteria: (a) responses bit-identical to direct library calls,
 //! (b) `/metrics` reflects request counts and micro-batched forwards,
 //! (c) a full queue sheds with `503`, (d) shutdown drains in-flight
-//! requests.
+//! requests, (e) an exhausted tenant gets `429` + `Retry-After` and the
+//! budget gauges agree, (f) counters are monotone across a graceful
+//! drain.
 
 use privim::ServeArtifact;
 use privim_gnn::{GnnConfig, GnnModel};
@@ -10,7 +12,7 @@ use privim_graph::Graph;
 use privim_im::{celf_exact, ic_spread_estimate};
 use privim_rt::json::Value;
 use privim_rt::{ChaCha8Rng, SeedableRng};
-use privim_serve::{bundle, metrics, start, ServeConfig};
+use privim_serve::{bundle, metrics, start, LedgerConfig, LedgerState, ServeConfig};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::{Arc, Barrier};
@@ -36,19 +38,64 @@ fn test_bundle(seed: u64) -> (bundle::Bundle, Graph, GnnModel) {
     (bundle::load(buf.as_slice()).unwrap(), g, model)
 }
 
+/// Same bundle, but packed metered: a per-tenant budget ledger rides in
+/// the (version 2) bundle.
+fn test_bundle_with_ledger(seed: u64, ledger: LedgerConfig) -> bundle::Bundle {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let g = privim_graph::generators::barabasi_albert(120, 3, &mut rng)
+        .with_uniform_weights(1.0);
+    let model = GnnModel::new(GnnConfig::paper_default(), &mut rng);
+    let artifact = ServeArtifact {
+        model,
+        epsilon: Some(2.0),
+        delta: 1e-4,
+        sigma: 1.5,
+        steps: 80,
+    };
+    let mut buf = Vec::new();
+    bundle::save_with_ledger(&artifact, &g, &LedgerState::new(ledger), &mut buf).unwrap();
+    bundle::load(buf.as_slice()).unwrap()
+}
+
 /// One-shot HTTP exchange: connect, send, read the full response,
 /// return (status, body).
 fn request(port: u16, method: &str, path: &str, body: &str) -> (u16, String) {
+    let (status, _headers, body) = request_with_headers(port, method, path, &[], body);
+    (status, body)
+}
+
+/// [`request`] with request headers attached and response headers
+/// returned (the `429` test asserts on `Retry-After`).
+fn request_with_headers(
+    port: u16,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &str,
+) -> (u16, String, String) {
     let mut stream = TcpStream::connect(("127.0.0.1", port)).unwrap();
     stream
         .set_read_timeout(Some(Duration::from_secs(20)))
         .unwrap();
-    let raw = format!(
-        "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
-        body.len()
-    );
+    let mut raw = format!("{method} {path} HTTP/1.1\r\nHost: t\r\n");
+    for (name, value) in headers {
+        raw.push_str(&format!("{name}: {value}\r\n"));
+    }
+    raw.push_str(&format!("Content-Length: {}\r\n\r\n{body}", body.len()));
     stream.write_all(raw.as_bytes()).unwrap();
-    read_response(&mut stream)
+    let mut text = String::new();
+    stream.read_to_string(&mut text).unwrap();
+    let status: u16 = text
+        .split_ascii_whitespace()
+        .nth(1)
+        .unwrap_or("0")
+        .parse()
+        .unwrap_or(0);
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .map(|(h, b)| (h.to_string(), b.to_string()))
+        .unwrap_or_default();
+    (status, head, body)
 }
 
 fn read_response(stream: &mut TcpStream) -> (u16, String) {
@@ -293,4 +340,169 @@ fn shutdown_drains_in_flight_requests() {
             );
         }
     }
+}
+
+#[test]
+fn exhausted_tenant_gets_429_with_retry_after_and_correct_gauges() {
+    // A tight budget: σ=8 under ε=1 admits a few queries, then refuses.
+    let ledger = LedgerConfig {
+        epsilon_budget: 1.0,
+        delta: 1e-5,
+        query_sigma: 8.0,
+        retry_after_secs: 45,
+    };
+    let b = test_bundle_with_ledger(5, ledger);
+    let handle = start(b, ServeConfig::default()).unwrap();
+    let port = handle.port();
+    let tenant_hdr = [("X-Privim-Tenant", "acme")];
+
+    // Drive the tenant to exhaustion. Every granted query must be a 200;
+    // the first refusal must be a 429 with Retry-After and a JSON body
+    // naming the tenant and the spend.
+    let mut granted = 0u64;
+    let (retry_head, refusal_body) = loop {
+        let (status, head, body) =
+            request_with_headers(port, "POST", "/v1/embed", &tenant_hdr, "{\"nodes\": [1, 2]}");
+        match status {
+            200 => {
+                granted += 1;
+                assert!(granted < 1000, "tight budget never exhausted");
+            }
+            429 => break (head, body),
+            other => panic!("unexpected status {other}: {body}"),
+        }
+    };
+    assert!(granted >= 1, "at least one query must fit in the budget");
+    assert!(
+        retry_head.contains("Retry-After: 45"),
+        "429 must carry Retry-After: {retry_head}"
+    );
+    let v = Value::parse(&refusal_body).unwrap();
+    assert_eq!(v.get("tenant").and_then(|t| t.as_str()), Some("acme"));
+    let spent = v.get("epsilon_spent").and_then(|e| e.as_f64()).unwrap();
+    assert!(spent > 0.0 && spent <= 1.0, "spent {spent}");
+
+    // Exhaustion is sticky: immediately refused again, on any metered
+    // endpoint.
+    let (status, head, _) =
+        request_with_headers(port, "POST", "/v1/seeds", &tenant_hdr, "{\"k\": 3}");
+    assert_eq!(status, 429);
+    assert!(head.contains("Retry-After: 45"));
+
+    // Unmetered requests (no tenant header) still work — and so does a
+    // different tenant with its own untouched budget.
+    let (status, _) = request(port, "POST", "/v1/embed", "{\"nodes\": [3]}");
+    assert_eq!(status, 200, "requests without a tenant header are unmetered");
+    let (status, _, _) = request_with_headers(
+        port,
+        "POST",
+        "/v1/embed",
+        &[("X-Privim-Tenant", "other")],
+        "{\"nodes\": [4]}",
+    );
+    assert_eq!(status, 200, "tenants have independent budgets");
+
+    // The /metrics gauges agree with what just happened.
+    let (status, text) = request(port, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert_eq!(
+        metrics::parse_counter(&text, "privim_tenant_queries_total{tenant=\"acme\"}"),
+        Some(granted)
+    );
+    assert_eq!(
+        metrics::parse_counter(&text, "privim_tenant_queries_total{tenant=\"other\"}"),
+        Some(1)
+    );
+    assert_eq!(
+        metrics::parse_gauge(&text, "privim_budget_epsilon_limit"),
+        Some(1.0)
+    );
+    assert!(
+        metrics::parse_counter(&text, "privim_budget_denied_total").unwrap() >= 2,
+        "both refusals must be counted"
+    );
+    assert_eq!(
+        metrics::parse_counter(&text, "privim_budget_admitted_total"),
+        Some(granted + 1)
+    );
+    let spent_gauge =
+        metrics::parse_gauge(&text, "privim_tenant_epsilon_spent{tenant=\"acme\"}").unwrap();
+    let remaining =
+        metrics::parse_gauge(&text, "privim_tenant_epsilon_remaining{tenant=\"acme\"}").unwrap();
+    assert!((spent_gauge - spent).abs() < 1e-12, "{spent_gauge} vs {spent}");
+    assert!(remaining >= 0.0 && remaining < 1.0);
+    // remaining is what the budget has left of the exposed spend
+    assert!((spent_gauge + remaining - 1.0).abs() < 0.6, "remaining must complement spend");
+    // the 429s are 4xx-class responses
+    assert!(metrics::parse_counter(&text, "privim_responses_total{class=\"4xx\"}").unwrap() >= 2);
+
+    handle.shutdown();
+}
+
+#[test]
+fn metrics_counters_are_monotone_across_graceful_drain() {
+    let (b, _g, _m) = test_bundle(6);
+    let handle = start(b, ServeConfig::default()).unwrap();
+    let port = handle.port();
+
+    for i in 0..4 {
+        let (status, _) =
+            request(port, "POST", "/v1/embed", &format!("{{\"nodes\": [{i}]}}"));
+        assert_eq!(status, 200);
+    }
+    let (status, before) = request(port, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+
+    // More traffic between the scrape and the drain.
+    for _ in 0..2 {
+        let (status, _) = request(
+            port,
+            "POST",
+            "/v1/influence",
+            "{\"seeds\": [2, 5], \"runs\": 16, \"seed\": 3}",
+        );
+        assert_eq!(status, 200);
+    }
+    let (_, _) = request(port, "GET", "/healthz", "");
+
+    let (_drained, after) = handle.drain();
+
+    // Every cumulative series present in the first scrape must be ≥ in
+    // the post-drain exposition: draining completes requests, it never
+    // resets or loses them. (Gauges — queue depth, cache entries — are
+    // exempt; they legitimately move both ways.)
+    let monotone = |name: &str| {
+        name.contains("_total") || name.contains("_bucket") || name.contains("_sum")
+    };
+    let mut checked = 0usize;
+    for line in before.lines() {
+        let Some((name, value)) = line.rsplit_once(' ') else {
+            continue;
+        };
+        if !monotone(name) {
+            continue;
+        }
+        let prev: u64 = value.parse().unwrap();
+        let now = metrics::parse_counter(&after, name)
+            .unwrap_or_else(|| panic!("series {name} vanished across drain"));
+        assert!(
+            now >= prev,
+            "{name} went backwards across drain: {prev} -> {now}"
+        );
+        checked += 1;
+    }
+    assert!(
+        checked > 20,
+        "expected to check many cumulative series, got {checked}"
+    );
+    // And the requests issued between scrape and drain are visible in
+    // the final exposition.
+    assert_eq!(
+        metrics::parse_counter(&after, "privim_requests_total{endpoint=\"influence\"}"),
+        Some(2)
+    );
+    assert_eq!(
+        metrics::parse_counter(&after, "privim_requests_total{endpoint=\"embed\"}"),
+        Some(4)
+    );
 }

@@ -42,4 +42,19 @@ cargo run -q --release --offline -p privim-serve -- pack \
 cargo run -q --release --offline -p privim-bench --bin bench_serve -- \
     --smoke --bundle "$SERVE_BUNDLE"
 
+echo "== attack canary (empirical ε lower bound must not exceed accounted ε)"
+# Trains canary-scale IN/OUT/shadow models through the real DP-SGD path,
+# mounts the membership + topology attacks, and exits non-zero if the
+# empirical ε lower bound ever climbs above the accountant's upper bound
+# — the ordering a correct DP implementation can never violate.
+cargo run -q --release --offline -p privim-attack --bin attack-canary -- \
+    --nodes 60 --sigma 1.5 --seed 2024
+
+echo "== budget-ledger gate (exhausted tenant must get 429 + correct gauges)"
+# e2e over real TCP: a metered bundle with a tight per-tenant budget is
+# driven to exhaustion; the test asserts the 429 + Retry-After refusal,
+# tenant isolation, and that /metrics budget gauges match the spend.
+cargo test -q --release --offline -p privim-serve --test e2e \
+    exhausted_tenant_gets_429_with_retry_after_and_correct_gauges
+
 echo "CI green"

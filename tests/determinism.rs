@@ -253,3 +253,80 @@ fn par_primitives_preserve_order_at_any_width() {
         assert_eq!(sum, 999 * 1000 / 2);
     }
 }
+
+#[test]
+fn bfs_partition_assigns_every_node_exactly_once_at_any_width() {
+    let _guard = THREADS_LOCK.lock().unwrap();
+    let mut rng = ChaCha8Rng::seed_from_u64(77);
+    let g = generators::barabasi_albert(400, 4, &mut rng).with_uniform_weights(1.0);
+    let base = with_threads(1, || privim_graph::partition::bfs_partition(&g, 7));
+    // totality + exactly-once: every node carries exactly one real part id,
+    // and the per-part node lists cover each node once.
+    assert_eq!(base.part_of.len(), g.num_nodes());
+    assert!(base.part_of.iter().all(|&p| p < base.num_parts));
+    let mut seen = vec![0u32; g.num_nodes()];
+    for part in base.part_nodes() {
+        for &v in &part {
+            seen[v as usize] += 1;
+        }
+    }
+    assert!(seen.iter().all(|&c| c == 1), "a node was dropped or double-assigned");
+    // bit-identical partitions regardless of the worker-thread override
+    for threads in [2, 4, 7, 8] {
+        let p = with_threads(threads, || privim_graph::partition::bfs_partition(&g, 7));
+        assert_eq!(p.part_of, base.part_of, "partition diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn partition_shard_merge_preserves_the_edge_multiset() {
+    let _guard = THREADS_LOCK.lock().unwrap();
+    let mut rng = ChaCha8Rng::seed_from_u64(78);
+    let g = generators::barabasi_albert(300, 3, &mut rng).with_uniform_weights(1.0);
+    let p = privim_graph::partition::bfs_partition(&g, 5);
+    let shards = privim_graph::partition::partition_subgraphs(&g, &p);
+
+    // Map every shard arc back to parent ids and merge; the multiset must
+    // be exactly the parent arcs whose endpoints share a part (weights
+    // compared by bit pattern — no tolerance).
+    let mut merged: Vec<(u32, u32, u64)> = shards
+        .iter()
+        .flat_map(|s| {
+            s.graph
+                .arcs()
+                .map(|(u, v, w)| (s.original[u as usize], s.original[v as usize], w.to_bits()))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    merged.sort_unstable();
+    let mut intra: Vec<(u32, u32, u64)> = g
+        .arcs()
+        .filter(|&(u, v, _)| p.part_of[u as usize] == p.part_of[v as usize])
+        .map(|(u, v, w)| (u, v, w.to_bits()))
+        .collect();
+    intra.sort_unstable();
+    assert_eq!(merged, intra, "shard merge lost or duplicated arcs");
+    // intra + cut partitions the arc set
+    let cut = g
+        .arcs()
+        .filter(|&(u, v, _)| p.part_of[u as usize] != p.part_of[v as usize])
+        .count();
+    assert_eq!(intra.len() + cut, g.num_arcs());
+
+    // The materialised shards are bit-identical across thread counts too.
+    let base_arcs: Vec<Vec<(u32, u32, u64)>> = shards
+        .iter()
+        .map(|s| s.graph.arcs().map(|(u, v, w)| (u, v, w.to_bits())).collect())
+        .collect();
+    for threads in [2, 8] {
+        let again = with_threads(threads, || {
+            let p = privim_graph::partition::bfs_partition(&g, 5);
+            privim_graph::partition::partition_subgraphs(&g, &p)
+        });
+        let arcs: Vec<Vec<(u32, u32, u64)>> = again
+            .iter()
+            .map(|s| s.graph.arcs().map(|(u, v, w)| (u, v, w.to_bits())).collect())
+            .collect();
+        assert_eq!(arcs, base_arcs, "shards diverged at {threads} threads");
+    }
+}
