@@ -1,0 +1,316 @@
+//! `chaos_serve` — kill-9 crash-recovery gate for the privim-serve
+//! budget journal.
+//!
+//! Drives a real `privim-serve` process (not an in-process server: the
+//! point is surviving the death of the OS process) through a
+//! crash/recover cycle:
+//!
+//! 1. start the server on a metered bundle with a WAL, `--fsync always`;
+//! 2. hammer it with metered traffic from concurrent clients, counting
+//!    every 2xx-acknowledged charge per tenant;
+//! 3. SIGKILL the process mid-traffic — no drain, no snapshot;
+//! 4. restart it on the same bundle + journal;
+//! 5. assert recovered per-tenant spend covers every acknowledged
+//!    charge (`privim_tenant_queries_total{tenant=...} >= acks`), and
+//!    that serving resumes and keeps charging on top.
+//!
+//! The invariant under test is the ledger's one-sided durability
+//! contract: a crash may overcharge (unacknowledged in-flight records
+//! are kept) but must never undercharge. Exits non-zero on violation.
+//!
+//! ```text
+//! cargo run --release -p privim-bench --bin chaos_serve -- \
+//!     --server-bin target/release/privim-serve --bundle chaos.json --smoke
+//! ```
+
+use privim_serve::metrics::parse_counter;
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{exit, Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Flags {
+    server_bin: PathBuf,
+    bundle: PathBuf,
+    wal: Option<PathBuf>,
+    tenants: usize,
+    kill_after_acks: u64,
+    post_acks: u64,
+    smoke: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: chaos_serve --server-bin <privim-serve> --bundle <bundle.json>
+                   [--wal <path>] [--tenants 3] [--kill-after-acks 25]
+                   [--post-acks 6] [--smoke]"
+    );
+    exit(2)
+}
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("chaos_serve: FAIL: {msg}");
+    exit(1)
+}
+
+fn parse_flags() -> Flags {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut f = Flags {
+        server_bin: PathBuf::from("target/release/privim-serve"),
+        bundle: PathBuf::new(),
+        wal: None,
+        tenants: 3,
+        kill_after_acks: 25,
+        post_acks: 6,
+        smoke: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("{name} needs a value");
+                    usage()
+                })
+                .clone()
+        };
+        match a.as_str() {
+            "--server-bin" => f.server_bin = PathBuf::from(val("--server-bin")),
+            "--bundle" => f.bundle = PathBuf::from(val("--bundle")),
+            "--wal" => f.wal = Some(PathBuf::from(val("--wal"))),
+            "--tenants" => f.tenants = val("--tenants").parse().unwrap_or_else(|_| usage()),
+            "--kill-after-acks" => {
+                f.kill_after_acks = val("--kill-after-acks").parse().unwrap_or_else(|_| usage())
+            }
+            "--post-acks" => f.post_acks = val("--post-acks").parse().unwrap_or_else(|_| usage()),
+            "--smoke" => f.smoke = true,
+            _ => usage(),
+        }
+    }
+    if f.bundle.as_os_str().is_empty() {
+        usage()
+    }
+    if f.smoke {
+        f.kill_after_acks = f.kill_after_acks.min(15);
+        f.post_acks = f.post_acks.min(4);
+    }
+    if f.tenants == 0 {
+        usage()
+    }
+    f
+}
+
+/// Spawn the server and block until it prints its "serving on port N"
+/// banner (stdout is a pipe; the server flushes the banner explicitly).
+fn spawn_server(f: &Flags, wal: &PathBuf) -> (Child, u16) {
+    let mut child = Command::new(&f.server_bin)
+        .arg("run")
+        .arg("--bundle")
+        .arg(&f.bundle)
+        .arg("--addr")
+        .arg("127.0.0.1:0")
+        .arg("--workers")
+        .arg("2")
+        .arg("--wal")
+        .arg(wal)
+        .arg("--fsync")
+        .arg("always")
+        .arg("--compact-every")
+        .arg("0")
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .unwrap_or_else(|e| fail(format!("spawning {}: {e}", f.server_bin.display())));
+    let stdout = child.stdout.take().expect("stdout was piped");
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = reader
+            .read_line(&mut line)
+            .unwrap_or_else(|e| fail(format!("reading server stdout: {e}")));
+        if n == 0 {
+            let _ = child.kill();
+            fail("server exited before printing its port banner");
+        }
+        print!("  server: {line}");
+        if let Some(rest) = line.strip_prefix("serving on port ") {
+            let port: u16 = rest
+                .split_whitespace()
+                .next()
+                .and_then(|p| p.parse().ok())
+                .unwrap_or_else(|| fail(format!("unparseable banner: {line:?}")));
+            // Keep draining the pipe so the server never blocks on a
+            // full stdout buffer once we stop reading.
+            std::thread::spawn(move || {
+                let mut sink = String::new();
+                let _ = reader.read_to_string(&mut sink);
+            });
+            return (child, port);
+        }
+    }
+}
+
+/// One metered embed request; returns the HTTP status (0 on I/O error —
+/// connection errors around the kill are expected, not acks).
+fn metered_embed(port: u16, tenant: &str, node: u64) -> u16 {
+    let Ok(mut stream) = TcpStream::connect(("127.0.0.1", port)) else {
+        return 0;
+    };
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let body = format!("{{\"nodes\": [{node}]}}");
+    let raw = format!(
+        "POST /v1/embed HTTP/1.1\r\nHost: c\r\nX-Privim-Tenant: {tenant}\r\n\
+         Content-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    if stream.write_all(raw.as_bytes()).is_err() {
+        return 0;
+    }
+    let mut text = String::new();
+    if stream.read_to_string(&mut text).is_err() {
+        return 0;
+    }
+    text.split_ascii_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+fn scrape_metrics(port: u16) -> String {
+    let Ok(mut stream) = TcpStream::connect(("127.0.0.1", port)) else {
+        fail("restarted server refused /metrics connection");
+    };
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let raw = "GET /metrics HTTP/1.1\r\nHost: c\r\nContent-Length: 0\r\n\r\n";
+    if stream.write_all(raw.as_bytes()).is_err() {
+        fail("writing /metrics request");
+    }
+    let mut text = String::new();
+    let _ = stream.read_to_string(&mut text);
+    text
+}
+
+fn tenant_spend(metrics: &str, tenant: &str) -> u64 {
+    parse_counter(
+        metrics,
+        &format!("privim_tenant_queries_total{{tenant=\"{tenant}\"}}"),
+    )
+    .unwrap_or(0)
+}
+
+fn main() {
+    let f = parse_flags();
+    let wal = f
+        .wal
+        .clone()
+        .unwrap_or_else(|| PathBuf::from(format!("{}.wal", f.bundle.display())));
+    let _ = std::fs::remove_file(&wal);
+
+    println!("chaos_serve: phase 1 — serve and acknowledge charges");
+    let (mut child, port) = spawn_server(&f, &wal);
+
+    // Concurrent metered clients; only fully-read 2xx responses count as
+    // acknowledged. acks[t] is monotone and updated *before* the driver
+    // can observe the threshold, so every counted ack precedes the kill.
+    let acks: Arc<Vec<AtomicU64>> = Arc::new((0..f.tenants).map(|_| AtomicU64::new(0)).collect());
+    let stop = Arc::new(AtomicBool::new(false));
+    let writers: Vec<_> = (0..2)
+        .map(|w| {
+            let acks = Arc::clone(&acks);
+            let stop = Arc::clone(&stop);
+            let tenants = f.tenants;
+            std::thread::spawn(move || {
+                let mut i = w as u64;
+                while !stop.load(Ordering::Acquire) {
+                    let t = (i % tenants as u64) as usize;
+                    if metered_embed(port, &format!("tenant-{t}"), i % 7) == 200 {
+                        acks[t].fetch_add(1, Ordering::AcqRel);
+                    }
+                    i += 2;
+                }
+            })
+        })
+        .collect();
+    let total = |acks: &[AtomicU64]| -> u64 { acks.iter().map(|a| a.load(Ordering::Acquire)).sum() };
+    let mut spins = 0u64;
+    while total(&acks) < f.kill_after_acks {
+        std::thread::sleep(Duration::from_millis(10));
+        spins += 1;
+        if spins > 6000 {
+            let _ = child.kill();
+            fail(format!(
+                "only {} acks after 60s (wanted {}) — server not admitting",
+                total(&acks),
+                f.kill_after_acks
+            ));
+        }
+    }
+
+    println!("chaos_serve: phase 2 — SIGKILL mid-traffic");
+    child
+        .kill()
+        .unwrap_or_else(|e| fail(format!("killing server: {e}")));
+    let _ = child.wait();
+    stop.store(true, Ordering::Release);
+    for w in writers {
+        let _ = w.join();
+    }
+    let acked: BTreeMap<String, u64> = (0..f.tenants)
+        .map(|t| (format!("tenant-{t}"), acks[t].load(Ordering::Acquire)))
+        .collect();
+    let acked_total: u64 = acked.values().sum();
+    println!("  {acked_total} charges acknowledged before the kill: {acked:?}");
+
+    println!("chaos_serve: phase 3 — restart on the same bundle + journal");
+    let (mut child, port) = spawn_server(&f, &wal);
+    let metrics = scrape_metrics(port);
+    let mut violations = 0u64;
+    for (tenant, &n) in &acked {
+        let recovered = tenant_spend(&metrics, tenant);
+        let verdict = if recovered >= n { "ok" } else { "UNDERCHARGE" };
+        println!("  {tenant}: acked {n}, recovered {recovered} — {verdict}");
+        if recovered < n {
+            violations += 1;
+        }
+    }
+    if violations > 0 {
+        let _ = child.kill();
+        fail(format!(
+            "{violations} tenant(s) lost acknowledged charges across kill-9"
+        ));
+    }
+
+    println!("chaos_serve: phase 4 — serving resumes and keeps charging");
+    let before = tenant_spend(&metrics, "tenant-0");
+    let mut post = 0u64;
+    let mut attempts = 0u64;
+    while post < f.post_acks {
+        attempts += 1;
+        if attempts > 50 * f.post_acks {
+            let _ = child.kill();
+            fail("restarted server stopped admitting metered traffic");
+        }
+        if metered_embed(port, "tenant-0", attempts % 7) == 200 {
+            post += 1;
+        }
+    }
+    let after = tenant_spend(&scrape_metrics(port), "tenant-0");
+    if after < before + post {
+        let _ = child.kill();
+        fail(format!(
+            "post-restart spend {after} < recovered {before} + {post} new acks"
+        ));
+    }
+    let _ = child.kill();
+    let _ = child.wait();
+    println!(
+        "chaos_serve: PASS — {acked_total} pre-kill acks all recovered; \
+         tenant-0 kept charging ({before} -> {after})"
+    );
+}

@@ -37,16 +37,35 @@ pub enum FaultPoint {
     /// Fail an atomic result write before the rename (result writer,
     /// indexed by write counter).
     IoWriteFail,
+    /// A write syscall lands only a few bytes — the cut falls inside a
+    /// record's length/CRC header — then errors (file writer, indexed by
+    /// write counter).
+    IoShortWrite,
+    /// A write lands the record header and part of the payload, then
+    /// errors — the classic torn-tail shape recovery must tolerate (file
+    /// writer, indexed by write counter).
+    IoTornWrite,
+    /// The write succeeds but fsync reports failure: the bytes may or may
+    /// not be durable (file writer, indexed by write counter).
+    IoFsyncFail,
+    /// Write and fsync both succeed, then the process "dies" before the
+    /// caller can acknowledge — durable but unacknowledged state (file
+    /// writer, indexed by write counter).
+    CrashAfterWrite,
 }
 
 impl FaultPoint {
     /// Every fault point, in registry order.
-    pub const ALL: [FaultPoint; 5] = [
+    pub const ALL: [FaultPoint; 9] = [
         FaultPoint::NanGradient,
         FaultPoint::OversizedGradient,
         FaultPoint::EmptyBatch,
         FaultPoint::PoisonedSubgraph,
         FaultPoint::IoWriteFail,
+        FaultPoint::IoShortWrite,
+        FaultPoint::IoTornWrite,
+        FaultPoint::IoFsyncFail,
+        FaultPoint::CrashAfterWrite,
     ];
 
     /// Canonical snake_case name (the `PRIVIM_FAULT` vocabulary).
@@ -57,6 +76,10 @@ impl FaultPoint {
             FaultPoint::EmptyBatch => "empty_batch",
             FaultPoint::PoisonedSubgraph => "poisoned_subgraph",
             FaultPoint::IoWriteFail => "io_write_fail",
+            FaultPoint::IoShortWrite => "io_short_write",
+            FaultPoint::IoTornWrite => "io_torn_write",
+            FaultPoint::IoFsyncFail => "io_fsync_fail",
+            FaultPoint::CrashAfterWrite => "crash_after_write",
         }
     }
 
@@ -65,13 +88,17 @@ impl FaultPoint {
         FaultPoint::ALL.into_iter().find(|p| p.name() == s)
     }
 
-    fn bit(&self) -> u8 {
+    fn bit(&self) -> u16 {
         match self {
             FaultPoint::NanGradient => 1 << 0,
             FaultPoint::OversizedGradient => 1 << 1,
             FaultPoint::EmptyBatch => 1 << 2,
             FaultPoint::PoisonedSubgraph => 1 << 3,
             FaultPoint::IoWriteFail => 1 << 4,
+            FaultPoint::IoShortWrite => 1 << 5,
+            FaultPoint::IoTornWrite => 1 << 6,
+            FaultPoint::IoFsyncFail => 1 << 7,
+            FaultPoint::CrashAfterWrite => 1 << 8,
         }
     }
 
@@ -86,7 +113,7 @@ impl FaultPoint {
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct FaultPlan {
     seed: u64,
-    mask: u8,
+    mask: u16,
     rate: f64,
     /// When set, armed points fire exactly at this index (rate ignored).
     at: Option<u64>,
@@ -96,7 +123,7 @@ impl FaultPlan {
     /// A plan arming `points` with independent per-index firing
     /// probability `rate` (clamped to `[0, 1]`).
     pub fn new(seed: u64, points: &[FaultPoint], rate: f64) -> FaultPlan {
-        let mut mask = 0u8;
+        let mut mask = 0u16;
         for p in points {
             mask |= p.bit();
         }
@@ -209,6 +236,25 @@ mod tests {
             assert_eq!(FaultPoint::from_name(p.name()), Some(p));
         }
         assert_eq!(FaultPoint::from_name("no_such_fault"), None);
+    }
+
+    #[test]
+    fn bits_are_distinct() {
+        let mut seen = 0u16;
+        for p in FaultPoint::ALL {
+            assert_eq!(seen & p.bit(), 0, "{} shares a mask bit", p.name());
+            seen |= p.bit();
+        }
+    }
+
+    #[test]
+    fn io_points_fire_independently() {
+        let plan = FaultPlan::at_step(5, FaultPoint::IoTornWrite, 3);
+        assert!(plan.fires(FaultPoint::IoTornWrite, 3));
+        assert!(!plan.fires(FaultPoint::IoTornWrite, 2));
+        assert!(!plan.fires(FaultPoint::IoShortWrite, 3));
+        assert!(!plan.fires(FaultPoint::IoFsyncFail, 3));
+        assert!(!plan.fires(FaultPoint::CrashAfterWrite, 3));
     }
 
     #[test]

@@ -1,0 +1,262 @@
+//! Fsync-aware file primitives with deterministic I/O fault points.
+//!
+//! The serving-side durability layer (WAL appends, atomic bundle
+//! snapshots) must be exercised against every ugly thing a disk can do:
+//! a write that lands only a prefix, a torn record tail, an fsync that
+//! reports failure, a crash after a durable write but before the caller
+//! acknowledged it. These helpers route every such hazard through
+//! [`crate::fault::FaultPlan`] so recovery paths replay bit-identically
+//! from a seed instead of depending on real hardware misbehaving on cue.
+//!
+//! Fault decisions are keyed on a caller-supplied *logical* write index
+//! (a journal's append counter, a pack operation's write counter), never
+//! on global mutable state — the same contract the rest of
+//! [`crate::fault`] keeps.
+
+use crate::fault::{FaultPlan, FaultPoint};
+use crate::{PrivimError, PrivimResult};
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+
+fn injected(point: FaultPoint) -> PrivimError {
+    PrivimError::InjectedFault {
+        point: point.name().to_string(),
+    }
+}
+
+/// Write `bytes` to `file`, honoring the [`FaultPoint::IoShortWrite`] and
+/// [`FaultPoint::IoTornWrite`] points at logical `index`.
+///
+/// * `IoShortWrite` lands at most 4 bytes — for a length-prefixed record
+///   the cut falls *inside* the header, so no complete length field
+///   reaches the file.
+/// * `IoTornWrite` lands the first 8 bytes (a full header) plus half the
+///   remainder — a structurally announced record whose payload is cut
+///   short.
+///
+/// Both then return [`PrivimError::InjectedFault`]; the partial bytes
+/// stay in the file exactly as a real torn write would leave them.
+pub fn write_all_faulty(
+    file: &mut File,
+    bytes: &[u8],
+    ctx: &str,
+    plan: Option<&FaultPlan>,
+    index: u64,
+) -> PrivimResult<()> {
+    if let Some(plan) = plan {
+        if plan.fires(FaultPoint::IoShortWrite, index) {
+            let cut = bytes.len().min(4);
+            file.write_all(&bytes[..cut])
+                .map_err(|e| PrivimError::io(ctx.to_string(), e))?;
+            return Err(injected(FaultPoint::IoShortWrite));
+        }
+        if plan.fires(FaultPoint::IoTornWrite, index) {
+            let cut = bytes.len().min(8 + bytes.len().saturating_sub(8) / 2);
+            file.write_all(&bytes[..cut])
+                .map_err(|e| PrivimError::io(ctx.to_string(), e))?;
+            return Err(injected(FaultPoint::IoTornWrite));
+        }
+    }
+    file.write_all(bytes)
+        .map_err(|e| PrivimError::io(ctx.to_string(), e))
+}
+
+/// `fdatasync` the file, honoring [`FaultPoint::IoFsyncFail`] at logical
+/// `index`. On an injected failure the bytes remain in the OS page cache
+/// (they may or may not survive a real crash) — callers must treat the
+/// write as non-durable.
+pub fn fsync_faulty(
+    file: &File,
+    ctx: &str,
+    plan: Option<&FaultPlan>,
+    index: u64,
+) -> PrivimResult<()> {
+    if let Some(plan) = plan {
+        if plan.fires(FaultPoint::IoFsyncFail, index) {
+            return Err(injected(FaultPoint::IoFsyncFail));
+        }
+    }
+    file.sync_data()
+        .map_err(|e| PrivimError::io(ctx.to_string(), e))
+}
+
+/// Simulated process death *after* a durable write, *before* the caller
+/// could acknowledge it ([`FaultPoint::CrashAfterWrite`] at `index`).
+/// Returns `Err` with the written state intact — recovery must surface
+/// the charge even though no client ever saw a success response.
+pub fn crash_point(plan: Option<&FaultPlan>, index: u64) -> PrivimResult<()> {
+    if let Some(plan) = plan {
+        if plan.fires(FaultPoint::CrashAfterWrite, index) {
+            return Err(injected(FaultPoint::CrashAfterWrite));
+        }
+    }
+    Ok(())
+}
+
+/// Durable atomic file replacement: write to a temp file in the
+/// destination directory, fsync it, rename over `path`, then fsync the
+/// directory so the rename itself survives a crash. At every injected
+/// fault the target path holds either its old contents or the complete
+/// new contents — never a torn mix.
+pub fn atomic_write_durable(path: &Path, bytes: &[u8]) -> PrivimResult<()> {
+    atomic_write_durable_with_plan(path, bytes, None, 0)
+}
+
+/// [`atomic_write_durable`] with an explicit fault plan and logical write
+/// index, for deterministic crash-consistency tests.
+pub fn atomic_write_durable_with_plan(
+    path: &Path,
+    bytes: &[u8],
+    plan: Option<&FaultPlan>,
+    index: u64,
+) -> PrivimResult<()> {
+    let file_name = match path.file_name().and_then(|n| n.to_str()) {
+        Some(n) => n,
+        None => {
+            return Err(PrivimError::invalid(format!(
+                "atomic write target has no file name: {}",
+                path.display()
+            )))
+        }
+    };
+    let dir = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d.to_path_buf(),
+        _ => Path::new(".").to_path_buf(),
+    };
+    let tmp = dir.join(format!("{file_name}.tmp.{}", std::process::id()));
+    let ctx = format!("atomic write to {}", path.display());
+
+    let result = (|| {
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)
+            .map_err(|e| PrivimError::io(ctx.clone(), e))?;
+        write_all_faulty(&mut file, bytes, &ctx, plan, index)?;
+        fsync_faulty(&file, &ctx, plan, index)?;
+        drop(file);
+        std::fs::rename(&tmp, path).map_err(|e| PrivimError::io(ctx.clone(), e))?;
+        sync_dir(&dir, &ctx)?;
+        Ok(())
+    })();
+    if result.is_err() {
+        // The rename never happened (or the fault fired before it); the
+        // target still holds its previous contents. Drop the temp file.
+        let _ = std::fs::remove_file(&tmp);
+        return result;
+    }
+    // The new contents are fully durable; a crash here loses nothing.
+    crash_point(plan, index)
+}
+
+/// Fsync a directory so a completed rename inside it is durable. On
+/// non-Unix platforms directories cannot be opened for sync; the rename
+/// is still atomic, just not crash-ordered, so this degrades to a no-op.
+fn sync_dir(dir: &Path, ctx: &str) -> PrivimResult<()> {
+    #[cfg(unix)]
+    {
+        let d = File::open(dir).map_err(|e| PrivimError::io(ctx.to_string(), e))?;
+        d.sync_all().map_err(|e| PrivimError::io(ctx.to_string(), e))
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = (dir, ctx);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("privim-fsio-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn short_write_leaves_header_incomplete() {
+        let path = tmp_path("short");
+        let mut f = File::create(&path).unwrap();
+        let plan = FaultPlan::at_step(1, FaultPoint::IoShortWrite, 0);
+        let err = write_all_faulty(&mut f, &[7u8; 64], "t", Some(&plan), 0).unwrap_err();
+        assert!(matches!(err, PrivimError::InjectedFault { .. }));
+        drop(f);
+        assert_eq!(std::fs::read(&path).unwrap().len(), 4);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_write_leaves_header_plus_partial_payload() {
+        let path = tmp_path("torn");
+        let mut f = File::create(&path).unwrap();
+        let plan = FaultPlan::at_step(1, FaultPoint::IoTornWrite, 2);
+        write_all_faulty(&mut f, &[1u8; 64], "t", Some(&plan), 0).unwrap();
+        let err = write_all_faulty(&mut f, &[2u8; 64], "t", Some(&plan), 2).unwrap_err();
+        assert!(matches!(err, PrivimError::InjectedFault { .. }));
+        drop(f);
+        // 64 good bytes + 8 header + half of the 56 remaining.
+        assert_eq!(std::fs::read(&path).unwrap().len(), 64 + 8 + 28);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn unfired_indices_write_everything() {
+        let path = tmp_path("clean");
+        let mut f = File::create(&path).unwrap();
+        let plan = FaultPlan::at_step(1, FaultPoint::IoShortWrite, 9);
+        write_all_faulty(&mut f, &[3u8; 100], "t", Some(&plan), 0).unwrap();
+        fsync_faulty(&f, "t", Some(&plan), 0).unwrap();
+        crash_point(Some(&plan), 0).unwrap();
+        drop(f);
+        assert_eq!(std::fs::read(&path).unwrap(), vec![3u8; 100]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn atomic_write_replaces_contents() {
+        let path = tmp_path("atomic");
+        std::fs::write(&path, b"old").unwrap();
+        atomic_write_durable(&path, b"new contents").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"new contents");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn atomic_write_under_faults_is_old_or_new_never_torn() {
+        let path = tmp_path("atomic-faults");
+        for point in [
+            FaultPoint::IoShortWrite,
+            FaultPoint::IoTornWrite,
+            FaultPoint::IoFsyncFail,
+            FaultPoint::CrashAfterWrite,
+        ] {
+            std::fs::write(&path, b"old-bundle").unwrap();
+            let plan = FaultPlan::at_step(3, point, 0);
+            let res =
+                atomic_write_durable_with_plan(&path, b"new-bundle", Some(&plan), 0);
+            assert!(
+                matches!(res, Err(PrivimError::InjectedFault { .. })),
+                "{} must surface as an injected fault",
+                point.name()
+            );
+            let got = std::fs::read(&path).unwrap();
+            if point == FaultPoint::CrashAfterWrite {
+                // Crash fired after the rename: the new file is durable.
+                assert_eq!(got, b"new-bundle");
+            } else {
+                assert_eq!(got, b"old-bundle", "{} tore the target", point.name());
+            }
+            // No temp litter either way.
+            let tmp = path.with_file_name(format!(
+                "{}.tmp.{}",
+                path.file_name().unwrap().to_str().unwrap(),
+                std::process::id()
+            ));
+            assert!(!tmp.exists(), "temp file left behind for {}", point.name());
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+}

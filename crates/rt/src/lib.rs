@@ -35,12 +35,16 @@
 //! * [`fault`] — deterministic, seed-driven fault injection
 //!   ([`fault::FaultPlan`]) used to test divergence-recovery and retry
 //!   paths bit-reproducibly at any thread count.
+//! * [`fsio`] — fsync-aware file primitives (fault-injectable writes,
+//!   durable atomic replace) backing the serve-side WAL and bundle
+//!   snapshots.
 
 pub mod bench;
 pub mod chacha;
 pub mod crc;
 pub mod error;
 pub mod fault;
+pub mod fsio;
 pub mod json;
 pub mod par;
 pub mod rng;

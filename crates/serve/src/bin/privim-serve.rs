@@ -16,10 +16,12 @@
 
 use privim::{export_serve_artifact, EvalSetup, Method};
 use privim_graph::{io::read_edge_list, Graph};
-use privim_rt::{ChaCha8Rng, SeedableRng};
-use privim_serve::{bundle, start, LedgerConfig, LedgerState, ServeConfig};
+use privim_rt::{fsio, ChaCha8Rng, SeedableRng};
+use privim_serve::{
+    bundle, start, wal, DurabilityConfig, FsyncPolicy, LedgerConfig, LedgerState, ServeConfig,
+};
 use std::fs::File;
-use std::io::{BufReader, BufWriter};
+use std::io::{BufReader, Write};
 use std::path::PathBuf;
 use std::process::exit;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -36,7 +38,9 @@ fn usage() -> ! {
                 [--retry-after 60]]
   privim-serve run --bundle <bundle.json> [--addr 127.0.0.1:7878]
                [--workers 4] [--queue-cap 128] [--deadline-ms 5000]
-               [--batch-window-ms 2] [--runs 64]"
+               [--batch-window-ms 2] [--runs 64]
+               [--wal <path>] [--no-wal] [--fsync always|never|every=N]
+               [--compact-every 256]"
     );
     exit(2)
 }
@@ -67,6 +71,10 @@ struct Flags {
     deadline_ms: u64,
     batch_window_ms: u64,
     runs: usize,
+    wal: Option<PathBuf>,
+    no_wal: bool,
+    fsync: FsyncPolicy,
+    compact_every: u64,
 }
 
 fn parse_flags(args: &[String]) -> Flags {
@@ -91,6 +99,10 @@ fn parse_flags(args: &[String]) -> Flags {
         deadline_ms: 5_000,
         batch_window_ms: 2,
         runs: 64,
+        wal: None,
+        no_wal: false,
+        fsync: FsyncPolicy::Always,
+        compact_every: 256,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -136,6 +148,14 @@ fn parse_flags(args: &[String]) -> Flags {
                 f.batch_window_ms = val("--batch-window-ms").parse().unwrap_or_else(|_| usage())
             }
             "--runs" => f.runs = val("--runs").parse().unwrap_or_else(|_| usage()),
+            "--wal" => f.wal = Some(PathBuf::from(val("--wal"))),
+            "--no-wal" => f.no_wal = true,
+            "--fsync" => {
+                f.fsync = FsyncPolicy::parse(&val("--fsync")).unwrap_or_else(|| usage())
+            }
+            "--compact-every" => {
+                f.compact_every = val("--compact-every").parse().unwrap_or_else(|_| usage())
+            }
             _ => usage(),
         }
     }
@@ -181,25 +201,27 @@ fn cmd_pack(f: &Flags) {
     }
     let artifact = export_serve_artifact(method_for(&f.method, f.eps), &setup, f.seed)
         .unwrap_or_else(|e| fail(e));
-    let file =
-        File::create(&out).unwrap_or_else(|e| fail(format!("create {}: {e}", out.display())));
-    let w = BufWriter::new(file);
-    let metered = match f.tenant_budget {
+    // Atomic replace (temp + fsync + rename + dir fsync): a crash
+    // mid-pack can never leave a torn bundle at the target path.
+    let (doc, metered) = match f.tenant_budget {
         Some(epsilon_budget) => {
-            let state = LedgerState::new(LedgerConfig {
+            let config = LedgerConfig {
                 epsilon_budget,
                 delta: f.ledger_delta,
                 query_sigma: f.query_sigma,
                 retry_after_secs: f.retry_after,
-            });
-            bundle::save_with_ledger(&artifact, &graph, &state, w).unwrap_or_else(|e| fail(e));
-            format!("metered(eps_budget={epsilon_budget}, query_sigma={})", f.query_sigma)
+            };
+            config.validate().unwrap_or_else(|e| fail(e));
+            let state = LedgerState::new(config);
+            (
+                bundle::pack_with_ledger(&artifact, &graph, Some(&state)),
+                format!("metered(eps_budget={epsilon_budget}, query_sigma={})", f.query_sigma),
+            )
         }
-        None => {
-            bundle::save(&artifact, &graph, w).unwrap_or_else(|e| fail(e));
-            "unmetered".to_string()
-        }
+        None => (bundle::pack(&artifact, &graph), "unmetered".to_string()),
     };
+    fsio::atomic_write_durable(&out, doc.to_json_string().as_bytes())
+        .unwrap_or_else(|e| fail(format!("write {}: {e}", out.display())));
     println!(
         "packed {}: |V|={} |E|={} method={} eps={} {metered} fingerprint={:#018x}",
         out.display(),
@@ -236,7 +258,7 @@ fn cmd_run(f: &Flags) {
     let path = f.bundle.clone().unwrap_or_else(|| usage());
     let file =
         File::open(&path).unwrap_or_else(|e| fail(format!("open {}: {e}", path.display())));
-    let b = bundle::load(BufReader::new(file)).unwrap_or_else(|e| fail(e));
+    let mut b = bundle::load(BufReader::new(file)).unwrap_or_else(|e| fail(e));
     println!(
         "loaded {}: |V|={} fingerprint={:#018x} eps={} delta={} sigma={} steps={}",
         path.display(),
@@ -256,6 +278,39 @@ fn cmd_run(f: &Flags) {
         ),
         None => println!("budget ledger: none (unmetered deployment)"),
     }
+    // Metered deployments get a charge journal next to the bundle unless
+    // --no-wal opts out. Recovery runs before the server starts: the
+    // journal's charges merge into the in-memory ledger (max per tenant),
+    // so a kill-9'd process restarts with spend >= everything it ever
+    // acknowledged.
+    let durability = match (&mut b.ledger, f.no_wal) {
+        (Some(state), false) => {
+            let wal_path = f
+                .wal
+                .clone()
+                .unwrap_or_else(|| PathBuf::from(format!("{}.wal", path.display())));
+            let report = wal::recover_from_path(state, &wal_path).unwrap_or_else(|e| fail(e));
+            if report.wal_present {
+                println!(
+                    "wal recovery: {} record(s) applied, {} ambiguous kept, \
+                     {} torn byte(s) dropped, {} tenant(s) raised",
+                    report.records_applied,
+                    report.ambiguous_kept,
+                    report.torn_tail_bytes,
+                    report.tenants_raised,
+                );
+            } else {
+                println!("wal recovery: no journal at {} (clean boot)", wal_path.display());
+            }
+            Some(DurabilityConfig {
+                wal_path,
+                fsync: f.fsync,
+                compact_every: f.compact_every,
+                bundle_path: Some(path.clone()),
+            })
+        }
+        _ => None,
+    };
     let cfg = ServeConfig {
         addr: f.addr.clone(),
         workers: f.workers.max(1),
@@ -263,11 +318,15 @@ fn cmd_run(f: &Flags) {
         deadline: Duration::from_millis(f.deadline_ms.max(1)),
         batch_window: Duration::from_millis(f.batch_window_ms),
         default_runs: f.runs.max(1),
+        durability,
         ..ServeConfig::default()
     };
     install_signal_handlers();
     let handle = start(b, cfg).unwrap_or_else(|e| fail(e));
     println!("serving on port {} ({} workers); ctrl-c to drain and exit", handle.port(), f.workers);
+    // Line-buffer semantics don't hold on a pipe: the chaos driver parses
+    // this line from piped stdout, so push it out now.
+    let _ = std::io::stdout().flush();
     while !STOP.load(Ordering::SeqCst) {
         std::thread::sleep(Duration::from_millis(100));
     }

@@ -167,19 +167,38 @@ pub fn pack_with_ledger(
     graph: &Graph,
     ledger: Option<&LedgerState>,
 ) -> Value {
+    let privacy = PrivacyStatement {
+        epsilon: artifact.epsilon,
+        delta: artifact.delta,
+        sigma: artifact.sigma,
+        steps: artifact.steps as u64,
+    };
+    pack_parts(&artifact.model, &privacy, graph, ledger)
+}
+
+/// Build the bundle document from its parts. A running server compacts
+/// its journal through this (it holds a model + privacy statement, not a
+/// [`ServeArtifact`]); byte-for-byte the same output as pack-time for
+/// the same parts, so a snapshot is indistinguishable from a fresh pack.
+pub fn pack_parts(
+    model: &GnnModel,
+    privacy: &PrivacyStatement,
+    graph: &Graph,
+    ledger: Option<&LedgerState>,
+) -> Value {
     let fingerprint = graph_fingerprint(graph);
     let mut fields = vec![
-        ("model", artifact.model.checkpoint_payload()),
+        ("model", model.checkpoint_payload()),
         (
             "privacy",
             Value::obj(vec![
                 (
                     "epsilon",
-                    artifact.epsilon.map(Value::Num).unwrap_or(Value::Null),
+                    privacy.epsilon.map(Value::Num).unwrap_or(Value::Null),
                 ),
-                ("delta", Value::Num(artifact.delta)),
-                ("sigma", Value::Num(artifact.sigma)),
-                ("steps", Value::Num(artifact.steps as f64)),
+                ("delta", Value::Num(privacy.delta)),
+                ("sigma", Value::Num(privacy.sigma)),
+                ("steps", Value::Num(privacy.steps as f64)),
             ]),
         ),
         ("graph", graph_to_json(graph)),
@@ -479,6 +498,122 @@ mod tests {
         // (CRC catches the edit first — which is the right failure: a
         // tampered budget must not load at all.)
         assert!(load(broken.as_bytes()).is_err());
+    }
+
+    /// Rebuild a packed metered bundle with its ledger section replaced
+    /// by `ledger` and the payload CRC *recomputed*, so the checksum
+    /// layer passes and the ledger parser itself must reject the section.
+    fn bundle_with_raw_ledger(seed: u64, ledger: Value) -> String {
+        use crate::ledger::{LedgerConfig, LedgerState};
+        let art = tiny_artifact(seed);
+        let g = tiny_graph(seed + 1);
+        let state = LedgerState::new(LedgerConfig {
+            epsilon_budget: 1.0,
+            delta: 1e-5,
+            query_sigma: 8.0,
+            retry_after_secs: 60,
+        });
+        let doc = pack_with_ledger(&art, &g, Some(&state));
+        let Value::Obj(header) = doc else { panic!("doc not an object") };
+        let mut payload = header
+            .iter()
+            .find(|(k, _)| k == "payload")
+            .map(|(_, v)| v.clone())
+            .unwrap();
+        let Value::Obj(fields) = &mut payload else { panic!("payload not an object") };
+        let slot = fields.iter_mut().find(|(k, _)| k == "ledger").unwrap();
+        slot.1 = ledger;
+        let crc = crc::crc32(payload.to_json_string().as_bytes());
+        Value::obj(vec![
+            ("format", Value::Str(BUNDLE_FORMAT.to_string())),
+            ("version", Value::Num(BUNDLE_VERSION as f64)),
+            ("crc32", Value::Str(format!("{crc:#010x}"))),
+            ("payload", payload),
+        ])
+        .to_json_string()
+    }
+
+    #[test]
+    fn corrupt_ledger_sections_are_typed_errors_not_unmetered_fallbacks() {
+        // Structurally-broken ledger sections that survive the CRC layer
+        // (checksum recomputed over the corrupted payload, as bit-rot
+        // before packing or a buggy writer would produce them).
+        let cases: Vec<(&str, Value)> = vec![
+            ("truncated section", Value::obj(vec![("epsilon_budget", Value::Num(1.0))])),
+            ("wrong type", Value::Str("not an object".into())),
+            (
+                "negative count",
+                Value::obj(vec![
+                    ("epsilon_budget", Value::Num(1.0)),
+                    ("delta", Value::Num(1e-5)),
+                    ("query_sigma", Value::Num(8.0)),
+                    ("retry_after_secs", Value::Num(60.0)),
+                    ("tenants", Value::obj(vec![("acme", Value::Num(-2.0))])),
+                ]),
+            ),
+            (
+                "invalid policy",
+                Value::obj(vec![
+                    ("epsilon_budget", Value::Num(0.0)),
+                    ("delta", Value::Num(1e-5)),
+                    ("query_sigma", Value::Num(8.0)),
+                    ("retry_after_secs", Value::Num(60.0)),
+                    ("tenants", Value::Obj(vec![])),
+                ]),
+            ),
+        ];
+        for (what, bad) in cases {
+            let text = bundle_with_raw_ledger(20, bad);
+            let err = load(text.as_bytes());
+            match err {
+                Err(PrivimError::Parse(_)) | Err(PrivimError::InvalidInput(_)) => {}
+                Ok(b) => panic!(
+                    "{what}: loaded with ledger = {:?} — corrupt section silently \
+                     degraded to {} behavior",
+                    b.ledger,
+                    if b.ledger.is_none() { "unmetered v1" } else { "metered" }
+                ),
+                Err(other) => panic!("{what}: expected Parse/InvalidInput, got {other:?}"),
+            }
+        }
+        // Sanity: the helper itself produces a loadable bundle when the
+        // section is valid — the failures above are the ledger's, not an
+        // artifact of the rebuild.
+        let good = bundle_with_raw_ledger(
+            20,
+            Value::obj(vec![
+                ("epsilon_budget", Value::Num(1.0)),
+                ("delta", Value::Num(1e-5)),
+                ("query_sigma", Value::Num(8.0)),
+                ("retry_after_secs", Value::Num(60.0)),
+                ("tenants", Value::obj(vec![("acme", Value::Num(3.0))])),
+            ]),
+        );
+        let loaded = load(good.as_bytes()).unwrap();
+        assert_eq!(loaded.ledger.unwrap().tenants.get("acme"), Some(&3));
+    }
+
+    #[test]
+    fn pack_parts_matches_pack_with_ledger_byte_for_byte() {
+        use crate::ledger::{LedgerConfig, LedgerState};
+        let art = tiny_artifact(30);
+        let g = tiny_graph(31);
+        let mut state = LedgerState::new(LedgerConfig {
+            epsilon_budget: 2.0,
+            delta: 1e-5,
+            query_sigma: 8.0,
+            retry_after_secs: 60,
+        });
+        state.tenants.insert("acme".into(), 4);
+        let privacy = PrivacyStatement {
+            epsilon: art.epsilon,
+            delta: art.delta,
+            sigma: art.sigma,
+            steps: art.steps as u64,
+        };
+        let a = pack_with_ledger(&art, &g, Some(&state)).to_json_string();
+        let b = pack_parts(&art.model, &privacy, &g, Some(&state)).to_json_string();
+        assert_eq!(a, b, "a compaction snapshot must be indistinguishable from a fresh pack");
     }
 
     #[test]

@@ -43,6 +43,11 @@
 //! * **Versioned bundles** ([`bundle`]): format tag + version + CRC-32 +
 //!   graph fingerprint, so a serving process can never silently run a
 //!   truncated model or mismatched graph.
+//! * **Crash durability** ([`wal`]): every granted budget charge is
+//!   journaled (length-prefixed, CRC-32'd, fsync'd) *before* the client
+//!   sees a 2xx; startup replays the journal over the bundle's ledger
+//!   with never-undercharge semantics, and periodic compaction folds it
+//!   into an atomically-replaced bundle snapshot.
 //!
 //! Determinism note: response payloads are bit-identical to direct
 //! library calls (the e2e test pins this) — batching and caching change
@@ -55,6 +60,7 @@ pub mod http;
 pub mod ledger;
 pub mod metrics;
 pub mod server;
+pub mod wal;
 
 pub use bundle::{
     graph_fingerprint, Bundle, PrivacyStatement, BUNDLE_FORMAT, BUNDLE_VERSION,
@@ -63,4 +69,5 @@ pub use bundle::{
 pub use cache::ShardedLru;
 pub use ledger::{Admission, LedgerConfig, LedgerState, TenantLedger};
 pub use metrics::Metrics;
-pub use server::{influence_cache_key, start, ServeConfig, ServerHandle};
+pub use server::{influence_cache_key, start, DurabilityConfig, ServeConfig, ServerHandle};
+pub use wal::{FsyncPolicy, RecoveryReport, WalWriter};

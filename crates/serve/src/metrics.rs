@@ -37,6 +37,11 @@ pub struct Metrics {
     queue_depth: AtomicU64,
     queue_depth_peak: AtomicU64,
     drained_during_shutdown: AtomicU64,
+    timeout_config_failures: AtomicU64,
+    wal_appends: AtomicU64,
+    wal_append_failures: AtomicU64,
+    wal_compactions: AtomicU64,
+    wal_compaction_failures: AtomicU64,
 }
 
 /// Index into [`ENDPOINTS`] for a request path, if instrumented.
@@ -102,6 +107,54 @@ impl Metrics {
     /// A queued request was completed after shutdown began.
     pub fn drained(&self) {
         self.drained_during_shutdown.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Configuring a socket read/write timeout failed; the connection was
+    /// closed rather than served without a deadline.
+    pub fn timeout_config_failure(&self) {
+        self.timeout_config_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Timeout-configuration failures so far.
+    pub fn timeout_config_failures(&self) -> u64 {
+        self.timeout_config_failures.load(Ordering::Relaxed)
+    }
+
+    /// A budget charge was journaled durably.
+    pub fn wal_append(&self) {
+        self.wal_appends.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A journal append failed; the request was refused with `500` (the
+    /// in-memory charge stands — overcharge-safe).
+    pub fn wal_append_failure(&self) {
+        self.wal_append_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Successful journal appends so far.
+    pub fn wal_appends(&self) -> u64 {
+        self.wal_appends.load(Ordering::Relaxed)
+    }
+
+    /// Failed journal appends so far.
+    pub fn wal_append_failures(&self) -> u64 {
+        self.wal_append_failures.load(Ordering::Relaxed)
+    }
+
+    /// A snapshot compaction completed (bundle replaced, journal reset).
+    pub fn wal_compaction(&self) {
+        self.wal_compactions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A snapshot compaction failed (journal left in place — safe, just
+    /// uncompacted).
+    pub fn wal_compaction_failure(&self) {
+        self.wal_compaction_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Completed compactions so far.
+    pub fn wal_compactions(&self) -> u64 {
+        self.wal_compactions.load(Ordering::Relaxed)
     }
 
     /// Total requests observed across endpoints.
@@ -175,6 +228,11 @@ impl Metrics {
         push_line(&mut out, "privim_cache_misses_total", cache_misses);
         push_line(&mut out, "privim_cache_entries", cache_len as u64);
         push_line(&mut out, "privim_drained_during_shutdown_total", self.drained_during_shutdown.load(Ordering::Relaxed));
+        push_line(&mut out, "privim_timeout_config_failures_total", self.timeout_config_failures.load(Ordering::Relaxed));
+        push_line(&mut out, "privim_wal_appends_total", self.wal_appends.load(Ordering::Relaxed));
+        push_line(&mut out, "privim_wal_append_failures_total", self.wal_append_failures.load(Ordering::Relaxed));
+        push_line(&mut out, "privim_wal_compactions_total", self.wal_compactions.load(Ordering::Relaxed));
+        push_line(&mut out, "privim_wal_compaction_failures_total", self.wal_compaction_failures.load(Ordering::Relaxed));
         out
     }
 }
@@ -296,6 +354,27 @@ mod tests {
         assert_eq!(parse_counter(&text, "privim_batch_forward_passes_total"), Some(1));
         assert_eq!(parse_counter(&text, "privim_batch_batched_requests_total"), Some(4));
         assert_eq!(parse_counter(&text, "privim_shed_total"), Some(1));
+    }
+
+    #[test]
+    fn durability_counters_render() {
+        let m = Metrics::new();
+        m.timeout_config_failure();
+        m.wal_append();
+        m.wal_append();
+        m.wal_append_failure();
+        m.wal_compaction();
+        m.wal_compaction_failure();
+        let text = m.render(0, 0, 0, 0, 0);
+        assert_eq!(parse_counter(&text, "privim_timeout_config_failures_total"), Some(1));
+        assert_eq!(parse_counter(&text, "privim_wal_appends_total"), Some(2));
+        assert_eq!(parse_counter(&text, "privim_wal_append_failures_total"), Some(1));
+        assert_eq!(parse_counter(&text, "privim_wal_compactions_total"), Some(1));
+        assert_eq!(parse_counter(&text, "privim_wal_compaction_failures_total"), Some(1));
+        assert_eq!(m.wal_appends(), 2);
+        assert_eq!(m.wal_append_failures(), 1);
+        assert_eq!(m.wal_compactions(), 1);
+        assert_eq!(m.timeout_config_failures(), 1);
     }
 
     #[test]

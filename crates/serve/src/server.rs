@@ -13,20 +13,43 @@
 //! join. No request that was accepted is ever abandoned.
 
 use crate::batch::Batcher;
-use crate::bundle::Bundle;
+use crate::bundle::{Bundle, PrivacyStatement};
 use crate::cache::ShardedLru;
 use crate::http::{read_request, write_response, write_response_with_headers, Request};
 use crate::ledger::{Admission, TenantLedger};
 use crate::metrics::{endpoint_index, render_ledger_section, Metrics};
+use crate::wal::{FsyncPolicy, WalWriter};
+use privim_gnn::GnnModel;
 use privim_graph::NodeId;
 use privim_im::{ic_spread_estimate, LazyGreedy};
+use privim_rt::fsio;
 use privim_rt::json::Value;
 use privim_rt::{PrivimError, PrivimResult};
 use std::collections::VecDeque;
 use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
+
+/// Durability settings for a metered deployment: where charges are
+/// journaled before admission is acknowledged, and how the journal is
+/// folded back into the bundle.
+#[derive(Clone, Debug)]
+pub struct DurabilityConfig {
+    /// Journal path; created on first append if missing. Opening truncates
+    /// any torn tail a crash left behind.
+    pub wal_path: PathBuf,
+    /// When journal appends are fsync'd. [`FsyncPolicy::Always`] is the
+    /// only setting under which every 2xx-acknowledged charge is durable.
+    pub fsync: FsyncPolicy,
+    /// Fold the ledger into an atomic bundle snapshot (and truncate the
+    /// journal) after every this-many appends; `0` = never compact.
+    pub compact_every: u64,
+    /// Where compaction snapshots go — normally the bundle the server
+    /// loaded. `None` disables compaction (the journal only grows).
+    pub bundle_path: Option<PathBuf>,
+}
 
 /// Server tunables. The defaults suit a laptop-scale smoke deployment;
 /// the bench harness stresses them explicitly.
@@ -50,6 +73,10 @@ pub struct ServeConfig {
     /// Default Monte-Carlo runs for `/v1/influence` when the request
     /// does not specify `runs`.
     pub default_runs: usize,
+    /// Charge-journal durability (metered deployments only; ignored when
+    /// the bundle has no ledger). `None` = in-memory ledger, PR 6
+    /// behavior.
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl Default for ServeConfig {
@@ -63,6 +90,7 @@ impl Default for ServeConfig {
             cache_shards: 8,
             cache_cap_per_shard: 256,
             default_runs: 64,
+            durability: None,
         }
     }
 }
@@ -80,6 +108,15 @@ struct Shared {
     /// requests carry an `X-Privim-Tenant` header and are admitted — or
     /// refused with `429` — before any work happens.
     ledger: Option<TenantLedger>,
+    /// Charge journal: every granted admission is appended here before
+    /// the handler runs (and so before any 2xx can be written). `None`
+    /// when unmetered or durability is not configured.
+    wal: Option<Mutex<WalWriter>>,
+    durability: Option<DurabilityConfig>,
+    /// Model + privacy statement retained for compaction snapshots
+    /// (a snapshot is a full re-pack of the loaded bundle).
+    model: Arc<GnnModel>,
+    privacy: PrivacyStatement,
     queue: Mutex<VecDeque<(TcpStream, Instant)>>,
     queue_ready: Condvar,
     shutting_down: AtomicBool,
@@ -166,10 +203,24 @@ pub fn start(bundle: Bundle, cfg: ServeConfig) -> PrivimResult<ServerHandle> {
         Some(state) => Some(TenantLedger::new(state)?),
         None => None,
     };
+    // A journal only exists for a metered deployment with durability
+    // configured; opening it truncates any torn tail from a prior crash
+    // (recovery replayed those bytes before `start` was called).
+    let (wal, durability) = match (&ledger, cfg.durability.clone()) {
+        (Some(_), Some(d)) => (
+            Some(Mutex::new(WalWriter::open(&d.wal_path, d.fsync)?)),
+            Some(d),
+        ),
+        _ => (None, None),
+    };
     let shared = Arc::new(Shared {
         batcher: Batcher::new(Arc::clone(&model), &bundle.graph, cfg.batch_window),
         seeds: Mutex::new(LazyGreedy::new(Arc::clone(&bundle.graph))),
         ledger,
+        wal,
+        durability,
+        model,
+        privacy: bundle.privacy,
         graph: bundle.graph,
         fingerprint: bundle.fingerprint,
         metrics: Metrics::new(),
@@ -236,7 +287,15 @@ fn shed(mut stream: TcpStream, shared: &Shared, why: &str) {
     shared.metrics.observe_status(503);
     let body = Value::obj(vec![("error", Value::Str(format!("shed: {why}"))) ])
         .to_json_string();
-    let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
+    // Without a write timeout a dead client could pin this thread on the
+    // 503 write; if the socket refuses the timeout, just close.
+    if stream
+        .set_write_timeout(Some(Duration::from_millis(200)))
+        .is_err()
+    {
+        shared.metrics.timeout_config_failure();
+        return;
+    }
     let _ = write_response(&mut stream, 503, "application/json", body.as_bytes());
 }
 
@@ -275,10 +334,16 @@ fn handle_connection(mut stream: TcpStream, arrival: Instant, shared: &Shared) {
         return;
     }
     // A stalled or dead client may hold this worker no longer than the
-    // request's remaining deadline budget.
+    // request's remaining deadline budget. If the socket won't take a
+    // timeout, serving it would mean serving without a deadline — close
+    // it instead and count the refusal.
     let remaining = shared.deadline - waited;
-    let _ = stream.set_read_timeout(Some(remaining));
-    let _ = stream.set_write_timeout(Some(remaining));
+    if stream.set_read_timeout(Some(remaining)).is_err()
+        || stream.set_write_timeout(Some(remaining)).is_err()
+    {
+        shared.metrics.timeout_config_failure();
+        return;
+    }
 
     let (routed, content_type, ep) = match read_request(&mut stream) {
         Ok(req) => {
@@ -372,7 +437,7 @@ fn admit_tenant(req: &Request, shared: &Shared) -> Result<(), Routed> {
         ));
     }
     match ledger.admit(tenant) {
-        Admission::Granted { .. } => Ok(()),
+        Admission::Granted { queries, .. } => journal_charge(shared, tenant, queries),
         Admission::Exhausted {
             epsilon_spent,
             retry_after_secs,
@@ -397,6 +462,59 @@ fn admit_tenant(req: &Request, shared: &Shared) -> Result<(), Routed> {
                 retry_after_secs: Some(retry_after_secs),
             })
         }
+    }
+}
+
+/// Make a granted charge durable before the handler (and therefore any
+/// 2xx response) can run. An append failure refuses the query with `500`
+/// — the in-memory charge stands, which can only overcharge the tenant,
+/// never undercharge. Compaction piggybacks here: the journal lock is
+/// held across snapshot + atomic bundle replace + truncation, so a
+/// concurrent admission that has charged in memory but not yet journaled
+/// is already inside the snapshot and its (redundant, absolute-count)
+/// record simply lands in the fresh journal.
+fn journal_charge(shared: &Shared, tenant: &str, queries_after: u64) -> Result<(), Routed> {
+    let Some(wal) = &shared.wal else {
+        return Ok(());
+    };
+    let mut writer = lock(wal);
+    if let Err(e) = writer.append(tenant, queries_after) {
+        shared.metrics.wal_append_failure();
+        let body = Value::obj(vec![(
+            "error",
+            Value::Str(format!("budget journal write failed; query refused: {e}")),
+        )])
+        .to_json_string();
+        return Err(Routed::new(500, body));
+    }
+    shared.metrics.wal_append();
+    if let Some(d) = &shared.durability {
+        if d.compact_every > 0 && writer.appended() % d.compact_every == 0 {
+            compact(shared, &mut writer);
+        }
+    }
+    Ok(())
+}
+
+/// Fold the live ledger into an atomically-replaced bundle snapshot,
+/// then truncate the journal. Caller holds the journal lock. Failure at
+/// any step leaves the journal in place — uncompacted but never
+/// undercharged (stale absolute counts replay as a no-op under max).
+fn compact(shared: &Shared, writer: &mut WalWriter) {
+    let (Some(d), Some(ledger)) = (&shared.durability, &shared.ledger) else {
+        return;
+    };
+    let Some(bundle_path) = &d.bundle_path else {
+        return;
+    };
+    let state = ledger.state();
+    let doc = crate::bundle::pack_parts(&shared.model, &shared.privacy, &shared.graph, Some(&state));
+    let snapshot_ok =
+        fsio::atomic_write_durable(bundle_path, doc.to_json_string().as_bytes()).is_ok();
+    if snapshot_ok && writer.reset().is_ok() {
+        shared.metrics.wal_compaction();
+    } else {
+        shared.metrics.wal_compaction_failure();
     }
 }
 

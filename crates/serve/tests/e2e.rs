@@ -243,6 +243,14 @@ fn metrics_reflect_requests_and_batched_forward_passes() {
     // predecessors; at minimum the n embeds are there
     assert!(counter("privim_responses_total{class=\"2xx\"}").unwrap() >= n as u64);
 
+    // Durability counters are always exposed (zero on a journal-less
+    // server) so dashboards can alert on them without a config change.
+    assert_eq!(counter("privim_timeout_config_failures_total"), Some(0));
+    assert_eq!(counter("privim_wal_appends_total"), Some(0));
+    assert_eq!(counter("privim_wal_append_failures_total"), Some(0));
+    assert_eq!(counter("privim_wal_compactions_total"), Some(0));
+    assert_eq!(counter("privim_wal_compaction_failures_total"), Some(0));
+
     handle.shutdown();
 }
 

@@ -36,7 +36,8 @@ echo "== serve smoke (pack a tiny checkpoint bundle, hit every endpoint, drain)"
 # response assertions, checks /metrics accounting, and asserts the
 # shutdown drain completes cleanly.
 SERVE_BUNDLE="$(mktemp /tmp/privim-serve-ci-XXXXXX.json)"
-trap 'rm -f "$SERVE_BUNDLE"' EXIT
+CHAOS_BUNDLE="$(mktemp /tmp/privim-chaos-ci-XXXXXX.json)"
+trap 'rm -f "$SERVE_BUNDLE" "$CHAOS_BUNDLE" "$CHAOS_BUNDLE.wal"' EXIT
 cargo run -q --release --offline -p privim-serve -- pack \
     --out "$SERVE_BUNDLE" --nodes 120 --k 10 --fast
 cargo run -q --release --offline -p privim-bench --bin bench_serve -- \
@@ -56,5 +57,29 @@ echo "== budget-ledger gate (exhausted tenant must get 429 + correct gauges)"
 # tenant isolation, and that /metrics budget gauges match the spend.
 cargo test -q --release --offline -p privim-serve --test e2e \
     exhausted_tenant_gets_429_with_retry_after_and_correct_gauges
+
+echo "== WAL I/O fault matrix (journal appends under each injected I/O failure)"
+# One leg per privim_rt::fault I/O point. The env plan applies to the
+# whole test process, so each leg runs only the env-driven recovery test
+# (by name filter) rather than the full suite: it appends through the
+# armed fault at a 40% rate with restarts on poison, recovers, and
+# asserts no 2xx-acknowledged charge was lost (DESIGN.md §13).
+for point in io_short_write io_torn_write io_fsync_fail crash_after_write; do
+    echo "-- PRIVIM_FAULT=$point"
+    PRIVIM_FAULT=$point PRIVIM_FAULT_RATE=0.4 PRIVIM_FAULT_SEED=11 \
+        cargo test -q --release --offline -p privim-serve --test wal \
+        env_plan_io_faults_recovery
+done
+
+echo "== kill-9 chaos gate (crash-durable ledger across a real process death)"
+# chaos_serve drives a real privim-serve process with metered traffic,
+# SIGKILLs it mid-flight, restarts it on the same bundle + journal, and
+# exits non-zero if any tenant's recovered spend is below what clients
+# saw acknowledged with a 2xx — the never-undercharge contract.
+cargo run -q --release --offline -p privim-serve -- pack \
+    --out "$CHAOS_BUNDLE" --nodes 120 --k 10 --fast --seed 7 \
+    --tenant-budget 4 --query-sigma 24
+cargo run -q --release --offline -p privim-bench --bin chaos_serve -- \
+    --server-bin target/release/privim-serve --bundle "$CHAOS_BUNDLE" --smoke
 
 echo "CI green"

@@ -330,3 +330,50 @@ fn partition_shard_merge_preserves_the_edge_multiset() {
         assert_eq!(arcs, base_arcs, "shards diverged at {threads} threads");
     }
 }
+
+/// The recovery-replay contract (DESIGN.md §13): the recovered ledger is
+/// a pure function of the journal bytes. The same bytes — including a
+/// CRC-corrupted record (kept, ambiguous) and a torn tail (dropped) —
+/// must replay to a bit-identical ledger and identical replay stats at
+/// every thread count, so two replicas recovering the same journal can
+/// never disagree on a tenant's spend.
+#[test]
+fn wal_replay_bit_identical_across_thread_counts() {
+    let _guard = THREADS_LOCK.lock().unwrap();
+    use privim_serve::wal;
+
+    let mut rng = ChaCha8Rng::seed_from_u64(77);
+    let mut journal = Vec::new();
+    let mut counts = std::collections::BTreeMap::<String, u64>::new();
+    for _ in 0..40 {
+        let t = format!("tenant-{}", rng.gen::<u64>() % 5);
+        let q = counts.entry(t.clone()).or_insert(0);
+        *q += 1 + rng.gen::<u64>() % 3;
+        let q = *q;
+        wal::append_record(&mut journal, &t, q).unwrap();
+    }
+    // One mid-journal CRC flip (ambiguous record: kept) and a torn tail
+    // (dropped) — the stress cases recovery must still be pure over.
+    let flip_at = journal.len() / 2 / 4 * 4 + 4;
+    journal[flip_at] ^= 0xA5;
+    let tail_record = {
+        let mut b = Vec::new();
+        wal::append_record(&mut b, "tenant-torn", 99).unwrap();
+        b
+    };
+    journal.extend_from_slice(&tail_record[..tail_record.len() - 3]);
+
+    let (base_map, base_stats) = with_threads(1, || wal::replay(&journal));
+    assert!(base_stats.records_applied >= 39, "corruption must cost at most the flipped record");
+    assert!(base_stats.torn_tail_bytes > 0, "the torn tail must be detected");
+    for threads in [2, 4, 7] {
+        let (map, stats) = with_threads(threads, || wal::replay(&journal));
+        assert_eq!(map, base_map, "replay diverged at {threads} threads");
+        assert_eq!(stats, base_stats, "replay stats diverged at {threads} threads");
+    }
+    // And byte-for-byte repetition at the same thread count is identical
+    // too — replay holds no hidden state.
+    let (again, stats_again) = with_threads(1, || wal::replay(&journal));
+    assert_eq!(again, base_map);
+    assert_eq!(stats_again, base_stats);
+}
