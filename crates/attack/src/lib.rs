@@ -49,6 +49,7 @@ use privim_rt::{ChaCha8Rng, PrivimResult, SeedableRng};
 /// subsampling ratio). The empirical side is the membership attack's
 /// confidence-adjusted lower bound; topology AUC/advantage ride along as
 /// structural-leakage evidence.
+// privim-lint: allow(dp-taint, reason = "adversary-side auditor: consumes raw embeddings by design to measure leakage; returns only aggregate attack statistics (AUC, epsilon lower bound), never the embeddings")
 pub fn privacy_evidence(
     g: &Graph,
     cfg: &MembershipAttackConfig,

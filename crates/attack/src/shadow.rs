@@ -38,6 +38,7 @@ impl ShadowCalibration {
 /// target-model seed space by construction (callers pass distinct strides).
 /// Also returns the smallest subgraph-container size seen, for worst-case
 /// accounting. `probe` maps a trained model to the attack statistic.
+// privim-lint: allow(dp-taint, reason = "shadow-model calibration evaluates probes on raw model outputs to build the attacker's null distribution; only summary statistics leave this fn")
 pub fn calibrate(
     g_out: &Graph,
     cfg: &AuditConfig,

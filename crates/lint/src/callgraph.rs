@@ -1,0 +1,341 @@
+//! Workspace call graph: every [`FnItem`] across every file, with call
+//! sites resolved to candidate definitions by name, path qualifier, and
+//! method-receiver heuristics.
+//!
+//! Resolution is a *may* analysis: an ambiguous call links to every
+//! plausible candidate, so downstream rules (lock-order, dp-taint,
+//! unsafe-audit) over-approximate reachable effects rather than miss
+//! them. Three deliberate precision valves keep the over-approximation
+//! from drowning the rules in noise:
+//!
+//! 1. Method calls whose names are ubiquitous std-container vocabulary
+//!    (`len`, `insert`, `clone`, …) never resolve — linking `.len()` on
+//!    a `Vec` to some workspace type's `len` would fabricate effects.
+//! 2. A qualified call (`Type::f`, `module::f`) whose qualifier matches
+//!    no known impl/mod/file resolves to *nothing* (it names a foreign
+//!    type such as `Mutex::new`), instead of to every `f`.
+//! 3. Any call with more than [`MAX_CANDIDATES`] candidates is dropped
+//!    as hopelessly ambiguous.
+//!
+//! The graph is built once per `Engine` run and shared by every
+//! workspace rule; see DESIGN.md §9 for the soundness discussion.
+
+use crate::engine::ParsedFile;
+use crate::parse::{self, FnItem};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Calls with more candidate targets than this are left unresolved.
+pub const MAX_CANDIDATES: usize = 8;
+
+/// Method names too generic to resolve against workspace definitions
+/// (std collection/conversion vocabulary plus the atomic `load`/`store`
+/// pair, which would otherwise alias file-loading functions).
+const METHOD_BLOCKLIST: [&str; 38] = [
+    "new", "default", "len", "is_empty", "clone", "get", "get_mut", "insert", "remove",
+    "push", "pop", "iter", "iter_mut", "into_iter", "next", "clear", "contains",
+    "contains_key", "fmt", "eq", "ne", "cmp", "partial_cmp", "hash", "from", "into",
+    "drop", "as_ref", "as_mut", "to_string", "to_owned", "take", "min", "max", "abs",
+    "map", "load", "store",
+];
+
+/// Aggregate graph statistics, surfaced in `lint.json` v2.
+#[derive(Debug, Clone, Default)]
+pub struct GraphStats {
+    /// Functions outside `#[cfg(test)]` regions.
+    pub functions: usize,
+    /// Call sites extracted from those functions.
+    pub call_sites: usize,
+    /// Call sites resolved to at least one workspace definition.
+    pub resolved_call_sites: usize,
+    /// Total caller→callee edges (a site may contribute several).
+    pub edges: usize,
+}
+
+/// The cached per-run workspace graph handed to workspace rules.
+pub struct Workspace<'a> {
+    pub files: &'a [ParsedFile],
+    /// Every fn item, test-region ones included (rules filter).
+    pub fns: Vec<FnItem>,
+    /// `targets[f][c]` = fn ids call `c` of fn `f` may invoke.
+    pub targets: Vec<Vec<Vec<usize>>>,
+    /// Reverse edges: `callers[f]` = fn ids with an edge into `f`.
+    pub callers: Vec<Vec<usize>>,
+    pub stats: GraphStats,
+}
+
+impl<'a> Workspace<'a> {
+    /// The workspace-relative path of the file owning fn `id`.
+    pub fn path_of(&self, id: usize) -> &str {
+        &self.files[self.fns[id].file].sf.path
+    }
+}
+
+/// Build the graph over already-parsed files.
+pub fn build(files: &[ParsedFile]) -> Workspace<'_> {
+    let mut fns: Vec<FnItem> = Vec::new();
+    for (idx, pf) in files.iter().enumerate() {
+        fns.extend(parse::parse_items(idx, &pf.sf));
+    }
+
+    // Name index over non-test definitions.
+    let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (id, f) in fns.iter().enumerate() {
+        if !f.in_test {
+            by_name.entry(f.name.as_str()).or_default().push(id);
+        }
+    }
+
+    let mut stats = GraphStats::default();
+    let mut targets: Vec<Vec<Vec<usize>>> = Vec::with_capacity(fns.len());
+    for f in &fns {
+        if f.in_test {
+            targets.push(vec![Vec::new(); f.calls.len()]);
+            continue;
+        }
+        stats.functions += 1;
+        let mut per_call = Vec::with_capacity(f.calls.len());
+        for c in &f.calls {
+            stats.call_sites += 1;
+            let resolved = resolve(files, &fns, &by_name, f, c);
+            if !resolved.is_empty() {
+                stats.resolved_call_sites += 1;
+                stats.edges += resolved.len();
+            }
+            per_call.push(resolved);
+        }
+        targets.push(per_call);
+    }
+
+    let mut caller_sets: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); fns.len()];
+    for (f, per_call) in targets.iter().enumerate() {
+        for tgt in per_call.iter().flatten() {
+            caller_sets[*tgt].insert(f);
+        }
+    }
+    let callers = caller_sets
+        .into_iter()
+        .map(|s| s.into_iter().collect())
+        .collect();
+
+    Workspace {
+        files,
+        fns,
+        targets,
+        callers,
+        stats,
+    }
+}
+
+fn resolve(
+    files: &[ParsedFile],
+    fns: &[FnItem],
+    by_name: &BTreeMap<&str, Vec<usize>>,
+    caller: &FnItem,
+    call: &crate::parse::CallSite,
+) -> Vec<usize> {
+    if call.is_method && METHOD_BLOCKLIST.contains(&call.name.as_str()) {
+        return Vec::new();
+    }
+    let Some(cands) = by_name.get(call.name.as_str()) else {
+        return Vec::new();
+    };
+    let mut cands: Vec<usize> = cands.clone();
+
+    if call.is_method {
+        // A `.m(…)` call targets a method; prefer self-receiver defs.
+        let methods: Vec<usize> = cands
+            .iter()
+            .copied()
+            .filter(|&id| fns[id].has_self)
+            .collect();
+        if !methods.is_empty() {
+            cands = methods;
+        }
+    } else if let Some(qual) = call.qualifier.last() {
+        // `Qual::name(…)`: the qualifier must match a known impl/mod
+        // segment, the defining file's stem, or (for `Self::`) the
+        // caller's own impl block — otherwise it names a foreign type.
+        let matched: Vec<usize> = cands
+            .iter()
+            .copied()
+            .filter(|&id| {
+                let f = &fns[id];
+                if qual == "Self" || qual == "self" || qual == "crate" {
+                    return f.file == caller.file
+                        && (f.path == caller.path || qual == "crate");
+                }
+                f.path.iter().any(|seg| seg == qual)
+                    || parse::file_stem(&files[f.file].sf.path) == qual
+                    || f.krate == qual.trim_start_matches("privim_")
+            })
+            .collect();
+        if matched.is_empty() {
+            return Vec::new();
+        }
+        cands = matched;
+    } else {
+        // Bare `name(…)`: a same-file definition wins outright.
+        let local: Vec<usize> = cands
+            .iter()
+            .copied()
+            .filter(|&id| fns[id].file == caller.file)
+            .collect();
+        if !local.is_empty() {
+            cands = local;
+        }
+    }
+
+    if cands.len() > MAX_CANDIDATES {
+        return Vec::new();
+    }
+    cands
+}
+
+/// Per-function effect summary propagated transitively over the graph.
+#[derive(Debug, Clone, Default)]
+pub struct Effects {
+    /// Lock ids this fn (or anything it may call) acquires.
+    pub acquires: BTreeSet<String>,
+    /// May block on a condvar / completion latch.
+    pub blocks: bool,
+    /// May perform file or socket I/O (or sleep).
+    pub io: bool,
+}
+
+/// Propagate per-fn direct effects to a transitive fixpoint over the
+/// call graph (cycles converge because the lattice is finite).
+pub fn propagate(ws: &Workspace<'_>, mut eff: Vec<Effects>) -> Vec<Effects> {
+    loop {
+        let mut changed = false;
+        for f in 0..ws.fns.len() {
+            for tgt in ws.targets[f].iter().flatten() {
+                let (callee_acq, callee_blocks, callee_io) = {
+                    let c = &eff[*tgt];
+                    (c.acquires.clone(), c.blocks, c.io)
+                };
+                let e = &mut eff[f];
+                let before = e.acquires.len();
+                e.acquires.extend(callee_acq);
+                if e.acquires.len() != before
+                    || (callee_blocks && !e.blocks)
+                    || (callee_io && !e.io)
+                {
+                    changed = true;
+                }
+                e.blocks |= callee_blocks;
+                e.io |= callee_io;
+            }
+        }
+        if !changed {
+            return eff;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{scope_for, ParsedFile};
+    use crate::source::SourceFile;
+
+    fn ws_files(files: &[(&str, &str)]) -> Vec<ParsedFile> {
+        files
+            .iter()
+            .map(|(p, s)| ParsedFile {
+                sf: SourceFile::parse(p, s),
+                scope: scope_for(p),
+            })
+            .collect()
+    }
+
+    fn fn_id(ws: &Workspace<'_>, name: &str) -> usize {
+        ws.fns.iter().position(|f| f.name == name).expect(name)
+    }
+
+    #[test]
+    fn cross_file_free_call_resolves() {
+        let files = ws_files(&[
+            ("crates/a/src/lib.rs", "pub fn callee() {}"),
+            ("crates/b/src/lib.rs", "pub fn caller() { callee(); }"),
+        ]);
+        let ws = build(&files);
+        let (caller, callee) = (fn_id(&ws, "caller"), fn_id(&ws, "callee"));
+        assert_eq!(ws.targets[caller][0], vec![callee]);
+        assert_eq!(ws.callers[callee], vec![caller]);
+        assert_eq!(ws.stats.resolved_call_sites, 1);
+    }
+
+    #[test]
+    fn same_file_definition_shadows_remote_one() {
+        let files = ws_files(&[
+            ("crates/a/src/lib.rs", "pub fn helper() {}"),
+            ("crates/b/src/lib.rs", "fn helper() {} fn caller() { helper(); }"),
+        ]);
+        let ws = build(&files);
+        let caller = fn_id(&ws, "caller");
+        assert_eq!(ws.targets[caller][0].len(), 1);
+        assert_eq!(ws.fns[ws.targets[caller][0][0]].file, 1);
+    }
+
+    #[test]
+    fn qualified_call_filters_by_impl_and_file_stem() {
+        let files = ws_files(&[
+            (
+                "crates/a/src/widget.rs",
+                "impl Widget { pub fn build(&self) {} } pub fn helper() {}",
+            ),
+            (
+                "crates/b/src/lib.rs",
+                "fn f(w: &Widget) { Widget::build(w); widget::helper(); Foreign::build(); }",
+            ),
+        ]);
+        let ws = build(&files);
+        let f = fn_id(&ws, "f");
+        assert_eq!(ws.targets[f][0].len(), 1, "Widget:: matches the impl");
+        assert_eq!(ws.targets[f][1].len(), 1, "widget:: matches the file stem");
+        assert!(ws.targets[f][2].is_empty(), "unknown qualifier resolves to nothing");
+    }
+
+    #[test]
+    fn method_calls_prefer_self_receivers_and_skip_std_vocabulary() {
+        let files = ws_files(&[(
+            "crates/a/src/lib.rs",
+            "impl T { pub fn work(&self) {} } pub fn work() {}\n\
+             fn go(t: &T, v: &Vec<u32>) { t.work(); v.len(); }",
+        )]);
+        let ws = build(&files);
+        let go = fn_id(&ws, "go");
+        assert_eq!(ws.targets[go][0].len(), 1);
+        assert!(ws.fns[ws.targets[go][0][0]].has_self);
+        assert!(ws.targets[go][1].is_empty(), ".len() never resolves to workspace defs");
+    }
+
+    #[test]
+    fn test_region_definitions_neither_resolve_nor_count() {
+        let files = ws_files(&[(
+            "crates/a/src/lib.rs",
+            "fn live() { target(); }\npub fn target() {}\n\
+             #[cfg(test)]\nmod tests { fn target() {} fn t() { live(); } }",
+        )]);
+        let ws = build(&files);
+        let live = fn_id(&ws, "live");
+        assert_eq!(ws.targets[live][0].len(), 1, "only the non-test def resolves");
+        assert_eq!(ws.stats.functions, 2, "test fns are not counted");
+    }
+
+    #[test]
+    fn effects_propagate_through_cycles() {
+        let files = ws_files(&[(
+            "crates/a/src/lib.rs",
+            "fn a() { b(); } fn b() { a(); c(); } fn c() {}",
+        )]);
+        let ws = build(&files);
+        let mut eff = vec![Effects::default(); ws.fns.len()];
+        eff[fn_id(&ws, "c")].io = true;
+        eff[fn_id(&ws, "c")].acquires.insert("L".to_string());
+        let eff = propagate(&ws, eff);
+        assert!(eff[fn_id(&ws, "a")].io);
+        assert!(eff[fn_id(&ws, "a")].acquires.contains("L"));
+        assert!(eff[fn_id(&ws, "b")].io);
+    }
+}

@@ -1,6 +1,15 @@
 //! Walks the workspace, runs the rule registry, applies annotation
 //! suppression, and renders findings (human or `--json`).
+//!
+//! Since v2 the engine parses every file exactly once into a
+//! [`ParsedFile`] list, runs the per-file rules over it, then builds the
+//! workspace call graph ([`crate::callgraph`]) and runs the
+//! cross-file rules (lock-order, dp-taint, unsafe-audit) over the same
+//! parse. Suppression and annotation hygiene are applied uniformly at
+//! the end, so a workspace finding is silenced by the same
+//! `allow(<rule>, reason = …)` grammar as a single-file one.
 
+use crate::callgraph::{self, GraphStats};
 use crate::rules::{self, RuleInfo, RuleKind};
 use crate::source::SourceFile;
 use std::path::{Path, PathBuf};
@@ -82,12 +91,21 @@ pub fn scope_for(rel: &str) -> Scope {
     }
 }
 
+/// A source file parsed once and shared by per-file rules and the
+/// workspace call graph.
+pub struct ParsedFile {
+    pub sf: SourceFile,
+    pub scope: Scope,
+}
+
 /// The result of a lint run.
 #[derive(Debug, Default)]
 pub struct Report {
     /// Sorted by (file, line, rule).
     pub findings: Vec<Finding>,
     pub files_scanned: usize,
+    /// Call-graph statistics; `None` when no workspace rule ran.
+    pub graph: Option<GraphStats>,
 }
 
 impl Report {
@@ -107,8 +125,15 @@ impl Report {
 
     /// Machine-readable findings for the bench harness (archived next to
     /// experiment results — see EXPERIMENTS.md).
+    ///
+    /// Schema v2: `version`, `findings[]`, `errors`, `warnings`,
+    /// `files_scanned`, a `rules` object with a per-rule finding count
+    /// for every registered rule, and (when the call graph was built) a
+    /// `callgraph` stats object. `scripts/ci.sh` archives this file and
+    /// the `workspace_json_is_v2_schema` test pins the shape, so schema
+    /// drift fails CI rather than silently breaking consumers.
     pub fn to_json(&self) -> String {
-        let mut s = String::from("{\"version\":1,\"findings\":[");
+        let mut s = String::from("{\"version\":2,\"findings\":[");
         for (i, f) in self.findings.iter().enumerate() {
             if i > 0 {
                 s.push(',');
@@ -123,11 +148,27 @@ impl Report {
             ));
         }
         s.push_str(&format!(
-            "],\"errors\":{},\"warnings\":{},\"files_scanned\":{}}}",
+            "],\"errors\":{},\"warnings\":{},\"files_scanned\":{},\"rules\":{{",
             self.errors(),
             self.warnings(),
             self.files_scanned
         ));
+        for (i, r) in rules::registry().iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let n = self.findings.iter().filter(|f| f.rule == r.id).count();
+            s.push_str(&format!("{}:{}", json_str(r.id), n));
+        }
+        s.push('}');
+        if let Some(g) = &self.graph {
+            s.push_str(&format!(
+                ",\"callgraph\":{{\"functions\":{},\"call_sites\":{},\
+                 \"resolved_call_sites\":{},\"edges\":{}}}",
+                g.functions, g.call_sites, g.resolved_call_sites, g.edges
+            ));
+        }
+        s.push('}');
         s
     }
 }
@@ -165,9 +206,22 @@ pub fn run_sources(rs: &[(String, String)], tomls: &[(String, String)], only: Op
     let mut findings: Vec<Finding> = Vec::new();
     let registry = rules::registry();
 
-    for (path, text) in rs {
-        let mut file = SourceFile::parse(path, text);
-        let scope = scope_for(path);
+    // Parse every file exactly once; per-file rules and the workspace
+    // call graph share the same token streams.
+    let mut files: Vec<ParsedFile> = rs
+        .iter()
+        .map(|(path, text)| ParsedFile {
+            sf: SourceFile::parse(path, text),
+            scope: scope_for(path),
+        })
+        .collect();
+
+    // Raw findings are collected first and suppressed in one pass at
+    // the end, so annotation bookkeeping (`used`) is uniform across
+    // per-file and workspace rules.
+    let mut raws: Vec<(usize, &'static RuleInfo, RawFinding)> = Vec::new();
+
+    for (idx, pf) in files.iter().enumerate() {
         for rule in registry {
             let RuleKind::Rust(check) = &rule.kind else {
                 continue;
@@ -175,29 +229,58 @@ pub fn run_sources(rs: &[(String, String)], tomls: &[(String, String)], only: Op
             if !enabled(rule, only) {
                 continue;
             }
-            for raw in check(&file, &scope) {
-                let suppressed = file.allows.iter_mut().any(|a| {
-                    let hit = a.rule == rule.allow_id && raw.suppress_lines.contains(&a.covered_line);
-                    if hit {
-                        a.used = true;
-                    }
-                    hit
-                });
-                if !suppressed {
-                    findings.push(Finding {
-                        rule: rule.id,
-                        file: path.clone(),
-                        line: raw.line,
-                        severity: raw.severity.unwrap_or(rule.severity),
-                        message: raw.message,
-                    });
-                }
+            for raw in check(&pf.sf, &pf.scope) {
+                raws.push((idx, rule, raw));
             }
         }
-        // Annotation hygiene always runs: malformed or unknown-rule
-        // annotations are errors; dead allows are warnings (full runs
-        // only — under --rule most allows legitimately go unused).
-        for (line, msg) in &file.bad_annotations {
+    }
+
+    // Cross-file rules run over the cached call graph. The graph is
+    // built once and only when at least one workspace rule is enabled.
+    let mut graph = None;
+    let ws_rules: Vec<&'static RuleInfo> = registry
+        .iter()
+        .filter(|r| matches!(r.kind, RuleKind::Workspace(_)) && enabled(r, only))
+        .collect();
+    if !ws_rules.is_empty() {
+        let ws = callgraph::build(&files);
+        graph = Some(ws.stats.clone());
+        for rule in ws_rules {
+            let RuleKind::Workspace(check) = &rule.kind else {
+                continue;
+            };
+            for (idx, raw) in check(&ws) {
+                raws.push((idx, rule, raw));
+            }
+        }
+    }
+
+    for (idx, rule, raw) in raws {
+        let pf = &mut files[idx];
+        let suppressed = pf.sf.allows.iter_mut().any(|a| {
+            let hit = a.rule == rule.allow_id && raw.suppress_lines.contains(&a.covered_line);
+            if hit {
+                a.used = true;
+            }
+            hit
+        });
+        if !suppressed {
+            findings.push(Finding {
+                rule: rule.id,
+                file: pf.sf.path.clone(),
+                line: raw.line,
+                severity: raw.severity.unwrap_or(rule.severity),
+                message: raw.message,
+            });
+        }
+    }
+
+    // Annotation hygiene always runs: malformed or unknown-rule
+    // annotations are errors; dead allows are warnings (full runs
+    // only — under --rule most allows legitimately go unused).
+    for pf in &files {
+        let path = &pf.sf.path;
+        for (line, msg) in &pf.sf.bad_annotations {
             findings.push(Finding {
                 rule: "bad-annotation",
                 file: path.clone(),
@@ -206,7 +289,7 @@ pub fn run_sources(rs: &[(String, String)], tomls: &[(String, String)], only: Op
                 message: msg.clone(),
             });
         }
-        for a in &file.allows {
+        for a in &pf.sf.allows {
             if !rules::is_known_allow_id(&a.rule) {
                 findings.push(Finding {
                     rule: "bad-annotation",
@@ -256,6 +339,7 @@ pub fn run_sources(rs: &[(String, String)], tomls: &[(String, String)], only: Op
     Report {
         findings,
         files_scanned: rs.len() + tomls.len(),
+        graph,
     }
 }
 
@@ -309,7 +393,35 @@ fn rel_path(root: &Path, path: &Path) -> String {
 
 /// Full workspace run: walk + lint.
 pub fn run_workspace(root: &Path, only: Option<&str>) -> Result<Report, String> {
-    let (rs, tomls) = load_workspace(root)?;
+    run_workspace_under(root, only, None)
+}
+
+/// [`run_workspace`] restricted to files whose workspace-relative path
+/// starts with `under` (e.g. `crates/lint`). The filter is applied
+/// *after* the walk so scoping (`crates/<name>/src/…` matching) still
+/// sees true workspace-relative paths.
+pub fn run_workspace_under(
+    root: &Path,
+    only: Option<&str>,
+    under: Option<&str>,
+) -> Result<Report, String> {
+    if let Some(id) = only {
+        // A misspelled rule silently matching nothing would turn the
+        // gate green vacuously; reject it here so library callers get
+        // the same protection as the CLI.
+        match rules::by_id(id) {
+            Some(r) if !matches!(r.kind, RuleKind::Meta) => {}
+            _ => return Err(format!("`--rule {id}` does not name a runnable rule")),
+        }
+    }
+    let (mut rs, mut tomls) = load_workspace(root)?;
+    if let Some(prefix) = under {
+        rs.retain(|(p, _)| p.starts_with(prefix));
+        tomls.retain(|(p, _)| p.starts_with(prefix));
+        if rs.is_empty() && tomls.is_empty() {
+            return Err(format!("--under {prefix} matches no workspace files"));
+        }
+    }
     Ok(run_sources(&rs, &tomls, only))
 }
 

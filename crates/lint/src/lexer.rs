@@ -487,4 +487,63 @@ mod tests {
             .find(|t| t.kind == TokKind::Ident("b".into()));
         assert_eq!(b_tok.map(|t| t.line), Some(5));
     }
+
+    #[test]
+    fn nested_generics_emit_single_angle_puncts_not_shifts() {
+        // `Vec<Vec<u8>>` must close with two separate `>` tokens so the
+        // item parser's angle-depth tracking balances; a fused `>>`
+        // (shift) token would leave depth at 1 forever.
+        let out = lex("let v: Vec<Vec<u8>> = make(); let x = a >> 2;");
+        let closes = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct(b'>'))
+            .count();
+        // 2 from the nested generic + 2 from the genuine shift — the
+        // lexer stays uniform and leaves disambiguation to the parser.
+        assert_eq!(closes, 4);
+        let opens = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct(b'<'))
+            .count();
+        assert_eq!(opens, 2);
+    }
+
+    #[test]
+    fn turbofish_lexes_as_path_then_angles() {
+        let out = lex("let v = it.collect::<Vec<u8>>();");
+        let kinds: Vec<String> = out
+            .tokens
+            .iter()
+            .map(|t| match &t.kind {
+                TokKind::Ident(s) => s.clone(),
+                TokKind::Punct(p) => (*p as char).to_string(),
+                other => format!("{other:?}"),
+            })
+            .collect();
+        let collect_at = kinds.iter().position(|k| k == "collect").unwrap();
+        assert_eq!(
+            &kinds[collect_at..collect_at + 9],
+            &["collect", ":", ":", "<", "Vec", "<", "u8", ">", ">"]
+        );
+    }
+
+    #[test]
+    fn multiline_where_clause_keeps_spans_and_lines() {
+        let src = "fn f<T>(x: T) -> T\nwhere\n    T: Clone + Send,\n    T: Sync,\n{\n    x\n}\n";
+        let out = lex(src);
+        let where_tok = out
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokKind::Ident("where".into()))
+            .expect("where lexed as plain ident");
+        assert_eq!(where_tok.line, 2);
+        let open = out
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokKind::Punct(b'{'))
+            .expect("body brace");
+        assert_eq!(open.line, 5);
+    }
 }

@@ -25,7 +25,9 @@
 //!
 //! See `DESIGN.md` §9 for the rule catalogue and annotation grammar.
 
+pub mod callgraph;
 pub mod engine;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
 pub mod source;

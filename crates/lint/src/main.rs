@@ -14,13 +14,16 @@ const USAGE: &str = "\
 privim-lint — static enforcement of PrivIM's DP/determinism/panic invariants
 
 USAGE:
-    privim-lint [--workspace] [--root <dir>] [--rule <id>] [--json]
+    privim-lint [--workspace] [--root <dir>] [--rule <id>] [--under <prefix>] [--json]
     privim-lint --explain <rule>
 
 OPTIONS:
     --workspace      Lint the enclosing cargo workspace (default)
     --root <dir>     Lint the workspace rooted at <dir>
     --rule <id>      Run a single rule (annotation hygiene still applies)
+    --under <prefix> Lint only files under <prefix> (workspace-relative,
+                     e.g. crates/lint); cross-file analysis is scoped to
+                     that subtree
     --json           Machine-readable findings on stdout
     --explain <id>   Print a rule's rationale and contract
     -h, --help       This text
@@ -49,6 +52,7 @@ fn real_main() -> i32 {
     let mut rule: Option<String> = None;
     let mut explain: Option<String> = None;
     let mut root: Option<String> = None;
+    let mut under: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -58,6 +62,7 @@ fn real_main() -> i32 {
             "--rule" => rule = args.next(),
             "--explain" => explain = args.next(),
             "--root" => root = args.next(),
+            "--under" => under = args.next(),
             "-h" | "--help" => {
                 println!("{}", usage());
                 return 0;
@@ -113,7 +118,7 @@ fn real_main() -> i32 {
         }
     };
 
-    let report = match engine::run_workspace(&root, rule.as_deref()) {
+    let report = match engine::run_workspace_under(&root, rule.as_deref(), under.as_deref()) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("privim-lint: {e}");

@@ -1,0 +1,494 @@
+//! Item-level parser: `fn` items with their enclosing `mod`/`impl` path,
+//! modifiers, attributes, and extracted call sites.
+//!
+//! This sits between the lexer and the workspace call graph
+//! ([`crate::callgraph`]): it does *not* build an AST. A single forward
+//! pass over the token stream tracks a scope stack of `mod`/`impl`
+//! blocks (via whole-file delimiter matching) and records, for every
+//! `fn`, its qualified path, signature/body token ranges, visibility,
+//! `unsafe`-ness, `#[target_feature]` attributes, and whether it takes a
+//! `self` receiver. A second pass extracts call sites (`free(...)`,
+//! `path::to::free(...)`, `.method(...)`) and assigns each to the
+//! innermost enclosing function.
+//!
+//! Known imprecision (accepted, documented in DESIGN.md §9): macro
+//! bodies are opaque, calls inside closure literals are attributed to
+//! the function that *constructs* the closure (not the one that runs
+//! it), and `<T as Trait>::f` UFCS paths lose their qualifier. All of
+//! these degrade to *fewer* resolved edges, never to a crash.
+
+use crate::lexer::{TokKind, Token};
+use crate::source::SourceFile;
+
+/// One `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Index of the owning file in the workspace file list.
+    pub file: usize,
+    pub name: String,
+    /// Enclosing `mod` / `impl` segments, outermost first.
+    pub path: Vec<String>,
+    /// Crate name derived from `crates/<name>/…` in the file path.
+    pub krate: String,
+    pub sig_line: usize,
+    /// Token index of the `fn` keyword.
+    pub sig_start: usize,
+    /// Half-open token range of the body including both braces.
+    pub body: (usize, usize),
+    pub is_pub: bool,
+    pub is_unsafe: bool,
+    /// Carries a `#[target_feature(...)]` attribute.
+    pub has_target_feature: bool,
+    /// Takes a `self` receiver (method).
+    pub has_self: bool,
+    /// Lies inside the embedded `#[cfg(test)]` region.
+    pub in_test: bool,
+    /// Call sites inside the body, in token order.
+    pub calls: Vec<CallSite>,
+}
+
+/// One extracted call site.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Callee name (final path segment / method name).
+    pub name: String,
+    /// Path segments before the name (`fsio::write_all_faulty` → `[fsio]`).
+    pub qualifier: Vec<String>,
+    /// For method calls, the last identifier of the receiver chain
+    /// (`self.queue.lock()` → `queue`).
+    pub recv: Option<String>,
+    pub is_method: bool,
+    pub line: usize,
+    /// Token index of the callee-name identifier.
+    pub tok: usize,
+    /// Token range of the argument list including both parens.
+    pub args: (usize, usize),
+}
+
+/// Per-file delimiter matching: `open[i] = Some(j)` when token `i` is an
+/// opening `(`/`[`/`{` whose matching closer is token `j`, and
+/// `close[j] = Some(i)` for the reverse direction. Unbalanced delimiters
+/// stay `None` (the file degrades, the pass never fails).
+pub struct DelimMap {
+    pub open: Vec<Option<usize>>,
+    pub close: Vec<Option<usize>>,
+}
+
+pub fn match_delims(toks: &[Token]) -> DelimMap {
+    let mut open = vec![None; toks.len()];
+    let mut close = vec![None; toks.len()];
+    let mut stack: Vec<(u8, usize)> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        match t.kind {
+            TokKind::Punct(b @ (b'(' | b'[' | b'{')) => stack.push((b, i)),
+            TokKind::Punct(b @ (b')' | b']' | b'}')) => {
+                let want = match b {
+                    b')' => b'(',
+                    b']' => b'[',
+                    _ => b'{',
+                };
+                // Pop past any mismatched openers so one stray bracket
+                // cannot corrupt the rest of the file.
+                while let Some(&(k, _)) = stack.last() {
+                    if k == want {
+                        let (_, o) = stack.pop().unwrap_or((0, 0));
+                        open[o] = Some(i);
+                        close[i] = Some(o);
+                        break;
+                    }
+                    stack.pop();
+                }
+            }
+            _ => {}
+        }
+    }
+    DelimMap { open, close }
+}
+
+fn ident_at<'a>(toks: &'a [Token], i: usize) -> Option<&'a str> {
+    match toks.get(i).map(|t| &t.kind) {
+        Some(TokKind::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn punct_at(toks: &[Token], i: usize, b: u8) -> bool {
+    matches!(toks.get(i).map(|t| &t.kind), Some(TokKind::Punct(p)) if *p == b)
+}
+
+/// Crate name from a workspace-relative path (`crates/rt/src/…` → `rt`).
+pub fn crate_of(rel: &str) -> String {
+    rel.strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap_or("")
+        .to_string()
+}
+
+/// File stem (`crates/rt/src/fsio.rs` → `fsio`), used as a module-name
+/// hint when resolving `module::function(...)` qualifiers.
+pub fn file_stem(rel: &str) -> &str {
+    rel.rsplit('/')
+        .next()
+        .and_then(|n| n.strip_suffix(".rs"))
+        .unwrap_or("")
+}
+
+/// Words that can directly precede `(` without being calls.
+const NON_CALL_NAMES: [&str; 10] = [
+    "if", "while", "for", "match", "loop", "return", "in", "as", "move", "else",
+];
+
+/// Parse every `fn` item in `sf` (file index `file`), with call sites
+/// attached to the innermost enclosing function.
+pub fn parse_items(file: usize, sf: &SourceFile) -> Vec<FnItem> {
+    let toks = &sf.tokens;
+    let delims = match_delims(toks);
+    let krate = crate_of(&sf.path);
+    let mut fns = collect_fns(file, sf, toks, &delims, &krate);
+    attach_calls(sf, toks, &delims, &mut fns);
+    fns
+}
+
+fn collect_fns(
+    file: usize,
+    sf: &SourceFile,
+    toks: &[Token],
+    delims: &DelimMap,
+    krate: &str,
+) -> Vec<FnItem> {
+    // (segment name, token index of the scope's closing `}`)
+    let mut scopes: Vec<(String, usize)> = Vec::new();
+    let mut fns = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        while let Some(&(_, end)) = scopes.last() {
+            if i > end {
+                scopes.pop();
+            } else {
+                break;
+            }
+        }
+        match ident_at(toks, i) {
+            Some("mod") => {
+                if let (Some(name), true) = (ident_at(toks, i + 1), punct_at(toks, i + 2, b'{')) {
+                    let end = delims.open[i + 2].unwrap_or(toks.len());
+                    scopes.push((name.to_string(), end));
+                    i += 3;
+                    continue;
+                }
+            }
+            Some("impl") => {
+                if let Some((name, body_open)) = impl_header(toks, i) {
+                    let end = delims.open[body_open].unwrap_or(toks.len());
+                    scopes.push((name, end));
+                    i = body_open + 1;
+                    continue;
+                }
+            }
+            Some("fn") => {
+                if let Some(item) = fn_item(file, sf, toks, delims, krate, &scopes, i) {
+                    // Skip past the signature so `fn` inside the name
+                    // position cannot retrigger; the body is *not*
+                    // skipped (nested fns and mods must be seen).
+                    i = item.body.0.max(i + 2).min(toks.len());
+                    fns.push(item);
+                    continue;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    fns
+}
+
+/// Parse an `impl` header starting at token `i` (the `impl` keyword).
+/// Returns `(type name, token index of the body's '{')`. The type is the
+/// first depth-0 identifier after `for` when present (`impl Trait for
+/// Foo`), otherwise the first depth-0 identifier (`impl<T> Foo<T>`).
+fn impl_header(toks: &[Token], i: usize) -> Option<(String, usize)> {
+    let mut depth = 0i32;
+    let mut first: Option<&str> = None;
+    let mut after_for: Option<&str> = None;
+    let mut saw_for = false;
+    let mut j = i + 1;
+    while j < toks.len() {
+        match &toks[j].kind {
+            TokKind::Punct(b'{') if depth == 0 => {
+                let name = after_for.or(first)?;
+                return Some((name.to_string(), j));
+            }
+            TokKind::Punct(b';') if depth == 0 => return None,
+            TokKind::Punct(b'<') => depth += 1,
+            TokKind::Punct(b'>') => {
+                // `->` in an `Fn(..) -> T` bound is not a closing angle.
+                let arrow = j > 0
+                    && matches!(toks[j - 1].kind, TokKind::Punct(b'-'))
+                    && toks[j - 1].offset + 1 == toks[j].offset;
+                if !arrow {
+                    depth -= 1;
+                }
+            }
+            TokKind::Ident(s) if depth == 0 => {
+                if s == "for" {
+                    saw_for = true;
+                } else if s == "where" {
+                    // `impl<T> Foo<T> where …`: the name is settled.
+                } else if s != "dyn" && s != "const" && s != "unsafe" {
+                    if saw_for {
+                        after_for.get_or_insert(s.as_str());
+                    } else {
+                        first.get_or_insert(s.as_str());
+                    }
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+fn fn_item(
+    file: usize,
+    sf: &SourceFile,
+    toks: &[Token],
+    delims: &DelimMap,
+    krate: &str,
+    scopes: &[(String, usize)],
+    i: usize,
+) -> Option<FnItem> {
+    let name = ident_at(toks, i + 1)?;
+    // Scan to the body `{`; a `;` first means a bodyless trait method or
+    // an `extern` declaration — not an item we track.
+    let mut j = i + 2;
+    let open = loop {
+        match toks.get(j).map(|t| &t.kind) {
+            Some(TokKind::Punct(b'{')) => break j,
+            Some(TokKind::Punct(b';')) | None => return None,
+            _ => j += 1,
+        }
+    };
+    let close = delims.open[open].map(|c| c + 1).unwrap_or(toks.len());
+    let (is_pub, is_unsafe, has_target_feature) = modifiers(toks, delims, i);
+    let has_self = toks[i + 2..open]
+        .iter()
+        .any(|t| matches!(&t.kind, TokKind::Ident(s) if s == "self"));
+    Some(FnItem {
+        file,
+        name: name.to_string(),
+        path: scopes.iter().map(|(s, _)| s.clone()).collect(),
+        krate: krate.to_string(),
+        sig_line: toks[i].line,
+        sig_start: i,
+        body: (open, close),
+        is_pub,
+        is_unsafe,
+        has_target_feature,
+        has_self,
+        in_test: sf.in_test_region(toks[i].line),
+        calls: Vec::new(),
+    })
+}
+
+/// Walk backwards from the `fn` keyword over visibility/qualifier tokens
+/// and attributes: `(is_pub, is_unsafe, has_target_feature)`.
+fn modifiers(toks: &[Token], delims: &DelimMap, fn_idx: usize) -> (bool, bool, bool) {
+    let mut is_pub = false;
+    let mut is_unsafe = false;
+    let mut target_feature = false;
+    let mut k = fn_idx;
+    while k > 0 {
+        k -= 1;
+        match &toks[k].kind {
+            TokKind::Ident(s) if s == "pub" => is_pub = true,
+            TokKind::Ident(s) if s == "unsafe" => is_unsafe = true,
+            TokKind::Ident(s) if s == "const" || s == "async" || s == "extern" => {}
+            TokKind::Str => {} // the ABI string of `extern "C"`
+            TokKind::Punct(b')') => {
+                // `pub(crate)` / `pub(in …)` — jump to the opening paren.
+                match delims.close[k] {
+                    Some(o) if o > 0 => k = o,
+                    _ => return (is_pub, is_unsafe, target_feature),
+                }
+            }
+            TokKind::Punct(b']') => {
+                // An attribute `#[…]` — scan its tokens, jump before `#`.
+                let Some(o) = delims.close[k] else {
+                    return (is_pub, is_unsafe, target_feature);
+                };
+                if o == 0 || !punct_at(toks, o - 1, b'#') {
+                    return (is_pub, is_unsafe, target_feature);
+                }
+                if toks[o..k]
+                    .iter()
+                    .any(|t| matches!(&t.kind, TokKind::Ident(s) if s == "target_feature"))
+                {
+                    target_feature = true;
+                }
+                k = o - 1;
+            }
+            _ => return (is_pub, is_unsafe, target_feature),
+        }
+    }
+    (is_pub, is_unsafe, target_feature)
+}
+
+/// Extract every call site in the file and attach each to the innermost
+/// enclosing function (token-range containment).
+fn attach_calls(sf: &SourceFile, toks: &[Token], delims: &DelimMap, fns: &mut [FnItem]) {
+    let _ = sf;
+    for i in 0..toks.len() {
+        let Some(name) = ident_at(toks, i) else {
+            continue;
+        };
+        if !punct_at(toks, i + 1, b'(') {
+            continue;
+        }
+        if NON_CALL_NAMES.contains(&name) {
+            continue;
+        }
+        let mut qualifier = Vec::new();
+        let mut recv = None;
+        let mut is_method = false;
+        if i > 0 {
+            match &toks[i - 1].kind {
+                TokKind::Ident(s) if s == "fn" => continue, // definition head
+                TokKind::Punct(b'.') => {
+                    is_method = true;
+                    if i >= 2 {
+                        if let Some(r) = ident_at(toks, i - 2) {
+                            recv = Some(r.to_string());
+                        }
+                    }
+                }
+                TokKind::Punct(b'!') => continue, // macro invocation
+                TokKind::Punct(b':') => {
+                    // Walk back over `seg ::` pairs.
+                    let mut k = i;
+                    while k >= 3
+                        && punct_at(toks, k - 1, b':')
+                        && punct_at(toks, k - 2, b':')
+                    {
+                        match ident_at(toks, k - 3) {
+                            Some(seg) => {
+                                qualifier.insert(0, seg.to_string());
+                                k -= 3;
+                            }
+                            None => {
+                                // `<T as Trait>::f(…)` — qualifier lost.
+                                qualifier.clear();
+                                break;
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        let args_close = delims.open[i + 1].unwrap_or(toks.len().saturating_sub(1));
+        let site = CallSite {
+            name: name.to_string(),
+            qualifier,
+            recv,
+            is_method,
+            line: toks[i].line,
+            tok: i,
+            args: (i + 1, args_close),
+        };
+        // Innermost enclosing fn: smallest body span containing `i`.
+        let owner = fns
+            .iter_mut()
+            .filter(|f| f.body.0 < i && i < f.body.1)
+            .min_by_key(|f| f.body.1 - f.body.0);
+        if let Some(f) = owner {
+            f.calls.push(site);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> Vec<FnItem> {
+        let sf = SourceFile::parse("crates/core/src/x.rs", src);
+        parse_items(0, &sf)
+    }
+
+    #[test]
+    fn paths_track_mods_and_impls() {
+        let src = "mod a { impl Foo { pub fn m(&self) {} } fn free() {} }\nfn top() {}";
+        let fns = parse(src);
+        let by_name = |n: &str| fns.iter().find(|f| f.name == n).expect(n);
+        assert_eq!(by_name("m").path, vec!["a", "Foo"]);
+        assert!(by_name("m").is_pub);
+        assert!(by_name("m").has_self);
+        assert_eq!(by_name("free").path, vec!["a"]);
+        assert!(by_name("top").path.is_empty());
+        assert_eq!(by_name("top").krate, "core");
+    }
+
+    #[test]
+    fn impl_trait_for_type_takes_the_type() {
+        let fns = parse("impl Display for Wrapper { fn fmt(&self) {} }");
+        assert_eq!(fns[0].path, vec!["Wrapper"]);
+    }
+
+    #[test]
+    fn modifiers_and_attributes() {
+        let src = "#[target_feature(enable = \"avx2\")]\npub(crate) unsafe fn k() {}\nconst fn c() {}";
+        let fns = parse(src);
+        assert!(fns[0].is_pub && fns[0].is_unsafe && fns[0].has_target_feature);
+        assert!(!fns[1].is_pub && !fns[1].has_target_feature);
+    }
+
+    #[test]
+    fn where_clause_does_not_break_body_span() {
+        let src = "fn g<F>(f: F) -> u32\nwhere\n    F: Fn(u32) -> u32,\n{\n    f(1)\n}";
+        let fns = parse(src);
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].sig_line, 1);
+        // The body is the `{ f(1) }` block on lines 4–6, and the call to
+        // `f` inside it is attributed to `g`.
+        assert_eq!(fns[0].calls.len(), 1);
+        assert_eq!(fns[0].calls[0].name, "f");
+        assert_eq!(fns[0].calls[0].line, 5);
+    }
+
+    #[test]
+    fn call_kinds() {
+        let src = "fn f() { free(); path::seg::qual(); x.method(); mac!(); Self::assoc(); }";
+        let calls = &parse(src)[0].calls;
+        let names: Vec<&str> = calls.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["free", "qual", "method", "assoc"]);
+        assert_eq!(calls[1].qualifier, vec!["path", "seg"]);
+        assert!(calls[2].is_method);
+        assert_eq!(calls[2].recv.as_deref(), Some("x"));
+        assert_eq!(calls[3].qualifier, vec!["Self"]);
+    }
+
+    #[test]
+    fn receiver_chain_takes_last_ident() {
+        let calls = &parse("fn f(&self) { self.queue.lock(); }")[0].calls;
+        assert_eq!(calls[0].recv.as_deref(), Some("queue"));
+    }
+
+    #[test]
+    fn test_region_fns_are_marked() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests { fn t() { lib(); } }";
+        let fns = parse(src);
+        assert!(!fns[0].in_test);
+        assert!(fns[1].in_test);
+    }
+
+    #[test]
+    fn nested_generics_and_turbofish_do_not_derail() {
+        let src = "fn f(v: Vec<Vec<u8>>) { g::<Vec<u8>>(); v.iter().collect::<Vec<_>>(); }";
+        let fns = parse(src);
+        assert_eq!(fns.len(), 1);
+        // `g::<…>()` loses its turbofish qualifier but the body span and
+        // other calls stay intact.
+        assert!(fns[0].calls.iter().any(|c| c.name == "iter"));
+    }
+}

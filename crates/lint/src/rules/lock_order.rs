@@ -1,0 +1,511 @@
+//! `lock-order`: cross-file deadlock / latency analysis over the
+//! workspace call graph. See the registry entry for the contract and
+//! DESIGN.md §9 for the soundness discussion.
+//!
+//! Mechanics: every acquisition site opens a *held range* of tokens.
+//! A let-bound guard (`let g = lock(&m);`) is held to the end of its
+//! enclosing block, ending early at an explicit `drop(g)`; a temporary
+//! guard (`lock(&m).pop_front()`) is held to the end of the statement.
+//! Within a held range the rule collects (a) lock→lock ordering edges,
+//! direct or through the transitive acquire-set of every resolvable
+//! callee, and (b) blocking hazards: condvar waits and file/socket I/O,
+//! again direct or transitive. Edges feed a cycle check; hazards are
+//! reported at the acquisition site.
+
+use crate::callgraph::{propagate, Effects, Workspace};
+use crate::engine::RawFinding;
+use crate::lexer::{TokKind, Token};
+use crate::parse::{match_delims, CallSite, DelimMap, FnItem};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Identifiers whose call means file/socket I/O or sleeping — blocking
+/// work that must never happen under a lock (the rt::fsio helpers plus
+/// the std write/sync family).
+const IO_IDENTS: [&str; 16] = [
+    "write_all",
+    "write_all_faulty",
+    "fsync_faulty",
+    "atomic_write_durable",
+    "atomic_write_durable_with_plan",
+    "sync_data",
+    "sync_all",
+    "sync_dir",
+    "flush",
+    "rename",
+    "remove_file",
+    "create_dir_all",
+    "read_to_string",
+    "read_to_end",
+    "read_exact",
+    "sleep",
+];
+
+/// One lock acquisition site.
+struct Acq {
+    fn_id: usize,
+    /// Index into the owning fn's `calls`.
+    call_idx: usize,
+    /// File-qualified lock identity (`crates/rt/src/par.rs::queue`).
+    lock: String,
+    /// Binding name when the guard is let-bound.
+    guard: Option<String>,
+    /// Token range (in the owning file) over which the guard is held.
+    hold: (usize, usize),
+}
+
+/// A lock-ordering edge observed at a concrete site.
+struct Edge {
+    from: String,
+    to: String,
+    file: usize,
+    line: usize,
+    sig_line: usize,
+    via: String,
+}
+
+pub fn check(ws: &Workspace<'_>) -> Vec<(usize, RawFinding)> {
+    let delims: Vec<DelimMap> = ws
+        .files
+        .iter()
+        .map(|pf| match_delims(&pf.sf.tokens))
+        .collect();
+
+    // 1. Acquisition sites, per function.
+    let mut acqs: Vec<Acq> = Vec::new();
+    let mut acq_by_fn: Vec<Vec<usize>> = vec![Vec::new(); ws.fns.len()];
+    for (fid, f) in ws.fns.iter().enumerate() {
+        if f.in_test {
+            continue;
+        }
+        let toks = &ws.files[f.file].sf.tokens;
+        for (ci, c) in f.calls.iter().enumerate() {
+            let Some(lock) = acquisition_name(f, c, toks) else {
+                continue;
+            };
+            let guard = guard_binding(toks, c);
+            let hold = hold_range(toks, &delims[f.file], c, guard.as_deref());
+            acq_by_fn[fid].push(acqs.len());
+            acqs.push(Acq {
+                fn_id: fid,
+                call_idx: ci,
+                lock,
+                guard,
+                hold,
+            });
+        }
+    }
+
+    // 2. Direct per-fn effects, propagated to a transitive fixpoint.
+    let mut eff = vec![Effects::default(); ws.fns.len()];
+    for (fid, f) in ws.fns.iter().enumerate() {
+        if f.in_test {
+            continue;
+        }
+        for &ai in &acq_by_fn[fid] {
+            eff[fid].acquires.insert(acqs[ai].lock.clone());
+        }
+        for c in &f.calls {
+            if c.is_method && c.name == "wait" {
+                eff[fid].blocks = true;
+            }
+            if IO_IDENTS.contains(&c.name.as_str()) {
+                eff[fid].io = true;
+            }
+        }
+    }
+    let eff = propagate(ws, eff);
+
+    // 3. Hazards and ordering edges inside each held range.
+    let mut edges: Vec<Edge> = Vec::new();
+    let mut findings: Vec<(usize, RawFinding)> = Vec::new();
+    for a in &acqs {
+        let f = &ws.fns[a.fn_id];
+        let toks = &ws.files[f.file].sf.tokens;
+        let a_line = toks[f.calls[a.call_idx].tok].line;
+        // kind -> first observed culprit description
+        let mut hazards: BTreeMap<&'static str, String> = BTreeMap::new();
+        for (ci, c) in f.calls.iter().enumerate() {
+            if ci == a.call_idx || c.tok <= a.hold.0 || c.tok >= a.hold.1 {
+                continue;
+            }
+            if c.is_method && c.name == "wait" {
+                // `cond.wait(guard)` releases exactly the held guard —
+                // the legal condvar protocol, exempt for *this* lock.
+                if let (Some(g), Some(arg)) = (&a.guard, single_ident_arg(toks, c)) {
+                    if arg == g {
+                        continue;
+                    }
+                }
+                hazards
+                    .entry("wait")
+                    .or_insert_with(|| format!("`.wait(…)` on line {}", c.line));
+            }
+            if IO_IDENTS.contains(&c.name.as_str()) {
+                hazards
+                    .entry("io")
+                    .or_insert_with(|| format!("`{}` on line {}", c.name, c.line));
+            }
+            if let Some(&other) = acq_by_fn[a.fn_id]
+                .iter()
+                .find(|&&ai| acqs[ai].call_idx == ci)
+            {
+                edges.push(Edge {
+                    from: a.lock.clone(),
+                    to: acqs[other].lock.clone(),
+                    file: f.file,
+                    line: a_line,
+                    sig_line: f.sig_line,
+                    via: format!("acquired on line {}", c.line),
+                });
+            }
+            for &tgt in &ws.targets[a.fn_id][ci] {
+                let te = &eff[tgt];
+                for l in &te.acquires {
+                    edges.push(Edge {
+                        from: a.lock.clone(),
+                        to: l.clone(),
+                        file: f.file,
+                        line: a_line,
+                        sig_line: f.sig_line,
+                        via: format!("via `{}` on line {}", c.name, c.line),
+                    });
+                }
+                if te.blocks {
+                    hazards.entry("wait").or_insert_with(|| {
+                        format!("`{}` on line {} (may block on a condvar/latch)", c.name, c.line)
+                    });
+                }
+                if te.io {
+                    hazards.entry("io").or_insert_with(|| {
+                        format!("`{}` on line {} (may do file/socket I/O)", c.name, c.line)
+                    });
+                }
+            }
+        }
+        for (kind, culprit) in hazards {
+            let what = match kind {
+                "wait" => "blocks on a condvar or completion latch",
+                _ => "performs blocking I/O or sleeps",
+            };
+            findings.push((
+                f.file,
+                RawFinding {
+                    line: a_line,
+                    message: format!(
+                        "lock `{}` is held while the critical section {what}: {culprit}; \
+                         shrink the critical section or annotate \
+                         allow(lock-order, reason = \"…\")",
+                        a.lock
+                    ),
+                    suppress_lines: vec![a_line, f.sig_line],
+                    severity: None,
+                },
+            ));
+        }
+    }
+
+    // 4. Acquisition-order cycles over the edge digraph.
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for e in &edges {
+        adj.entry(e.from.as_str()).or_default().insert(e.to.as_str());
+    }
+    let mut seen: BTreeSet<(usize, usize, String, String)> = BTreeSet::new();
+    for e in &edges {
+        let cyclic = e.from == e.to || reaches(&adj, &e.to, &e.from);
+        if !cyclic || !seen.insert((e.file, e.line, e.from.clone(), e.to.clone())) {
+            continue;
+        }
+        let message = if e.from == e.to {
+            format!(
+                "lock `{}` is re-acquired while already held ({}); \
+                 std::sync::Mutex self-deadlocks — restructure or annotate \
+                 allow(lock-order, reason = \"…\")",
+                e.from, e.via
+            )
+        } else {
+            format!(
+                "acquisition-order cycle: `{}` is held while `{}` is taken here ({}), \
+                 but the reverse order also occurs elsewhere in the workspace — \
+                 deadlock risk; pick one global order or annotate \
+                 allow(lock-order, reason = \"…\")",
+                e.from, e.to, e.via
+            )
+        };
+        findings.push((
+            e.file,
+            RawFinding {
+                line: e.line,
+                message,
+                suppress_lines: vec![e.line, e.sig_line],
+                severity: None,
+            },
+        ));
+    }
+
+    findings
+}
+
+/// Reachability (DFS) in the ordering digraph.
+fn reaches(adj: &BTreeMap<&str, BTreeSet<&str>>, from: &str, to: &str) -> bool {
+    let mut stack = vec![from];
+    let mut visited: BTreeSet<&str> = BTreeSet::new();
+    while let Some(n) = stack.pop() {
+        if n == to {
+            return true;
+        }
+        if !visited.insert(n) {
+            continue;
+        }
+        if let Some(next) = adj.get(n) {
+            stack.extend(next.iter().copied());
+        }
+    }
+    false
+}
+
+/// Is this call site a lock acquisition, and of which lock?
+///
+/// * `.lock()` method calls — identity is the receiver's last ident;
+/// * bare calls to a per-module `lock` helper — identity is the last
+///   ident of the *argument* (`lock(&shared.queue)` acquires `queue`);
+/// * `.read()` / `.write()` only when the receiver smells like an
+///   rwlock (plain `io::Read`/`Write` receivers stay exempt).
+///
+/// Identities are crate-qualified (`serve::wal`): the same mutex field
+/// locked from two files of one crate unifies (so cross-file cycles are
+/// visible), while two crates' unrelated `queue` mutexes stay distinct.
+fn acquisition_name(f: &FnItem, c: &CallSite, toks: &[Token]) -> Option<String> {
+    if f.name == "lock" {
+        return None; // the helper's own `m.lock()` — attributed to callers
+    }
+    let name = if c.is_method && c.name == "lock" {
+        c.recv.clone().unwrap_or_else(|| "lock".to_string())
+    } else if !c.is_method && c.name == "lock" && c.qualifier.is_empty() {
+        last_ident_in(toks, c.args).unwrap_or_else(|| "lock".to_string())
+    } else if c.is_method && (c.name == "read" || c.name == "write") {
+        let recv = c.recv.as_deref()?;
+        let low = recv.to_ascii_lowercase();
+        if low.contains("lock") || low.contains("rw") {
+            recv.to_string()
+        } else {
+            return None;
+        }
+    } else {
+        return None;
+    };
+    Some(format!("{}::{}", f.krate, name))
+}
+
+/// Last identifier strictly inside a delimiter span.
+fn last_ident_in(toks: &[Token], span: (usize, usize)) -> Option<String> {
+    toks[span.0 + 1..span.1.min(toks.len())]
+        .iter()
+        .rev()
+        .find_map(|t| match &t.kind {
+            TokKind::Ident(s) => Some(s.clone()),
+            _ => None,
+        })
+}
+
+/// The guard's binding name when the acquisition is directly let-bound
+/// (`let [mut] g = <acquisition>…;`). A guard that is method-chained
+/// away (`lock(&m).pop_front()`) is a temporary — no binding.
+fn guard_binding(toks: &[Token], c: &CallSite) -> Option<String> {
+    // Chained call on the guard => temporary.
+    if matches!(toks.get(c.args.1 + 1).map(|t| &t.kind), Some(TokKind::Punct(b'.'))) {
+        return None;
+    }
+    // Walk back to the statement boundary.
+    let mut s = c.tok;
+    while s > 0 {
+        match &toks[s - 1].kind {
+            TokKind::Punct(b';' | b'{' | b'}') => break,
+            _ => s -= 1,
+        }
+    }
+    if !matches!(&toks.get(s).map(|t| &t.kind), Some(TokKind::Ident(k)) if *k == "let") {
+        return None;
+    }
+    let mut i = s + 1;
+    if matches!(&toks.get(i).map(|t| &t.kind), Some(TokKind::Ident(k)) if *k == "mut") {
+        i += 1;
+    }
+    match (toks.get(i).map(|t| &t.kind), toks.get(i + 1).map(|t| &t.kind)) {
+        (Some(TokKind::Ident(name)), Some(TokKind::Punct(b'='))) => Some(name.clone()),
+        _ => None,
+    }
+}
+
+/// Token range over which the guard acquired at `c` is held.
+fn hold_range(
+    toks: &[Token],
+    delims: &DelimMap,
+    c: &CallSite,
+    guard: Option<&str>,
+) -> (usize, usize) {
+    let start = c.tok;
+    let Some(guard) = guard else {
+        // Temporary guard: held to the end of the statement.
+        let end = (c.args.1..toks.len())
+            .find(|&i| matches!(toks[i].kind, TokKind::Punct(b';')))
+            .unwrap_or(toks.len());
+        return (start, end);
+    };
+    // Let-bound: held to the close of the innermost enclosing block…
+    let mut end = toks.len();
+    for (o, close) in delims.open.iter().enumerate() {
+        if let Some(cl) = close {
+            if matches!(toks[o].kind, TokKind::Punct(b'{')) && o < start && start < *cl {
+                end = end.min(*cl);
+            }
+        }
+    }
+    // …ending early at an explicit `drop(guard)`. The scan is linear:
+    // a drop on one branch ends tracking for the whole block (documented
+    // completeness tradeoff — it can only under-report).
+    for i in start..end.saturating_sub(3) {
+        if matches!(&toks[i].kind, TokKind::Ident(s) if s == "drop")
+            && matches!(toks[i + 1].kind, TokKind::Punct(b'('))
+            && matches!(&toks[i + 2].kind, TokKind::Ident(s) if s == guard)
+            && matches!(toks[i + 3].kind, TokKind::Punct(b')'))
+        {
+            return (start, i);
+        }
+    }
+    (start, end)
+}
+
+/// `Some(name)` when the call's argument list is exactly one identifier.
+fn single_ident_arg<'a>(toks: &'a [Token], c: &CallSite) -> Option<&'a str> {
+    let inner = &toks[c.args.0 + 1..c.args.1.min(toks.len())];
+    match inner {
+        [Token {
+            kind: TokKind::Ident(s),
+            ..
+        }] => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::build;
+    use crate::engine::{scope_for, ParsedFile};
+    use crate::source::SourceFile;
+
+    fn run(files: &[(&str, &str)]) -> Vec<String> {
+        let parsed: Vec<ParsedFile> = files
+            .iter()
+            .map(|(p, s)| ParsedFile {
+                sf: SourceFile::parse(p, s),
+                scope: scope_for(p),
+            })
+            .collect();
+        let ws = build(&parsed);
+        check(&ws).into_iter().map(|(_, r)| r.message).collect()
+    }
+
+    #[test]
+    fn nested_opposite_orders_cycle() {
+        let msgs = run(&[(
+            "crates/a/src/lib.rs",
+            "fn ab(s: &S) { let a = lock(&s.alpha); let b = lock(&s.beta); }\n\
+             fn ba(s: &S) { let b = lock(&s.beta); let a = lock(&s.alpha); }",
+        )]);
+        assert!(
+            msgs.iter().any(|m| m.contains("acquisition-order cycle")),
+            "{msgs:?}"
+        );
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let msgs = run(&[(
+            "crates/a/src/lib.rs",
+            "fn ab(s: &S) { let a = lock(&s.alpha); let b = lock(&s.beta); }\n\
+             fn ab2(s: &S) { let a = lock(&s.alpha); let b = lock(&s.beta); use_both(&a, &b); }\n\
+             fn use_both(_a: &A, _b: &B) {}",
+        )]);
+        assert!(msgs.is_empty(), "{msgs:?}");
+    }
+
+    #[test]
+    fn cycle_through_cross_file_call_graph() {
+        let msgs = run(&[
+            (
+                "crates/a/src/one.rs",
+                "pub fn hold_m1_then_remote(s: &S) { let g = lock(&s.m_one); remote_lock_m2(s); }",
+            ),
+            (
+                "crates/b/src/two.rs",
+                "pub fn remote_lock_m2(s: &S) { let g = lock(&s.m_two); }\n\
+                 pub fn hold_m2_then_back(s: &S) { let g = lock(&s.m_two); back_lock_m1(s); }",
+            ),
+            (
+                "crates/a/src/one_more.rs",
+                "pub fn back_lock_m1(s: &S) { let g = lock(&s.m_one); }",
+            ),
+        ]);
+        assert!(
+            msgs.iter().any(|m| m.contains("acquisition-order cycle")),
+            "{msgs:?}"
+        );
+    }
+
+    #[test]
+    fn io_under_lock_direct_and_transitive() {
+        let msgs = run(&[(
+            "crates/a/src/lib.rs",
+            "fn direct(s: &S) { let g = lock(&s.m); g.file.sync_data(); }\n\
+             fn indirect(s: &S) { let g = lock(&s.m); persist(s); }\n\
+             fn persist(s: &S) { s.file.write_all(b\"x\"); }",
+        )]);
+        assert_eq!(
+            msgs.iter().filter(|m| m.contains("blocking I/O")).count(),
+            2,
+            "{msgs:?}"
+        );
+    }
+
+    #[test]
+    fn condvar_wait_on_own_guard_is_exempt_foreign_wait_is_not() {
+        let msgs = run(&[(
+            "crates/a/src/lib.rs",
+            "fn ok(s: &S) { let mut q = lock(&s.queue); q = s.ready.wait(q); }\n\
+             fn bad(s: &S) { let g = lock(&s.other); let mut q = lock(&s.queue); q = s.ready.wait(q); }",
+        )]);
+        // `ok` is clean; in `bad` the wait is exempt for `queue` but a
+        // hazard for the still-held `other`.
+        assert_eq!(
+            msgs.iter().filter(|m| m.contains("condvar")).count(),
+            1,
+            "{msgs:?}"
+        );
+        assert!(msgs.iter().any(|m| m.contains("::other")), "{msgs:?}");
+    }
+
+    #[test]
+    fn drop_and_statement_temporaries_end_the_hold() {
+        let msgs = run(&[(
+            "crates/a/src/lib.rs",
+            "fn dropped(s: &S) { let g = lock(&s.m); drop(g); s.file.sync_data(); }\n\
+             fn temp(s: &S) { let job = lock(&s.queue).pop_front(); s.file.sync_data(); }",
+        )]);
+        assert!(msgs.is_empty(), "{msgs:?}");
+    }
+
+    #[test]
+    fn self_reacquisition_is_a_deadlock() {
+        let msgs = run(&[(
+            "crates/a/src/lib.rs",
+            "fn outer(s: &S) { let g = lock(&s.m); inner(s); }\n\
+             fn inner(s: &S) { let g = lock(&s.m); }",
+        )]);
+        // Same file, same argument ident => same lock identity.
+        assert!(
+            msgs.iter().any(|m| m.contains("re-acquired while already held")),
+            "{msgs:?}"
+        );
+    }
+}

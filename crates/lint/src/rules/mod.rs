@@ -7,10 +7,14 @@
 
 pub mod deps;
 pub mod determinism;
+pub mod dp_taint;
 pub mod float_eq;
+pub mod lock_order;
 pub mod noise;
 pub mod panic_surface;
+pub mod unsafe_audit;
 
+use crate::callgraph::Workspace;
 use crate::engine::{RawFinding, Scope, Severity};
 use crate::source::SourceFile;
 
@@ -20,6 +24,9 @@ pub enum RuleKind {
     Rust(fn(&SourceFile, &Scope) -> Vec<RawFinding>),
     /// Runs over `Cargo.toml` manifests: `(workspace-relative path, text)`.
     Toml(fn(&str, &str) -> Vec<RawFinding>),
+    /// Runs once over the whole-workspace call graph; findings carry the
+    /// index of the file they anchor to.
+    Workspace(fn(&Workspace<'_>) -> Vec<(usize, RawFinding)>),
     /// Emitted by the engine itself (annotation hygiene); listed here so
     /// `--explain` covers it.
     Meta,
@@ -173,6 +180,99 @@ that previously lived in scripts/ci.sh. Any `version`, `git`, or
 `registry` key on a dependency is a finding even when a `path` is also
 present.",
             kind: RuleKind::Toml(deps::check_toml),
+        },
+        RuleInfo {
+            id: "lock-order",
+            allow_id: "lock-order",
+            severity: Severity::Error,
+            advisory: false,
+            summary: "no lock cycles; no blocking I/O or condvar waits under a lock",
+            explain: "\
+Cross-file deadlock and lock-latency analysis over the workspace call
+graph. Every acquisition site (.lock(), calls to the per-module `lock`
+helpers, rwlock-ish .read()/.write()) opens a held range: to the end of
+the enclosing block for a let-bound guard (ending early at drop(guard)),
+to the end of the statement otherwise. Within a held range the rule
+flags, transitively through the call graph:
+
+  * acquiring locks in a cycle-forming order (A before B here, B before
+    A anywhere else — including a re-acquisition of the same lock, which
+    self-deadlocks std::sync::Mutex);
+  * blocking on a Condvar or completion latch (waiting on the condvar
+    that releases the held guard itself is exempt — that is what a
+    condvar is for);
+  * file I/O, fsync, socket writes, or sleeps (rt::fsio helpers, the
+    write_all/flush/sync family) — holding a hot-path lock across a disk
+    flush is how a 10ms fsync becomes a 10ms admission stall.
+
+Lock identities are `file::name` so two modules' `queue` mutexes stay
+distinct; acquisition through the per-module `fn lock` helper is
+attributed to the helper's *argument* (`lock(&shared.queue)` acquires
+`queue`). Deliberate exceptions (e.g. the WAL durability contract of
+DESIGN.md §13 holds the journal lock across fsync by design) must be
+annotated in place:
+
+    // privim-lint: allow(lock-order, reason = \"...\")
+
+on the acquisition line or the enclosing fn signature. The analysis is
+heuristic, not sound — see DESIGN.md §9 for what the resolver can miss.",
+            kind: RuleKind::Workspace(lock_order::check),
+        },
+        RuleInfo {
+            id: "dp-taint",
+            allow_id: "dp-taint",
+            severity: Severity::Error,
+            advisory: false,
+            summary: "raw gradients/embeddings must pass clip+noise before any release path",
+            explain: "\
+Function-level taint tracking for the DP boundary. Sources are the raw
+model internals an adversary must never see unperturbed: per-sample
+gradients (Tape::backward, sample_gradient) and penultimate-layer
+embeddings (embed, embed_graph) defined in the training stack (tensor /
+gnn / dp / core). A function that (transitively) consumes a source is
+tainted unless it is a sanitizer: a function that clips (clip / clip_*)
+AND draws accountant-referenced noise — the same accountant test the
+unaccounted-noise rule applies, including its audited
+allow(unaccounted-noise) annotations. Tainted functions are flagged when
+they reach a release path: a pub API outside the training stack (the
+serve response surface included) or any serialization call
+(to_json/to_json_string/pack or the file-write family). The GAP/ProGAP
+line of work shows exactly this failure: one aggregation path that skips
+the perturbation silently voids the epsilon guarantee. Code that is
+*supposed* to see raw internals (the attack harness measuring leakage)
+carries an audited annotation:
+
+    // privim-lint: allow(dp-taint, reason = \"...\")
+
+on the function's fn line. A flagged-and-audited function does not
+re-taint its callers — the annotation marks the audited boundary.",
+            kind: RuleKind::Workspace(dp_taint::check),
+        },
+        RuleInfo {
+            id: "unsafe-audit",
+            allow_id: "unsafe",
+            severity: Severity::Error,
+            advisory: false,
+            summary: "every unsafe needs an audited reason; intrinsics need guarded scalar fallbacks",
+            explain: "\
+Two contracts ahead of the SIMD roadmap item. (1) Every `unsafe` block,
+fn, or impl outside #[cfg(test)] must carry an audited annotation with a
+real safety argument:
+
+    // privim-lint: allow(unsafe, reason = \"why this cannot misbehave\")
+
+on the unsafe line or the enclosing fn signature — the safety comment
+becomes machine-checked instead of conventional. (2) Any core::arch
+intrinsic call (_mm*/v* families or an arch-qualified path) must be
+unreachable without a runtime feature check: the containing fn either
+performs the is_x86_feature_detected!/is_aarch64_feature_detected!
+check itself, or is #[target_feature]-gated — in which case a scalar
+fallback sibling must exist (the name minus its _avx2/_sse/_neon/_simd
+suffix, or name_scalar) and every call site in the graph must sit in a
+function that references the detection macro. This makes 'SIMD behind a
+detected fallback' an enforced invariant rather than a convention, so
+the deterministic kernels stay runnable on any host.",
+            kind: RuleKind::Workspace(unsafe_audit::check),
         },
         RuleInfo {
             id: "bad-annotation",

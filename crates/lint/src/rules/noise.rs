@@ -14,12 +14,13 @@ const NOISE_FNS: [&str; 4] = [
     "add_noise",
 ];
 
-fn is_noise_fn(name: &str) -> bool {
+pub(crate) fn is_noise_fn(name: &str) -> bool {
     NOISE_FNS.contains(&name) || name.starts_with("noisy_")
 }
 
-/// An identifier that counts as "touching the accountant".
-fn is_accountant_ref(name: &str) -> bool {
+/// An identifier that counts as "touching the accountant". Shared with
+/// the dp-taint rule, whose sanitizer definition reuses this check.
+pub(crate) fn is_accountant_ref(name: &str) -> bool {
     name == "charge" || name == "compose" || name.to_ascii_lowercase().contains("accountant")
 }
 

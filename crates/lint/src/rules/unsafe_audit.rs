@@ -1,0 +1,271 @@
+//! `unsafe-audit`: every `unsafe` must carry an audited justification,
+//! and CPU intrinsics must sit behind runtime feature detection with a
+//! scalar fallback. The annotation id is `allow(unsafe, reason = "…")` —
+//! the reason *is* the safety argument.
+
+use crate::callgraph::Workspace;
+use crate::engine::RawFinding;
+use crate::lexer::TokKind;
+use crate::parse::CallSite;
+use crate::source::{find_fns, innermost_fn};
+
+/// Runtime CPU-capability checks that make an intrinsic call sound.
+const DETECT_IDENTS: [&str; 2] = ["is_x86_feature_detected", "is_aarch64_feature_detected"];
+
+/// Suffixes naming a SIMD variant; stripping one yields the expected
+/// scalar sibling's name (`dot_avx2` → `dot` or `dot_scalar`).
+const SIMD_SUFFIXES: [&str; 9] = [
+    "_avx512", "_avx2", "_avx", "_sse42", "_sse41", "_sse2", "_sse", "_neon", "_simd",
+];
+
+pub fn check(ws: &Workspace<'_>) -> Vec<(usize, RawFinding)> {
+    let mut out = Vec::new();
+
+    // (1) Every `unsafe` keyword outside test code needs an audited
+    // annotation on its line or its enclosing fn's signature line.
+    for (idx, pf) in ws.files.iter().enumerate() {
+        let toks = &pf.sf.tokens;
+        let fns = find_fns(toks);
+        for (i, t) in toks.iter().enumerate() {
+            if !matches!(&t.kind, TokKind::Ident(s) if s == "unsafe") {
+                continue;
+            }
+            if pf.sf.in_test_region(t.line) {
+                continue;
+            }
+            let what = match toks.get(i + 1).map(|n| &n.kind) {
+                Some(TokKind::Punct(b'{')) => "unsafe block",
+                Some(TokKind::Ident(k)) if k == "fn" => "unsafe fn",
+                Some(TokKind::Ident(k)) if k == "impl" => "unsafe impl",
+                _ => "unsafe construct",
+            };
+            let sig_line = innermost_fn(&fns, i).map(|s| s.sig_line).unwrap_or(t.line);
+            out.push((
+                idx,
+                RawFinding {
+                    line: t.line,
+                    message: format!(
+                        "{what} without an audited safety argument; annotate \
+                         allow(unsafe, reason = \"why every invariant the unsafe \
+                         contract needs actually holds here\")"
+                    ),
+                    suppress_lines: vec![t.line, sig_line],
+                    severity: None,
+                },
+            ));
+        }
+    }
+
+    // (2) Intrinsics: a fn that calls `core::arch` intrinsics must either
+    // guard them with runtime feature detection in its own body, or be a
+    // `#[target_feature]` fn — in which case it needs a scalar sibling
+    // and every workspace caller must perform the runtime check.
+    for (fid, f) in ws.fns.iter().enumerate() {
+        if f.in_test {
+            continue;
+        }
+        let intrinsics: Vec<&CallSite> =
+            f.calls.iter().filter(|c| is_intrinsic(c)).collect();
+        if intrinsics.is_empty() {
+            continue;
+        }
+        if !f.has_target_feature {
+            if !span_has_detect(ws, fid) {
+                let first = intrinsics[0];
+                out.push((
+                    f.file,
+                    RawFinding {
+                        line: first.line,
+                        message: format!(
+                            "intrinsic `{}` called without a runtime feature check in \
+                             fn `{}`; guard with is_x86_feature_detected!/\
+                             is_aarch64_feature_detected! or move it into a \
+                             #[target_feature] fn with a scalar fallback",
+                            first.name, f.name
+                        ),
+                        suppress_lines: vec![first.line, f.sig_line],
+                        severity: None,
+                    },
+                ));
+            }
+            continue;
+        }
+        // #[target_feature] fn: demand a scalar sibling…
+        if !scalar_sibling_exists(ws, &f.name) {
+            out.push((
+                f.file,
+                RawFinding {
+                    line: f.sig_line,
+                    message: format!(
+                        "#[target_feature] fn `{}` has no scalar fallback sibling \
+                         (`{}` or a suffix-stripped base); older CPUs must have a \
+                         correct non-SIMD path",
+                        f.name,
+                        expected_scalar_names(&f.name).join("` / `")
+                    ),
+                    suppress_lines: vec![f.sig_line],
+                    severity: None,
+                },
+            ));
+        }
+        // …and a feature-detection guard in every caller.
+        for &caller in &ws.callers[fid] {
+            if span_has_detect(ws, caller) {
+                continue;
+            }
+            let cf = &ws.fns[caller];
+            let line = cf
+                .calls
+                .iter()
+                .enumerate()
+                .find(|(ci, _)| ws.targets[caller][*ci].contains(&fid))
+                .map(|(_, c)| c.line)
+                .unwrap_or(cf.sig_line);
+            out.push((
+                cf.file,
+                RawFinding {
+                    line,
+                    message: format!(
+                        "fn `{}` calls #[target_feature] fn `{}` without runtime \
+                         feature detection; calling it on a CPU lacking the feature \
+                         is undefined behavior",
+                        cf.name, f.name
+                    ),
+                    suppress_lines: vec![line, cf.sig_line],
+                    severity: None,
+                },
+            ));
+        }
+    }
+    out
+}
+
+/// A call that is (syntactically) a `core::arch` intrinsic. The
+/// `_mm`-prefix check catches glob-imported x86 intrinsics; ARM NEON
+/// intrinsics are only recognized when path-qualified — a documented
+/// completeness gap (DESIGN.md §9).
+fn is_intrinsic(c: &CallSite) -> bool {
+    c.name.starts_with("_mm")
+        || c.qualifier
+            .iter()
+            .any(|q| q == "arch" || q == "x86_64" || q == "x86" || q == "aarch64")
+}
+
+fn span_has_detect(ws: &Workspace<'_>, fid: usize) -> bool {
+    let f = &ws.fns[fid];
+    let toks = &ws.files[f.file].sf.tokens;
+    toks[f.sig_start..f.body.1.min(toks.len())]
+        .iter()
+        .any(|t| matches!(&t.kind, TokKind::Ident(s) if DETECT_IDENTS.contains(&s.as_str())))
+}
+
+fn expected_scalar_names(name: &str) -> Vec<String> {
+    for suf in SIMD_SUFFIXES {
+        if let Some(base) = name.strip_suffix(suf) {
+            if !base.is_empty() {
+                return vec![base.to_string(), format!("{base}_scalar")];
+            }
+        }
+    }
+    vec![format!("{name}_scalar")]
+}
+
+fn scalar_sibling_exists(ws: &Workspace<'_>, name: &str) -> bool {
+    let wanted = expected_scalar_names(name);
+    ws.fns
+        .iter()
+        .any(|f| !f.in_test && !f.has_target_feature && wanted.iter().any(|w| *w == f.name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::build;
+    use crate::engine::{scope_for, ParsedFile};
+    use crate::source::SourceFile;
+
+    fn run(files: &[(&str, &str)]) -> Vec<String> {
+        let parsed: Vec<ParsedFile> = files
+            .iter()
+            .map(|(p, s)| ParsedFile {
+                sf: SourceFile::parse(p, s),
+                scope: scope_for(p),
+            })
+            .collect();
+        let ws = build(&parsed);
+        check(&ws).into_iter().map(|(_, r)| r.message).collect()
+    }
+
+    #[test]
+    fn bare_unsafe_block_and_fn_are_flagged() {
+        let msgs = run(&[(
+            "crates/rt/src/x.rs",
+            "fn f() { unsafe { core::ptr::read(p) }; }\nunsafe fn g() {}",
+        )]);
+        assert_eq!(msgs.len(), 2, "{msgs:?}");
+        assert!(msgs[0].contains("unsafe block"), "{msgs:?}");
+        assert!(msgs[1].contains("unsafe fn"), "{msgs:?}");
+    }
+
+    #[test]
+    fn test_region_unsafe_is_exempt() {
+        let msgs = run(&[(
+            "crates/rt/src/x.rs",
+            "#[cfg(test)]\nmod tests {\n    fn f() { unsafe { core::ptr::read(p) }; }\n}",
+        )]);
+        assert!(msgs.is_empty(), "{msgs:?}");
+    }
+
+    #[test]
+    fn unguarded_intrinsic_vs_runtime_detected() {
+        let bad = run(&[(
+            "crates/tensor/src/simd.rs",
+            "fn dot(a: &[f32]) -> f32 { _mm256_setzero_ps(); 0.0 }",
+        )]);
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert!(bad[0].contains("runtime feature check"), "{bad:?}");
+        let good = run(&[(
+            "crates/tensor/src/simd.rs",
+            "fn dot(a: &[f32]) -> f32 { if is_x86_feature_detected!(\"avx2\") { _mm256_setzero_ps(); } 0.0 }",
+        )]);
+        assert!(good.is_empty(), "{good:?}");
+    }
+
+    #[test]
+    fn target_feature_fn_needs_scalar_sibling_and_guarded_callers() {
+        let src = "\
+#[target_feature(enable = \"avx2\")]\n\
+unsafe fn dot_avx2(a: &[f32]) -> f32 { _mm256_setzero_ps(); 0.0 }\n\
+// privim-lint: allow(unsafe, reason = \"fixture\")\n\
+fn unguarded(a: &[f32]) -> f32 { dot_avx2(a) }\n";
+        let msgs = run(&[("crates/tensor/src/simd.rs", src)]);
+        assert!(
+            msgs.iter().any(|m| m.contains("no scalar fallback sibling")),
+            "{msgs:?}"
+        );
+        assert!(
+            msgs.iter()
+                .any(|m| m.contains("without runtime feature detection")),
+            "{msgs:?}"
+        );
+
+        let fixed = "\
+#[target_feature(enable = \"avx2\")]\n\
+unsafe fn dot_avx2(a: &[f32]) -> f32 { _mm256_setzero_ps(); 0.0 }\n\
+fn dot_scalar(a: &[f32]) -> f32 { 0.0 }\n\
+fn guarded(a: &[f32]) -> f32 {\n\
+    if is_x86_feature_detected!(\"avx2\") { unsafe { dot_avx2(a) } } else { dot_scalar(a) }\n\
+}\n";
+        let msgs = run(&[("crates/tensor/src/simd.rs", fixed)]);
+        // Only the two bare `unsafe` findings remain; the intrinsic
+        // discipline itself is satisfied.
+        assert!(
+            msgs.iter().all(|m| m.contains("unsafe")),
+            "{msgs:?}"
+        );
+        assert!(
+            !msgs.iter().any(|m| m.contains("scalar fallback")),
+            "{msgs:?}"
+        );
+    }
+}

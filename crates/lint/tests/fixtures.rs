@@ -81,6 +81,59 @@ fn bad_annotation_pair() {
 }
 
 #[test]
+fn lock_order_pair() {
+    assert_pair("lock_order.rs", "lock-order");
+}
+
+#[test]
+fn dp_taint_pair() {
+    assert_pair("dp_taint.rs", "dp-taint");
+}
+
+#[test]
+fn unsafe_audit_pair() {
+    assert_pair("unsafe_audit.rs", "unsafe-audit");
+}
+
+#[test]
+fn dirty_lock_fixture_reports_cycle_and_io() {
+    let dirty = lint_rs("dirty", "lock_order.rs");
+    let msgs: Vec<&str> = dirty
+        .findings
+        .iter()
+        .filter(|f| f.rule == "lock-order")
+        .map(|f| f.message.as_str())
+        .collect();
+    assert!(
+        msgs.iter().any(|m| m.contains("acquisition-order cycle")),
+        "{msgs:?}"
+    );
+    assert!(
+        msgs.iter().any(|m| m.contains("blocking I/O")),
+        "{msgs:?}"
+    );
+}
+
+#[test]
+fn dirty_unsafe_fixture_reports_both_shapes() {
+    let dirty = lint_rs("dirty", "unsafe_audit.rs");
+    let msgs: Vec<&str> = dirty
+        .findings
+        .iter()
+        .filter(|f| f.rule == "unsafe-audit")
+        .map(|f| f.message.as_str())
+        .collect();
+    assert!(
+        msgs.iter().any(|m| m.contains("unsafe block")),
+        "{msgs:?}"
+    );
+    assert!(
+        msgs.iter().any(|m| m.contains("runtime feature check")),
+        "{msgs:?}"
+    );
+}
+
+#[test]
 fn dirty_panic_fixture_counts_every_site() {
     // unwrap + expect + unreachable! — the token-aware scan must see all
     // three shapes, not just the grep-able ones.

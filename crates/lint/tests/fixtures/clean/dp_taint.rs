@@ -1,0 +1,24 @@
+//! Clean: the raw embedding is clipped, noised, and charged to the
+//! accountant before any bytes leave the process.
+
+pub fn embed(x: &Matrix) -> Matrix {
+    x.transform()
+}
+
+fn release(x: &Matrix, acct: &mut Accountant, rng: &mut ChaCha8Rng) -> Vec<f64> {
+    let e = embed(x);
+    let e = clip_l2(&e, 1.0);
+    acct.charge(1);
+    gaussian_noise_vec(e.dims(), 1.0, 1.0, rng)
+}
+
+fn publish(
+    x: &Matrix,
+    acct: &mut Accountant,
+    rng: &mut ChaCha8Rng,
+    w: &mut Writer,
+) -> PrivimResult<()> {
+    let out = release(x, acct, rng);
+    w.write_all(&encode(&out))?;
+    Ok(())
+}

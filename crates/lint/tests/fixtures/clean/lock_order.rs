@@ -1,0 +1,35 @@
+//! Clean: one global acquisition order, condvar waits release their own
+//! guard, and I/O happens only after the guard is dropped.
+
+fn alpha_then_beta(s: &S) {
+    let a = lock(&s.alpha);
+    let b = lock(&s.beta);
+    use_both(&a, &b);
+}
+
+fn alpha_then_beta_again(s: &S) {
+    let a = lock(&s.alpha);
+    let b = lock(&s.beta);
+    use_both(&b, &a);
+}
+
+fn consumer(s: &S) -> Job {
+    let mut q = lock(&s.queue);
+    while q.is_empty() {
+        q = s.ready.wait(q);
+    }
+    q.pop_front()
+}
+
+fn persist(s: &S) -> PrivimResult<()> {
+    let g = lock(&s.state);
+    let snapshot = g.bytes();
+    drop(g);
+    s.file.write_all(&snapshot)?;
+    Ok(())
+}
+
+fn quick_peek(s: &S) -> PrivimResult<()> {
+    let n = lock(&s.queue).depth();
+    s.file.write_all(&encode(n))
+}

@@ -1,0 +1,23 @@
+//! Clean: every `unsafe` carries an audited safety argument, the SIMD
+//! kernel is a `#[target_feature]` fn with a scalar sibling, and the
+//! dispatcher performs runtime feature detection.
+
+#[target_feature(enable = "avx2")]
+// privim-lint: allow(unsafe, reason = "callers are required (and lint-checked) to verify avx2 via runtime detection before entering; all pointer math stays within the input slice")
+unsafe fn dot_avx2(a: &[f32]) -> f32 {
+    let acc = _mm256_setzero_ps();
+    horizontal_sum(acc, a)
+}
+
+fn dot_scalar(a: &[f32]) -> f32 {
+    a.iter().sum()
+}
+
+fn dot(a: &[f32]) -> f32 {
+    if is_x86_feature_detected!("avx2") {
+        // privim-lint: allow(unsafe, reason = "the branch condition is exactly the precondition dot_avx2's contract demands")
+        unsafe { dot_avx2(a) }
+    } else {
+        dot_scalar(a)
+    }
+}

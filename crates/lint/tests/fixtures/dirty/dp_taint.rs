@@ -1,0 +1,12 @@
+//! Dirty: a raw embedding flows from a DP-stack source to a byte sink
+//! with no clip/noise/accounting in between.
+
+pub fn embed(x: &Matrix) -> Matrix {
+    x.transform()
+}
+
+fn leak(x: &Matrix, w: &mut Writer) -> PrivimResult<()> {
+    let e = embed(x);
+    w.write_all(&e.bytes())?;
+    Ok(())
+}

@@ -1,0 +1,20 @@
+//! Dirty: opposite acquisition orders across two fns (cycle) plus
+//! durable file I/O performed while a lock is held.
+
+fn alpha_then_beta(s: &S) {
+    let a = lock(&s.alpha);
+    let b = lock(&s.beta);
+    use_both(&a, &b);
+}
+
+fn beta_then_alpha(s: &S) {
+    let b = lock(&s.beta);
+    let a = lock(&s.alpha);
+    use_both(&a, &b);
+}
+
+fn persist(s: &S) -> PrivimResult<()> {
+    let g = lock(&s.state);
+    s.file.write_all(&g.bytes())?;
+    Ok(())
+}

@@ -1,0 +1,11 @@
+//! Dirty: un-audited `unsafe`, plus an AVX2 intrinsic with neither a
+//! runtime feature check nor a scalar fallback.
+
+fn read_raw(p: *const u8) -> u8 {
+    unsafe { core::ptr::read(p) }
+}
+
+fn dot(a: &[f32]) -> f32 {
+    let acc = _mm256_setzero_ps();
+    horizontal_sum(acc, a)
+}

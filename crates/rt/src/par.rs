@@ -228,7 +228,9 @@ where
     // or not), so no job can outlive the borrows it captures.
     let f_ref: &(dyn Fn(usize) + Sync) = &run_chunk;
     let f_static: &'static (dyn Fn(usize) + Sync) =
+        // privim-lint: allow(unsafe, reason = "lifetime erasure only, no type change: the closure ref outlives every queued job because the latch below blocks this frame until all jobs finish, panicking or not")
         unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(f_ref) };
+    // privim-lint: allow(unsafe, reason = "same promotion as f_static: workers' last touch of the latch is the count_down this frame's wait() blocks on, so the borrow cannot dangle")
     let latch_static: &'static Latch = unsafe { std::mem::transmute::<&Latch, _>(&latch) };
 
     {

@@ -188,6 +188,7 @@ fn load_or_generate_graph(f: &Flags) -> Graph {
     }
 }
 
+// privim-lint: allow(dp-taint, reason = "packs the finished DP-trained artifact: weights are post-clip/post-noise and the bundle records the accounted epsilon; no raw per-example state is serialized")
 fn cmd_pack(f: &Flags) {
     let out = f.out.clone().unwrap_or_else(|| usage());
     let graph = load_or_generate_graph(f);
@@ -245,6 +246,7 @@ fn install_signal_handlers() {
     }
     const SIGINT: i32 = 2;
     const SIGTERM: i32 = 15;
+    // privim-lint: allow(unsafe, reason = "libc signal() FFI with the correct extern C fn-pointer signature; the handler only does a lock-free SeqCst store into a static AtomicBool, which is async-signal-safe")
     unsafe {
         signal(SIGINT, on_signal);
         signal(SIGTERM, on_signal);

@@ -477,6 +477,7 @@ fn journal_charge(shared: &Shared, tenant: &str, queries_after: u64) -> Result<(
     let Some(wal) = &shared.wal else {
         return Ok(());
     };
+    // privim-lint: allow(lock-order, reason = "deliberate §13 durability contract: the append+fsync must be serialized under the journal lock so a crash can never reorder records; admissions block behind it by design")
     let mut writer = lock(wal);
     if let Err(e) = writer.append(tenant, queries_after) {
         shared.metrics.wal_append_failure();

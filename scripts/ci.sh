@@ -6,10 +6,32 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== static analysis (privim-lint)"
-# Covers the dependency policy (every Cargo.toml must be path-only) and
-# the panic-surface gate that used to be separate script steps.
-cargo run -q --offline -p privim-lint -- --workspace
+echo "== static analysis (privim-lint, all rules incl. cross-file flow)"
+# Covers the dependency policy (every Cargo.toml must be path-only), the
+# panic-surface gate, and the v2 flow rules (lock-order, dp-taint,
+# unsafe-audit) that analyze the workspace call graph. The run is timed:
+# whole-workspace analysis staying interactive (< 15 s wall, lexing +
+# parsing + fixpoint included, debug build) is part of the contract —
+# a quadratic regression in the resolver should fail CI, not annoy users.
+LINT_JSON="results/lint.json"
+mkdir -p results
+LINT_T0=$(date +%s)
+cargo run -q --offline -p privim-lint -- --workspace --json > "$LINT_JSON"
+LINT_T1=$(date +%s)
+LINT_SECS=$((LINT_T1 - LINT_T0))
+if [ "$LINT_SECS" -gt 15 ]; then
+    echo "privim-lint took ${LINT_SECS}s (> 15s budget)" >&2
+    exit 1
+fi
+# Schema drift gate: the archived artifact must be v2 with call-graph
+# stats; downstream dashboards key on these fields.
+grep -q '"version":2' "$LINT_JSON" || { echo "lint.json is not schema v2" >&2; exit 1; }
+grep -q '"callgraph"' "$LINT_JSON" || { echo "lint.json lacks callgraph stats" >&2; exit 1; }
+grep -q '"rules"' "$LINT_JSON" || { echo "lint.json lacks per-rule counts" >&2; exit 1; }
+echo "archived $LINT_JSON (${LINT_SECS}s)"
+
+echo "== lint self-check (the analyzer's own sources must pass its rules)"
+cargo run -q --offline -p privim-lint -- --workspace --under crates/lint
 
 echo "== offline release build (all targets)"
 cargo build --release --offline --all-targets
