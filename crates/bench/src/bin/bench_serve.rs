@@ -284,6 +284,14 @@ fn load(handle: ServerHandle, n_nodes: usize, rps: usize, secs: u64, out: &str) 
         ("completed_ok", Value::Num(ok as f64)),
         ("achieved_rps", Value::Num(throughput)),
         ("available_parallelism", Value::Num(cpus as f64)),
+        (
+            "simd_backend",
+            Value::Str(privim_tensor::simd::active().name().to_string()),
+        ),
+        (
+            "simd_features",
+            Value::Str(privim_tensor::simd::detected_features()),
+        ),
         ("batch_forward_passes", Value::Num(batch_passes as f64)),
         ("batch_served_requests", Value::Num(batch_served as f64)),
         ("cache_hits", Value::Num(cache_hits as f64)),

@@ -241,7 +241,7 @@ fn sample_gradient(
 
 fn l2_norm(mats: &[Matrix]) -> f64 {
     mats.iter()
-        .map(|m| m.data().iter().map(|x| x * x).sum::<f64>())
+        .map(|m| privim_tensor::simd::sumsq(m.data()))
         .sum::<f64>()
         .sqrt()
 }
@@ -410,9 +410,7 @@ pub fn train_dpgnn(
                     // privim-lint: allow(unaccounted-noise, reason = "charged by the caller: the pipeline feeds TrainReport::attempted_steps to the Theorem 3 RDP accountant")
                     NoiseKind::Sml => sml_noise_vec(s.data().len(), noise_std, &mut rng),
                 };
-                for (x, n) in s.data_mut().iter_mut().zip(noise) {
-                    *x += n;
-                }
+                privim_tensor::simd::add_assign(s.data_mut(), &noise);
             }
         }
 
@@ -422,9 +420,7 @@ pub fn train_dpgnn(
         for (p, g) in model.params_mut().iter_mut().zip(&summed) {
             p.add_scaled_assign(g, -scale);
             if keep < 1.0 {
-                for x in p.data_mut() {
-                    *x *= keep;
-                }
+                privim_tensor::simd::scale(p.data_mut(), keep);
             }
         }
 

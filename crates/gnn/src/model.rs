@@ -85,6 +85,43 @@ pub struct GnnConfig {
 }
 
 impl GnnConfig {
+    /// JSON form `{"kind", "layers", "hidden", "in_dim"}` (the `config`
+    /// section of checkpoints and quantized bundle payloads).
+    pub fn to_json(&self) -> privim_rt::json::Value {
+        use privim_rt::json::Value;
+        Value::obj(vec![
+            ("kind", Value::Str(self.kind.name().to_string())),
+            ("layers", Value::Num(self.layers as f64)),
+            ("hidden", Value::Num(self.hidden as f64)),
+            ("in_dim", Value::Num(self.in_dim as f64)),
+        ])
+    }
+
+    /// Parse the [`Self::to_json`] form, rejecting degenerate dimensions.
+    pub fn from_json(cfg: &privim_rt::json::Value) -> PrivimResult<Self> {
+        let bad = |msg: String| PrivimError::Parse(format!("gnn config: {msg}"));
+        let kind = cfg
+            .get("kind")
+            .and_then(|v| v.as_str())
+            .and_then(GnnKind::from_name)
+            .ok_or_else(|| bad("bad kind".into()))?;
+        let field = |name: &str| {
+            cfg.get(name)
+                .and_then(|v| v.as_usize())
+                .ok_or_else(|| bad(format!("bad {name}")))
+        };
+        let config = GnnConfig {
+            kind,
+            layers: field("layers")?,
+            hidden: field("hidden")?,
+            in_dim: field("in_dim")?,
+        };
+        if config.layers < 1 || config.hidden < 1 || config.in_dim < 1 {
+            return Err(bad("dimensions must be >= 1".into()));
+        }
+        Ok(config)
+    }
+
     /// The paper's default: 3-layer GRAT, 32 hidden units, structural
     /// features.
     pub fn paper_default() -> Self {
@@ -192,15 +229,7 @@ impl GnnModel {
     pub fn checkpoint_payload(&self) -> privim_rt::json::Value {
         use privim_rt::json::Value;
         Value::obj(vec![
-            (
-                "config",
-                Value::obj(vec![
-                    ("kind", Value::Str(self.config.kind.name().to_string())),
-                    ("layers", Value::Num(self.config.layers as f64)),
-                    ("hidden", Value::Num(self.config.hidden as f64)),
-                    ("in_dim", Value::Num(self.config.in_dim as f64)),
-                ]),
-            ),
+            ("config", self.config.to_json()),
             (
                 "params",
                 Value::Arr(self.params.iter().map(Matrix::to_json).collect()),
@@ -281,25 +310,7 @@ impl GnnModel {
         let cfg = payload
             .get("config")
             .ok_or_else(|| bad("missing config".into()))?;
-        let kind = cfg
-            .get("kind")
-            .and_then(|v| v.as_str())
-            .and_then(GnnKind::from_name)
-            .ok_or_else(|| bad("bad config.kind".into()))?;
-        let field = |name: &str| {
-            cfg.get(name)
-                .and_then(|v| v.as_usize())
-                .ok_or_else(|| bad(format!("bad config.{name}")))
-        };
-        let config = GnnConfig {
-            kind,
-            layers: field("layers")?,
-            hidden: field("hidden")?,
-            in_dim: field("in_dim")?,
-        };
-        if config.layers < 1 || config.hidden < 1 || config.in_dim < 1 {
-            return Err(bad("config dimensions must be >= 1".into()));
-        }
+        let config = GnnConfig::from_json(cfg)?;
         let params: Vec<Matrix> = payload
             .get("params")
             .and_then(|v| v.as_array())
@@ -307,6 +318,17 @@ impl GnnModel {
             .iter()
             .map(|v| Matrix::from_json(v).map_err(bad))
             .collect::<Result<_, _>>()?;
+        Self::from_parts(config, params)
+    }
+
+    /// Assemble a model from a config and an explicit parameter list
+    /// (decoded checkpoints, dequantized bundle payloads). Validates the
+    /// layout against a freshly initialised reference model so a shape
+    /// mismatch surfaces as a typed error instead of a forward-pass panic.
+    pub fn from_parts(config: GnnConfig, params: Vec<Matrix>) -> PrivimResult<Self> {
+        if config.layers < 1 || config.hidden < 1 || config.in_dim < 1 {
+            return Err(PrivimError::invalid("gnn config dimensions must be >= 1"));
+        }
         let model = GnnModel { config, params };
         // cheap sanity: rebuild a reference model and compare shapes
         let mut rng = privim_rt::ChaCha8Rng::seed_from_u64(0);
@@ -538,12 +560,14 @@ impl GnnModel {
 }
 
 // -------- tape-free helpers (mirror tape op semantics) --------
+// pub(crate): the quantized serving model reuses these so its layer loop
+// stays operation-for-operation aligned with `hidden_features`.
 
-fn relu(m: &Matrix) -> Matrix {
+pub(crate) fn relu(m: &Matrix) -> Matrix {
     m.map(|x| x.max(0.0))
 }
 
-fn add_bias(m: &Matrix, b: &Matrix) -> Matrix {
+pub(crate) fn add_bias(m: &Matrix, b: &Matrix) -> Matrix {
     let mut out = m.clone();
     for r in 0..out.rows() {
         for (j, v) in out.row_mut(r).iter_mut().enumerate() {
@@ -553,7 +577,7 @@ fn add_bias(m: &Matrix, b: &Matrix) -> Matrix {
     out
 }
 
-fn gather(m: &Matrix, idx: &[u32]) -> Matrix {
+pub(crate) fn gather(m: &Matrix, idx: &[u32]) -> Matrix {
     let mut out = Matrix::zeros(idx.len(), m.cols());
     for (i, &r) in idx.iter().enumerate() {
         out.row_mut(i).copy_from_slice(m.row(r as usize));
@@ -561,7 +585,7 @@ fn gather(m: &Matrix, idx: &[u32]) -> Matrix {
     out
 }
 
-fn scatter_add(m: &Matrix, idx: &[u32], rows: usize) -> Matrix {
+pub(crate) fn scatter_add(m: &Matrix, idx: &[u32], rows: usize) -> Matrix {
     let mut out = Matrix::zeros(rows, m.cols());
     for (i, &r) in idx.iter().enumerate() {
         let dst = out.row_mut(r as usize);
@@ -572,7 +596,7 @@ fn scatter_add(m: &Matrix, idx: &[u32], rows: usize) -> Matrix {
     out
 }
 
-fn segment_softmax(scores: &Matrix, seg: &[u32]) -> Vec<f64> {
+pub(crate) fn segment_softmax(scores: &Matrix, seg: &[u32]) -> Vec<f64> {
     let nseg = seg.iter().map(|&x| x as usize + 1).max().unwrap_or(0);
     let mut mx = vec![f64::NEG_INFINITY; nseg];
     for (i, &g) in seg.iter().enumerate() {

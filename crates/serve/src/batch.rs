@@ -18,7 +18,7 @@
 //! No dedicated thread: leadership is carried by request threads, so an
 //! idle server burns nothing and shutdown has nothing extra to join.
 
-use privim_gnn::{node_features, GnnModel, GraphTensors};
+use privim_gnn::{node_features, GnnModel, GraphTensors, QuantGnnModel};
 use privim_graph::Graph;
 use privim_tensor::Matrix;
 use std::collections::BTreeMap;
@@ -42,6 +42,10 @@ struct State {
 /// Coalesces concurrent score requests into single forward passes.
 pub struct Batcher {
     model: Arc<GnnModel>,
+    /// Int8 serving model from a `model_q8` bundle; when present the
+    /// forward pass runs the dequantize-free integer path instead of the
+    /// dense model.
+    quant: Option<Arc<QuantGnnModel>>,
     tensors: GraphTensors,
     features: Matrix,
     window: Duration,
@@ -58,8 +62,21 @@ impl Batcher {
     /// Precompute graph tensors and node features once; every batch
     /// reuses them (the graph is immutable for the server's lifetime).
     pub fn new(model: Arc<GnnModel>, graph: &Graph, window: Duration) -> Batcher {
+        Batcher::new_quant(model, None, graph, window)
+    }
+
+    /// [`Batcher::new`] with an optional int8 serving model (a `model_q8`
+    /// bundle serves through the quantized path, everything else through
+    /// the dense one).
+    pub fn new_quant(
+        model: Arc<GnnModel>,
+        quant: Option<Arc<QuantGnnModel>>,
+        graph: &Graph,
+        window: Duration,
+    ) -> Batcher {
         Batcher {
             model,
+            quant,
             tensors: GraphTensors::new(graph),
             features: node_features(graph),
             window,
@@ -99,7 +116,10 @@ impl Batcher {
             // closing the round early would serialize one pass per
             // request exactly when coalescing matters most.
             std::thread::sleep(self.window);
-            let scores = Arc::new(self.model.infer(&self.tensors, &self.features));
+            let scores = Arc::new(match &self.quant {
+                Some(q) => q.infer(&self.tensors, &self.features),
+                None => self.model.infer(&self.tensors, &self.features),
+            });
             let mut st = lock(&self.state);
             let members = st.joiners;
             st.joiners = 0;
@@ -201,6 +221,14 @@ mod tests {
             "6 overlapping requests took {passes} passes — no batching happened"
         );
         assert!(passes >= 1);
+    }
+
+    #[test]
+    fn quantized_batcher_serves_the_quant_model_scores() {
+        let (model, g) = setup();
+        let q = Arc::new(QuantGnnModel::from_model(&model));
+        let b = Batcher::new_quant(Arc::clone(&model), Some(Arc::clone(&q)), &g, Duration::from_millis(1));
+        assert_eq!(*b.scores(), q.score_graph(&g));
     }
 
     #[test]

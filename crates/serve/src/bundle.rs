@@ -4,7 +4,7 @@
 //! can trust end-to-end:
 //!
 //! ```json
-//! {"format": "privim-serve-bundle", "version": 2, "crc32": "0x…",
+//! {"format": "privim-serve-bundle", "version": 3, "crc32": "0x…",
 //!  "payload": {
 //!     "model": { …GnnModel checkpoint payload… },
 //!     "privacy": {"epsilon": 4.0, "delta": 1e-4, "sigma": 1.7, "steps": 80},
@@ -17,9 +17,14 @@
 //!
 //! Version history: v1 had no `ledger` section; v2 added it as an
 //! *optional* field (a metered deployment persists per-tenant budget
-//! state, an unmetered one omits it). v1 bundles still load — absent
-//! ledger means every tenant is unmetered — so nothing packed before the
-//! version bump needs re-packing.
+//! state, an unmetered one omits it). v3 added quantized model storage:
+//! the `model` section may be replaced by `model_q8` (per-column int8
+//! codes served through exact-integer SIMD matmuls, no dequantization at
+//! serve time) or `model_f16` (storage-only binary16, decoded to the
+//! dense path at load). Exactly one of the three model sections must be
+//! present. v1/v2 bundles still load — absent ledger means every tenant
+//! is unmetered, absent quant sections mean a dense model — so nothing
+//! packed before the version bumps needs re-packing.
 //!
 //! Three integrity layers, each with a typed failure:
 //!
@@ -41,18 +46,53 @@
 use crate::cache::fnv1a64;
 use crate::ledger::LedgerState;
 use privim::ServeArtifact;
-use privim_gnn::GnnModel;
+use privim_gnn::{GnnConfig, GnnModel, QuantGnnModel};
 use privim_graph::{Graph, GraphBuilder, NodeId};
 use privim_rt::json::Value;
 use privim_rt::{crc, PrivimError, PrivimResult};
+use privim_tensor::quant::F16Matrix;
 use std::sync::Arc;
 
 /// Format tag of a serve bundle.
 pub const BUNDLE_FORMAT: &str = "privim-serve-bundle";
-/// Current bundle format version (v2 added the optional ledger section).
-pub const BUNDLE_VERSION: u64 = 2;
+/// Current bundle format version (v2 added the optional ledger section;
+/// v3 added the `model_q8`/`model_f16` quantized model sections).
+pub const BUNDLE_VERSION: u64 = 3;
 /// Oldest version [`load`] still accepts (v1 = no ledger).
 pub const MIN_BUNDLE_VERSION: u64 = 1;
+
+/// How the model weights are stored in (and served from) a bundle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QuantMode {
+    /// Dense `f64` checkpoint payload (the `model` section).
+    None,
+    /// Per-column int8 codes (`model_q8`), served via exact integer
+    /// matmuls without dequantization.
+    Int8,
+    /// Storage-only binary16 (`model_f16`), decoded to dense at load.
+    F16,
+}
+
+impl QuantMode {
+    /// CLI name (`none`/`int8`/`f16`).
+    pub fn name(self) -> &'static str {
+        match self {
+            QuantMode::None => "none",
+            QuantMode::Int8 => "int8",
+            QuantMode::F16 => "f16",
+        }
+    }
+
+    /// Parse a CLI name.
+    pub fn from_name(s: &str) -> Option<QuantMode> {
+        match s.to_ascii_lowercase().as_str() {
+            "none" => Some(QuantMode::None),
+            "int8" => Some(QuantMode::Int8),
+            "f16" => Some(QuantMode::F16),
+            _ => None,
+        }
+    }
+}
 
 /// The (ε, δ)-DP statement a bundle carries alongside the model.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -70,8 +110,16 @@ pub struct PrivacyStatement {
 /// A loaded, integrity-checked bundle, ready to serve.
 #[derive(Debug)]
 pub struct Bundle {
-    /// The trained model.
+    /// The trained model in dense form. For `model_f16` bundles this is
+    /// the (exactly re-encodable) decoded model; for `model_q8` bundles
+    /// it is the dequantized reconstruction (serving should prefer
+    /// [`Self::quant`]).
     pub model: GnnModel,
+    /// The int8 serving model (`model_q8` bundles only).
+    pub quant: Option<QuantGnnModel>,
+    /// Which model section the bundle was stored with (compaction
+    /// re-packs in the same mode).
+    pub mode: QuantMode,
     /// Privacy statement the model was trained under.
     pub privacy: PrivacyStatement,
     /// The serving graph (shared: server workers, batcher and CELF state
@@ -186,9 +234,93 @@ pub fn pack_parts(
     graph: &Graph,
     ledger: Option<&LedgerState>,
 ) -> Value {
+    pack_parts_section(("model", model.checkpoint_payload()), privacy, graph, ledger)
+}
+
+/// [`pack_parts`] storing the model as per-column int8 codes in a
+/// `model_q8` section. The quantized model *is* the serving artifact —
+/// its exact-integer matmuls make scores backend-invariant — and
+/// compaction re-serialises it code-for-code, so the mode survives
+/// snapshot cycles.
+pub fn pack_parts_q8(
+    quant: &QuantGnnModel,
+    privacy: &PrivacyStatement,
+    graph: &Graph,
+    ledger: Option<&LedgerState>,
+) -> Value {
+    pack_parts_section(("model_q8", quant.to_json()), privacy, graph, ledger)
+}
+
+/// [`pack_parts`] storing the model as storage-only binary16 in a
+/// `model_f16` section. Loading decodes to a dense model; because
+/// `f16_encode(f16_decode(h)) == h`, re-packing that model reproduces
+/// the section bit-for-bit.
+pub fn pack_parts_f16(
+    model: &GnnModel,
+    privacy: &PrivacyStatement,
+    graph: &Graph,
+    ledger: Option<&LedgerState>,
+) -> Value {
+    pack_parts_section(("model_f16", model_to_f16_json(model)), privacy, graph, ledger)
+}
+
+/// Mode-aware pack: compaction re-packs a bundle in the mode it was
+/// loaded with. An `Int8` mode without a quantized model in hand (which
+/// [`load`] never produces) degrades to a dense pack rather than failing
+/// a snapshot.
+pub fn pack_parts_in_mode(
+    model: &GnnModel,
+    quant: Option<&QuantGnnModel>,
+    mode: QuantMode,
+    privacy: &PrivacyStatement,
+    graph: &Graph,
+    ledger: Option<&LedgerState>,
+) -> Value {
+    match (mode, quant) {
+        (QuantMode::Int8, Some(q)) => pack_parts_q8(q, privacy, graph, ledger),
+        (QuantMode::F16, _) => pack_parts_f16(model, privacy, graph, ledger),
+        _ => pack_parts(model, privacy, graph, ledger),
+    }
+}
+
+fn model_to_f16_json(model: &GnnModel) -> Value {
+    let params: Vec<Value> = model
+        .params()
+        .iter()
+        .map(|m| F16Matrix::from_matrix(m).to_json())
+        .collect();
+    Value::obj(vec![
+        ("config", model.config().to_json()),
+        ("params", Value::Arr(params)),
+    ])
+}
+
+fn model_from_f16_json(v: &Value) -> PrivimResult<GnnModel> {
+    let bad = |msg: &str| PrivimError::Parse(format!("bundle model_f16: {msg}"));
+    let config = GnnConfig::from_json(v.get("config").ok_or_else(|| bad("missing config"))?)?;
+    let params = v
+        .get("params")
+        .and_then(|p| p.as_array())
+        .ok_or_else(|| bad("missing params"))?
+        .iter()
+        .map(|p| {
+            F16Matrix::from_json(p)
+                .map(|f| f.to_matrix())
+                .map_err(|e| bad(&e))
+        })
+        .collect::<PrivimResult<Vec<_>>>()?;
+    GnnModel::from_parts(config, params)
+}
+
+fn pack_parts_section(
+    model_section: (&'static str, Value),
+    privacy: &PrivacyStatement,
+    graph: &Graph,
+    ledger: Option<&LedgerState>,
+) -> Value {
     let fingerprint = graph_fingerprint(graph);
     let mut fields = vec![
-        ("model", model.checkpoint_payload()),
+        model_section,
         (
             "privacy",
             Value::obj(vec![
@@ -293,10 +425,31 @@ pub fn load<R: std::io::Read>(mut r: R) -> PrivimResult<Bundle> {
         )));
     }
 
-    let model_payload = payload
-        .get("model")
-        .ok_or_else(|| PrivimError::Parse("bundle missing model".into()))?;
-    let model = GnnModel::from_checkpoint_payload(model_payload)?;
+    let dense = payload.get("model");
+    let q8 = payload.get("model_q8");
+    let f16 = payload.get("model_f16");
+    let present = dense.is_some() as u8 + q8.is_some() as u8 + f16.is_some() as u8;
+    if present != 1 {
+        return Err(PrivimError::Parse(format!(
+            "bundle must carry exactly one of model/model_q8/model_f16 ({present} present)"
+        )));
+    }
+    if version < 3 && dense.is_none() {
+        return Err(PrivimError::invalid(format!(
+            "quantized model sections require bundle version >= 3 (bundle is v{version})"
+        )));
+    }
+    let (model, quant, mode) = if let Some(mp) = dense {
+        (GnnModel::from_checkpoint_payload(mp)?, None, QuantMode::None)
+    } else if let Some(qp) = q8 {
+        let q = QuantGnnModel::from_json(qp)?;
+        // Dense reconstruction so embedding/export paths keep working;
+        // serving prefers the exact quantized model.
+        (q.to_dense_model()?, Some(q), QuantMode::Int8)
+    } else {
+        let fp = f16.ok_or_else(|| PrivimError::Parse("bundle missing model".into()))?;
+        (model_from_f16_json(fp)?, None, QuantMode::F16)
+    };
 
     let priv_v = payload
         .get("privacy")
@@ -341,6 +494,8 @@ pub fn load<R: std::io::Read>(mut r: R) -> PrivimResult<Bundle> {
     };
     Ok(Bundle {
         model,
+        quant,
+        mode,
         privacy,
         graph: Arc::new(graph),
         fingerprint: actual_fp,
@@ -437,12 +592,12 @@ mod tests {
         let mut buf = Vec::new();
         save(&art, &g, &mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();
-        let bumped = text.replacen("\"version\":2", "\"version\":9", 1);
+        let bumped = text.replacen("\"version\":3", "\"version\":9", 1);
         assert!(matches!(
             load(bumped.as_bytes()).unwrap_err(),
             PrivimError::InvalidInput(_)
         ));
-        let ancient = text.replacen("\"version\":2", "\"version\":0", 1);
+        let ancient = text.replacen("\"version\":3", "\"version\":0", 1);
         assert!(matches!(
             load(ancient.as_bytes()).unwrap_err(),
             PrivimError::InvalidInput(_)
@@ -464,10 +619,132 @@ mod tests {
         let mut buf = Vec::new();
         save(&art, &g, &mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();
-        let v1 = text.replacen("\"version\":2", "\"version\":1", 1);
+        let v1 = text.replacen("\"version\":3", "\"version\":1", 1);
         let loaded = load(v1.as_bytes()).unwrap();
         assert!(loaded.ledger.is_none(), "v1 bundles are unmetered");
+        assert_eq!(loaded.mode, QuantMode::None);
         assert_eq!(loaded.fingerprint, graph_fingerprint(&g));
+    }
+
+    #[test]
+    fn q8_bundle_round_trips_the_quantized_model_exactly() {
+        let art = tiny_artifact(40);
+        let g = tiny_graph(41);
+        let q = QuantGnnModel::from_model(&art.model);
+        let privacy = PrivacyStatement {
+            epsilon: art.epsilon,
+            delta: art.delta,
+            sigma: art.sigma,
+            steps: art.steps as u64,
+        };
+        let text = pack_parts_q8(&q, &privacy, &g, None).to_json_string();
+        let loaded = load(text.as_bytes()).unwrap();
+        assert_eq!(loaded.mode, QuantMode::Int8);
+        let lq = loaded.quant.as_ref().expect("q8 bundle carries a quant model");
+        // The serving scores survive the round trip bitwise (int8 codes
+        // and f64 scales are stored exactly).
+        assert_eq!(lq.score_graph(&g), q.score_graph(&g));
+        // The dense reconstruction is present and usable for export paths.
+        assert_eq!(
+            loaded.model.config().to_json().to_json_string(),
+            q.config().to_json().to_json_string()
+        );
+        // Compaction re-packs byte-for-byte: mode is not lossy.
+        let repacked =
+            pack_parts_in_mode(&loaded.model, loaded.quant.as_ref(), loaded.mode, &privacy, &g, None);
+        assert_eq!(repacked.to_json_string(), text);
+    }
+
+    #[test]
+    fn f16_bundle_round_trips_byte_for_byte_through_compaction() {
+        let art = tiny_artifact(42);
+        let g = tiny_graph(43);
+        let privacy = PrivacyStatement {
+            epsilon: art.epsilon,
+            delta: art.delta,
+            sigma: art.sigma,
+            steps: art.steps as u64,
+        };
+        let text = pack_parts_f16(&art.model, &privacy, &g, None).to_json_string();
+        let loaded = load(text.as_bytes()).unwrap();
+        assert_eq!(loaded.mode, QuantMode::F16);
+        assert!(loaded.quant.is_none(), "f16 decodes to the dense path");
+        // The loaded model is the f16-rounded model.
+        let expected = model_from_f16_json(&model_to_f16_json(&art.model)).unwrap();
+        assert_eq!(loaded.model.score_graph(&g), expected.score_graph(&g));
+        // f16_encode(f16_decode(h)) == h, so a compaction snapshot of the
+        // decoded model reproduces the original bundle bit-for-bit.
+        let repacked =
+            pack_parts_in_mode(&loaded.model, None, loaded.mode, &privacy, &g, None);
+        assert_eq!(repacked.to_json_string(), text);
+    }
+
+    #[test]
+    fn quant_sections_are_rejected_below_v3() {
+        let art = tiny_artifact(44);
+        let g = tiny_graph(45);
+        let q = QuantGnnModel::from_model(&art.model);
+        let privacy = PrivacyStatement {
+            epsilon: art.epsilon,
+            delta: art.delta,
+            sigma: art.sigma,
+            steps: art.steps as u64,
+        };
+        let text = pack_parts_q8(&q, &privacy, &g, None).to_json_string();
+        let downgraded = text.replacen("\"version\":3", "\"version\":2", 1);
+        assert!(matches!(
+            load(downgraded.as_bytes()).unwrap_err(),
+            PrivimError::InvalidInput(_)
+        ));
+    }
+
+    #[test]
+    fn bundles_with_zero_or_two_model_sections_are_rejected() {
+        let art = tiny_artifact(46);
+        let g = tiny_graph(47);
+        let q = QuantGnnModel::from_model(&art.model);
+        let privacy = PrivacyStatement {
+            epsilon: art.epsilon,
+            delta: art.delta,
+            sigma: art.sigma,
+            steps: art.steps as u64,
+        };
+        // Rebuild the payload with an extra (or no) model section and the
+        // CRC recomputed, so the model-section arity check itself fires.
+        let rebuild = |extra: Option<(&'static str, Value)>, drop_model: bool| {
+            let doc = pack_parts(&art.model, &privacy, &g, None);
+            let Value::Obj(header) = doc else { panic!("doc not an object") };
+            let mut payload = header
+                .iter()
+                .find(|(k, _)| k == "payload")
+                .map(|(_, v)| v.clone())
+                .unwrap();
+            let Value::Obj(fields) = &mut payload else { panic!("payload not an object") };
+            if drop_model {
+                fields.retain(|(k, _)| k != "model");
+            }
+            if let Some((k, v)) = extra {
+                fields.push((k.to_string(), v));
+            }
+            let crc = crc::crc32(payload.to_json_string().as_bytes());
+            Value::obj(vec![
+                ("format", Value::Str(BUNDLE_FORMAT.to_string())),
+                ("version", Value::Num(BUNDLE_VERSION as f64)),
+                ("crc32", Value::Str(format!("{crc:#010x}"))),
+                ("payload", payload),
+            ])
+            .to_json_string()
+        };
+        let doubled = rebuild(Some(("model_q8", q.to_json())), false);
+        let none = rebuild(None, true);
+        for (what, text) in [("two sections", doubled), ("no section", none)] {
+            match load(text.as_bytes()).unwrap_err() {
+                PrivimError::Parse(msg) => {
+                    assert!(msg.contains("exactly one"), "{what}: {msg}")
+                }
+                other => panic!("{what}: expected Parse error, got {other:?}"),
+            }
+        }
     }
 
     #[test]

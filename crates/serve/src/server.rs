@@ -13,13 +13,13 @@
 //! join. No request that was accepted is ever abandoned.
 
 use crate::batch::Batcher;
-use crate::bundle::{Bundle, PrivacyStatement};
+use crate::bundle::{Bundle, PrivacyStatement, QuantMode};
 use crate::cache::ShardedLru;
 use crate::http::{read_request, write_response, write_response_with_headers, Request};
 use crate::ledger::{Admission, TenantLedger};
 use crate::metrics::{endpoint_index, render_ledger_section, Metrics};
 use crate::wal::{FsyncPolicy, WalWriter};
-use privim_gnn::GnnModel;
+use privim_gnn::{GnnModel, QuantGnnModel};
 use privim_graph::NodeId;
 use privim_im::{ic_spread_estimate, LazyGreedy};
 use privim_rt::fsio;
@@ -116,6 +116,10 @@ struct Shared {
     /// Model + privacy statement retained for compaction snapshots
     /// (a snapshot is a full re-pack of the loaded bundle).
     model: Arc<GnnModel>,
+    /// Int8 serving model and storage mode of the loaded bundle, so
+    /// compaction re-packs in the same mode it loaded.
+    quant: Option<Arc<QuantGnnModel>>,
+    mode: QuantMode,
     privacy: PrivacyStatement,
     queue: Mutex<VecDeque<(TcpStream, Instant)>>,
     queue_ready: Condvar,
@@ -199,6 +203,7 @@ pub fn start(bundle: Bundle, cfg: ServeConfig) -> PrivimResult<ServerHandle> {
         .port();
 
     let model = Arc::new(bundle.model);
+    let quant = bundle.quant.map(Arc::new);
     let ledger = match bundle.ledger {
         Some(state) => Some(TenantLedger::new(state)?),
         None => None,
@@ -214,12 +219,19 @@ pub fn start(bundle: Bundle, cfg: ServeConfig) -> PrivimResult<ServerHandle> {
         _ => (None, None),
     };
     let shared = Arc::new(Shared {
-        batcher: Batcher::new(Arc::clone(&model), &bundle.graph, cfg.batch_window),
+        batcher: Batcher::new_quant(
+            Arc::clone(&model),
+            quant.as_ref().map(Arc::clone),
+            &bundle.graph,
+            cfg.batch_window,
+        ),
         seeds: Mutex::new(LazyGreedy::new(Arc::clone(&bundle.graph))),
         ledger,
         wal,
         durability,
         model,
+        quant,
+        mode: bundle.mode,
         privacy: bundle.privacy,
         graph: bundle.graph,
         fingerprint: bundle.fingerprint,
@@ -509,7 +521,14 @@ fn compact(shared: &Shared, writer: &mut WalWriter) {
         return;
     };
     let state = ledger.state();
-    let doc = crate::bundle::pack_parts(&shared.model, &shared.privacy, &shared.graph, Some(&state));
+    let doc = crate::bundle::pack_parts_in_mode(
+        &shared.model,
+        shared.quant.as_deref(),
+        shared.mode,
+        &shared.privacy,
+        &shared.graph,
+        Some(&state),
+    );
     let snapshot_ok =
         fsio::atomic_write_durable(bundle_path, doc.to_json_string().as_bytes()).is_ok();
     if snapshot_ok && writer.reset().is_ok() {

@@ -1,6 +1,7 @@
 //! Dense row-major `f64` matrix with the arithmetic the autograd tape needs.
 
-use crate::pool;
+use crate::pool::{self, AlignedBuf};
+use crate::simd;
 use std::fmt;
 
 /// Fused multiply-adds (or element writes) below which a kernel stays on
@@ -22,16 +23,18 @@ const TB: usize = 32;
 /// Dense row-major matrix.
 ///
 /// Sized for PrivIM's workload (≤ a few hundred thousand rows × 32
-/// columns). Backing buffers come from the thread-local [`pool`], and the
+/// columns). Backing buffers come from the thread-local [`pool`] (64-byte
+/// aligned, so the [`simd`] backends never take a split load), and the
 /// heavy kernels (`matmul`, `transpose`) are cache-blocked and
 /// row-parallel on `privim_rt::par` — each output row is produced by
 /// exactly one worker with a chunk-independent accumulation order, so
-/// results are bit-identical at any thread count.
+/// results are bit-identical at any thread count *and* any `PRIVIM_SIMD`
+/// backend (see the determinism contract in [`simd`]).
 #[derive(PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
-    data: Vec<f64>,
+    data: AlignedBuf,
 }
 
 impl Clone for Matrix {
@@ -86,7 +89,13 @@ impl Matrix {
     /// Build from a row-major data vector. Panics on shape mismatch.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
         assert_eq!(data.len(), rows * cols, "shape/data mismatch");
-        Matrix { rows, cols, data }
+        let mut buf = pool::acquire(data.len());
+        buf.extend_from_slice(&data);
+        Matrix {
+            rows,
+            cols,
+            data: buf,
+        }
     }
 
     /// JSON form: `{"rows": r, "cols": c, "data": [..]}` with exact `f64`
@@ -96,7 +105,7 @@ impl Matrix {
         Value::obj(vec![
             ("rows", self.rows.to_json()),
             ("cols", self.cols.to_json()),
-            ("data", self.data.to_json()),
+            ("data", self.data.as_slice().to_json()),
         ])
     }
 
@@ -120,14 +129,14 @@ impl Matrix {
         if data.len() != rows * cols {
             return Err(format!("matrix: {} entries for {rows}x{cols}", data.len()));
         }
-        Ok(Matrix { rows, cols, data })
+        Ok(Matrix::from_vec(rows, cols, data))
     }
 
     /// Build from row slices (test convenience).
     pub fn from_rows(rows: &[&[f64]]) -> Self {
         let r = rows.len();
         let c = rows.first().map_or(0, |x| x.len());
-        let mut data = Vec::with_capacity(r * c);
+        let mut data = pool::acquire(r * c);
         for row in rows {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend_from_slice(row);
@@ -141,10 +150,12 @@ impl Matrix {
 
     /// Column vector from a slice.
     pub fn col_vector(values: &[f64]) -> Self {
+        let mut data = pool::acquire(values.len());
+        data.extend_from_slice(values);
         Matrix {
             rows: values.len(),
             cols: 1,
-            data: values.to_vec(),
+            data,
         }
     }
 
@@ -250,10 +261,9 @@ impl Matrix {
                             continue;
                         }
                         let bbase = (kk + kx) * n;
-                        let brow = &rhs.data[bbase + jj..bbase + jend];
-                        for (o, &bv) in orow.iter_mut().zip(brow) {
-                            *o += aik * bv;
-                        }
+                        // elementwise axpy: each output element keeps its
+                        // k-ascending accumulation order on every backend
+                        simd::axpy(orow, aik, &rhs.data[bbase + jj..bbase + jend]);
                     }
                 }
             }
@@ -317,7 +327,7 @@ impl Matrix {
     pub fn zip(&self, rhs: &Matrix, f: impl Fn(f64, f64) -> f64) -> Matrix {
         assert_eq!(self.shape(), rhs.shape(), "shape mismatch");
         let mut data = pool::acquire(self.data.len());
-        data.extend(self.data.iter().zip(&rhs.data).map(|(&a, &b)| f(a, b)));
+        data.extend_iter(self.data.iter().zip(rhs.data.iter()).map(|(&a, &b)| f(a, b)));
         Matrix {
             rows: self.rows,
             cols: self.cols,
@@ -328,7 +338,7 @@ impl Matrix {
     /// Elementwise map.
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
         let mut data = pool::acquire(self.data.len());
-        data.extend(self.data.iter().map(|&x| f(x)));
+        data.extend_iter(self.data.iter().map(|&x| f(x)));
         Matrix {
             rows: self.rows,
             cols: self.cols,
@@ -344,27 +354,24 @@ impl Matrix {
     /// In-place `self += rhs` (same shape).
     pub fn add_assign(&mut self, rhs: &Matrix) {
         assert_eq!(self.shape(), rhs.shape(), "shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
-            *a += b;
-        }
+        simd::add_assign(&mut self.data, &rhs.data);
     }
 
     /// In-place scaled accumulate `self += c * rhs`.
     pub fn add_scaled_assign(&mut self, rhs: &Matrix, c: f64) {
         assert_eq!(self.shape(), rhs.shape(), "shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
-            *a += c * b;
-        }
+        simd::axpy(&mut self.data, c, &rhs.data);
     }
 
-    /// Sum of all elements.
+    /// Sum of all elements ([`simd`] 4-lane reduction contract).
     pub fn sum(&self) -> f64 {
-        self.data.iter().sum()
+        simd::sum(&self.data)
     }
 
-    /// Frobenius (flattened `l2`) norm — the norm DP-SGD clips.
+    /// Frobenius (flattened `l2`) norm — the norm DP-SGD clips
+    /// ([`simd`] 4-lane reduction contract).
     pub fn frobenius_norm(&self) -> f64 {
-        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+        simd::sumsq(&self.data).sqrt()
     }
 
     /// Maximum absolute entry.
@@ -545,6 +552,25 @@ mod tests {
         let m = test_matrix(20, 20, 9);
         assert_eq!(m.clone(), m);
         assert_eq!(m.map(|x| x + 1.0).get(0, 0), m.get(0, 0) + 1.0);
+    }
+
+    #[test]
+    fn matrix_allocations_are_simd_aligned() {
+        // every constructor path must come out of the aligned pool
+        for (r, c) in [(1, 1), (3, 7), (40, 40), (65, 33)] {
+            let m = Matrix::zeros(r, c);
+            assert_eq!(m.data().as_ptr() as usize % pool::ALIGN, 0, "zeros {r}x{c}");
+            let k = m.clone();
+            assert_eq!(k.data().as_ptr() as usize % pool::ALIGN, 0, "clone {r}x{c}");
+            let t = m.transpose();
+            assert_eq!(t.data().as_ptr() as usize % pool::ALIGN, 0, "transpose {r}x{c}");
+        }
+        let v = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(v.data().as_ptr() as usize % pool::ALIGN, 0, "from_vec");
+        let r = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(r.data().as_ptr() as usize % pool::ALIGN, 0, "from_rows");
+        let c = Matrix::col_vector(&[1.0, 2.0, 3.0]);
+        assert_eq!(c.data().as_ptr() as usize % pool::ALIGN, 0, "col_vector");
     }
 
     #[test]

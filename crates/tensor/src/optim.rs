@@ -12,14 +12,14 @@ use crate::matrix::Matrix;
 pub struct GradClip;
 
 impl GradClip {
-    /// `l2` norm of the flattened gradient list.
+    /// `l2` norm of the flattened gradient list. Per-matrix sums of
+    /// squares come from the [`crate::simd`] 4-lane reduction (no
+    /// square-then-sqrt round trip per matrix), combined in parameter
+    /// order — deterministic across backends and thread counts.
     pub fn global_norm(grads: &[Matrix]) -> f64 {
         grads
             .iter()
-            .map(|g| {
-                let n = g.frobenius_norm();
-                n * n
-            })
+            .map(|g| crate::simd::sumsq(g.data()))
             .sum::<f64>()
             .sqrt()
     }
@@ -32,9 +32,7 @@ impl GradClip {
         if norm > c {
             let s = c / norm;
             for g in grads.iter_mut() {
-                for x in g.data_mut() {
-                    *x *= s;
-                }
+                crate::simd::scale(g.data_mut(), s);
             }
         }
         norm

@@ -161,10 +161,9 @@ impl SparseMatrix {
         for (local, orow) in out_chunk.chunks_mut(dc).enumerate() {
             let (cols, vals) = self.row(r0 + local);
             for (&c, &v) in cols.iter().zip(vals) {
-                let drow = dense.row(c as usize);
-                for (o, &dv) in orow.iter_mut().zip(drow) {
-                    *o += v * dv;
-                }
+                // elementwise axpy over the dense row: per-element
+                // accumulation order is unchanged on every SIMD backend
+                crate::simd::axpy(orow, v, dense.row(c as usize));
             }
         }
     }

@@ -33,17 +33,43 @@ echo "archived $LINT_JSON (${LINT_SECS}s)"
 echo "== lint self-check (the analyzer's own sources must pass its rules)"
 cargo run -q --offline -p privim-lint -- --workspace --under crates/lint
 
+echo "== lint audit of the unsafe intrinsics modules (SIMD + aligned pool)"
+# The only `unsafe` in the tensor crate lives in the SIMD dispatch layer
+# and the 64-byte-aligned allocator. Run the unsafe-audit / panic-surface
+# rules scoped to exactly those modules and archive the artifact so a new
+# uncommented unsafe block fails CI even if the workspace-wide run above
+# is ever relaxed.
+cargo run -q --offline -p privim-lint -- --workspace \
+    --under crates/tensor/src/simd.rs --json > results/lint-simd.json
+cargo run -q --offline -p privim-lint -- --workspace \
+    --under crates/tensor/src/pool.rs --json > results/lint-pool.json
+echo "archived results/lint-simd.json results/lint-pool.json"
+
 echo "== offline release build (all targets)"
 cargo build --release --offline --all-targets
 
 echo "== offline tests (workspace)"
 cargo test -q --offline --workspace
 
+echo "== offline tests (workspace, PRIVIM_SIMD=scalar)"
+# Every test must pass with SIMD dispatch pinned to the scalar backend.
+# Because the lane-accumulator contract (DESIGN.md §14) makes all
+# backends bit-identical, this leg catches any kernel that quietly
+# diverges from the scalar reference — the determinism suite compares
+# the two backends directly, and the rest of the workspace re-runs its
+# numeric assertions on the fallback path.
+PRIVIM_SIMD=scalar cargo test -q --offline --workspace
+
 echo "== bench smoke (kernel harness + bit-identity assertions, tiny sizes)"
-# bench_kernels asserts tiled/parallel kernels match their naive references
-# bitwise before timing anything; --smoke proves that in well under a
-# second without touching the checked-in BENCH_kernels.json trajectory.
+# bench_kernels asserts SIMD/tiled/parallel kernels match their scalar
+# and naive references bitwise before timing anything; --smoke proves
+# that in well under a second without touching the checked-in
+# BENCH_kernels.json trajectory. Run it twice — once with dispatch
+# free (auto picks the widest backend the CPU has) and once pinned to
+# scalar — so the bit-identity assertions execute under both dispatch
+# entry points.
 cargo run -q --release --offline -p privim-bench --bin bench_kernels -- --smoke
+PRIVIM_SIMD=scalar cargo run -q --release --offline -p privim-bench --bin bench_kernels -- --smoke
 
 echo "== fault-injection matrix (divergence recovery under seeded faults)"
 for seed in 1 2; do

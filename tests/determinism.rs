@@ -1,7 +1,10 @@
 //! Determinism regression tests: the same seed must produce bit-identical
-//! results regardless of the worker-thread count. The runtime's parallel
-//! primitives chunk contiguously and every Monte-Carlo loop seeds its RNG
-//! per item, so thread scheduling can never reorder random draws.
+//! results regardless of the worker-thread count — and, since the SIMD
+//! layer landed, regardless of the `PRIVIM_SIMD` backend. The runtime's
+//! parallel primitives chunk contiguously, every Monte-Carlo loop seeds
+//! its RNG per item, and every SIMD kernel follows the fixed 4-lane
+//! accumulator contract (DESIGN.md §14), so neither thread scheduling nor
+//! register width can reorder a single floating-point operation.
 
 use privim::pipeline::{run_method, EvalSetup, Method, PipelineParams};
 use privim::trainer::{train_dpgnn, DpSgdConfig, TrainItem};
@@ -10,7 +13,7 @@ use privim_graph::{generators, induced_subgraph};
 use privim_im::ic_spread_estimate;
 use privim_rt::{ChaCha8Rng, Rng, SeedableRng};
 use privim_sampling::{freq_sampling, FreqConfig};
-use privim_tensor::{Matrix, SparseMatrix};
+use privim_tensor::{simd, Matrix, SparseMatrix};
 use std::sync::Mutex;
 
 /// Tests in this file flip the process-global thread override and must not
@@ -21,6 +24,19 @@ fn with_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
     privim_rt::par::set_threads(n);
     let out = f();
     privim_rt::par::set_threads(0); // back to the environment default
+    out
+}
+
+/// Pin the SIMD backend and thread count for the duration of `f`, then
+/// restore both to their environment defaults.
+fn with_backend_and_threads<T>(
+    choice: simd::Choice,
+    threads: usize,
+    f: impl FnOnce() -> T,
+) -> T {
+    simd::set_backend(Some(choice));
+    let out = with_threads(threads, f);
+    simd::set_backend(None);
     out
 }
 
@@ -376,4 +392,204 @@ fn wal_replay_bit_identical_across_thread_counts() {
     let (again, stats_again) = with_threads(1, || wal::replay(&journal));
     assert_eq!(again, base_map);
     assert_eq!(stats_again, base_stats);
+}
+
+// ---------------------------------------------------------------------------
+// SIMD backend sweep (DESIGN.md §14): everything below must be
+// bit-identical between the forced scalar backend and the auto-resolved
+// widest backend, at 1, 2 and 7 worker threads. `Auto` is forced through
+// `set_backend` so the sweep is genuine even when the suite itself runs
+// under `PRIVIM_SIMD=scalar` (the CI scalar leg).
+
+#[test]
+fn kernels_bit_identical_across_simd_backends_and_thread_counts() {
+    let _guard = THREADS_LOCK.lock().unwrap();
+    let mut rng = ChaCha8Rng::seed_from_u64(101);
+    let a = random_matrix(70, 64, &mut rng);
+    let b = random_matrix(64, 55, &mut rng);
+    let g = generators::barabasi_albert(1500, 4, &mut rng).with_uniform_weights(0.5);
+    let adj = SparseMatrix::from_triplets(
+        1500,
+        1500,
+        (0..1500u32).flat_map(|u| {
+            g.out_neighbors(u)
+                .iter()
+                .map(move |&v| (u as usize, v as usize, 0.5))
+        }),
+    );
+    let h = random_matrix(1500, 40, &mut rng);
+    // Odd length: the sequential scalar tail after the 4-lane body must
+    // agree across backends too.
+    let v = random_matrix(1, 1003, &mut rng);
+    let w = random_matrix(1, 1003, &mut rng);
+
+    let run = |choice: simd::Choice, threads: usize| {
+        with_backend_and_threads(choice, threads, || {
+            (
+                a.matmul(&b),
+                adj.spmm(&h),
+                simd::dot(v.data(), w.data()).to_bits(),
+                simd::sum(v.data()).to_bits(),
+                simd::sumsq(v.data()).to_bits(),
+            )
+        })
+    };
+    let base = run(simd::Choice::Scalar, 1);
+    for choice in [simd::Choice::Scalar, simd::Choice::Auto] {
+        for threads in [1, 2, 7] {
+            let out = run(choice, threads);
+            assert_bits_eq("matmul", threads, &base.0, &out.0);
+            assert_bits_eq("spmm", threads, &base.1, &out.1);
+            assert_eq!(base.2, out.2, "dot diverged ({choice:?}, {threads} threads)");
+            assert_eq!(base.3, out.3, "sum diverged ({choice:?}, {threads} threads)");
+            assert_eq!(base.4, out.4, "sumsq diverged ({choice:?}, {threads} threads)");
+        }
+    }
+}
+
+#[test]
+fn full_trainer_step_bit_identical_across_simd_backends() {
+    let _guard = THREADS_LOCK.lock().unwrap();
+    let mut rng = ChaCha8Rng::seed_from_u64(58);
+    let g = generators::barabasi_albert(200, 4, &mut rng).with_uniform_weights(1.0);
+    let mut freq = vec![0u32; g.num_nodes()];
+    let cfg = FreqConfig {
+        subgraph_size: 12,
+        return_prob: 0.3,
+        decay: 1.0,
+        sampling_rate: 1.0,
+        walk_len: 120,
+        threshold: 6,
+    };
+    let sets = freq_sampling(&g, &mut freq, &cfg, &mut rng).unwrap();
+    let subs: Vec<_> = sets.iter().map(|s| induced_subgraph(&g, s)).collect();
+    let train_cfg = DpSgdConfig {
+        iters: 1,
+        ..DpSgdConfig::paper_default(0.8, 6)
+    };
+    let step = |choice: simd::Choice, threads: usize| {
+        with_backend_and_threads(choice, threads, || {
+            let items = TrainItem::from_container(&subs);
+            let mut model = GnnModel::new(
+                GnnConfig {
+                    kind: GnnKind::Grat,
+                    layers: 2,
+                    hidden: 8,
+                    in_dim: privim_gnn::FEATURE_DIM,
+                },
+                &mut ChaCha8Rng::seed_from_u64(3),
+            );
+            let report = train_dpgnn(&mut model, &items, &train_cfg).unwrap();
+            (report.loss_trace, model.params().to_vec())
+        })
+    };
+    let base = step(simd::Choice::Scalar, 1);
+    for choice in [simd::Choice::Scalar, simd::Choice::Auto] {
+        for threads in [1, 2, 7] {
+            let out = step(choice, threads);
+            assert_eq!(
+                base.0, out.0,
+                "loss diverged ({choice:?}, {threads} threads)"
+            );
+            assert_eq!(
+                base.1, out.1,
+                "post-step parameters diverged ({choice:?}, {threads} threads)"
+            );
+        }
+    }
+}
+
+/// The end-to-end form of the contract: a served `/v1/embed` response —
+/// the bytes on the wire — must not depend on the SIMD backend that
+/// computed it.
+#[test]
+fn served_embed_response_byte_identical_across_simd_backends() {
+    let _guard = THREADS_LOCK.lock().unwrap();
+    use privim_serve::{bundle, start, ServeConfig};
+    use std::io::{Read, Write};
+
+    let mut rng = ChaCha8Rng::seed_from_u64(202);
+    let g = generators::barabasi_albert(120, 3, &mut rng).with_uniform_weights(1.0);
+    let artifact = privim::ServeArtifact {
+        model: GnnModel::new(privim_gnn::GnnConfig::paper_default(), &mut rng),
+        epsilon: Some(2.0),
+        delta: 1e-4,
+        sigma: 1.5,
+        steps: 80,
+    };
+    let mut packed = Vec::new();
+    bundle::save(&artifact, &g, &mut packed).unwrap();
+
+    let body_under = |choice: simd::Choice| {
+        simd::set_backend(Some(choice));
+        let b = bundle::load(packed.as_slice()).unwrap();
+        let handle = start(b, ServeConfig::default()).unwrap();
+        let port = handle.port();
+        let mut stream = std::net::TcpStream::connect(("127.0.0.1", port)).unwrap();
+        let body = "{\"nodes\": [0, 7, 63, 119]}";
+        let raw = format!(
+            "POST /v1/embed HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        stream.write_all(raw.as_bytes()).unwrap();
+        let mut text = String::new();
+        stream.read_to_string(&mut text).unwrap();
+        handle.shutdown();
+        simd::set_backend(None);
+        let (_, response_body) = text.split_once("\r\n\r\n").unwrap();
+        assert!(response_body.contains("scores"), "unexpected response: {text}");
+        response_body.to_string()
+    };
+    let scalar = body_under(simd::Choice::Scalar);
+    let auto = body_under(simd::Choice::Auto);
+    assert_eq!(
+        scalar, auto,
+        "served /v1/embed bytes diverged between scalar and auto backends"
+    );
+}
+
+/// Quantization round-trip error bounds through the public API: int8
+/// dequantization stays within half a quantization step per element, f16
+/// re-encoding is the identity, and the quantized model's served
+/// probabilities track the dense model closely.
+#[test]
+fn quantization_round_trip_errors_are_bounded() {
+    let mut rng = ChaCha8Rng::seed_from_u64(909);
+    let w = random_matrix(24, 17, &mut rng);
+    let q = privim_tensor::QuantWeights::quantize(&w);
+    let d = q.dequantize();
+    for j in 0..w.cols() {
+        let absmax = (0..w.rows()).map(|i| w.get(i, j).abs()).fold(0.0, f64::max);
+        let half_step = absmax / 127.0 / 2.0;
+        for i in 0..w.rows() {
+            let err = (w.get(i, j) - d.get(i, j)).abs();
+            assert!(
+                err <= half_step * (1.0 + 1e-12),
+                "col {j} row {i}: err {err} exceeds half-step {half_step}"
+            );
+        }
+    }
+    // f16 storage: decoding is exact, so re-encoding any finite or
+    // infinite binary16 value reproduces it bit-for-bit (this is what
+    // makes f16 bundle compaction lossless).
+    for h in [0u16, 1, 0x0400, 0x3C00, 0x7BFF, 0x8001, 0xBC00, 0x7C00, 0xFC00] {
+        assert_eq!(
+            privim_tensor::quant::f16_encode(privim_tensor::quant::f16_decode(h)),
+            h,
+            "f16 re-encode not identity for {h:#06x}"
+        );
+    }
+    // Model level: int8 inference tracks dense inference within a small
+    // probability drift (scores are sigmoid outputs in [0, 1]).
+    let g = generators::barabasi_albert(80, 3, &mut rng).with_uniform_weights(1.0);
+    let model = GnnModel::new(privim_gnn::GnnConfig::paper_default(), &mut rng);
+    let dense = model.score_graph(&g);
+    let quant = privim_gnn::QuantGnnModel::from_model(&model).score_graph(&g);
+    for (n, (a, b)) in dense.iter().zip(&quant).enumerate() {
+        assert!(
+            (a - b).abs() < 0.05,
+            "node {n}: quantized probability drifted {} from dense",
+            (a - b).abs()
+        );
+    }
 }
