@@ -165,7 +165,7 @@ fn metered_embed(port: u16, tenant: &str, node: u64) -> u16 {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
     let body = format!("{{\"nodes\": [{node}]}}");
     let raw = format!(
-        "POST /v1/embed HTTP/1.1\r\nHost: c\r\nX-Privim-Tenant: {tenant}\r\n\
+        "POST /v1/embed HTTP/1.1\r\nHost: c\r\nConnection: close\r\nX-Privim-Tenant: {tenant}\r\n\
          Content-Length: {}\r\n\r\n{body}",
         body.len()
     );
@@ -187,7 +187,7 @@ fn scrape_metrics(port: u16) -> String {
         fail("restarted server refused /metrics connection");
     };
     let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-    let raw = "GET /metrics HTTP/1.1\r\nHost: c\r\nContent-Length: 0\r\n\r\n";
+    let raw = "GET /metrics HTTP/1.1\r\nHost: c\r\nConnection: close\r\nContent-Length: 0\r\n\r\n";
     if stream.write_all(raw.as_bytes()).is_err() {
         fail("writing /metrics request");
     }

@@ -8,6 +8,8 @@
 //! privim-serve run --bundle bundle.json [--addr 127.0.0.1:7878]
 //!              [--workers 4] [--queue-cap 128] [--deadline-ms 5000]
 //!              [--batch-window-ms 2] [--runs 64]
+//!              [--frontend reactor|threaded] [--idle-timeout-ms 30000]
+//!              [--header-timeout-ms 10000] [--max-pipeline 32]
 //! ```
 //!
 //! `pack` trains a model with the library pipeline (or on a synthetic
@@ -20,7 +22,8 @@ use privim_gnn::QuantGnnModel;
 use privim_graph::{io::read_edge_list, Graph};
 use privim_rt::{fsio, ChaCha8Rng, SeedableRng};
 use privim_serve::{
-    bundle, start, wal, DurabilityConfig, FsyncPolicy, LedgerConfig, LedgerState, ServeConfig,
+    bundle, start, wal, DurabilityConfig, FrontEnd, FsyncPolicy, LedgerConfig, LedgerState,
+    ServeConfig,
 };
 use std::fs::File;
 use std::io::{BufReader, Write};
@@ -42,6 +45,8 @@ fn usage() -> ! {
   privim-serve run --bundle <bundle.json> [--addr 127.0.0.1:7878]
                [--workers 4] [--queue-cap 128] [--deadline-ms 5000]
                [--batch-window-ms 2] [--runs 64]
+               [--frontend reactor|threaded] [--idle-timeout-ms 30000]
+               [--header-timeout-ms 10000] [--max-pipeline 32]
                [--wal <path>] [--no-wal] [--fsync always|never|every=N]
                [--compact-every 256]"
     );
@@ -75,6 +80,10 @@ struct Flags {
     deadline_ms: u64,
     batch_window_ms: u64,
     runs: usize,
+    frontend: FrontEnd,
+    idle_timeout_ms: u64,
+    header_timeout_ms: u64,
+    max_pipeline: usize,
     wal: Option<PathBuf>,
     no_wal: bool,
     fsync: FsyncPolicy,
@@ -104,6 +113,10 @@ fn parse_flags(args: &[String]) -> Flags {
         deadline_ms: 5_000,
         batch_window_ms: 2,
         runs: 64,
+        frontend: FrontEnd::Reactor,
+        idle_timeout_ms: 30_000,
+        header_timeout_ms: 10_000,
+        max_pipeline: 32,
         wal: None,
         no_wal: false,
         fsync: FsyncPolicy::Always,
@@ -157,6 +170,19 @@ fn parse_flags(args: &[String]) -> Flags {
                 f.batch_window_ms = val("--batch-window-ms").parse().unwrap_or_else(|_| usage())
             }
             "--runs" => f.runs = val("--runs").parse().unwrap_or_else(|_| usage()),
+            "--frontend" => {
+                f.frontend = FrontEnd::parse(&val("--frontend")).unwrap_or_else(|| usage())
+            }
+            "--idle-timeout-ms" => {
+                f.idle_timeout_ms = val("--idle-timeout-ms").parse().unwrap_or_else(|_| usage())
+            }
+            "--header-timeout-ms" => {
+                f.header_timeout_ms =
+                    val("--header-timeout-ms").parse().unwrap_or_else(|_| usage())
+            }
+            "--max-pipeline" => {
+                f.max_pipeline = val("--max-pipeline").parse().unwrap_or_else(|_| usage())
+            }
             "--wal" => f.wal = Some(PathBuf::from(val("--wal"))),
             "--no-wal" => f.no_wal = true,
             "--fsync" => {
@@ -352,11 +378,20 @@ fn cmd_run(f: &Flags) {
         batch_window: Duration::from_millis(f.batch_window_ms),
         default_runs: f.runs.max(1),
         durability,
+        frontend: f.frontend,
+        idle_timeout: Duration::from_millis(f.idle_timeout_ms.max(1)),
+        header_timeout: Duration::from_millis(f.header_timeout_ms.max(1)),
+        max_pipeline: f.max_pipeline.max(1),
         ..ServeConfig::default()
     };
     install_signal_handlers();
+    let frontend = cfg.frontend;
     let handle = start(b, cfg).unwrap_or_else(|e| fail(e));
-    println!("serving on port {} ({} workers); ctrl-c to drain and exit", handle.port(), f.workers);
+    println!(
+        "serving on port {} ({} workers, {frontend:?} front end); ctrl-c to drain and exit",
+        handle.port(),
+        f.workers
+    );
     // Line-buffer semantics don't hold on a pipe: the chaos driver parses
     // this line from piped stdout, so push it out now.
     let _ = std::io::stdout().flush();

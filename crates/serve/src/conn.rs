@@ -1,0 +1,361 @@
+//! Per-connection state machine for the reactor front end.
+//!
+//! This module is pure bookkeeping — no sockets, no clocks, no syscalls —
+//! so the whole pipelining protocol is unit-testable byte by byte:
+//!
+//! * **read side**: bytes accumulate in `read_buf`; [`Conn::parse_available`]
+//!   peels off as many complete pipelined requests as the pipeline cap
+//!   allows, assigning each a monotonically increasing sequence number;
+//! * **response side**: workers finish requests in *any* order;
+//!   [`Conn::complete`] parks each frame until every lower-sequence
+//!   response has been emitted, guaranteeing RFC 9112 §9.3.2 in-order
+//!   pipelined responses;
+//! * **write side**: in-order frames concatenate into `write_buf`, which
+//!   the reactor drains as the socket accepts bytes (partial writes and
+//!   EAGAIN leave the remainder for the next writability event).
+//!
+//! A `Connection: close` request, a protocol error, or EOF from the peer
+//! all funnel into the same shutdown shape: stop parsing, finish what was
+//! accepted, close after the write buffer drains. That is also exactly
+//! the graceful-drain shape, which is why drain under the reactor needs
+//! no special casing per connection.
+
+use crate::http::{parse_one, HttpError, Request};
+use std::collections::BTreeMap;
+
+/// One parsed request, tagged with its response-ordering sequence number.
+#[derive(Debug)]
+pub(crate) struct ParsedJob {
+    /// Position in the connection's response order; pass back to
+    /// [`Conn::complete`].
+    pub seq: u64,
+    /// The request to route.
+    pub request: Request,
+    /// Whether the connection may persist after this response.
+    pub keep_alive: bool,
+}
+
+/// Connection lifecycle as the reactor sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ConnPhase {
+    /// Reading and parsing normally.
+    Open,
+    /// No more requests will be parsed (close requested, protocol error,
+    /// peer EOF, or server drain); outstanding responses still flush.
+    Draining,
+}
+
+/// Per-connection state: buffers, sequence bookkeeping, and the pending
+/// out-of-order response map.
+pub(crate) struct Conn {
+    read_buf: Vec<u8>,
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    /// Sequence the next parsed request will get.
+    next_seq: u64,
+    /// Sequence the next emitted response must have.
+    next_write_seq: u64,
+    /// Completed frames waiting for their turn in the response order.
+    parked: BTreeMap<u64, Vec<u8>>,
+    /// Requests handed to workers whose frames have not yet been emitted.
+    inflight: u64,
+    /// A protocol error hit *after* this call already yielded requests;
+    /// surfaced by the next `parse_available` so the accepted requests
+    /// are not lost.
+    deferred_error: Option<HttpError>,
+    phase: ConnPhase,
+    /// Total requests parsed over the connection's lifetime (reuse = this
+    /// minus one).
+    requests_parsed: u64,
+}
+
+impl Conn {
+    pub(crate) fn new() -> Conn {
+        Conn {
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            write_pos: 0,
+            next_seq: 0,
+            next_write_seq: 0,
+            parked: BTreeMap::new(),
+            inflight: 0,
+            deferred_error: None,
+            phase: ConnPhase::Open,
+            requests_parsed: 0,
+        }
+    }
+
+    /// Append freshly read bytes to the parse buffer.
+    pub(crate) fn push_bytes(&mut self, data: &[u8]) {
+        self.read_buf.extend_from_slice(data);
+    }
+
+    /// Peel complete pipelined requests off the front of the buffer, up
+    /// to `max_pipeline` outstanding. A request carrying
+    /// `Connection: close` (or HTTP/1.0 without keep-alive) is the last
+    /// one parsed — trailing bytes are dropped, matching RFC 9112's
+    /// "close" meaning. On a protocol error the connection flips to
+    /// [`ConnPhase::Draining`] and the caller must enqueue the error
+    /// frame itself (via [`Conn::claim_seq`] + [`Conn::complete`]) so it
+    /// still lands after every already-accepted response.
+    pub(crate) fn parse_available(
+        &mut self,
+        max_pipeline: u64,
+    ) -> Result<Vec<ParsedJob>, HttpError> {
+        if let Some(e) = self.deferred_error.take() {
+            return Err(e);
+        }
+        let mut jobs = Vec::new();
+        while self.phase == ConnPhase::Open && self.inflight < max_pipeline {
+            match parse_one(&self.read_buf) {
+                Ok(Some(parsed)) => {
+                    self.read_buf.drain(..parsed.consumed);
+                    let seq = self.claim_seq();
+                    self.requests_parsed += 1;
+                    if !parsed.keep_alive {
+                        self.phase = ConnPhase::Draining;
+                        self.read_buf.clear();
+                    }
+                    jobs.push(ParsedJob {
+                        seq,
+                        request: parsed.request,
+                        keep_alive: parsed.keep_alive,
+                    });
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    self.phase = ConnPhase::Draining;
+                    self.read_buf.clear();
+                    if jobs.is_empty() {
+                        return Err(e);
+                    }
+                    // Don't lose requests accepted earlier in this call:
+                    // hand them out now, report the error next call.
+                    self.deferred_error = Some(e);
+                    break;
+                }
+            }
+        }
+        Ok(jobs)
+    }
+
+    /// Reserve the next response slot (used directly for error frames,
+    /// which have no routed request behind them).
+    pub(crate) fn claim_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.inflight += 1;
+        seq
+    }
+
+    /// Deliver the finished frame for `seq`. Frames arrive in worker
+    /// completion order; they are emitted in sequence order.
+    pub(crate) fn complete(&mut self, seq: u64, frame: Vec<u8>) {
+        self.parked.insert(seq, frame);
+        while let Some(frame) = self.parked.remove(&self.next_write_seq) {
+            self.write_buf.extend_from_slice(&frame);
+            self.next_write_seq += 1;
+            self.inflight -= 1;
+        }
+    }
+
+    /// Stop accepting further requests (server drain, peer EOF, or a
+    /// response that carried `Connection: close`); pending work flushes.
+    pub(crate) fn start_draining(&mut self) {
+        self.phase = ConnPhase::Draining;
+    }
+
+    #[cfg(test)]
+    pub(crate) fn phase(&self) -> ConnPhase {
+        self.phase
+    }
+
+    /// Requests handed out but not yet emitted as responses.
+    pub(crate) fn inflight(&self) -> u64 {
+        self.inflight
+    }
+
+    /// Requests parsed over the connection's lifetime.
+    #[cfg(test)]
+    pub(crate) fn requests_parsed(&self) -> u64 {
+        self.requests_parsed
+    }
+
+    /// Bytes sitting unparsed in the read buffer (a request in progress
+    /// — drives the header-read timeout).
+    pub(crate) fn partial_bytes(&self) -> usize {
+        self.read_buf.len()
+    }
+
+    /// Whether reads should stay registered: an open connection with
+    /// pipeline room. A full pipeline deregisters read interest — TCP
+    /// backpressure reaches the client instead of unbounded buffering.
+    pub(crate) fn wants_read(&self, max_pipeline: u64) -> bool {
+        self.phase == ConnPhase::Open && self.inflight < max_pipeline
+    }
+
+    /// The bytes the reactor should try to write next (empty = no write
+    /// interest).
+    pub(crate) fn writable(&self) -> &[u8] {
+        &self.write_buf[self.write_pos..]
+    }
+
+    /// Record `n` bytes accepted by the socket; frees the buffer once
+    /// fully drained.
+    pub(crate) fn advance_write(&mut self, n: usize) {
+        self.write_pos += n;
+        debug_assert!(self.write_pos <= self.write_buf.len());
+        if self.write_pos == self.write_buf.len() {
+            self.write_buf.clear();
+            self.write_pos = 0;
+        }
+    }
+
+    /// A draining connection with nothing left to emit or flush is done.
+    pub(crate) fn finished(&self) -> bool {
+        self.phase == ConnPhase::Draining && self.inflight == 0 && self.writable().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::response_frame;
+
+    fn frame(body: &[u8], keep_alive: bool) -> Vec<u8> {
+        response_frame(200, "application/json", &[], body, keep_alive)
+    }
+
+    #[test]
+    fn byte_by_byte_feed_yields_each_request_exactly_once() {
+        let raw = b"POST /v1/embed HTTP/1.1\r\nContent-Length: 2\r\n\r\nhiGET /healthz HTTP/1.1\r\n\r\n";
+        let mut c = Conn::new();
+        let mut jobs = Vec::new();
+        for &b in raw.iter() {
+            c.push_bytes(&[b]);
+            jobs.extend(c.parse_available(32).unwrap());
+        }
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].seq, 0);
+        assert_eq!(jobs[0].request.path, "/v1/embed");
+        assert_eq!(jobs[0].request.body, b"hi");
+        assert_eq!(jobs[1].seq, 1);
+        assert_eq!(jobs[1].request.path, "/healthz");
+        assert_eq!(c.requests_parsed(), 2);
+        assert_eq!(c.partial_bytes(), 0);
+    }
+
+    #[test]
+    fn out_of_order_completions_emit_in_sequence_order() {
+        let mut c = Conn::new();
+        c.push_bytes(b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\nGET /c HTTP/1.1\r\n\r\n");
+        let jobs = c.parse_available(32).unwrap();
+        assert_eq!(jobs.len(), 3);
+        // Worker for /c finishes first: nothing may be written yet.
+        c.complete(2, frame(b"c", true));
+        assert!(c.writable().is_empty());
+        // /a unblocks only itself; /b then releases both b and the parked c.
+        c.complete(0, frame(b"a", true));
+        let after_a = c.writable().len();
+        assert_eq!(c.writable(), &frame(b"a", true)[..]);
+        c.complete(1, frame(b"b", true));
+        let mut expect = frame(b"a", true);
+        expect.extend_from_slice(&frame(b"b", true));
+        expect.extend_from_slice(&frame(b"c", true));
+        assert_eq!(c.writable(), &expect[..]);
+        assert!(after_a < c.writable().len());
+        assert_eq!(c.inflight(), 0);
+    }
+
+    #[test]
+    fn partial_writes_resume_where_they_left_off() {
+        let mut c = Conn::new();
+        c.push_bytes(b"GET /a HTTP/1.1\r\n\r\n");
+        c.parse_available(32).unwrap();
+        let f = frame(b"hello", true);
+        c.complete(0, f.clone());
+        // Socket accepts 3 bytes, then EAGAIN, then the rest.
+        c.advance_write(3);
+        assert_eq!(c.writable(), &f[3..]);
+        let rest = c.writable().len();
+        c.advance_write(rest);
+        assert!(c.writable().is_empty());
+        assert!(!c.finished(), "keep-alive connection stays open");
+    }
+
+    #[test]
+    fn pipeline_cap_pauses_parsing_until_responses_drain() {
+        let mut c = Conn::new();
+        for _ in 0..4 {
+            c.push_bytes(b"GET /x HTTP/1.1\r\n\r\n");
+        }
+        let first = c.parse_available(2).unwrap();
+        assert_eq!(first.len(), 2, "cap of 2 holds back the rest");
+        assert!(!c.wants_read(2), "full pipeline drops read interest");
+        assert!(c.parse_available(2).unwrap().is_empty());
+        c.complete(0, frame(b"a", true));
+        assert_eq!(c.inflight(), 1);
+        assert!(c.wants_read(2));
+        let more = c.parse_available(2).unwrap();
+        assert_eq!(more.len(), 1, "one slot freed, one more request parsed");
+        assert_eq!(more[0].seq, 2);
+    }
+
+    #[test]
+    fn connection_close_request_stops_parsing_and_finishes() {
+        let mut c = Conn::new();
+        c.push_bytes(
+            b"GET /a HTTP/1.1\r\nConnection: close\r\n\r\nGET /smuggled HTTP/1.1\r\n\r\n",
+        );
+        let jobs = c.parse_available(32).unwrap();
+        assert_eq!(jobs.len(), 1, "nothing after a close request is parsed");
+        assert!(!jobs[0].keep_alive);
+        assert_eq!(c.phase(), ConnPhase::Draining);
+        assert!(!c.finished(), "response still owed");
+        c.complete(0, frame(b"a", false));
+        let n = c.writable().len();
+        c.advance_write(n);
+        assert!(c.finished());
+    }
+
+    #[test]
+    fn protocol_error_drains_and_error_frame_orders_after_accepted_work() {
+        let mut c = Conn::new();
+        c.push_bytes(b"GET /ok HTTP/1.1\r\n\r\nPOST /bad HTTP/1.1\r\nContent-Length: nope\r\n\r\n");
+        let jobs = c.parse_available(32).unwrap();
+        assert_eq!(jobs.len(), 1);
+        let err = c.parse_available(32).unwrap_err();
+        assert_eq!(err.status, 400);
+        assert_eq!(c.phase(), ConnPhase::Draining);
+        // Reactor enqueues the error frame behind the good response.
+        let err_seq = c.claim_seq();
+        assert_eq!(err_seq, 1);
+        c.complete(err_seq, frame(b"err", false));
+        assert!(
+            c.writable().is_empty(),
+            "error frame must wait for the accepted request's response"
+        );
+        c.complete(0, frame(b"ok", true));
+        let mut expect = frame(b"ok", true);
+        expect.extend_from_slice(&frame(b"err", false));
+        assert_eq!(c.writable(), &expect[..]);
+    }
+
+    #[test]
+    fn drain_finishes_inflight_then_closes() {
+        let mut c = Conn::new();
+        c.push_bytes(b"GET /a HTTP/1.1\r\n\r\n");
+        let jobs = c.parse_available(32).unwrap();
+        assert_eq!(jobs.len(), 1);
+        c.start_draining(); // server shutdown mid-request
+        assert!(!c.finished(), "in-flight request must be answered first");
+        c.complete(0, frame(b"a", false));
+        let n = c.writable().len();
+        c.advance_write(n);
+        assert!(c.finished());
+        // An idle connection, by contrast, finishes immediately on drain.
+        let mut idle = Conn::new();
+        idle.start_draining();
+        assert!(idle.finished());
+    }
+}

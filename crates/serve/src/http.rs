@@ -1,14 +1,26 @@
-//! Minimal HTTP/1.1 framing over blocking streams.
+//! HTTP/1.1 framing: incremental request parsing and response assembly.
 //!
-//! Just enough of RFC 9112 for the serve endpoints: request-line +
-//! headers + `Content-Length` body on the way in, status + fixed headers
-//! + body on the way out. One request per connection (`Connection:
-//! close`), which keeps worker accounting and graceful drain trivial —
-//! an in-flight request *is* an in-flight connection.
+//! Just enough of RFC 9112 for the serve endpoints, but built for two
+//! front ends:
+//!
+//! * the **threaded** front end reads one request per blocking stream
+//!   ([`read_request`]);
+//! * the **reactor** front end ([`crate::reactor`]) accumulates bytes in
+//!   a per-connection buffer and calls the incremental [`parse_one`] —
+//!   which either yields a complete request plus the byte count it
+//!   consumed (so the *next* pipelined request can be parsed from the
+//!   remainder), or reports that more bytes are needed.
+//!
+//! Keep-alive semantics follow RFC 9112 §9.3: HTTP/1.1 persists unless
+//! the request says `Connection: close`; HTTP/1.0 closes unless it says
+//! `Connection: keep-alive`.
 //!
 //! Hard limits guard the parser: 16 KiB of headers, 4 MiB of body. A
-//! malformed or over-limit request yields a typed [`PrivimError`], which
-//! the server maps to `400`.
+//! request that overflows the header limit is refused with **431**, any
+//! other malformed framing (including an unparsable, duplicated-and-
+//! conflicting, or over-limit `Content-Length`) with **400** — always
+//! followed by a connection close, since framing can't be trusted after
+//! a parse error.
 
 use privim_rt::{PrivimError, PrivimResult};
 use std::io::{Read, Write};
@@ -42,70 +54,199 @@ impl Request {
     }
 }
 
-fn bad(msg: &str) -> PrivimError {
-    PrivimError::Parse(format!("http: {msg}"))
+/// A request-level protocol error: the status the refusal should carry
+/// plus a human-readable reason. Always followed by a connection close.
+#[derive(Debug, Clone)]
+pub struct HttpError {
+    /// Response status (`431` for an oversized header block, `400`
+    /// otherwise).
+    pub status: u16,
+    /// What went wrong, phrased for the error body.
+    pub message: String,
 }
 
-/// Read and parse one request from `r`.
-pub fn read_request(r: &mut impl Read) -> PrivimResult<Request> {
-    // Accumulate until the header terminator; single-byte reads are fine
-    // here (requests are tiny and the OS buffers the socket).
-    let mut head = Vec::with_capacity(512);
-    let mut byte = [0u8; 1];
-    while !head.ends_with(b"\r\n\r\n") {
-        if head.len() >= MAX_HEADER_BYTES {
-            return Err(bad("header section exceeds limit"));
+impl HttpError {
+    fn bad(msg: impl Into<String>) -> HttpError {
+        HttpError {
+            status: 400,
+            message: msg.into(),
         }
-        let n = r
-            .read(&mut byte)
-            .map_err(|e| PrivimError::io("reading request head", e))?;
-        if n == 0 {
-            return Err(bad("connection closed before headers completed"));
-        }
-        head.push(byte[0]);
     }
-    let head_text =
-        std::str::from_utf8(&head).map_err(|_| bad("headers are not valid UTF-8"))?;
+
+    fn too_large(msg: impl Into<String>) -> HttpError {
+        HttpError {
+            status: 431,
+            message: msg.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "http: {}", self.message)
+    }
+}
+
+/// One successfully parsed request plus its framing metadata.
+#[derive(Debug)]
+pub struct ParsedRequest {
+    /// The request itself.
+    pub request: Request,
+    /// Bytes of the buffer this request occupied; the caller drops them
+    /// and may parse the next pipelined request from what remains.
+    pub consumed: usize,
+    /// Whether the connection should persist after the response
+    /// (RFC 9112 §9.3 semantics over the version + `Connection` header).
+    pub keep_alive: bool,
+}
+
+/// Incrementally parse the front of `buf`.
+///
+/// Returns `Ok(None)` when the buffer does not yet hold a complete
+/// request (read more bytes and call again), `Ok(Some(..))` when one
+/// request is complete, and `Err` when the bytes can never become a
+/// valid request. The parse is stateless — it re-derives everything from
+/// the buffer — so a caller can feed bytes at any granularity, down to
+/// one at a time.
+pub fn parse_one(buf: &[u8]) -> Result<Option<ParsedRequest>, HttpError> {
+    let Some(head_len) = find_head_end(buf) else {
+        // No terminator yet. If the headers could no longer fit under the
+        // cap even in principle, refuse now instead of buffering forever.
+        if buf.len() >= MAX_HEADER_BYTES {
+            return Err(HttpError::too_large(
+                "header section exceeds the 16 KiB limit",
+            ));
+        }
+        return Ok(None);
+    };
+    if head_len > MAX_HEADER_BYTES {
+        return Err(HttpError::too_large(
+            "header section exceeds the 16 KiB limit",
+        ));
+    }
+    let head_text = std::str::from_utf8(&buf[..head_len])
+        .map_err(|_| HttpError::bad("headers are not valid UTF-8"))?;
     let mut lines = head_text.split("\r\n");
     let request_line = lines.next().unwrap_or("");
     let mut parts = request_line.split_ascii_whitespace();
-    let method = parts.next().ok_or_else(|| bad("empty request line"))?;
-    let target = parts.next().ok_or_else(|| bad("request line has no target"))?;
-    let version = parts.next().ok_or_else(|| bad("request line has no version"))?;
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::bad("empty request line"))?;
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::bad("request line has no target"))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::bad("request line has no version"))?;
     if !version.starts_with("HTTP/1.") {
-        return Err(bad("only HTTP/1.x is supported"));
+        return Err(HttpError::bad("only HTTP/1.x is supported"));
     }
+    let http_10 = version == "HTTP/1.0";
     let path = target.split('?').next().unwrap_or(target);
 
-    let mut content_length = 0usize;
+    let mut content_length: Option<usize> = None;
     let mut headers = Vec::new();
     for line in lines {
         if line.is_empty() {
             continue;
         }
         let Some((name, value)) = line.split_once(':') else {
-            return Err(bad("malformed header line"));
+            return Err(HttpError::bad("malformed header line"));
         };
         let value = value.trim();
         if name.eq_ignore_ascii_case("content-length") {
-            content_length = value
-                .parse()
-                .map_err(|_| bad("unparsable Content-Length"))?;
+            let parsed = parse_content_length(value)?;
+            // Conflicting duplicates are a request-smuggling vector
+            // (RFC 9112 §6.3); matching duplicates are tolerated.
+            if content_length.is_some_and(|prev| prev != parsed) {
+                return Err(HttpError::bad("conflicting Content-Length headers"));
+            }
+            content_length = Some(parsed);
         }
         headers.push((name.to_string(), value.to_string()));
     }
+    let content_length = content_length.unwrap_or(0);
     if content_length > MAX_BODY_BYTES {
-        return Err(bad("body exceeds limit"));
+        return Err(HttpError::bad("body exceeds the 4 MiB limit"));
     }
-    let mut body = vec![0u8; content_length];
-    r.read_exact(&mut body)
-        .map_err(|e| PrivimError::io("reading request body", e))?;
-    Ok(Request {
+    let total = head_len + content_length;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let request = Request {
         method: method.to_string(),
         path: path.to_string(),
         headers,
-        body,
-    })
+        body: buf[head_len..total].to_vec(),
+    };
+    let keep_alive = wants_keep_alive(http_10, &request.headers);
+    Ok(Some(ParsedRequest {
+        request,
+        consumed: total,
+        keep_alive,
+    }))
+}
+
+/// Strict `Content-Length`: ASCII digits only (no sign, no whitespace
+/// beyond the already-trimmed value, no hex), rejected on overflow — so
+/// a malformed length can never stall the connection in a body read that
+/// will never complete.
+fn parse_content_length(value: &str) -> Result<usize, HttpError> {
+    if value.is_empty() || !value.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(HttpError::bad("malformed Content-Length"));
+    }
+    value
+        .parse::<usize>()
+        .map_err(|_| HttpError::bad("Content-Length overflows"))
+}
+
+/// Offset one past the `\r\n\r\n` header terminator, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|p| p + 4)
+}
+
+/// RFC 9112 §9.3 persistence: HTTP/1.1 defaults to keep-alive unless the
+/// request says `Connection: close`; HTTP/1.0 defaults to close unless
+/// it says `Connection: keep-alive`. The `Connection` value is a
+/// comma-separated token list, matched case-insensitively.
+fn wants_keep_alive(http_10: bool, headers: &[(String, String)]) -> bool {
+    let token = |want: &str| {
+        headers
+            .iter()
+            .filter(|(n, _)| n.eq_ignore_ascii_case("connection"))
+            .flat_map(|(_, v)| v.split(','))
+            .any(|t| t.trim().eq_ignore_ascii_case(want))
+    };
+    if http_10 {
+        token("keep-alive")
+    } else {
+        !token("close")
+    }
+}
+
+/// Read and parse one request from a blocking stream (the threaded
+/// front end's entry point). Returns the request plus its keep-alive
+/// flag; the threaded front end serves one request per connection and
+/// ignores the flag, but the error's `status` (431 vs 400) is honored.
+pub fn read_request(r: &mut impl Read) -> Result<ParsedRequest, HttpError> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 4096];
+    loop {
+        if let Some(parsed) = parse_one(&buf)? {
+            return Ok(parsed);
+        }
+        let n = r
+            .read(&mut chunk)
+            .map_err(|e| HttpError::bad(format!("reading request: {e}")))?;
+        if n == 0 {
+            return Err(HttpError::bad(
+                "connection closed before the request completed",
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
 }
 
 /// Canonical reason phrase for the status codes the server emits.
@@ -117,13 +258,46 @@ pub fn status_reason(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         408 => "Request Timeout",
         429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
         503 => "Service Unavailable",
         _ => "Internal Server Error",
     }
 }
 
-/// Write a complete response: status line, `Content-Type`,
-/// `Content-Length`, `Connection: close`, body.
+/// Assemble a complete response frame: status line, `Content-Type`,
+/// `Content-Length`, `Connection` (`keep-alive` or `close`), any extra
+/// headers, then the body. One buffer so the caller can issue a single
+/// write (a head-then-body write pair interacts with Nagle + delayed ACK
+/// to stall small responses for ~40 ms).
+pub fn response_frame(
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+    keep_alive: bool,
+) -> Vec<u8> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    let mut frame = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        status,
+        status_reason(status),
+        content_type,
+        body.len(),
+        connection,
+    );
+    for (name, value) in extra_headers {
+        frame.push_str(name);
+        frame.push_str(": ");
+        frame.push_str(value);
+        frame.push_str("\r\n");
+    }
+    frame.push_str("\r\n");
+    let mut frame = frame.into_bytes();
+    frame.extend_from_slice(body);
+    frame
+}
+
+/// Write a complete `Connection: close` response.
 pub fn write_response(
     w: &mut impl Write,
     status: u16,
@@ -142,24 +316,7 @@ pub fn write_response_with_headers(
     extra_headers: &[(&str, String)],
     body: &[u8],
 ) -> PrivimResult<()> {
-    // One buffer, one write: a head-then-body write pair interacts with
-    // Nagle + delayed ACK to stall small responses for ~40 ms.
-    let mut frame = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
-        status,
-        status_reason(status),
-        content_type,
-        body.len()
-    );
-    for (name, value) in extra_headers {
-        frame.push_str(name);
-        frame.push_str(": ");
-        frame.push_str(value);
-        frame.push_str("\r\n");
-    }
-    frame.push_str("\r\n");
-    let mut frame = frame.into_bytes();
-    frame.extend_from_slice(body);
+    let frame = response_frame(status, content_type, extra_headers, body, false);
     w.write_all(&frame)
         .and_then(|_| w.flush())
         .map_err(|e| PrivimError::io("writing response", e))
@@ -169,21 +326,27 @@ pub fn write_response_with_headers(
 mod tests {
     use super::*;
 
+    fn parse_whole(raw: &[u8]) -> ParsedRequest {
+        parse_one(raw).unwrap().expect("complete request")
+    }
+
     #[test]
     fn parses_post_with_body() {
         let raw = b"POST /v1/embed?x=1 HTTP/1.1\r\nHost: h\r\nContent-Length: 4\r\n\r\nabcd";
-        let req = read_request(&mut &raw[..]).unwrap();
-        assert_eq!(req.method, "POST");
-        assert_eq!(req.path, "/v1/embed");
-        assert_eq!(req.body, b"abcd");
-        assert_eq!(req.header("host"), Some("h"));
+        let p = parse_whole(raw);
+        assert_eq!(p.request.method, "POST");
+        assert_eq!(p.request.path, "/v1/embed");
+        assert_eq!(p.request.body, b"abcd");
+        assert_eq!(p.request.header("host"), Some("h"));
+        assert_eq!(p.consumed, raw.len());
+        assert!(p.keep_alive, "HTTP/1.1 defaults to keep-alive");
     }
 
     #[test]
     fn headers_are_captured_case_insensitively() {
         let raw =
             b"POST /v1/embed HTTP/1.1\r\nX-Privim-Tenant:  acme \r\nContent-Length: 0\r\n\r\n";
-        let req = read_request(&mut &raw[..]).unwrap();
+        let req = parse_whole(raw).request;
         assert_eq!(req.header("x-privim-tenant"), Some("acme"));
         assert_eq!(req.header("X-PRIVIM-TENANT"), Some("acme"));
         assert_eq!(req.header("content-length"), Some("0"));
@@ -193,10 +356,88 @@ mod tests {
     #[test]
     fn parses_get_without_body() {
         let raw = b"GET /healthz HTTP/1.1\r\n\r\n";
-        let req = read_request(&mut &raw[..]).unwrap();
-        assert_eq!(req.method, "GET");
-        assert_eq!(req.path, "/healthz");
-        assert!(req.body.is_empty());
+        let p = parse_whole(raw);
+        assert_eq!(p.request.method, "GET");
+        assert_eq!(p.request.path, "/healthz");
+        assert!(p.request.body.is_empty());
+    }
+
+    #[test]
+    fn incremental_parse_needs_more_until_complete() {
+        let raw = b"POST /x HTTP/1.1\r\nContent-Length: 3\r\n\r\nabc";
+        // Every strict prefix is NeedMore; the full buffer completes.
+        for cut in 0..raw.len() {
+            assert!(
+                parse_one(&raw[..cut]).unwrap().is_none(),
+                "prefix of {cut} bytes must not produce a request"
+            );
+        }
+        let p = parse_whole(raw);
+        assert_eq!(p.request.body, b"abc");
+        assert_eq!(p.consumed, raw.len());
+    }
+
+    #[test]
+    fn pipelined_requests_parse_in_sequence() {
+        let a = b"POST /v1/embed HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi".to_vec();
+        let b = b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n".to_vec();
+        let mut buf = a.clone();
+        buf.extend_from_slice(&b);
+        let first = parse_whole(&buf);
+        assert_eq!(first.request.path, "/v1/embed");
+        assert_eq!(first.consumed, a.len());
+        assert!(first.keep_alive);
+        let second = parse_whole(&buf[first.consumed..]);
+        assert_eq!(second.request.path, "/healthz");
+        assert!(!second.keep_alive, "Connection: close ends persistence");
+        assert_eq!(first.consumed + second.consumed, buf.len());
+    }
+
+    #[test]
+    fn keep_alive_semantics_cover_http_10() {
+        let v11 = b"GET / HTTP/1.1\r\n\r\n";
+        assert!(parse_whole(v11).keep_alive);
+        let v11_close = b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n";
+        assert!(!parse_whole(v11_close).keep_alive);
+        let v11_close_list = b"GET / HTTP/1.1\r\nConnection: Keep-Alive, Close\r\n\r\n";
+        assert!(!parse_whole(v11_close_list).keep_alive);
+        // HTTP/1.0 closes by default and persists only on request.
+        let v10 = b"GET / HTTP/1.0\r\n\r\n";
+        assert!(!parse_whole(v10).keep_alive);
+        let v10_ka = b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n";
+        assert!(parse_whole(v10_ka).keep_alive);
+    }
+
+    #[test]
+    fn oversized_header_block_is_431() {
+        // A terminator-less flood past the cap must be refused, not
+        // buffered forever (the slowloris memory bound).
+        let mut flood = b"GET / HTTP/1.1\r\n".to_vec();
+        while flood.len() < MAX_HEADER_BYTES {
+            flood.extend_from_slice(b"X-Pad: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n");
+        }
+        let err = parse_one(&flood).unwrap_err();
+        assert_eq!(err.status, 431);
+    }
+
+    #[test]
+    fn malformed_content_length_is_400_not_a_stall() {
+        for bad in [
+            "Content-Length: -5",
+            "Content-Length: 0x10",
+            "Content-Length: 1 2",
+            "Content-Length: ",
+            "Content-Length: 99999999999999999999999999",
+        ] {
+            let raw = format!("POST /x HTTP/1.1\r\n{bad}\r\n\r\n");
+            let err = parse_one(raw.as_bytes()).unwrap_err();
+            assert_eq!(err.status, 400, "{bad}");
+        }
+        // Conflicting duplicates are refused; agreeing ones tolerated.
+        let conflict = b"POST /x HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 3\r\n\r\n";
+        assert_eq!(parse_one(conflict).unwrap_err().status, 400);
+        let agree = b"POST /x HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nok";
+        assert_eq!(parse_whole(agree).request.body, b"ok");
     }
 
     #[test]
@@ -204,11 +445,23 @@ mod tests {
         assert!(read_request(&mut &b"GET /x HTTP/1.1\r\n"[..]).is_err());
         assert!(read_request(&mut &b"nonsense\r\n\r\n"[..]).is_err());
         assert!(read_request(&mut &b"GET /x SPDY/3\r\n\r\n"[..]).is_err());
-        let huge = format!("POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
+        let huge = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
         assert!(read_request(&mut huge.as_bytes()).is_err());
         // body shorter than declared
         let short = b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc";
         assert!(read_request(&mut &short[..]).is_err());
+    }
+
+    #[test]
+    fn blocking_read_request_matches_incremental_parse() {
+        let raw = b"POST /v1/seeds HTTP/1.1\r\nHost: h\r\nContent-Length: 8\r\n\r\n{\"k\": 3}";
+        let p = read_request(&mut &raw[..]).unwrap();
+        assert_eq!(p.request.path, "/v1/seeds");
+        assert_eq!(p.request.body, b"{\"k\": 3}");
+        assert!(p.keep_alive);
     }
 
     #[test]
@@ -220,6 +473,20 @@ mod tests {
         assert!(text.contains("Content-Length: 11\r\n"));
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+
+    #[test]
+    fn keep_alive_frame_differs_only_in_connection_header() {
+        let ka = response_frame(200, "application/json", &[], b"{}", true);
+        let close = response_frame(200, "application/json", &[], b"{}", false);
+        let ka = String::from_utf8(ka).unwrap();
+        let close = String::from_utf8(close).unwrap();
+        assert!(ka.contains("Connection: keep-alive\r\n"));
+        assert!(close.contains("Connection: close\r\n"));
+        assert_eq!(
+            ka.replace("Connection: keep-alive", "Connection: close"),
+            close
+        );
     }
 
     #[test]

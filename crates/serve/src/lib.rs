@@ -35,6 +35,14 @@
 //!   only picks the shard, so a collision can never serve a wrong value),
 //!   and `/v1/seeds` reuses one [`privim_im::LazyGreedy`] across requests
 //!   — greedy prefix stability makes any `k ≤ computed` free.
+//! * **Readiness-loop front end** (the `conn` + unix-only `reactor`
+//!   modules): an epoll/poll reactor drives nonblocking sockets with
+//!   HTTP/1.1 keep-alive and pipelining, a per-connection state machine,
+//!   and a coarse timer wheel for idle/header-read timeouts (slowloris
+//!   defense). Request execution stays on the worker pool, so response
+//!   bytes are identical to the thread-per-connection front end
+//!   ([`server::FrontEnd::Threaded`], still available for comparison and
+//!   as the non-unix fallback).
 //! * **Load shedding** ([`server`]): a bounded accept queue; overflow and
 //!   requests whose queue wait exceeds the deadline get `503` instead of
 //!   growing latency without bound.
@@ -56,9 +64,12 @@
 pub mod batch;
 pub mod bundle;
 pub mod cache;
+pub(crate) mod conn;
 pub mod http;
 pub mod ledger;
 pub mod metrics;
+#[cfg(unix)]
+pub(crate) mod reactor;
 pub mod server;
 pub mod wal;
 
@@ -69,5 +80,5 @@ pub use bundle::{
 pub use cache::ShardedLru;
 pub use ledger::{Admission, LedgerConfig, LedgerState, TenantLedger};
 pub use metrics::Metrics;
-pub use server::{influence_cache_key, start, DurabilityConfig, ServeConfig, ServerHandle};
+pub use server::{influence_cache_key, start, DurabilityConfig, FrontEnd, ServeConfig, ServerHandle};
 pub use wal::{FsyncPolicy, RecoveryReport, WalWriter};

@@ -17,6 +17,11 @@ pub const BUCKETS_US: [u64; 12] = [
     50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 100_000, 250_000, 1_000_000,
 ];
 
+/// Upper bounds of the pipelined-requests depth histogram (requests
+/// outstanding on one connection when a parse round finishes); the last
+/// bucket is +inf. Depth 1 is a plain non-pipelined request.
+pub const PIPELINE_BUCKETS: [u64; 6] = [1, 2, 4, 8, 16, 32];
+
 #[derive(Default)]
 struct EndpointStats {
     requests: AtomicU64,
@@ -42,6 +47,14 @@ pub struct Metrics {
     wal_append_failures: AtomicU64,
     wal_compactions: AtomicU64,
     wal_compaction_failures: AtomicU64,
+    open_connections: AtomicU64,
+    connections_total: AtomicU64,
+    keepalive_reuses: AtomicU64,
+    idle_timeout_closes: AtomicU64,
+    header_timeout_closes: AtomicU64,
+    reactor_wakeups: AtomicU64,
+    /// `PIPELINE_BUCKETS.len() + 1` raw counts (last = +inf).
+    pipeline_depth: [AtomicU64; 7],
 }
 
 /// Index into [`ENDPOINTS`] for a request path, if instrumented.
@@ -157,6 +170,68 @@ impl Metrics {
         self.wal_compactions.load(Ordering::Relaxed)
     }
 
+    /// A connection was accepted (gauge up, lifetime counter up).
+    pub fn conn_opened(&self) {
+        self.open_connections.fetch_add(1, Ordering::Relaxed);
+        self.connections_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A connection was closed (gauge down).
+    pub fn conn_closed(&self) {
+        self.open_connections.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Connections currently open (reactor front end).
+    pub fn open_connections(&self) -> u64 {
+        self.open_connections.load(Ordering::Relaxed)
+    }
+
+    /// A second-or-later request arrived on a kept-alive connection.
+    pub fn keepalive_reuse(&self) {
+        self.keepalive_reuses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Keep-alive reuses so far.
+    pub fn keepalive_reuses(&self) -> u64 {
+        self.keepalive_reuses.load(Ordering::Relaxed)
+    }
+
+    /// An idle kept-alive connection was closed by the timer wheel.
+    pub fn idle_timeout_close(&self) {
+        self.idle_timeout_closes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Idle-timeout closes so far.
+    pub fn idle_timeout_closes(&self) -> u64 {
+        self.idle_timeout_closes.load(Ordering::Relaxed)
+    }
+
+    /// A connection with a half-sent request was closed by the timer
+    /// wheel (slowloris defense).
+    pub fn header_timeout_close(&self) {
+        self.header_timeout_closes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Header-read-timeout closes so far.
+    pub fn header_timeout_closes(&self) -> u64 {
+        self.header_timeout_closes.load(Ordering::Relaxed)
+    }
+
+    /// The reactor returned from one poll wait (readiness or timer tick).
+    pub fn reactor_wakeup(&self) {
+        self.reactor_wakeups.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record the pipelined-request depth one parse round left
+    /// outstanding on a connection.
+    pub fn observe_pipeline_depth(&self, depth: u64) {
+        let bucket = PIPELINE_BUCKETS
+            .iter()
+            .position(|&ub| depth <= ub)
+            .unwrap_or(PIPELINE_BUCKETS.len());
+        self.pipeline_depth[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Total requests observed across endpoints.
     pub fn total_requests(&self) -> u64 {
         self.endpoints
@@ -233,6 +308,23 @@ impl Metrics {
         push_line(&mut out, "privim_wal_append_failures_total", self.wal_append_failures.load(Ordering::Relaxed));
         push_line(&mut out, "privim_wal_compactions_total", self.wal_compactions.load(Ordering::Relaxed));
         push_line(&mut out, "privim_wal_compaction_failures_total", self.wal_compaction_failures.load(Ordering::Relaxed));
+        push_line(&mut out, "privim_open_connections", self.open_connections.load(Ordering::Relaxed));
+        push_line(&mut out, "privim_connections_total", self.connections_total.load(Ordering::Relaxed));
+        push_line(&mut out, "privim_keepalive_reuses_total", self.keepalive_reuses.load(Ordering::Relaxed));
+        push_line(&mut out, "privim_idle_timeout_closes_total", self.idle_timeout_closes.load(Ordering::Relaxed));
+        push_line(&mut out, "privim_header_timeout_closes_total", self.header_timeout_closes.load(Ordering::Relaxed));
+        push_line(&mut out, "privim_reactor_wakeups_total", self.reactor_wakeups.load(Ordering::Relaxed));
+        let mut cumulative = 0u64;
+        for (b, ub) in PIPELINE_BUCKETS.iter().enumerate() {
+            cumulative += self.pipeline_depth[b].load(Ordering::Relaxed);
+            push_line(
+                &mut out,
+                &format!("privim_pipeline_depth_bucket{{le=\"{ub}\"}}"),
+                cumulative,
+            );
+        }
+        cumulative += self.pipeline_depth[PIPELINE_BUCKETS.len()].load(Ordering::Relaxed);
+        push_line(&mut out, "privim_pipeline_depth_bucket{le=\"+Inf\"}", cumulative);
         out
     }
 }
@@ -375,6 +467,38 @@ mod tests {
         assert_eq!(m.wal_append_failures(), 1);
         assert_eq!(m.wal_compactions(), 1);
         assert_eq!(m.timeout_config_failures(), 1);
+    }
+
+    #[test]
+    fn connection_counters_render() {
+        let m = Metrics::new();
+        m.conn_opened();
+        m.conn_opened();
+        m.conn_closed();
+        m.keepalive_reuse();
+        m.keepalive_reuse();
+        m.keepalive_reuse();
+        m.idle_timeout_close();
+        m.header_timeout_close();
+        m.reactor_wakeup();
+        m.observe_pipeline_depth(1);
+        m.observe_pipeline_depth(3); // -> le=4
+        m.observe_pipeline_depth(100); // -> +Inf
+        let text = m.render(0, 0, 0, 0, 0);
+        assert_eq!(parse_counter(&text, "privim_open_connections"), Some(1));
+        assert_eq!(parse_counter(&text, "privim_connections_total"), Some(2));
+        assert_eq!(parse_counter(&text, "privim_keepalive_reuses_total"), Some(3));
+        assert_eq!(parse_counter(&text, "privim_idle_timeout_closes_total"), Some(1));
+        assert_eq!(parse_counter(&text, "privim_header_timeout_closes_total"), Some(1));
+        assert_eq!(parse_counter(&text, "privim_reactor_wakeups_total"), Some(1));
+        assert_eq!(parse_counter(&text, "privim_pipeline_depth_bucket{le=\"1\"}"), Some(1));
+        assert_eq!(parse_counter(&text, "privim_pipeline_depth_bucket{le=\"2\"}"), Some(1));
+        assert_eq!(parse_counter(&text, "privim_pipeline_depth_bucket{le=\"4\"}"), Some(2));
+        assert_eq!(parse_counter(&text, "privim_pipeline_depth_bucket{le=\"+Inf\"}"), Some(3));
+        assert_eq!(m.open_connections(), 1);
+        assert_eq!(m.keepalive_reuses(), 3);
+        assert_eq!(m.idle_timeout_closes(), 1);
+        assert_eq!(m.header_timeout_closes(), 1);
     }
 
     #[test]

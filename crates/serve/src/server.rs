@@ -1,16 +1,24 @@
-//! The accept loop, worker pool, router and request handlers.
+//! Front-end selection, worker pool, router and request handlers.
 //!
-//! Thread layout: one acceptor + `workers` request threads sharing a
-//! bounded queue. The acceptor never parses: it stamps arrival time and
-//! enqueues, or — when the queue is at capacity — writes an immediate
-//! `503` and closes (load shedding at the cheapest possible point).
-//! Workers additionally shed any request whose *queue wait* already
-//! exceeded the deadline: a reply that can no longer arrive in time is
-//! better dropped than served late while newer requests rot.
+//! Two front ends share one request path (`process_request`):
 //!
-//! Graceful shutdown: set the flag, wake the acceptor with a self-
-//! connection, let workers finish everything queued and in flight, then
-//! join. No request that was accepted is ever abandoned.
+//! * [`FrontEnd::Reactor`] (default on unix): an epoll/poll readiness
+//!   loop ([`crate::reactor`]) owns accept + socket I/O, supports
+//!   HTTP/1.1 keep-alive and pipelining, and hands parsed requests to
+//!   the worker pool;
+//! * [`FrontEnd::Threaded`]: the original thread-per-connection layout —
+//!   one acceptor + `workers` request threads sharing a bounded queue of
+//!   connections, one request per connection, `Connection: close`.
+//!
+//! Both shed identically: `503` at the queue cap (the cheapest possible
+//! point) and for any request whose *queue wait* already exceeded the
+//! deadline — a reply that can no longer arrive in time is better
+//! dropped than served late while newer requests rot.
+//!
+//! Graceful shutdown: set the flag, wake the front end, let workers
+//! finish everything queued and in flight, then join. No request that
+//! was accepted is ever abandoned — under the reactor this includes a
+//! request whose bytes are still arriving when shutdown begins.
 
 use crate::batch::Batcher;
 use crate::bundle::{Bundle, PrivacyStatement, QuantMode};
@@ -51,6 +59,27 @@ pub struct DurabilityConfig {
     pub bundle_path: Option<PathBuf>,
 }
 
+/// Which connection-handling front end drives the worker pool.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrontEnd {
+    /// Thread-per-connection, one request per connection (PR 6 layout).
+    Threaded,
+    /// Epoll/poll readiness loop with keep-alive + pipelining (unix
+    /// only; non-unix builds silently use [`FrontEnd::Threaded`]).
+    Reactor,
+}
+
+impl FrontEnd {
+    /// Parse a CLI/bench flag value.
+    pub fn parse(s: &str) -> Option<FrontEnd> {
+        match s {
+            "threaded" => Some(FrontEnd::Threaded),
+            "reactor" => Some(FrontEnd::Reactor),
+            _ => None,
+        }
+    }
+}
+
 /// Server tunables. The defaults suit a laptop-scale smoke deployment;
 /// the bench harness stresses them explicitly.
 #[derive(Clone, Debug)]
@@ -77,6 +106,18 @@ pub struct ServeConfig {
     /// the bundle has no ledger). `None` = in-memory ledger, PR 6
     /// behavior.
     pub durability: Option<DurabilityConfig>,
+    /// Connection-handling front end.
+    pub frontend: FrontEnd,
+    /// Reactor: close a kept-alive connection after this long with no
+    /// socket activity and no in-flight request.
+    pub idle_timeout: Duration,
+    /// Reactor: close a connection that *started* sending a request but
+    /// has not completed it within this long — measured from the first
+    /// partial byte, so a slowloris dribble cannot reset it.
+    pub header_timeout: Duration,
+    /// Reactor: max pipelined requests in flight per connection before
+    /// reads pause (TCP backpressure instead of unbounded buffering).
+    pub max_pipeline: usize,
 }
 
 impl Default for ServeConfig {
@@ -91,14 +132,18 @@ impl Default for ServeConfig {
             cache_cap_per_shard: 256,
             default_runs: 64,
             durability: None,
+            frontend: FrontEnd::Reactor,
+            idle_timeout: Duration::from_secs(30),
+            header_timeout: Duration::from_secs(10),
+            max_pipeline: 32,
         }
     }
 }
 
-struct Shared {
+pub(crate) struct Shared {
     graph: Arc<privim_graph::Graph>,
     fingerprint: u64,
-    metrics: Metrics,
+    pub(crate) metrics: Metrics,
     cache: ShardedLru<f64>,
     batcher: Batcher,
     /// Resumable CELF state: one instance serves every `/v1/seeds`
@@ -123,22 +168,31 @@ struct Shared {
     privacy: PrivacyStatement,
     queue: Mutex<VecDeque<(TcpStream, Instant)>>,
     queue_ready: Condvar,
-    shutting_down: AtomicBool,
-    deadline: Duration,
+    pub(crate) shutting_down: AtomicBool,
+    pub(crate) deadline: Duration,
     default_runs: usize,
 }
 
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     // privim-lint: allow(panic, reason = "a poisoned server lock means a worker already panicked; propagating is the only sound recovery")
     m.lock().unwrap()
+}
+
+/// The running front end's join handles.
+enum FrontHandles {
+    Threaded {
+        acceptor: Option<std::thread::JoinHandle<()>>,
+        workers: Vec<std::thread::JoinHandle<()>>,
+    },
+    #[cfg(unix)]
+    Reactor(crate::reactor::ReactorHandle),
 }
 
 /// A running server: join handles plus the shared state.
 pub struct ServerHandle {
     port: u16,
     shared: Arc<Shared>,
-    acceptor: Option<std::thread::JoinHandle<()>>,
-    workers: Vec<std::thread::JoinHandle<()>>,
+    front: FrontHandles,
 }
 
 impl ServerHandle {
@@ -174,18 +228,24 @@ impl ServerHandle {
     /// shutdown signal.
     pub fn shutdown(mut self) -> u64 {
         self.shared.shutting_down.store(true, Ordering::SeqCst);
-        // Wake the acceptor out of its blocking accept() with a
-        // self-connection; it checks the flag before enqueuing.
-        let _ = TcpStream::connect(("127.0.0.1", self.port));
-        self.shared.queue_ready.notify_all();
-        if let Some(a) = self.acceptor.take() {
-            let _ = a.join();
-        }
-        for w in self.workers.drain(..) {
-            // Keep waking workers: one notify can be consumed by a thread
-            // that goes back to processing.
-            self.shared.queue_ready.notify_all();
-            let _ = w.join();
+        match &mut self.front {
+            FrontHandles::Threaded { acceptor, workers } => {
+                // Wake the acceptor out of its blocking accept() with a
+                // self-connection; it checks the flag before enqueuing.
+                let _ = TcpStream::connect(("127.0.0.1", self.port));
+                self.shared.queue_ready.notify_all();
+                if let Some(a) = acceptor.take() {
+                    let _ = a.join();
+                }
+                for w in workers.drain(..) {
+                    // Keep waking workers: one notify can be consumed by
+                    // a thread that goes back to processing.
+                    self.shared.queue_ready.notify_all();
+                    let _ = w.join();
+                }
+            }
+            #[cfg(unix)]
+            FrontHandles::Reactor(r) => r.shutdown(),
         }
         self.shared.metrics.drained_count()
     }
@@ -244,21 +304,47 @@ pub fn start(bundle: Bundle, cfg: ServeConfig) -> PrivimResult<ServerHandle> {
         default_runs: cfg.default_runs,
     });
 
+    let front = spawn_front_end(listener, &shared, &cfg)?;
+    Ok(ServerHandle {
+        port,
+        shared,
+        front,
+    })
+}
+
+/// Spawn the configured front end. The reactor is unix-only; elsewhere
+/// (and on reactor setup failure) the threaded layout serves instead, so
+/// a bundle that serves on one platform serves on all of them.
+fn spawn_front_end(
+    listener: TcpListener,
+    shared: &Arc<Shared>,
+    cfg: &ServeConfig,
+) -> PrivimResult<FrontHandles> {
+    #[cfg(unix)]
+    if cfg.frontend == FrontEnd::Reactor {
+        let rcfg = crate::reactor::ReactorConfig {
+            workers: cfg.workers,
+            queue_cap: cfg.queue_cap.max(1),
+            idle_timeout: cfg.idle_timeout,
+            header_timeout: cfg.header_timeout,
+            max_pipeline: (cfg.max_pipeline.max(1)) as u64,
+        };
+        let handle = crate::reactor::spawn_reactor(listener, Arc::clone(shared), rcfg)
+            .map_err(|e| PrivimError::io("starting reactor front end", e))?;
+        return Ok(FrontHandles::Reactor(handle));
+    }
     let acceptor = {
-        let shared = Arc::clone(&shared);
+        let shared = Arc::clone(shared);
         let cap = cfg.queue_cap.max(1);
         std::thread::spawn(move || acceptor_loop(&listener, &shared, cap))
     };
     let workers = (0..cfg.workers.max(1))
         .map(|_| {
-            let shared = Arc::clone(&shared);
+            let shared = Arc::clone(shared);
             std::thread::spawn(move || worker_loop(&shared))
         })
         .collect();
-
-    Ok(ServerHandle {
-        port,
-        shared,
+    Ok(FrontHandles::Threaded {
         acceptor: Some(acceptor),
         workers,
     })
@@ -358,19 +444,10 @@ fn handle_connection(mut stream: TcpStream, arrival: Instant, shared: &Shared) {
     }
 
     let (routed, content_type, ep) = match read_request(&mut stream) {
-        Ok(req) => {
-            let ep = endpoint_index(&req.path);
-            let routed = route(&req, shared);
-            let ct = if req.path == "/metrics" && routed.status == 200 {
-                "text/plain; version=0.0.4"
-            } else {
-                "application/json"
-            };
-            (routed, ct, ep)
-        }
+        Ok(parsed) => process_request(&parsed.request, shared),
         Err(e) => {
             let body = Value::obj(vec![("error", Value::Str(e.to_string()))]).to_json_string();
-            (Routed::new(400, body), "application/json", None)
+            (Routed::new(e.status, body), "application/json", None)
         }
     };
     let status = routed.status;
@@ -392,12 +469,29 @@ fn handle_connection(mut stream: TcpStream, arrival: Instant, shared: &Shared) {
     }
 }
 
+/// Route one parsed request and pick its response content type — the
+/// single request path both front ends share, which is what makes
+/// reactor responses byte-identical to threaded ones.
+pub(crate) fn process_request(
+    req: &Request,
+    shared: &Shared,
+) -> (Routed, &'static str, Option<usize>) {
+    let ep = endpoint_index(&req.path);
+    let routed = route(req, shared);
+    let ct = if req.path == "/metrics" && routed.status == 200 {
+        "text/plain; version=0.0.4"
+    } else {
+        "application/json"
+    };
+    (routed, ct, ep)
+}
+
 /// A routed response: status + body, plus the `Retry-After` a budget
 /// refusal carries.
-struct Routed {
-    status: u16,
-    body: String,
-    retry_after_secs: Option<u64>,
+pub(crate) struct Routed {
+    pub(crate) status: u16,
+    pub(crate) body: String,
+    pub(crate) retry_after_secs: Option<u64>,
 }
 
 impl Routed {

@@ -12,7 +12,7 @@ use privim_graph::Graph;
 use privim_im::{celf_exact, ic_spread_estimate};
 use privim_rt::json::Value;
 use privim_rt::{ChaCha8Rng, SeedableRng};
-use privim_serve::{bundle, metrics, start, LedgerConfig, LedgerState, ServeConfig};
+use privim_serve::{bundle, metrics, start, FrontEnd, LedgerConfig, LedgerState, ServeConfig};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::{Arc, Barrier};
@@ -77,7 +77,10 @@ fn request_with_headers(
     stream
         .set_read_timeout(Some(Duration::from_secs(20)))
         .unwrap();
-    let mut raw = format!("{method} {path} HTTP/1.1\r\nHost: t\r\n");
+    // One-shot client: ask the server to close after the response so
+    // `read_to_string` terminates under the keep-alive (reactor) front
+    // end too.
+    let mut raw = format!("{method} {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n");
     for (name, value) in headers {
         raw.push_str(&format!("{name}: {value}\r\n"));
     }
@@ -257,10 +260,15 @@ fn metrics_reflect_requests_and_batched_forward_passes() {
 #[test]
 fn full_queue_sheds_with_503() {
     let (b, _g, _m) = test_bundle(3);
+    // Threaded front end pinned: this test's premise — an idle
+    // connection occupies a worker until its read deadline — only holds
+    // for thread-per-connection. The reactor's queue-full shed is
+    // covered in tests/reactor.rs with a pipelined burst instead.
     let cfg = ServeConfig {
         workers: 1,
         queue_cap: 1,
         deadline: Duration::from_millis(1500),
+        frontend: FrontEnd::Threaded,
         ..ServeConfig::default()
     };
     let handle = start(b, cfg).unwrap();

@@ -67,7 +67,7 @@ fn post_metered(port: u16, tenant: &str) -> u16 {
     stream.set_read_timeout(Some(Duration::from_secs(20))).unwrap();
     let body = "{\"nodes\":[1,2,3]}";
     let raw = format!(
-        "POST /v1/embed HTTP/1.1\r\nHost: t\r\nX-Privim-Tenant: {tenant}\r\n\
+        "POST /v1/embed HTTP/1.1\r\nHost: t\r\nConnection: close\r\nX-Privim-Tenant: {tenant}\r\n\
          Content-Length: {}\r\n\r\n{body}",
         body.len()
     );

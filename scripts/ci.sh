@@ -91,6 +91,15 @@ cargo run -q --release --offline -p privim-serve -- pack \
 cargo run -q --release --offline -p privim-bench --bin bench_serve -- \
     --smoke --bundle "$SERVE_BUNDLE"
 
+echo "== slowloris + idle-connection gate (reactor reaps abusive connections)"
+# slowloris_serve spawns a real privim-serve process with short header and
+# idle timeouts, opens a pack of connections that dribble a half-request
+# one byte at a time, and exits non-zero unless every one is reaped and
+# attributed in /metrics while a healthy keep-alive client keeps getting
+# 200s; an idle kept-alive connection must likewise be closed and counted.
+cargo run -q --release --offline -p privim-bench --bin slowloris_serve -- \
+    --server-bin target/release/privim-serve --bundle "$SERVE_BUNDLE" --smoke
+
 echo "== attack canary (empirical ε lower bound must not exceed accounted ε)"
 # Trains canary-scale IN/OUT/shadow models through the real DP-SGD path,
 # mounts the membership + topology attacks, and exits non-zero if the

@@ -528,7 +528,7 @@ fn served_embed_response_byte_identical_across_simd_backends() {
         let mut stream = std::net::TcpStream::connect(("127.0.0.1", port)).unwrap();
         let body = "{\"nodes\": [0, 7, 63, 119]}";
         let raw = format!(
-            "POST /v1/embed HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            "POST /v1/embed HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
             body.len()
         );
         stream.write_all(raw.as_bytes()).unwrap();
