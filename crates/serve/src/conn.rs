@@ -14,11 +14,14 @@
 //!   the reactor drains as the socket accepts bytes (partial writes and
 //!   EAGAIN leave the remainder for the next writability event).
 //!
-//! A `Connection: close` request, a protocol error, or EOF from the peer
-//! all funnel into the same shutdown shape: stop parsing, finish what was
-//! accepted, close after the write buffer drains. That is also exactly
-//! the graceful-drain shape, which is why drain under the reactor needs
-//! no special casing per connection.
+//! A `Connection: close` request or a protocol error funnels into one
+//! shutdown shape: stop parsing, finish what was accepted, close after
+//! the write buffer drains. That is also exactly the graceful-drain
+//! shape, which is why drain under the reactor needs no special casing
+//! per connection. Peer EOF (half-close) is gentler: requests already
+//! buffered in full are still parsed and answered — a client may legally
+//! write its requests and `shutdown(SHUT_WR)` before reading — and the
+//! shutdown shape begins only once nothing parseable remains.
 
 use crate::http::{parse_one, HttpError, Request};
 use std::collections::BTreeMap;
@@ -63,6 +66,9 @@ pub(crate) struct Conn {
     /// surfaced by the next `parse_available` so the accepted requests
     /// are not lost.
     deferred_error: Option<HttpError>,
+    /// Peer sent EOF (half-close): no further bytes will arrive, but
+    /// requests already buffered in full are still parsed and served.
+    eof: bool,
     phase: ConnPhase,
     /// Total requests parsed over the connection's lifetime (reuse = this
     /// minus one).
@@ -80,6 +86,7 @@ impl Conn {
             parked: BTreeMap::new(),
             inflight: 0,
             deferred_error: None,
+            eof: false,
             phase: ConnPhase::Open,
             requests_parsed: 0,
         }
@@ -136,6 +143,17 @@ impl Conn {
                 }
             }
         }
+        // Half-close: after peer EOF, bytes that do not already form a
+        // complete request can never become one. A complete request held
+        // back only by the pipeline cap keeps the phase Open so a freed
+        // slot can still parse it; anything else drains now.
+        if self.eof
+            && self.phase == ConnPhase::Open
+            && !matches!(parse_one(&self.read_buf), Ok(Some(_)))
+        {
+            self.phase = ConnPhase::Draining;
+            self.read_buf.clear();
+        }
         Ok(jobs)
     }
 
@@ -159,10 +177,34 @@ impl Conn {
         }
     }
 
-    /// Stop accepting further requests (server drain, peer EOF, or a
-    /// response that carried `Connection: close`); pending work flushes.
+    /// Stop accepting further requests (server drain or a response that
+    /// carried `Connection: close`); pending work flushes.
     pub(crate) fn start_draining(&mut self) {
         self.phase = ConnPhase::Draining;
+    }
+
+    /// Peer EOF (half-close): no more bytes will arrive, but a client
+    /// that wrote a full request and then `shutdown(SHUT_WR)` — legal
+    /// HTTP/1.1 — still gets buffered complete requests parsed and
+    /// answered. [`Conn::parse_available`] flips the phase to Draining
+    /// once nothing parseable remains.
+    pub(crate) fn input_closed(&mut self) {
+        self.eof = true;
+    }
+
+    /// Whether the peer has half-closed its write side.
+    pub(crate) fn input_eof(&self) -> bool {
+        self.eof
+    }
+
+    /// Whether buffered bytes may still yield requests once pipeline
+    /// slots free up. Drives the completion-time re-parse in the
+    /// reactor: the socket buffer is already drained into `read_buf`,
+    /// so no readable event will ever re-trigger the parser.
+    pub(crate) fn can_parse_more(&self, max_pipeline: u64) -> bool {
+        self.phase == ConnPhase::Open
+            && self.inflight < max_pipeline
+            && !self.read_buf.is_empty()
     }
 
     #[cfg(test)]
@@ -190,8 +232,10 @@ impl Conn {
     /// Whether reads should stay registered: an open connection with
     /// pipeline room. A full pipeline deregisters read interest — TCP
     /// backpressure reaches the client instead of unbounded buffering.
+    /// After peer EOF the socket stays level-readable forever, so read
+    /// interest drops too; parsing progress is driven by completions.
     pub(crate) fn wants_read(&self, max_pipeline: u64) -> bool {
-        self.phase == ConnPhase::Open && self.inflight < max_pipeline
+        self.phase == ConnPhase::Open && !self.eof && self.inflight < max_pipeline
     }
 
     /// The bytes the reactor should try to write next (empty = no write
@@ -339,6 +383,84 @@ mod tests {
         let mut expect = frame(b"ok", true);
         expect.extend_from_slice(&frame(b"err", false));
         assert_eq!(c.writable(), &expect[..]);
+    }
+
+    #[test]
+    fn half_close_after_complete_request_still_serves_it() {
+        // write-then-shutdown(SHUT_WR): the buffered request must be
+        // parsed and answered, and only then the connection finishes.
+        let mut c = Conn::new();
+        c.push_bytes(b"GET /a HTTP/1.1\r\n\r\n");
+        c.input_closed();
+        assert!(!c.wants_read(32), "EOF'd socket must drop read interest");
+        let jobs = c.parse_available(32).unwrap();
+        assert_eq!(jobs.len(), 1, "half-close must not discard the request");
+        assert_eq!(c.phase(), ConnPhase::Draining, "nothing parseable remains");
+        assert!(!c.finished(), "response still owed");
+        c.complete(0, frame(b"a", false));
+        let n = c.writable().len();
+        c.advance_write(n);
+        assert!(c.finished());
+    }
+
+    #[test]
+    fn half_close_with_capped_pipeline_parses_the_rest_as_slots_free() {
+        let mut c = Conn::new();
+        for _ in 0..3 {
+            c.push_bytes(b"GET /x HTTP/1.1\r\n\r\n");
+        }
+        c.input_closed();
+        let first = c.parse_available(2).unwrap();
+        assert_eq!(first.len(), 2);
+        assert_eq!(
+            c.phase(),
+            ConnPhase::Open,
+            "a complete-but-capped request must keep the phase Open"
+        );
+        assert!(!c.can_parse_more(2), "no slot free yet");
+        c.complete(0, frame(b"a", true));
+        assert!(c.can_parse_more(2), "freed slot re-enables parsing");
+        let more = c.parse_available(2).unwrap();
+        assert_eq!(more.len(), 1);
+        assert_eq!(more[0].seq, 2);
+        assert_eq!(c.phase(), ConnPhase::Draining, "buffer exhausted after EOF");
+    }
+
+    #[test]
+    fn half_close_discards_an_unfinishable_fragment() {
+        let mut c = Conn::new();
+        c.push_bytes(b"GET /a HTTP/1.1\r\n\r\nGET /par");
+        c.input_closed();
+        let jobs = c.parse_available(32).unwrap();
+        assert_eq!(jobs.len(), 1, "the complete request is still served");
+        assert_eq!(c.phase(), ConnPhase::Draining);
+        assert_eq!(c.partial_bytes(), 0, "the fragment can never complete");
+    }
+
+    #[test]
+    fn capped_buffered_requests_parse_after_completions_without_new_bytes() {
+        // The reviewer scenario behind the reactor's completion-time
+        // re-parse: a burst beyond the cap arrives in one read, and no
+        // further readable event will ever fire.
+        let mut c = Conn::new();
+        for _ in 0..5 {
+            c.push_bytes(b"GET /x HTTP/1.1\r\n\r\n");
+        }
+        let mut served = c.parse_available(2).unwrap().len() as u64;
+        assert_eq!(served, 2, "cap holds back the rest of the burst");
+        let mut completed = 0u64;
+        while completed < 5 {
+            assert!(c.inflight() > 0, "stalled with {served} served");
+            // One worker completion frees one slot...
+            c.complete(completed, frame(b"x", true));
+            completed += 1;
+            // ...and the completion-time re-parse picks up the slack.
+            if c.can_parse_more(2) {
+                served += c.parse_available(2).unwrap().len() as u64;
+            }
+        }
+        assert_eq!(served, 5, "every buffered request must eventually parse");
+        assert_eq!(c.partial_bytes(), 0);
     }
 
     #[test]

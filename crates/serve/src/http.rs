@@ -18,7 +18,9 @@
 //! Hard limits guard the parser: 16 KiB of headers, 4 MiB of body. A
 //! request that overflows the header limit is refused with **431**, any
 //! other malformed framing (including an unparsable, duplicated-and-
-//! conflicting, or over-limit `Content-Length`) with **400** — always
+//! conflicting, or over-limit `Content-Length`, or any
+//! `Transfer-Encoding` header — no transfer coding is implemented, and
+//! guessing at framing is a smuggling vector) with **400** — always
 //! followed by a connection close, since framing can't be trusted after
 //! a parse error.
 
@@ -154,6 +156,13 @@ pub fn parse_one(buf: &[u8]) -> Result<Option<ParsedRequest>, HttpError> {
             return Err(HttpError::bad("malformed header line"));
         };
         let value = value.trim();
+        if name.eq_ignore_ascii_case("transfer-encoding") {
+            // No transfer coding is implemented here, and RFC 9112 §6.1
+            // forbids guessing: framing a chunked message as body-less
+            // would hand the body bytes to the pipelined-request parser
+            // as attacker-framed "requests" (request smuggling).
+            return Err(HttpError::bad("Transfer-Encoding is not supported"));
+        }
         if name.eq_ignore_ascii_case("content-length") {
             let parsed = parse_content_length(value)?;
             // Conflicting duplicates are a request-smuggling vector
@@ -438,6 +447,24 @@ mod tests {
         assert_eq!(parse_one(conflict).unwrap_err().status, 400);
         let agree = b"POST /x HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nok";
         assert_eq!(parse_whole(agree).request.body, b"ok");
+    }
+
+    #[test]
+    fn transfer_encoding_is_rejected_not_smuggled() {
+        // Framing this as body-less would feed the chunked body to the
+        // pipelined-request parser as a fake follow-up request.
+        let chunked =
+            b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nGET /\r\n0\r\n\r\n";
+        assert_eq!(parse_one(chunked).unwrap_err().status, 400);
+        // Case-insensitive, and rejected even alongside Content-Length
+        // (the classic TE.CL smuggling shape) or with a non-chunked
+        // coding.
+        let te_cl =
+            b"POST /x HTTP/1.1\r\ntransfer-encoding: chunked\r\nContent-Length: 5\r\n\r\nhello";
+        assert_eq!(parse_one(te_cl).unwrap_err().status, 400);
+        let gzip = b"POST /x HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n";
+        assert_eq!(parse_one(gzip).unwrap_err().status, 400);
+        assert_eq!(read_request(&mut &chunked[..]).unwrap_err().status, 400);
     }
 
     #[test]

@@ -662,6 +662,14 @@ fn reactor_loop(
             let Some(entry) = conns.get_mut(&token) else {
                 continue;
             };
+            // Completions may have freed pipeline slots while requests
+            // beyond the cap sit already-buffered in `read_buf`; the
+            // socket buffer is drained, so no readable event will ever
+            // re-trigger the parser — re-run it here or those requests
+            // would hang until a timeout kills the connection.
+            if !entry.dead && entry.conn.can_parse_more(cfg.max_pipeline) {
+                parse_and_enqueue(entry, token, now_tick, shared, rs, cfg);
+            }
             if entry.dead || entry.conn.finished() {
                 let _ = poller.deregister(entry.stream.as_raw_fd());
                 conns.remove(&token);
@@ -758,9 +766,12 @@ fn read_ready(
     loop {
         match entry.stream.read(&mut chunk) {
             Ok(0) => {
-                // Peer EOF: no further requests can arrive; what was
-                // already accepted still flushes.
-                entry.conn.start_draining();
+                // Peer EOF — possibly a half-close after one or more
+                // complete requests (write-then-shutdown(SHUT_WR) is
+                // legal HTTP/1.1). Record it on the state machine
+                // *before* parsing below, so buffered complete requests
+                // are still served and only then the connection drains.
+                entry.conn.input_closed();
                 break;
             }
             Ok(n) => {
@@ -801,39 +812,54 @@ fn parse_and_enqueue(
             Ok(jobs) => {
                 shared.metrics.observe_pipeline_depth(entry.conn.inflight());
                 let arrival = Instant::now();
+                // A half-closed peer gets honest `Connection: close`
+                // responses (the threaded front end always closes, so
+                // this also keeps the write-then-shutdown pattern
+                // byte-identical across front ends).
+                let peer_gone = entry.conn.input_eof();
+                let mut shedding = false;
                 for job in jobs {
                     if job.seq > 0 {
                         shared.metrics.keepalive_reuse();
                     }
-                    // Bounded queue: same cap + same 503 shape as the
-                    // threaded acceptor, but the refusal is a frame in
-                    // the response order rather than a raw socket write.
-                    let mut q = lock(&rs.jobs);
-                    if q.len() >= cfg.queue_cap {
+                    if !shedding {
+                        // Bounded queue: same cap + same 503 shape as
+                        // the threaded acceptor, but the refusal is a
+                        // frame in the response order rather than a raw
+                        // socket write.
+                        let mut q = lock(&rs.jobs);
+                        if q.len() < cfg.queue_cap {
+                            q.push_back(Job {
+                                token,
+                                seq: job.seq,
+                                request: job.request,
+                                keep_alive: job.keep_alive && !peer_gone,
+                                arrival,
+                            });
+                            shared.metrics.queue_push();
+                            drop(q);
+                            rs.jobs_ready.notify_one();
+                            continue;
+                        }
                         drop(q);
-                        shared.metrics.shed();
-                        shared.metrics.observe_status(503);
-                        let body = Value::obj(vec![(
-                            "error",
-                            Value::Str("shed: queue full".to_string()),
-                        )])
-                        .to_json_string();
-                        let frame =
-                            response_frame(503, "application/json", &[], body.as_bytes(), false);
+                        shedding = true;
                         entry.conn.start_draining();
-                        entry.conn.complete(job.seq, frame);
-                        continue;
                     }
-                    q.push_back(Job {
-                        token,
-                        seq: job.seq,
-                        request: job.request,
-                        keep_alive: job.keep_alive,
-                        arrival,
-                    });
-                    shared.metrics.queue_push();
-                    drop(q);
-                    rs.jobs_ready.notify_one();
+                    // Queue full: the first 503 carries
+                    // `Connection: close`, so every later request from
+                    // the same parse batch is shed too — running them
+                    // through workers would emit response frames behind
+                    // a close-marked response.
+                    shared.metrics.shed();
+                    shared.metrics.observe_status(503);
+                    let body = Value::obj(vec![(
+                        "error",
+                        Value::Str("shed: queue full".to_string()),
+                    )])
+                    .to_json_string();
+                    let frame =
+                        response_frame(503, "application/json", &[], body.as_bytes(), false);
+                    entry.conn.complete(job.seq, frame);
                 }
             }
             Err(e) => {

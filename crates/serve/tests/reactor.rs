@@ -244,6 +244,90 @@ fn reactor_matches_threaded_front_end_byte_for_byte() {
 }
 
 #[test]
+fn pipelined_burst_beyond_max_pipeline_is_fully_served() {
+    // A burst deeper than the pipeline cap lands in one write: the
+    // requests past the cap sit in the connection's read buffer with the
+    // socket already drained, so serving them depends on the reactor
+    // re-running the parser when worker completions free slots — no
+    // readable event will ever fire for them.
+    let cap = 4usize;
+    let n = 3 * cap;
+    let handle = reactor_server(
+        19,
+        ServeConfig {
+            max_pipeline: cap,
+            ..ServeConfig::default()
+        },
+    );
+    let port = handle.port();
+
+    // Reference bodies from sequential one-shot requests.
+    let sequential: Vec<String> = (0..n)
+        .map(|i| {
+            let mut s = TcpStream::connect(("127.0.0.1", port)).unwrap();
+            s.set_read_timeout(Some(Duration::from_secs(20))).unwrap();
+            s.write_all(&frame_request(
+                "POST",
+                "/v1/embed",
+                &format!("{{\"nodes\": [{i}]}}"),
+                true,
+            ))
+            .unwrap();
+            read_framed(&mut s, &mut Vec::new()).2
+        })
+        .collect();
+
+    let mut stream = TcpStream::connect(("127.0.0.1", port)).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(20))).unwrap();
+    let mut burst = Vec::new();
+    for i in 0..n {
+        burst.extend_from_slice(&frame_request(
+            "POST",
+            "/v1/embed",
+            &format!("{{\"nodes\": [{i}]}}"),
+            false,
+        ));
+    }
+    stream.write_all(&burst).unwrap();
+    let mut carry = Vec::new();
+    for (i, expect) in sequential.iter().enumerate() {
+        let (status, _, body) = read_framed(&mut stream, &mut carry);
+        assert_eq!(status, 200, "request {i} of the over-cap burst: {body}");
+        assert_eq!(&body, expect, "request {i} answered out of order or diverged");
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn half_close_after_complete_requests_still_answers_them() {
+    // Legal HTTP/1.1: write the requests, shutdown(SHUT_WR), then read.
+    let handle = reactor_server(20, ServeConfig::default());
+    let port = handle.port();
+    let mut stream = TcpStream::connect(("127.0.0.1", port)).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(20))).unwrap();
+    let mut burst = frame_request("POST", "/v1/embed", "{\"nodes\": [5]}", false);
+    burst.extend_from_slice(&frame_request("GET", "/healthz", "", false));
+    stream.write_all(&burst).unwrap();
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+
+    // Whether the FIN lands in the same read batch as the requests is a
+    // kernel-level race, so the Connection header may honestly say either
+    // close (EOF seen before parse) or keep-alive (EOF seen after); what
+    // must hold is that both requests are answered and the connection
+    // then closes.
+    let mut carry = Vec::new();
+    let (s0, _, b0) = read_framed(&mut stream, &mut carry);
+    assert_eq!(s0, 200, "half-closed request must still be served: {b0}");
+    assert!(b0.contains("scores"), "{b0}");
+    let (s1, _, b1) = read_framed(&mut stream, &mut carry);
+    assert_eq!(s1, 200, "{b1}");
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "connection must close after the final response");
+    handle.shutdown();
+}
+
+#[test]
 fn half_sent_request_is_reaped_by_the_header_timeout() {
     let handle = reactor_server(
         15,
@@ -351,6 +435,13 @@ fn pipelined_burst_over_queue_cap_sheds_with_503() {
     assert!(
         statuses.iter().any(|&s| s == 503),
         "burst of {n} over queue_cap=1 must shed: {statuses:?}"
+    );
+    // The first queue-full 503 is close-marked, so nothing after it may
+    // be a worker-served response — the rest of the batch is shed too.
+    let first_shed = statuses.iter().position(|&s| s == 503).unwrap();
+    assert!(
+        statuses[first_shed..].iter().all(|&s| s == 503),
+        "no response may follow a close-marked 503: {statuses:?}"
     );
     let text = handle.metrics_text();
     assert!(metrics::parse_counter(&text, "privim_shed_total").unwrap() >= 1);
